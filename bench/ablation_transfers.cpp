@@ -1,0 +1,84 @@
+// Ablation of the transfer share: both the paper's implementations
+// spend ~50% of their time on PCIe copies. Sweeps the frame size to
+// show how the transfer share scales, and sweeps the PCIe bandwidth to
+// show when the downscaler becomes compute-bound.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+
+using namespace saclo;
+using namespace saclo::apps;
+using namespace saclo::bench;
+
+namespace {
+
+DownscalerConfig sized(std::int64_t height, std::int64_t width) {
+  DownscalerConfig cfg = DownscalerConfig::paper();
+  cfg.height = height;
+  cfg.width = width;
+  cfg.validate();
+  return cfg;
+}
+
+void frame_size_sweep() {
+  print_header("Transfer-share ablation — frame size sweep (SaC non-generic, 300 RGB frames)");
+  std::printf("%-16s %12s %12s %12s %14s\n", "frame", "kernels(s)", "copies(s)", "total(s)",
+              "copy share");
+  struct Case {
+    std::int64_t h;
+    std::int64_t w;
+  };
+  for (const Case c : {Case{144, 256}, Case{288, 512}, Case{576, 1024}, Case{1080, 1920},
+                       Case{2160, 3840}}) {
+    const DownscalerConfig cfg = sized(c.h, c.w);
+    SacDownscaler::Options opts;
+    SacDownscaler sac(cfg, opts);
+    auto r = sac.run_cuda_chain(kFrames, kChannels, 0);
+    const double copies = r.h.h2d_us + r.v.h2d_us + r.h.d2h_us + r.v.d2h_us;
+    const double kernels = r.h.kernel_us + r.v.kernel_us;
+    std::printf("%6lldx%-8lld %9.2f s  %9.2f s  %9.2f s  %12.1f%%\n",
+                static_cast<long long>(c.h), static_cast<long long>(c.w), kernels / 1e6,
+                copies / 1e6, r.total_us() / 1e6, 100.0 * copies / r.total_us());
+  }
+  std::printf("\nThe copy share is nearly scale-invariant: both kernels and copies grow\n"
+              "linearly in the pixel count — the paper's ~50%% is a property of the\n"
+              "algorithm:PCIe ratio, not of the frame size.\n");
+}
+
+void pcie_sweep() {
+  print_header("PCIe bandwidth sweep (SaC non-generic, paper frames)");
+  const DownscalerConfig cfg = DownscalerConfig::paper();
+  std::printf("%-18s %12s %14s\n", "PCIe (GB/s)", "total(s)", "copy share");
+  for (double gbs : {1.5, 3.0, 5.36, 8.0, 16.0, 32.0}) {
+    gpu::DeviceSpec dev = gpu::gtx480();
+    dev.pcie_h2d_gbs = gbs;
+    dev.pcie_d2h_gbs = gbs * (6.30 / 5.36);
+    SacDownscaler::Options opts;
+    opts.device = dev;
+    SacDownscaler sac(cfg, opts);
+    auto r = sac.run_cuda_chain(kFrames, kChannels, 0);
+    const double copies = r.h.h2d_us + r.v.h2d_us + r.h.d2h_us + r.v.d2h_us;
+    std::printf("%14.2f %11.2f s %12.1f%%\n", gbs, r.total_us() / 1e6,
+                100.0 * copies / r.total_us());
+  }
+}
+
+void BM_TransferModel(benchmark::State& state) {
+  const gpu::DeviceSpec dev = gpu::gtx480();
+  const std::int64_t bytes = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpu::transfer_time_us(dev, bytes, gpu::Dir::HostToDevice));
+  }
+}
+BENCHMARK(BM_TransferModel)->Arg(1 << 12)->Arg(1 << 20)->Arg(8294400);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  frame_size_sweep();
+  pcie_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

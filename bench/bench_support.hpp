@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "apps/downscaler/pipelines.hpp"
+#include "core/fmt.hpp"
+
+namespace saclo::bench {
+
+/// Number of frames of the paper's evaluation runs.
+inline constexpr int kFrames = 300;
+inline constexpr int kChannels = 3;
+
+inline void print_header(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+/// One "paper vs simulated" comparison line.
+inline void compare_row(const std::string& label, double paper_us, double sim_us) {
+  std::printf("%-34s paper %10.0f us   simulated %10.0f us   ratio %.2f\n", label.c_str(),
+              paper_us, sim_us, paper_us > 0 ? sim_us / paper_us : 0.0);
+}
+
+inline void seconds_row(const std::string& label, double us) {
+  std::printf("%-44s %8.2f s\n", label.c_str(), us / 1e6);
+}
+
+}  // namespace saclo::bench

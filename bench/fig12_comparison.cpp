@@ -1,0 +1,73 @@
+// Reproduces the paper's Figure 12: per-operation comparison of the
+// SaC and GASPARD2 implementations — horizontal-filter kernels,
+// vertical-filter kernels, host-to-device and device-to-host transfer
+// time over 300 RGB frames.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+
+using namespace saclo;
+using namespace saclo::apps;
+using namespace saclo::bench;
+
+namespace {
+
+void reproduce_fig12() {
+  print_header("Figure 12 — SaC vs GASPARD2 operation times (300 RGB frames)");
+  const DownscalerConfig cfg = DownscalerConfig::paper();
+
+  SacDownscaler::Options sopts;
+  SacDownscaler sac(cfg, sopts);
+  auto s = sac.run_cuda_chain(kFrames, kChannels, 0);
+
+  GaspardDownscaler::Options gopts;
+  GaspardDownscaler gd(cfg, gopts);
+  auto g = gd.run(kFrames, 0);
+
+  std::printf("%-22s %14s %14s\n", "Operation", "SaC (s)", "Gaspard2 (s)");
+  auto row = [](const char* label, double sac_us, double gas_us) {
+    std::printf("%-22s %11.2f s  %11.2f s\n", label, sac_us / 1e6, gas_us / 1e6);
+  };
+  row("Horizontal Filter", s.h.kernel_us, g.h.kernel_us);
+  row("Vertical Filter", s.v.kernel_us, g.v.kernel_us);
+  row("Host2Device", s.h.h2d_us + s.v.h2d_us, g.h.h2d_us + g.v.h2d_us);
+  row("Device2Host", s.h.d2h_us + s.v.d2h_us, g.h.d2h_us + g.v.d2h_us);
+  row("Total", s.total_us(), g.total_us());
+
+  std::printf("\nShape checks (paper Section VIII-C):\n");
+  std::printf("  GASPARD2 filters faster than SaC: H %s (%.2fx), V %s (%.2fx)\n",
+              g.h.kernel_us < s.h.kernel_us ? "yes" : "NO",
+              s.h.kernel_us / g.h.kernel_us,
+              g.v.kernel_us < s.v.kernel_us ? "yes" : "NO",
+              s.v.kernel_us / g.v.kernel_us);
+  const double best = std::min(s.total_us(), g.total_us());
+  const double worst = std::max(s.total_us(), g.total_us());
+  std::printf("  totals comparable, within %.0f%% of the best (paper: within 85%%)\n",
+              100.0 * best / worst);
+  std::printf("  SaC kernels per filter: H=%d V=%d vs GASPARD2's 1 per task\n",
+              sac.h_kernels(), sac.v_kernels());
+}
+
+void BM_Fig12BothPipelinesOneFrame(benchmark::State& state) {
+  const DownscalerConfig cfg = DownscalerConfig::paper();
+  SacDownscaler::Options sopts;
+  SacDownscaler sac(cfg, sopts);
+  GaspardDownscaler::Options gopts;
+  GaspardDownscaler gd(cfg, gopts);
+  for (auto _ : state) {
+    auto a = sac.run_cuda_chain(1, 3, 0);
+    auto b = gd.run(1, 0);
+    benchmark::DoNotOptimize(a.total_us() + b.total_us());
+  }
+}
+BENCHMARK(BM_Fig12BothPipelinesOneFrame);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_fig12();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

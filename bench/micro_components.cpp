@@ -1,0 +1,152 @@
+// Micro-benchmarks (real wall time) of the library components that do
+// run natively on this machine: tiler gather/scatter, the mini-SaC
+// frontend and optimiser, the kernel tape VM, the functional executor
+// and the ArrayOL reference evaluator.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/downscaler/arrayol_model.hpp"
+#include "apps/downscaler/frames.hpp"
+#include "apps/downscaler/sac_source.hpp"
+#include "core/tiler.hpp"
+#include "gpu/executor.hpp"
+#include "gpu/sim_gpu.hpp"
+#include "sac/interp.hpp"
+#include "sac/parser.hpp"
+#include "sac/pipeline.hpp"
+#include "sac/typecheck.hpp"
+
+using namespace saclo;
+using namespace saclo::apps;
+
+namespace {
+
+void BM_TilerGather(benchmark::State& state) {
+  const std::int64_t h = state.range(0);
+  const IntArray frame =
+      IntArray::generate(Shape{h, 1920}, [](const Index& i) { return i[0] + i[1]; });
+  TilerSpec t;
+  t.origin = {0, 0};
+  t.fitting = IntMat{{0}, {1}};
+  t.paving = IntMat{{1, 0}, {0, 8}};
+  for (auto _ : state) {
+    IntArray tiles = gather(frame, t, Shape{11}, Shape{h, 240});
+    benchmark::DoNotOptimize(tiles.elements());
+  }
+  state.SetItemsProcessed(state.iterations() * h * 240 * 11);
+}
+BENCHMARK(BM_TilerGather)->Arg(16)->Arg(64)->Arg(270);
+
+void BM_TilerScatter(benchmark::State& state) {
+  const std::int64_t h = state.range(0);
+  TilerSpec t;
+  t.origin = {0, 0};
+  t.fitting = IntMat{{0}, {1}};
+  t.paving = IntMat{{1, 0}, {0, 3}};
+  const IntArray tiles(Shape{h, 240, 3}, 7);
+  IntArray out(Shape{h, 720});
+  for (auto _ : state) {
+    scatter(out, tiles, t, Shape{3}, Shape{h, 240});
+    benchmark::DoNotOptimize(out.elements());
+  }
+  state.SetItemsProcessed(state.iterations() * h * 720);
+}
+BENCHMARK(BM_TilerScatter)->Arg(16)->Arg(270);
+
+void BM_LexParseDownscaler(benchmark::State& state) {
+  const std::string src = downscaler_sac_source(DownscalerConfig::paper());
+  for (auto _ : state) {
+    sac::Module m = sac::parse(src);
+    benchmark::DoNotOptimize(m.functions.size());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_LexParseDownscaler);
+
+void BM_Typecheck(benchmark::State& state) {
+  const sac::Module m = sac::parse(downscaler_sac_source(DownscalerConfig::paper()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sac::typecheck(m));
+  }
+}
+BENCHMARK(BM_Typecheck);
+
+void BM_CompileWithWlf(benchmark::State& state) {
+  const DownscalerConfig cfg = DownscalerConfig::paper();
+  const sac::Module m = sac::parse(downscaler_sac_source(cfg));
+  for (auto _ : state) {
+    auto cf = sac::compile(m, "hfilter_nongeneric",
+                           {sac::ArgSpec::array(sac::ElemType::Int, cfg.frame_shape())});
+    benchmark::DoNotOptimize(cf.stats.folds);
+  }
+}
+BENCHMARK(BM_CompileWithWlf);
+
+void BM_InterpTinyFilter(benchmark::State& state) {
+  const DownscalerConfig cfg = DownscalerConfig::tiny();
+  const sac::Module m = sac::parse(downscaler_sac_source(cfg));
+  const IntArray frame = synthetic_channel(cfg.frame_shape(), 0, 0);
+  for (auto _ : state) {
+    sac::Value v = sac::run_function(m, "hfilter_nongeneric", {sac::Value(frame)});
+    benchmark::DoNotOptimize(v.shape().elements());
+  }
+}
+BENCHMARK(BM_InterpTinyFilter);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  gpu::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  std::vector<std::int64_t> out(100000);
+  for (auto _ : state) {
+    pool.parallel_for(100000, [&](std::int64_t i) {
+      out[static_cast<std::size_t>(i)] = i * i;
+    });
+    benchmark::DoNotOptimize(out[99999]);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SimKernelFunctionalExec(benchmark::State& state) {
+  gpu::VirtualGpu gpu(gpu::gtx480(), 1);
+  const gpu::BufferHandle buf = gpu.alloc(100000 * 8);
+  auto out = gpu.memory().view<std::int64_t>(buf);
+  gpu::KernelLaunch k;
+  k.name = "bench";
+  k.threads = 100000;
+  k.cost.flops_per_thread = 2;
+  k.body = [out](std::int64_t tid) { out[static_cast<std::size_t>(tid)] = 3 * tid + 1; };
+  for (auto _ : state) {
+    gpu.launch(k, true);
+    benchmark::DoNotOptimize(out[9]);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimKernelFunctionalExec);
+
+void BM_ArrayOlEvaluateTiny(benchmark::State& state) {
+  const DownscalerConfig cfg = DownscalerConfig::tiny();
+  aol::Model model = build_single_channel_model(cfg);
+  std::map<std::string, IntArray> inputs{
+      {"frame_y", synthetic_channel(cfg.frame_shape(), 0, 0)}};
+  for (auto _ : state) {
+    auto env = aol::evaluate(model, inputs);
+    benchmark::DoNotOptimize(env.size());
+  }
+}
+BENCHMARK(BM_ArrayOlEvaluateTiny);
+
+void BM_CoverageMap(benchmark::State& state) {
+  TilerSpec t;
+  t.origin = {0, 0};
+  t.fitting = IntMat{{0}, {1}};
+  t.paving = IntMat{{1, 0}, {0, 8}};
+  for (auto _ : state) {
+    IntArray cover = coverage_map(t, Shape{64, 512}, Shape{11}, Shape{64, 64});
+    benchmark::DoNotOptimize(cover.elements());
+  }
+}
+BENCHMARK(BM_CoverageMap);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Beyond the paper's domain: dense matrix multiplication in mini-SaC,
+// compiled to simulated CUDA. Shows that the general-purpose route
+// handles workloads the signal-processing DSL was never meant for —
+// the "albeit being general purpose" argument of the paper's abstract.
+//
+//   $ ./example_matmul
+//
+// The inner dot product is a fold with-loop; the backend unrolls it
+// inside the generated kernel (one thread per output element).
+
+#include <cstdio>
+
+#include "sac/interp.hpp"
+#include "sac/parser.hpp"
+#include "sac/pipeline.hpp"
+#include "sac/typecheck.hpp"
+#include "sac_cuda/codegen_text.hpp"
+#include "sac_cuda/program.hpp"
+
+using namespace saclo;
+
+namespace {
+
+constexpr std::int64_t kN = 96;
+constexpr std::int64_t kK = 64;
+constexpr std::int64_t kM = 80;
+
+const char* kSource = R"(
+int[*] matmul(int[*] a, int[*] b) {
+  n = shape(a)[0];
+  k = shape(a)[1];
+  m = shape(b)[1];
+  c = with {
+    ([0,0] <= [i,j] < [n,m] ) {
+      acc = with { ([0] <= [p] < [k]) : a[[i,p]] * b[[p,j]]; } : fold(+, 0);
+    } : acc;
+  } : genarray([n,m]);
+  return (c);
+}
+
+int[*] matmul_transposed_sum(int[*] a, int[*] b) {
+  c = matmul(a, b);
+  t = with { (. <= [i,j] <= .) : c[[j,i]] + c[[i,j]]; } : genarray(shape(c));
+  return (t);
+}
+)";
+
+}  // namespace
+
+int main() {
+  const sac::Module module = sac::parse(kSource);
+  sac::typecheck(module);
+
+  sac::CompiledFunction compiled = sac::compile(
+      module, "matmul",
+      {sac::ArgSpec::array(sac::ElemType::Int, Shape{kN, kK}),
+       sac::ArgSpec::array(sac::ElemType::Int, Shape{kK, kM})});
+  sac_cuda::CudaProgram program = sac_cuda::CudaProgram::plan(compiled);
+  std::printf("matmul %lldx%lld * %lldx%lld: %d kernel(s), %d host block(s)\n",
+              static_cast<long long>(kN), static_cast<long long>(kK),
+              static_cast<long long>(kK), static_cast<long long>(kM), program.kernel_count(),
+              program.host_block_count());
+  for (const sac_cuda::Step& step : program.steps()) {
+    if (step.kind != sac_cuda::Step::Kind::Kernels) continue;
+    for (const sac_cuda::GenKernel& k : step.group.kernels) {
+      std::printf("  kernel %-18s threads=%-8lld flops/thread=%.0f loads/thread=%.0f\n",
+                  k.name.c_str(), static_cast<long long>(k.threads), k.cost.flops_per_thread,
+                  k.cost.global_loads_per_thread);
+    }
+  }
+
+  gpu::VirtualGpu device(gpu::gtx480());
+  gpu::cuda::Runtime runtime(device);
+  gpu::Profiler host_profiler;
+
+  const IntArray a =
+      IntArray::generate(Shape{kN, kK}, [](const Index& i) { return (i[0] + 2 * i[1]) % 17; });
+  const IntArray b =
+      IntArray::generate(Shape{kK, kM}, [](const Index& i) { return (3 * i[0] + i[1]) % 13; });
+
+  const sac::Value result =
+      program.run(runtime, {sac::Value(a), sac::Value(b)}, gpu::i7_930(), host_profiler, true);
+
+  // Verify against a straight C++ triple loop.
+  IntArray expected(Shape{kN, kM});
+  for (std::int64_t i = 0; i < kN; ++i) {
+    for (std::int64_t j = 0; j < kM; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t p = 0; p < kK; ++p) acc += a.at({i, p}) * b.at({p, j});
+      expected.at({i, j}) = acc;
+    }
+  }
+  std::printf("\nsimulated GPU result matches native C++ matmul: %s\n",
+              result.ints() == expected ? "yes" : "NO (bug!)");
+  std::printf("\n%s\n", device.profiler().table().c_str());
+
+  // The composed variant exercises function inlining + a second kernel.
+  sac::CompiledFunction composed = sac::compile(
+      module, "matmul_transposed_sum",
+      {sac::ArgSpec::array(sac::ElemType::Int, Shape{kN, kK}),
+       sac::ArgSpec::array(sac::ElemType::Int, Shape{kK, kN})});
+  sac_cuda::CudaProgram program2 = sac_cuda::CudaProgram::plan(composed);
+  const IntArray b2 =
+      IntArray::generate(Shape{kK, kN}, [](const Index& i) { return (i[0] * i[1]) % 7; });
+  const sac::Value r2 = program2.run(runtime, {sac::Value(a), sac::Value(b2)}, gpu::i7_930(),
+                                     host_profiler, true);
+  const sac::Value r2_ref =
+      sac::run_function(module, "matmul_transposed_sum", {sac::Value(a), sac::Value(b2)});
+  std::printf("composed matmul+transpose matches the interpreter: %s\n",
+              r2 == r2_ref ? "yes" : "NO (bug!)");
+  return (result.ints() == expected && r2 == r2_ref) ? 0 : 1;
+}

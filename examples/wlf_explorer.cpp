@@ -1,0 +1,57 @@
+// WLF explorer: shows the paper's central compiler transformation —
+// With-Loop Folding — on the downscaler pipeline, before and after.
+//
+//   $ ./example_wlf_explorer
+//
+// Reproduces the Figure 4 -> Figure 8 journey: the three-stage
+// gather/compute/scatter pipeline collapses into one multi-generator
+// with-loop, the `% shape` wrap-arounds split off boundary generators,
+// and the generic (for-loop) output tiler demonstrably blocks it all.
+
+#include <cstdio>
+
+#include "apps/downscaler/config.hpp"
+#include "apps/downscaler/sac_source.hpp"
+#include "sac/parser.hpp"
+#include "sac/pipeline.hpp"
+#include "sac/printer.hpp"
+
+using namespace saclo;
+using namespace saclo::apps;
+
+namespace {
+
+void show(const char* title, const sac::CompiledFunction& cf) {
+  std::printf("=== %s ===\n", title);
+  std::printf("stats: %d folds, %d splits, %d mods removed, %d modarrays converted, "
+              "%d stmts removed\n\n",
+              cf.stats.folds, cf.stats.generator_splits, cf.stats.mods_removed,
+              cf.stats.modarrays_converted, cf.stats.stmts_removed);
+  std::printf("%s\n", sac::print(cf.fn).c_str());
+}
+
+}  // namespace
+
+int main() {
+  // A readable size: 18x32 frames.
+  const DownscalerConfig cfg = DownscalerConfig::tiny();
+  const sac::Module module = sac::parse(downscaler_sac_source(cfg));
+
+  std::printf("### The source program (paper Figures 4-7) ###\n\n%s\n",
+              downscaler_sac_source(cfg).c_str());
+
+  sac::CompileOptions no_wlf;
+  no_wlf.enable_wlf = false;
+  show("hfilter_nongeneric, WLF disabled (three separate with-loops)",
+       sac::compile(module, "hfilter_nongeneric",
+                    {sac::ArgSpec::array(sac::ElemType::Int, cfg.frame_shape())}, no_wlf));
+
+  show("hfilter_nongeneric, WLF enabled (one fused with-loop, boundary splits — Figure 8)",
+       sac::compile(module, "hfilter_nongeneric",
+                    {sac::ArgSpec::array(sac::ElemType::Int, cfg.frame_shape())}));
+
+  show("hfilter_generic, WLF enabled (the for-loop tiler survives on the host)",
+       sac::compile(module, "hfilter_generic",
+                    {sac::ArgSpec::array(sac::ElemType::Int, cfg.frame_shape())}));
+  return 0;
+}

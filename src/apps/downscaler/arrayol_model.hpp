@@ -1,0 +1,30 @@
+#pragma once
+
+#include "apps/downscaler/config.hpp"
+#include "arrayol/hierarchy.hpp"
+#include "arrayol/model.hpp"
+
+namespace saclo::apps {
+
+/// The elementary downscale IP of one filter: averages `window`
+/// consecutive inputs per output window (the paper's
+/// `tmp/6 - tmp%6` computation).
+aol::ElementaryOp downscale_op(const FilterSpec& spec);
+
+/// Builds the paper's downscaler application model (Figure 3/10): per
+/// RGB channel one horizontal-filter task (bhf/ghf/rhf) and one
+/// vertical-filter task (bvf/gvf/rvf), connected through intermediate
+/// arrays. Inputs: frame_r/g/b; outputs: out_r/g/b.
+aol::Model build_downscaler_model(const DownscalerConfig& config);
+
+/// Single-channel variant (used by tests and the quickstart example).
+aol::Model build_single_channel_model(const DownscalerConfig& config);
+
+/// The paper's full hierarchical structure (Figure 3): a Downscaler
+/// component instantiating one Channel component per RGB channel, each
+/// of which instantiates HorizontalFilter and VerticalFilter
+/// components around an internal intermediate array. flatten() yields
+/// a model equivalent to build_downscaler_model().
+aol::HierarchicalModel build_hierarchical_downscaler(const DownscalerConfig& config);
+
+}  // namespace saclo::apps

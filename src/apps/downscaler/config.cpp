@@ -1,0 +1,57 @@
+#include "apps/downscaler/config.hpp"
+
+#include "core/fmt.hpp"
+
+namespace saclo::apps {
+
+namespace {
+
+void validate_filter(const FilterSpec& f, std::int64_t extent, const char* which) {
+  if (f.paving <= 0 || f.in_pattern <= 0 || f.window <= 0) {
+    throw Error(cat(which, " filter has non-positive geometry"));
+  }
+  if (extent % f.paving != 0) {
+    throw Error(cat(which, " filter paving ", f.paving, " does not divide extent ", extent));
+  }
+  if (f.window_starts.empty()) {
+    throw Error(cat(which, " filter has no output windows"));
+  }
+  for (std::int64_t s : f.window_starts) {
+    if (s < 0 || s + f.window > f.in_pattern) {
+      throw Error(cat(which, " filter window at ", s, " exceeds the input pattern of ",
+                      f.in_pattern));
+    }
+  }
+}
+
+}  // namespace
+
+void DownscalerConfig::validate() const {
+  if (height <= 0 || width <= 0) throw Error("non-positive frame dimensions");
+  validate_filter(h, width, "horizontal");
+  validate_filter(v, height, "vertical");
+}
+
+DownscalerConfig DownscalerConfig::tiny() {
+  DownscalerConfig c;
+  c.height = 18;
+  c.width = 32;
+  c.validate();
+  return c;
+}
+
+DownscalerConfig DownscalerConfig::small() {
+  DownscalerConfig c;
+  c.height = 180;
+  c.width = 256;
+  c.validate();
+  return c;
+}
+
+DownscalerConfig DownscalerConfig::paper() {
+  DownscalerConfig c;
+  c.validate();
+  return c;
+}
+
+}  // namespace saclo::apps

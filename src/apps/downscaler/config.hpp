@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/shape.hpp"
+
+namespace saclo::apps {
+
+/// One directional filter of the H.263 downscaler: `in_pattern` input
+/// pixels are gathered with paving step `paving`; each of the
+/// `window_starts` produces one output pixel by averaging `window`
+/// consecutive inputs (the paper's task computes
+/// `tmp/6 - tmp%6` over 6-pixel windows).
+struct FilterSpec {
+  std::int64_t in_pattern = 11;
+  std::int64_t paving = 8;
+  std::vector<std::int64_t> window_starts{0, 2, 5};
+  std::int64_t window = 6;
+
+  std::int64_t tile() const { return static_cast<std::int64_t>(window_starts.size()); }
+};
+
+/// Geometry of the whole downscaler. Defaults reproduce the paper's
+/// evaluation setup: 1080x1920 frames, horizontal 1920 -> 720
+/// (11-pattern, paving 8, tiles of 3), vertical 1080 -> 480
+/// (13-pattern, paving 9, tiles of 4 — the 9/4 ratio of the H.263
+/// 288->128 scaling).
+struct DownscalerConfig {
+  std::int64_t height = 1080;
+  std::int64_t width = 1920;
+  FilterSpec h{11, 8, {0, 2, 5}, 6};
+  FilterSpec v{13, 9, {0, 2, 5, 7}, 6};
+
+  std::int64_t mid_width() const { return width / h.paving * h.tile(); }
+  std::int64_t out_height() const { return height / v.paving * v.tile(); }
+
+  Shape frame_shape() const { return Shape{height, width}; }
+  Shape mid_shape() const { return Shape{height, mid_width()}; }
+  Shape out_shape() const { return Shape{out_height(), mid_width()}; }
+
+  Shape h_repetition() const { return Shape{height, width / h.paving}; }
+  Shape v_repetition() const { return Shape{height / v.paving, mid_width()}; }
+
+  /// Throws Error when the geometry is inconsistent (non-dividing
+  /// paving, windows outside the pattern, ...).
+  void validate() const;
+
+  /// A small configuration for tests: 18x32 frames -> 8x12 output.
+  static DownscalerConfig tiny();
+  /// A mid-size configuration for quick benches: 180x256.
+  static DownscalerConfig small();
+  /// The paper's evaluation configuration (1080x1920).
+  static DownscalerConfig paper();
+};
+
+}  // namespace saclo::apps

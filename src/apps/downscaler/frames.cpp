@@ -1,0 +1,53 @@
+#include "apps/downscaler/frames.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "core/fmt.hpp"
+
+namespace saclo::apps {
+
+IntArray synthetic_channel(const Shape& shape, int frame_index, int channel) {
+  if (shape.rank() != 2) throw Error("synthetic_channel expects a 2-D shape");
+  const std::int64_t h = shape[0];
+  const std::int64_t w = shape[1];
+  // A moving plaid with a channel-dependent phase: smooth regions,
+  // edges and motion, all deterministic.
+  return IntArray::generate(shape, [&](const Index& i) {
+    const std::int64_t y = i[0];
+    const std::int64_t x = i[1];
+    const std::int64_t t = frame_index;
+    const std::int64_t c = channel;
+    std::int64_t v = (x * 13 + y * 7 + t * 5 + c * 83) % 256;
+    // Block structure (macroblock-ish edges).
+    if (((x / 16) + (y / 16) + t) % 2 == 0) v = 255 - v;
+    // Moving diagonal bar.
+    if ((x + y + 3 * t) % std::max<std::int64_t>(w / 4, 1) < 8) v = (v + 128) % 256;
+    return v;
+  });
+}
+
+RgbFrame synthetic_frame(const Shape& shape, int frame_index) {
+  return RgbFrame{synthetic_channel(shape, frame_index, 0),
+                  synthetic_channel(shape, frame_index, 1),
+                  synthetic_channel(shape, frame_index, 2)};
+}
+
+void write_ppm(const std::string& path, const RgbFrame& frame) {
+  const Shape& s = frame.r.shape();
+  if (frame.g.shape() != s || frame.b.shape() != s || s.rank() != 2) {
+    throw Error("write_ppm: channels must share one 2-D shape");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error(cat("cannot open '", path, "' for writing"));
+  out << "P6\n" << s[1] << " " << s[0] << "\n255\n";
+  auto clamp8 = [](std::int64_t v) {
+    return static_cast<unsigned char>(std::clamp<std::int64_t>(v, 0, 255));
+  };
+  for (std::int64_t i = 0; i < s.elements(); ++i) {
+    const unsigned char px[3] = {clamp8(frame.r[i]), clamp8(frame.g[i]), clamp8(frame.b[i])};
+    out.write(reinterpret_cast<const char*>(px), 3);
+  }
+}
+
+}  // namespace saclo::apps

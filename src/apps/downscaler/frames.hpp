@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "core/ndarray.hpp"
+
+namespace saclo::apps {
+
+/// Synthetic video source — the stand-in for the paper's OpenCV-backed
+/// FrameGenerator IP (we have no camera or video file; only the array
+/// shapes and value ranges matter to the evaluation). Produces a
+/// deterministic moving test pattern, 8-bit range per channel.
+IntArray synthetic_channel(const Shape& shape, int frame_index, int channel);
+
+struct RgbFrame {
+  IntArray r;
+  IntArray g;
+  IntArray b;
+};
+
+RgbFrame synthetic_frame(const Shape& shape, int frame_index);
+
+/// FrameConstructor stand-in: writes a binary PPM (P6) image so example
+/// outputs can be eyeballed. Values are clamped to [0, 255].
+void write_ppm(const std::string& path, const RgbFrame& frame);
+
+}  // namespace saclo::apps

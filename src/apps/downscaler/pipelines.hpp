@@ -1,0 +1,138 @@
+#pragma once
+
+#include <string>
+
+#include "apps/downscaler/arrayol_model.hpp"
+#include "apps/downscaler/config.hpp"
+#include "apps/downscaler/sac_source.hpp"
+#include "gaspard/chain.hpp"
+#include "sac_cuda/codegen_text.hpp"
+#include "sac_cuda/program.hpp"
+
+namespace saclo::apps {
+
+/// Per-filter timing breakdown (simulated microseconds), the unit of
+/// every figure/table reproduction.
+struct OpBreakdown {
+  double kernel_us = 0;
+  double h2d_us = 0;
+  double d2h_us = 0;
+  double host_us = 0;
+  std::int64_t kernel_launches = 0;
+  std::int64_t h2d_calls = 0;
+  std::int64_t d2h_calls = 0;
+
+  double total_us() const { return kernel_us + h2d_us + d2h_us + host_us; }
+  OpBreakdown& operator+=(const OpBreakdown& other);
+};
+
+/// Snapshot helper: the delta of a profiler between two points, split
+/// by operation kind.
+OpBreakdown breakdown_delta(const gpu::Profiler& gpu_profiler, const gpu::Profiler& host_profiler,
+                            const OpBreakdown& before);
+OpBreakdown breakdown_totals(const gpu::Profiler& gpu_profiler,
+                             const gpu::Profiler& host_profiler);
+
+/// The SaC-side experiment driver: compiles the generated downscaler
+/// module once per variant and replays it over a frame loop on the
+/// simulated GPU (SAC-CUDA) or host model (SAC-Seq).
+class SacDownscaler {
+ public:
+  struct Options {
+    bool generic = false;    ///< generic (for-loop) vs non-generic output tilers
+    bool enable_wlf = true;  ///< the WLF ablation switch
+    gpu::DeviceSpec device = gpu::gtx480();
+    gpu::HostSpec host = gpu::i7_930();
+    unsigned workers = 0;  ///< thread-pool width for functional kernel execution
+  };
+
+  SacDownscaler(const DownscalerConfig& config, const Options& options);
+
+  const sac_cuda::CudaProgram& h_program() const { return h_prog_; }
+  const sac_cuda::CudaProgram& v_program() const { return v_prog_; }
+  int h_kernels() const { return h_prog_.kernel_count(); }
+  int v_kernels() const { return v_prog_.kernel_count(); }
+  const sac::Module& module() const { return module_; }
+  const DownscalerConfig& config() const { return cfg_; }
+
+  struct CudaResult {
+    OpBreakdown h;
+    OpBreakdown v;
+    IntArray last_output;        ///< last executed frame, first channel
+    std::string nvprof_table;    ///< Table II style report
+    double total_us() const { return h.total_us() + v.total_us(); }
+  };
+
+  /// The paper's Table II scenario: per frame and channel, upload the
+  /// frame, run H then V with the intermediate staying on the device,
+  /// download the result. The first `exec_frames` frames execute
+  /// functionally; the rest accrue simulated time only.
+  CudaResult run_cuda_chain(int frames, int channels, int exec_frames);
+
+  /// The paper's Figure 9 scenario: each filter "executed for 300
+  /// iterations". With resident_data=true the input is uploaded once
+  /// and iterated on the device (a benchmark loop over resident data,
+  /// which is what reproduces the paper's ~11x sequential speedup);
+  /// with false every iteration pays its own transfers.
+  struct FilterResult {
+    OpBreakdown ops;
+    int kernels = 0;
+    IntArray last_output;
+  };
+  FilterResult run_cuda_filter(bool horizontal, int iterations, int exec_iterations,
+                               bool resident_data = true);
+
+  /// SAC-Seq: the same compiled function on the sequential host model.
+  struct SeqResult {
+    double h_us = 0;
+    double v_us = 0;
+    IntArray last_output;
+    double total_us() const { return h_us + v_us; }
+  };
+  SeqResult run_seq(int iterations, int exec_iterations);
+
+ private:
+  DownscalerConfig cfg_;
+  Options opts_;
+  sac::Module module_;
+  sac::CompiledFunction h_fn_;
+  sac::CompiledFunction v_fn_;
+  sac_cuda::CudaProgram h_prog_;
+  sac_cuda::CudaProgram v_prog_;
+};
+
+/// The GASPARD2-side experiment driver: ArrayOL model -> OpenCL chain,
+/// run over the frame loop (Table I).
+class GaspardDownscaler {
+ public:
+  struct Options {
+    gpu::DeviceSpec device = gpu::gtx480();
+    unsigned workers = 0;
+    bool rgb = true;  ///< full 3-channel model (the paper's Figure 3)
+  };
+
+  GaspardDownscaler(const DownscalerConfig& config, const Options& options);
+
+  const gaspard::OpenClApplication& application() const { return app_; }
+
+  struct Result {
+    OpBreakdown h;  ///< all *hf kernels
+    OpBreakdown v;  ///< all *vf kernels
+    IntArray last_output;  ///< first output channel of the last executed frame
+    std::string nvprof_table;
+    double total_us() const { return h.total_us() + v.total_us(); }
+  };
+
+  Result run(int frames, int exec_frames);
+
+ private:
+  DownscalerConfig cfg_;
+  Options opts_;
+  gaspard::OpenClApplication app_;
+};
+
+/// Renders a Table I/II-style report from per-filter breakdowns.
+std::string nvprof_style_table(const std::string& h_label, const OpBreakdown& h,
+                               const std::string& v_label, const OpBreakdown& v);
+
+}  // namespace saclo::apps

@@ -1,0 +1,163 @@
+#include "apps/downscaler/sac_source.hpp"
+
+#include "core/fmt.hpp"
+
+namespace saclo::apps {
+
+namespace {
+
+/// Figure 5: one `tmp = sum of window; tile[k] = tmp/6 - tmp%6;` pair
+/// per output window.
+std::string emit_task(const std::string& name, const FilterSpec& f) {
+  std::string s;
+  s += "int[*] " + name + "(int[*] input, int[.] out_pattern, int[.] repetition)\n{\n";
+  s += "  output = with {\n";
+  s += "    (. <= rep <= .) {\n";
+  s += "      tile = with { (. <= pv <= .) : 0; } : genarray( out_pattern, 0);\n";
+  for (std::size_t k = 0; k < f.window_starts.size(); ++k) {
+    const std::int64_t s0 = f.window_starts[k];
+    std::string sum;
+    for (std::int64_t w = 0; w < f.window; ++w) {
+      sum += (w ? " + " : "") + cat("input[rep][", s0 + w, "]");
+    }
+    s += cat("      tmp", k, " = ", sum, ";\n");
+    s += cat("      tile[", k, "] = tmp", k, " / ", f.window, " - tmp", k, " % ", f.window,
+             ";\n");
+  }
+  s += "    } : tile;\n";
+  s += "  } : genarray( repetition);\n";
+  s += "  return( output);\n}\n\n";
+  return s;
+}
+
+/// Figure 7, generalised to both scatter directions: `horizontal`
+/// scatters tiles along columns (step [1,T]), vertical along rows
+/// (step [T,1]).
+std::string emit_nongeneric_output_tiler(const std::string& name, std::int64_t tile,
+                                         bool horizontal) {
+  std::string s;
+  s += "int[*] " + name + "(int[*] output, int[*] input)\n{\n";
+  s += "  output = with {\n";
+  for (std::int64_t c = 0; c < tile; ++c) {
+    if (horizontal) {
+      s += cat("    ([0,", c, "] <= [i,j] <= . step [1,", tile, "]) : input[[i, j / ", tile,
+               ", ", c, "]];\n");
+    } else {
+      s += cat("    ([", c, ",0] <= [i,j] <= . step [", tile, ",1]) : input[[i / ", tile,
+               ", j, ", c, "]];\n");
+    }
+  }
+  s += "  } : modarray( output);\n";
+  s += "  return( output);\n}\n\n";
+  return s;
+}
+
+std::string filter_body(const DownscalerConfig& cfg, bool horizontal, bool generic) {
+  const FilterSpec& f = horizontal ? cfg.h : cfg.v;
+  // Geometry literals.
+  const std::string rep = horizontal
+                              ? cat("[", cfg.height, ",", cfg.width / f.paving, "]")
+                              : cat("[", cfg.height / f.paving, ",", cfg.mid_width(), "]");
+  const std::string in_fitting = horizontal ? "[[0],[1]]" : "[[1],[0]]";
+  const std::string in_paving = horizontal ? cat("[[1,0],[0,", f.paving, "]]")
+                                           : cat("[[", f.paving, ",0],[0,1]]");
+  const std::string out_fitting = in_fitting;
+  const std::string out_paving = horizontal ? cat("[[1,0],[0,", f.tile(), "]]")
+                                            : cat("[[", f.tile(), ",0],[0,1]]");
+  const std::int64_t out_h = horizontal ? cfg.height : cfg.out_height();
+  const std::int64_t out_w = horizontal ? cfg.mid_width() : cfg.mid_width();
+  const std::string task = horizontal ? "task_h" : "task_v";
+  const std::string out_tiler =
+      horizontal ? "nongeneric_output_tiler_h" : "nongeneric_output_tiler_v";
+
+  std::string s;
+  s += cat("  gathered = input_tiler(frame, [", f.in_pattern, "], ", rep, ", [0,0], ",
+           in_fitting, ", ", in_paving, ");\n");
+  s += cat("  compressed = ", task, "(gathered, [", f.tile(), "], ", rep, ");\n");
+  s += cat("  base = zeros(", out_h, ", ", out_w, ");\n");
+  if (generic) {
+    s += cat("  output = generic_output_tiler(base, compressed, [", f.tile(), "], ", rep,
+             ", [0,0], ", out_fitting, ", ", out_paving, ");\n");
+  } else {
+    s += cat("  output = ", out_tiler, "(base, compressed);\n");
+  }
+  s += "  return( output);\n";
+  return s;
+}
+
+}  // namespace
+
+std::string downscaler_sac_source(const DownscalerConfig& cfg) {
+  cfg.validate();
+  std::string s;
+
+  s += R"(// Generated mini-SaC downscaler (paper Figures 4-7).
+
+int[*] zeros(int h, int w) {
+  z = with { ([0,0] <= iv < [h,w]) : 0; } : genarray([h,w]);
+  return (z);
+}
+
+int[*] input_tiler(int[*] in_frame, int[.] in_pattern, int[.] repetition,
+                   int[.] origin, int[.,.] fitting, int[.,.] paving)
+{
+  output = with {
+    (. <= rep <= .) {
+      tile = with {
+        (. <= pat <= .) {
+          off = origin + MV( CAT( paving, fitting), rep++pat);
+          iv = off % shape(in_frame);
+          elem = in_frame[iv];
+        } : elem;
+      } : genarray( in_pattern, 0);
+    } : tile;
+  } : genarray( repetition);
+  return( output);
+}
+
+int[*] generic_output_tiler(int[*] out_frame, int[*] input,
+                            int[.] out_pattern, int[.] repetition,
+                            int[.] origin, int[.,.] fitting, int[.,.] paving)
+{
+  for( i=0; i< repetition[[0]]; i++) {
+    for( j=0; j< repetition[[1]]; j++) {
+      for( k=0; k< out_pattern[[0]]; k++) {
+        off = origin + MV( CAT(paving, fitting), [i,j,k]);
+        iv = off % shape( out_frame);
+        out_frame[iv] = input[[i,j,k]];
+      }
+    }
+  }
+  return( out_frame);
+}
+
+)";
+
+  s += emit_task("task_h", cfg.h);
+  s += emit_task("task_v", cfg.v);
+  s += emit_nongeneric_output_tiler("nongeneric_output_tiler_h", cfg.h.tile(),
+                                    /*horizontal=*/true);
+  s += emit_nongeneric_output_tiler("nongeneric_output_tiler_v", cfg.v.tile(),
+                                    /*horizontal=*/false);
+
+  s += "int[*] hfilter_generic(int[*] frame)\n{\n" + filter_body(cfg, true, true) + "}\n\n";
+  s += "int[*] hfilter_nongeneric(int[*] frame)\n{\n" + filter_body(cfg, true, false) + "}\n\n";
+  s += "int[*] vfilter_generic(int[*] frame)\n{\n" + filter_body(cfg, false, true) + "}\n\n";
+  s += "int[*] vfilter_nongeneric(int[*] frame)\n{\n" + filter_body(cfg, false, false) + "}\n\n";
+
+  s += R"(int[*] downscale_nongeneric(int[*] in_frame) {
+  mid = hfilter_nongeneric(in_frame);
+  out = vfilter_nongeneric(mid);
+  return (out);
+}
+
+int[*] downscale_generic(int[*] in_frame) {
+  mid = hfilter_generic(in_frame);
+  out = vfilter_generic(mid);
+  return (out);
+}
+)";
+  return s;
+}
+
+}  // namespace saclo::apps

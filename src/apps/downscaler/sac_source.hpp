@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "apps/downscaler/config.hpp"
+
+namespace saclo::apps {
+
+/// Generates the mini-SaC module implementing the paper's downscaler
+/// for a given geometry — the exact programs of Figures 4-7:
+///
+///  * `input_tiler`  — the generic input tiler (Figure 4),
+///  * `task_h`/`task_v` — the per-filter compression tasks (Figure 5),
+///  * `generic_output_tiler` — the for-loop nest scatter (Figure 6),
+///  * `nongeneric_output_tiler_{h,v}` — the with-loop scatters
+///    specialised to the tile sizes (Figure 7),
+///  * `hfilter_{generic,nongeneric}`, `vfilter_{generic,nongeneric}`
+///    — single-channel filter entry points,
+///  * `downscale_{generic,nongeneric}` — full H-then-V chains,
+///  * `zeros` — frame allocation helper.
+///
+/// All shapes and tiler matrices are spelled as literals so the
+/// compiler specialises exactly like sac2c would for a fixed frame
+/// format.
+std::string downscaler_sac_source(const DownscalerConfig& config);
+
+}  // namespace saclo::apps

@@ -1,0 +1,139 @@
+#include "arrayol/hierarchy.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/fmt.hpp"
+
+namespace saclo::aol {
+
+void Component::add_array(const std::string& name, Shape shape) {
+  auto [it, inserted] = arrays_.emplace(name, std::move(shape));
+  if (!inserted) {
+    throw ModelError(cat("component '", name_, "': array '", name, "' declared twice"));
+  }
+}
+
+void Component::mark_input(const std::string& name) {
+  if (!arrays_.count(name)) {
+    throw ModelError(cat("component '", name_, "': unknown input '", name, "'"));
+  }
+  inputs_.push_back(name);
+}
+
+void Component::mark_output(const std::string& name) {
+  if (!arrays_.count(name)) {
+    throw ModelError(cat("component '", name_, "': unknown output '", name, "'"));
+  }
+  outputs_.push_back(name);
+}
+
+void Component::add_task(RepetitiveTask task) { tasks_.push_back(std::move(task)); }
+
+void Component::add_instance(Instance instance) { instances_.push_back(std::move(instance)); }
+
+Component& HierarchicalModel::define(const std::string& name) {
+  auto [it, inserted] = components_.emplace(name, Component(name));
+  if (!inserted) throw ModelError(cat("component '", name, "' defined twice"));
+  return it->second;
+}
+
+const Component& HierarchicalModel::component(const std::string& name) const {
+  auto it = components_.find(name);
+  if (it == components_.end()) throw ModelError(cat("unknown component '", name, "'"));
+  return it->second;
+}
+
+Model HierarchicalModel::flatten() const {
+  const Component& root = component(root_);
+  Model out(root_);
+  // Root arrays keep their names; root external ports become the
+  // application's ports.
+  std::map<std::string, std::string> identity;
+  for (const auto& [name, shape] : root.arrays()) {
+    identity[name] = name;
+    out.add_array(name, shape);
+  }
+  std::vector<std::string> stack;
+  flatten_into(root, "", identity, out, stack);
+  for (const std::string& in : root.inputs()) out.mark_input(in);
+  for (const std::string& o : root.outputs()) out.mark_output(o);
+  return out;
+}
+
+void HierarchicalModel::flatten_into(const Component& comp, const std::string& prefix,
+                                     const std::map<std::string, std::string>& port_map,
+                                     Model& out, std::vector<std::string>& stack) const {
+  if (std::find(stack.begin(), stack.end(), comp.name()) != stack.end()) {
+    throw ModelError(cat("instantiation cycle through component '", comp.name(), "'"));
+  }
+  stack.push_back(comp.name());
+
+  auto resolve = [&](const std::string& local) -> std::string {
+    auto it = port_map.find(local);
+    if (it == port_map.end()) {
+      throw ModelError(cat("component '", comp.name(), "': array '", local,
+                           "' was not materialised during flattening"));
+    }
+    return it->second;
+  };
+
+  // Leaf tasks: rewrite their port names through the map.
+  for (const RepetitiveTask& t : comp.tasks()) {
+    RepetitiveTask copy = t;
+    copy.name = prefix.empty() ? t.name : prefix + t.name;
+    for (TiledPort& in : copy.inputs) in.port.name = resolve(in.port.name);
+    for (TiledPort& o : copy.outputs) o.port.name = resolve(o.port.name);
+    out.add_task(std::move(copy));
+  }
+
+  // Nested instances.
+  for (const Instance& inst : comp.instances()) {
+    const Component& child = component(inst.component);
+    const std::string child_prefix = prefix + inst.name + ".";
+    std::map<std::string, std::string> child_map;
+    std::set<std::string> child_ports;
+    for (const auto& [local, shape] : child.arrays()) {
+      const bool is_port =
+          std::find(child.inputs().begin(), child.inputs().end(), local) !=
+              child.inputs().end() ||
+          std::find(child.outputs().begin(), child.outputs().end(), local) !=
+              child.outputs().end();
+      if (is_port) {
+        child_ports.insert(local);
+        auto b = inst.bindings.find(local);
+        if (b == inst.bindings.end()) {
+          throw ModelError(cat("instance '", inst.name, "' of '", inst.component,
+                               "' leaves port '", local, "' unbound"));
+        }
+        const std::string parent_name = resolve(b->second);
+        if (out.array_shape(parent_name) != shape) {
+          throw ModelError(cat("instance '", inst.name, "': port '", local, "' has shape ",
+                               shape.to_string(), " but bound array '", parent_name, "' is ",
+                               out.array_shape(parent_name).to_string()));
+        }
+        child_map[local] = parent_name;
+      } else {
+        // Internal array: materialise with a prefixed unique name.
+        const std::string flat = child_prefix + local;
+        out.add_array(flat, shape);
+        child_map[local] = flat;
+      }
+    }
+    // Reject bindings to non-port arrays of the child.
+    for (const auto& [local, parent] : inst.bindings) {
+      (void)parent;
+      if (!child.arrays().count(local)) {
+        throw ModelError(cat("instance '", inst.name, "' binds unknown port '", local, "'"));
+      }
+      if (!child_ports.count(local)) {
+        throw ModelError(cat("instance '", inst.name, "' binds '", local,
+                             "', which is not an external port of '", inst.component, "'"));
+      }
+    }
+    flatten_into(child, child_prefix, child_map, out, stack);
+  }
+  stack.pop_back();
+}
+
+}  // namespace saclo::aol

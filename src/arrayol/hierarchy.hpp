@@ -1,0 +1,93 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arrayol/model.hpp"
+
+namespace saclo::aol {
+
+/// Hierarchical ArrayOL application models — the paper's actual design
+/// structure: the Downscaler is "hierarchically composed" (Section
+/// VIII-B lists FrameGenerator, HorizontalFilter — itself composed of
+/// three elementary per-channel tasks — VerticalFilter and
+/// FrameConstructor). MARTE captures this nesting; the first
+/// model-to-model transformation of the GASPARD2 chain flattens it
+/// into the flat Model the code generator consumes.
+///
+/// A HierarchicalModel is a component with external ports (named
+/// arrays) whose contents are either repetitive leaf tasks or
+/// instances of other hierarchical components. Instantiation binds the
+/// child's external port names to arrays of the parent.
+
+/// One child-component instance: which component, the instance name
+/// (names of the child's internals get prefixed with it), and the
+/// port binding (child external array -> parent array).
+struct Instance {
+  std::string name;
+  std::string component;  ///< component type name, resolved at flatten time
+  std::map<std::string, std::string> bindings;
+};
+
+/// A component definition.
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declares an internal or external array of this component.
+  void add_array(const std::string& name, Shape shape);
+  /// Marks an array as an external input/output port.
+  void mark_input(const std::string& name);
+  void mark_output(const std::string& name);
+
+  /// A repetitive leaf task (ports reference this component's arrays).
+  void add_task(RepetitiveTask task);
+  /// A nested component instance.
+  void add_instance(Instance instance);
+
+  const std::map<std::string, Shape>& arrays() const { return arrays_; }
+  const std::vector<std::string>& inputs() const { return inputs_; }
+  const std::vector<std::string>& outputs() const { return outputs_; }
+  const std::vector<RepetitiveTask>& tasks() const { return tasks_; }
+  const std::vector<Instance>& instances() const { return instances_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, Shape> arrays_;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::vector<RepetitiveTask> tasks_;
+  std::vector<Instance> instances_;
+};
+
+/// A library of components plus the root component name.
+class HierarchicalModel {
+ public:
+  explicit HierarchicalModel(std::string root) : root_(std::move(root)) {}
+
+  Component& define(const std::string& name);
+  const Component& component(const std::string& name) const;
+  const std::string& root() const { return root_; }
+
+  /// The GASPARD2 chain's first model-to-model transformation:
+  /// recursively instantiates every nested component, prefixing
+  /// internal array and task names with the instance path
+  /// (`hf.b.task`), resolving port bindings, and returning the flat
+  /// Model ready for scheduling and code generation. Throws ModelError
+  /// on unknown components, unbound ports, shape mismatches, or
+  /// instantiation cycles.
+  Model flatten() const;
+
+ private:
+  void flatten_into(const Component& comp, const std::string& prefix,
+                    const std::map<std::string, std::string>& port_map, Model& out,
+                    std::vector<std::string>& stack) const;
+
+  std::string root_;
+  std::map<std::string, Component> components_;
+};
+
+}  // namespace saclo::aol

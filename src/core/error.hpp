@@ -1,0 +1,33 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace saclo {
+
+/// Base class for all errors raised by the SaCLO libraries.
+///
+/// Every subsystem throws a subclass of Error so callers can either
+/// catch the precise category (e.g. sac::ParseError) or the whole
+/// family at once.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// Raised when an array/shape operation receives incompatible operands,
+/// e.g. rank mismatch, out-of-bounds index, or negative extent.
+class ShapeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when a tiler specification is internally inconsistent
+/// (dimension mismatches between origin/fitting/paving and the arrays
+/// they address).
+class TilerError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace saclo

@@ -1,0 +1,27 @@
+#include "core/fmt.hpp"
+
+#include <iomanip>
+
+namespace saclo {
+
+std::string bracketed(const std::vector<std::int64_t>& v) {
+  return cat("[", join(v, ","), "]");
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string fixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+}  // namespace saclo

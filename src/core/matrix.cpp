@@ -1,0 +1,79 @@
+#include "core/matrix.hpp"
+
+#include "core/error.hpp"
+#include "core/fmt.hpp"
+
+namespace saclo {
+
+IntMat::IntMat(std::size_t rows, std::size_t cols, std::int64_t fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+IntMat::IntMat(std::initializer_list<std::initializer_list<std::int64_t>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw ShapeError("ragged initializer for IntMat");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+std::int64_t& IntMat::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw ShapeError(cat("IntMat index (", r, ",", c, ") out of ", rows_, "x", cols_));
+  }
+  return data_[r * cols_ + c];
+}
+
+std::int64_t IntMat::at(std::size_t r, std::size_t c) const {
+  return const_cast<IntMat*>(this)->at(r, c);
+}
+
+Index IntMat::mv(const Index& v) const {
+  if (v.size() != cols_) {
+    throw ShapeError(cat("IntMat::mv: vector size ", v.size(), " != cols ", cols_));
+  }
+  Index out(rows_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::int64_t acc = 0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += data_[r * cols_ + c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+IntMat IntMat::hcat(const IntMat& other) const {
+  if (rows_ != other.rows_) {
+    throw ShapeError(cat("IntMat::hcat: row mismatch ", rows_, " vs ", other.rows_));
+  }
+  IntMat out(rows_, cols_ + other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(r, c) = at(r, c);
+    for (std::size_t c = 0; c < other.cols_; ++c) out.at(r, cols_ + c) = other.at(r, c);
+  }
+  return out;
+}
+
+IntMat IntMat::identity(std::size_t n) {
+  IntMat out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out.at(i, i) = 1;
+  return out;
+}
+
+std::string IntMat::to_string() const {
+  std::string s = "{";
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r) s += ",";
+    s += "{";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c) s += ",";
+      s += std::to_string(at(r, c));
+    }
+    s += "}";
+  }
+  return s + "}";
+}
+
+}  // namespace saclo

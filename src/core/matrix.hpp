@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/shape.hpp"
+
+namespace saclo {
+
+/// A small dense integer matrix, row-major.
+///
+/// ArrayOL tilers are defined by two such matrices — the *fitting*
+/// matrix F (array-rank × pattern-rank) and the *paving* matrix P
+/// (array-rank × repetition-rank). They are tiny (rank × rank), so this
+/// type optimises for clarity over blocking/vectorisation.
+class IntMat {
+ public:
+  IntMat() = default;
+  IntMat(std::size_t rows, std::size_t cols, std::int64_t fill = 0);
+  /// Construct from rows: IntMat({{1,0},{0,8}}).
+  IntMat(std::initializer_list<std::initializer_list<std::int64_t>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::int64_t& at(std::size_t r, std::size_t c);
+  std::int64_t at(std::size_t r, std::size_t c) const;
+
+  /// Matrix–vector product; v.size() must equal cols().
+  Index mv(const Index& v) const;
+
+  /// Horizontal concatenation [A | B]; row counts must match. This is
+  /// the CAT of the paper's SaC tiler code: CAT(paving, fitting) maps a
+  /// concatenated (repetition ++ pattern) index in one product.
+  IntMat hcat(const IntMat& other) const;
+
+  static IntMat identity(std::size_t n);
+
+  bool operator==(const IntMat& other) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::int64_t> data_;
+};
+
+}  // namespace saclo

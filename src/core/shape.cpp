@@ -1,0 +1,109 @@
+#include "core/shape.hpp"
+
+#include "core/fmt.hpp"
+
+namespace saclo {
+
+void Shape::validate() const {
+  for (std::int64_t d : dims_) {
+    if (d < 0) throw ShapeError(cat("negative extent in shape ", bracketed(dims_)));
+  }
+}
+
+std::int64_t Shape::elements() const {
+  std::int64_t n = 1;
+  for (std::int64_t d : dims_) n *= d;
+  return n;
+}
+
+Index Shape::strides() const {
+  Index s(dims_.size(), 1);
+  for (std::size_t d = dims_.size(); d-- > 1;) {
+    s[d - 1] = s[d] * dims_[d];
+  }
+  return s;
+}
+
+std::int64_t Shape::linearize(const Index& idx) const {
+  if (!contains(idx)) {
+    throw ShapeError(cat("index ", bracketed(idx), " out of bounds for shape ", to_string()));
+  }
+  return linearize_unchecked(idx);
+}
+
+std::int64_t Shape::linearize_unchecked(const Index& idx) const {
+  std::int64_t offset = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    offset = offset * dims_[d] + idx[d];
+  }
+  return offset;
+}
+
+Index Shape::delinearize(std::int64_t offset) const {
+  if (offset < 0 || offset >= elements()) {
+    throw ShapeError(cat("offset ", offset, " out of range for shape ", to_string()));
+  }
+  Index idx(dims_.size(), 0);
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    idx[d] = dims_[d] == 0 ? 0 : offset % dims_[d];
+    offset = dims_[d] == 0 ? 0 : offset / dims_[d];
+  }
+  return idx;
+}
+
+bool Shape::contains(const Index& idx) const {
+  if (idx.size() != dims_.size()) return false;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (idx[d] < 0 || idx[d] >= dims_[d]) return false;
+  }
+  return true;
+}
+
+Shape Shape::concat(const Shape& other) const {
+  Index joined = dims_;
+  joined.insert(joined.end(), other.dims_.begin(), other.dims_.end());
+  return Shape(std::move(joined));
+}
+
+Shape Shape::take(std::size_t n) const {
+  if (n > rank()) throw ShapeError(cat("take(", n, ") on rank-", rank(), " shape"));
+  return Shape(Index(dims_.begin(), dims_.begin() + static_cast<std::ptrdiff_t>(n)));
+}
+
+Shape Shape::drop(std::size_t n) const {
+  if (n > rank()) throw ShapeError(cat("drop(", n, ") on rank-", rank(), " shape"));
+  return Shape(Index(dims_.begin() + static_cast<std::ptrdiff_t>(n), dims_.end()));
+}
+
+std::string Shape::to_string() const { return bracketed(dims_); }
+
+std::int64_t floor_mod(std::int64_t value, std::int64_t modulus) {
+  if (modulus <= 0) throw ShapeError(cat("floor_mod by non-positive modulus ", modulus));
+  std::int64_t r = value % modulus;
+  return r < 0 ? r + modulus : r;
+}
+
+Index floor_mod(Index values, const Index& extents) {
+  if (values.size() != extents.size()) {
+    throw ShapeError(cat("floor_mod rank mismatch: ", bracketed(values), " vs ", bracketed(extents)));
+  }
+  for (std::size_t d = 0; d < values.size(); ++d) {
+    values[d] = floor_mod(values[d], extents[d]);
+  }
+  return values;
+}
+
+void for_each_index(const Shape& shape, const std::function<void(const Index&)>& fn) {
+  const std::int64_t total = shape.elements();
+  if (total == 0) return;
+  Index idx(shape.rank(), 0);
+  for (std::int64_t i = 0; i < total; ++i) {
+    fn(idx);
+    for (std::size_t d = shape.rank(); d-- > 0;) {
+      if (++idx[d] < shape[d]) break;
+      idx[d] = 0;
+    }
+  }
+}
+
+}  // namespace saclo

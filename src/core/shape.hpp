@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace saclo {
+
+/// An index vector (or extent vector). ArrayOL and SaC treat shapes and
+/// indices uniformly as integer vectors, so we do too.
+using Index = std::vector<std::int64_t>;
+
+/// The extents of a multidimensional array.
+///
+/// Invariant: every extent is >= 0. Rank-0 shapes denote scalars and
+/// have element count 1.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(Index dims) : dims_(std::move(dims)) { validate(); }
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t extent(std::size_t d) const { return dims_.at(d); }
+  std::int64_t operator[](std::size_t d) const { return dims_[d]; }
+  const Index& dims() const { return dims_; }
+
+  /// Total number of elements (1 for rank-0).
+  std::int64_t elements() const;
+
+  /// Row-major strides; strides()[rank()-1] == 1 for non-empty shapes.
+  Index strides() const;
+
+  /// Row-major linearisation of `idx`. Throws ShapeError when the index
+  /// is out of bounds or has the wrong rank.
+  std::int64_t linearize(const Index& idx) const;
+
+  /// Like linearize() but without bounds checking — for hot loops whose
+  /// indices are constructed in-range.
+  std::int64_t linearize_unchecked(const Index& idx) const;
+
+  /// Inverse of linearize().
+  Index delinearize(std::int64_t offset) const;
+
+  /// True when `idx` has matching rank and 0 <= idx[d] < extent(d).
+  bool contains(const Index& idx) const;
+
+  /// Concatenation: [a,b] ++ [c] == [a,b,c]. This is the shape algebra
+  /// behind the paper's "repetition shape ++ pattern shape"
+  /// intermediate arrays.
+  Shape concat(const Shape& other) const;
+
+  /// Leading `n` dimensions / trailing rank()-n dimensions.
+  Shape take(std::size_t n) const;
+  Shape drop(std::size_t n) const;
+
+  bool operator==(const Shape& other) const = default;
+
+  std::string to_string() const;
+
+ private:
+  void validate() const;
+  Index dims_;
+};
+
+/// Element-wise remainder that always lands in [0, extents): ArrayOL's
+/// tiler formulae are defined with a mathematical mod, not C's
+/// sign-preserving %.
+std::int64_t floor_mod(std::int64_t value, std::int64_t modulus);
+Index floor_mod(Index values, const Index& extents);
+
+/// Invokes `fn` for every index of `shape` in row-major order.
+void for_each_index(const Shape& shape, const std::function<void(const Index&)>& fn);
+
+}  // namespace saclo

@@ -1,0 +1,76 @@
+#include "core/tiler.hpp"
+
+#include "core/error.hpp"
+#include "core/fmt.hpp"
+
+namespace saclo {
+
+void TilerSpec::validate(const Shape& array_shape, const Shape& pattern_shape,
+                         const Shape& repetition_shape) const {
+  const std::size_t ar = array_shape.rank();
+  if (origin.size() != ar) {
+    throw TilerError(cat("tiler origin ", bracketed(origin), " has rank ", origin.size(),
+                         " but array shape ", array_shape.to_string(), " has rank ", ar));
+  }
+  if (fitting.rows() != ar || fitting.cols() != pattern_shape.rank()) {
+    throw TilerError(cat("fitting matrix is ", fitting.rows(), "x", fitting.cols(),
+                         ", expected ", ar, "x", pattern_shape.rank(), " for array ",
+                         array_shape.to_string(), " and pattern ", pattern_shape.to_string()));
+  }
+  if (paving.rows() != ar || paving.cols() != repetition_shape.rank()) {
+    throw TilerError(cat("paving matrix is ", paving.rows(), "x", paving.cols(),
+                         ", expected ", ar, "x", repetition_shape.rank(), " for array ",
+                         array_shape.to_string(), " and repetition ",
+                         repetition_shape.to_string()));
+  }
+  for (std::size_t d = 0; d < ar; ++d) {
+    if (array_shape[d] == 0) {
+      throw TilerError(cat("tiler over array with empty dimension ", d));
+    }
+  }
+}
+
+Index TilerSpec::element_index(const Shape& array_shape, const Index& rep,
+                               const Index& pat) const {
+  Index e = paving.mv(rep);
+  const Index f = fitting.mv(pat);
+  for (std::size_t d = 0; d < e.size(); ++d) e[d] += origin[d] + f[d];
+  return floor_mod(std::move(e), array_shape.dims());
+}
+
+Index TilerSpec::reference(const Shape& array_shape, const Index& rep) const {
+  Index e = paving.mv(rep);
+  for (std::size_t d = 0; d < e.size(); ++d) e[d] += origin[d];
+  return floor_mod(std::move(e), array_shape.dims());
+}
+
+std::string TilerSpec::to_string() const {
+  return cat("tiler{origin=", bracketed(origin), ", fitting=", fitting.to_string(),
+             ", paving=", paving.to_string(), "}");
+}
+
+IntArray coverage_map(const TilerSpec& spec, const Shape& array_shape,
+                      const Shape& pattern_shape, const Shape& repetition_shape) {
+  spec.validate(array_shape, pattern_shape, repetition_shape);
+  IntArray counts(array_shape, 0);
+  for_each_index(repetition_shape, [&](const Index& rep) {
+    for_each_index(pattern_shape, [&](const Index& pat) {
+      counts.at(spec.element_index(array_shape, rep, pat)) += 1;
+    });
+  });
+  return counts;
+}
+
+bool is_exact_partition(const TilerSpec& spec, const Shape& array_shape,
+                        const Shape& pattern_shape, const Shape& repetition_shape) {
+  if (repetition_shape.elements() * pattern_shape.elements() != array_shape.elements()) {
+    return false;
+  }
+  const IntArray counts = coverage_map(spec, array_shape, pattern_shape, repetition_shape);
+  for (std::int64_t i = 0; i < counts.elements(); ++i) {
+    if (counts[i] != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace saclo

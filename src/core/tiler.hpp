@@ -1,0 +1,89 @@
+#pragma once
+
+#include <string>
+
+#include "core/matrix.hpp"
+#include "core/ndarray.hpp"
+
+namespace saclo {
+
+/// An ArrayOL tiler: the connector that describes how a
+/// multidimensional array is covered by patterns (tiles).
+///
+/// Following Section IV of the paper, a tiler is defined by
+///   - an origin vector `o` (one entry per array dimension),
+///   - a fitting matrix `F` (array-rank × pattern-rank) describing how a
+///     pattern is filled with array elements, and
+///   - a paving matrix `P` (array-rank × repetition-rank) describing how
+///     the array is covered by pattern instances.
+///
+/// For a repetition index r and pattern index i, the addressed array
+/// element is  e(r, i) = (o + P·r + F·i) mod s_array  — all indexing is
+/// modular, which is what makes boundary tiles wrap around.
+struct TilerSpec {
+  Index origin;
+  IntMat fitting;
+  IntMat paving;
+
+  /// Checks dimensional consistency against concrete shapes; throws
+  /// TilerError with a precise message otherwise.
+  void validate(const Shape& array_shape, const Shape& pattern_shape,
+                const Shape& repetition_shape) const;
+
+  /// The array element addressed by (repetition r, pattern i).
+  Index element_index(const Shape& array_shape, const Index& rep, const Index& pat) const;
+
+  /// The reference element of pattern instance r (pattern index 0).
+  Index reference(const Shape& array_shape, const Index& rep) const;
+
+  std::string to_string() const;
+};
+
+/// True when the tiler visits every element of `array_shape` exactly
+/// once over the full repetition × pattern space — i.e. the tiling is an
+/// exact partition. Tilers used as *output* (scatter) sides of ArrayOL
+/// tasks must satisfy this for the task to be deterministic.
+bool is_exact_partition(const TilerSpec& spec, const Shape& array_shape,
+                        const Shape& pattern_shape, const Shape& repetition_shape);
+
+/// Number of times each array element is visited (same layout as the
+/// array). Useful for diagnosing non-partition tilers in tests.
+IntArray coverage_map(const TilerSpec& spec, const Shape& array_shape,
+                      const Shape& pattern_shape, const Shape& repetition_shape);
+
+/// Input-tiler semantics: gathers tiles from `in` into a fresh array of
+/// shape repetition ++ pattern (the paper's first intermediate array).
+template <typename T>
+NDArray<T> gather(const NDArray<T>& in, const TilerSpec& spec, const Shape& pattern_shape,
+                  const Shape& repetition_shape) {
+  spec.validate(in.shape(), pattern_shape, repetition_shape);
+  NDArray<T> out(repetition_shape.concat(pattern_shape));
+  std::int64_t linear = 0;
+  for_each_index(repetition_shape, [&](const Index& rep) {
+    for_each_index(pattern_shape, [&](const Index& pat) {
+      out[linear++] = in.at(spec.element_index(in.shape(), rep, pat));
+    });
+  });
+  return out;
+}
+
+/// Output-tiler semantics: scatters an array of shape
+/// repetition ++ pattern into `out` (the paper's output frame).
+template <typename T>
+void scatter(NDArray<T>& out, const NDArray<T>& tiles, const TilerSpec& spec,
+             const Shape& pattern_shape, const Shape& repetition_shape) {
+  spec.validate(out.shape(), pattern_shape, repetition_shape);
+  if (tiles.shape() != repetition_shape.concat(pattern_shape)) {
+    throw TilerError(cat("scatter: tile array shape ", tiles.shape().to_string(),
+                         " != repetition ++ pattern ",
+                         repetition_shape.concat(pattern_shape).to_string()));
+  }
+  std::int64_t linear = 0;
+  for_each_index(repetition_shape, [&](const Index& rep) {
+    for_each_index(pattern_shape, [&](const Index& pat) {
+      out.at(spec.element_index(out.shape(), rep, pat)) = tiles[linear++];
+    });
+  });
+}
+
+}  // namespace saclo

@@ -1,0 +1,369 @@
+#include "gaspard/chain.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "core/fmt.hpp"
+
+namespace saclo::gaspard {
+
+using aol::Model;
+using aol::RepetitiveTask;
+using aol::TiledPort;
+
+namespace {
+
+constexpr std::size_t kMaxRank = 4;
+
+/// Precomputed per-kernel addressing data so the functional kernel body
+/// does no heap allocation: for each port, the paving matrix columns
+/// (for the reference element) and the per-pattern-element fitting
+/// offsets F·i.
+struct PortAddressing {
+  std::size_t array_rank = 0;
+  std::array<std::int64_t, kMaxRank> origin{};
+  std::array<std::int64_t, kMaxRank> array_dims{};
+  std::array<std::int64_t, kMaxRank> array_strides{};
+  // paving[d][r] laid out row-major, rank x rep_rank
+  std::array<std::int64_t, kMaxRank * kMaxRank> paving{};
+  std::size_t rep_rank = 0;
+  /// Per pattern element: the F·i offset vector.
+  std::vector<std::array<std::int64_t, kMaxRank>> fit_offsets;
+};
+
+PortAddressing make_addressing(const TiledPort& tp, const Shape& array_shape,
+                               const Shape& repetition) {
+  PortAddressing pa;
+  pa.array_rank = array_shape.rank();
+  pa.rep_rank = repetition.rank();
+  if (pa.array_rank > kMaxRank || pa.rep_rank > kMaxRank) {
+    throw ChainError("arrays of rank > 4 are not supported by the OpenCL generator");
+  }
+  const Index strides = array_shape.strides();
+  for (std::size_t d = 0; d < pa.array_rank; ++d) {
+    pa.origin[d] = tp.tiler.origin[d];
+    pa.array_dims[d] = array_shape[d];
+    pa.array_strides[d] = strides[d];
+    for (std::size_t r = 0; r < pa.rep_rank; ++r) {
+      pa.paving[d * kMaxRank + r] = tp.tiler.paving.at(d, r);
+    }
+  }
+  for_each_index(tp.pattern, [&](const Index& pat) {
+    const Index f = tp.tiler.fitting.mv(pat);
+    std::array<std::int64_t, kMaxRank> off{};
+    for (std::size_t d = 0; d < pa.array_rank; ++d) off[d] = f[d];
+    pa.fit_offsets.push_back(off);
+  });
+  return pa;
+}
+
+/// Warp-adjacent address stride of a port: work item r0+1 moves the
+/// reference element by the first paving column.
+std::int64_t port_stride(const TiledPort& tp, const Shape& array_shape) {
+  const Index strides = array_shape.strides();
+  std::int64_t delta = 0;
+  for (std::size_t d = 0; d < array_shape.rank(); ++d) {
+    delta += tp.tiler.paving.at(d, 0) * strides[d];
+  }
+  return std::llabs(delta);
+}
+
+}  // namespace
+
+std::string emit_tiler_code(const RepetitiveTask& task, const TiledPort& port, bool is_input,
+                            const Shape& array_shape) {
+  const std::size_t rank = array_shape.rank();
+  const std::size_t rep_rank = task.repetition.rank();
+  std::string s;
+  s += cat("//--- Tiler ", task.name, "::", is_input ? "in" : "out", "_", port.port.name,
+           " ---\n");
+  s += "{ //start block\n";
+  s += cat("  uint tl[", std::max<std::size_t>(port.pattern.rank(), 1), "];\n");
+  s += cat("  uint ref[", rank, "];\n");
+  s += cat("  uint index[", rank, "];\n");
+  // Reference point based on the paving matrix.
+  for (std::size_t d = 0; d < rank; ++d) {
+    std::string line = cat("  ref[", d, "] = ", port.tiler.origin[d]);
+    for (std::size_t r = 0; r < rep_rank; ++r) {
+      line += cat(" + ", port.tiler.paving.at(d, r), "*tlIter[", r, "]");
+    }
+    s += line + ";\n";
+  }
+  // Pattern filling based on the fitting matrix.
+  const std::int64_t pattern_elems = port.pattern.elements();
+  s += cat("  for(tl[0]=0; tl[0] < ", pattern_elems, "; tl[0]++) {\n");
+  for (std::size_t d = 0; d < rank; ++d) {
+    std::string line = cat("    index[", d, "]= (ref[", d, "]");
+    for (std::size_t p = 0; p < port.pattern.rank(); ++p) {
+      line += cat(" + ", port.tiler.fitting.at(d, p), "*tl[", p, "]");
+    }
+    s += line + cat(") % ", array_shape[d], ";\n");
+  }
+  std::string addr;
+  const Index strides = array_shape.strides();
+  for (std::size_t d = 0; d < rank; ++d) {
+    addr += cat(d ? " + " : "", "index[", d, "] * ", strides[d]);
+  }
+  if (is_input) {
+    s += cat("    in_", port.port.name, "[tl[0]] = ", port.port.name, "_g[", addr, "];\n");
+  } else {
+    s += cat("    ", port.port.name, "_g[", addr, "] = out_", port.port.name, "[tl[0]];\n");
+  }
+  s += "  } //end for\n";
+  s += "} // end block\n";
+  return s;
+}
+
+namespace {
+
+std::string emit_kernel_source_text(const Model& model, const RepetitiveTask& task,
+                                    const std::string& kernel_name) {
+  std::string s;
+  std::vector<std::string> params;
+  for (const TiledPort& in : task.inputs) {
+    params.push_back("__global const int* " + in.port.name + "_g");
+  }
+  for (const TiledPort& out : task.outputs) {
+    params.push_back("__global int* " + out.port.name + "_g");
+  }
+  s += "__kernel void " + kernel_name + "(" + join(params, ", ") + ")\n{\n";
+  s += "  uint iGID = get_global_id(0);\n";
+  const std::int64_t work_items = task.repetition.elements();
+  s += cat("  if (iGID >= ", work_items, ") return;\n");
+  // Work-item decode, dimension 0 fastest (Figure 11's iGID % n).
+  s += cat("  uint tlIter[", task.repetition.rank(), "];\n");
+  std::string rest = "iGID";
+  for (std::size_t d = 0; d < task.repetition.rank(); ++d) {
+    s += cat("  tlIter[", d, "] = ", rest, " % ", task.repetition[d], ";\n");
+    if (d + 1 < task.repetition.rank()) {
+      s += cat("  uint rem", d, " = ", rest, " / ", task.repetition[d], ";\n");
+      rest = cat("rem", d);
+    }
+  }
+  // Private-memory pattern buffers + input tilers.
+  for (const TiledPort& in : task.inputs) {
+    s += cat("  int in_", in.port.name, "[", in.pattern.elements(), "];\n");
+  }
+  for (const TiledPort& out : task.outputs) {
+    s += cat("  int out_", out.port.name, "[", out.pattern.elements(), "];\n");
+  }
+  for (const TiledPort& in : task.inputs) {
+    s += emit_tiler_code(task, in, /*is_input=*/true, model.array_shape(in.port.name));
+  }
+  // The IP body.
+  s += "  { // IP: " + task.op.name + "\n";
+  s += "    const int* in = in_" + (task.inputs.empty() ? "" : task.inputs[0].port.name) + ";\n";
+  s += "    int* out = out_" + (task.outputs.empty() ? "" : task.outputs[0].port.name) + ";\n";
+  for (const std::string& line : {task.op.c_body}) {
+    s += "    " + line + "\n";
+  }
+  s += "  }\n";
+  for (const TiledPort& out : task.outputs) {
+    s += emit_tiler_code(task, out, /*is_input=*/false, model.array_shape(out.port.name));
+  }
+  s += "}\n";
+  return s;
+}
+
+}  // namespace
+
+OpenClApplication OpenClApplication::build(Model model) {
+  OpenClApplication app;
+  model.validate();
+  app.schedule_ = model.schedule();
+
+  // Buffer allocation plan.
+  for (const auto& [name, shape] : model.arrays()) {
+    BufferPlan plan;
+    plan.array = name;
+    plan.shape = shape;
+    plan.is_input =
+        std::find(model.inputs().begin(), model.inputs().end(), name) != model.inputs().end();
+    plan.is_output =
+        std::find(model.outputs().begin(), model.outputs().end(), name) != model.outputs().end();
+    app.buffers_.push_back(std::move(plan));
+  }
+
+  // Code generation: one kernel per repetitive task.
+  for (aol::TaskId t : app.schedule_) {
+    const RepetitiveTask& task = model.tasks()[t];
+    TaskKernel k;
+    k.task = t;
+    k.name = "KRN_" + task.name;
+    k.work_items = task.repetition.elements();
+    double loads = 0;
+    double stores = 0;
+    std::int64_t stride = 1;
+    for (const TiledPort& in : task.inputs) {
+      loads += static_cast<double>(in.pattern.elements());
+      stride = std::max(stride, port_stride(in, model.array_shape(in.port.name)));
+    }
+    for (const TiledPort& out : task.outputs) {
+      stores += static_cast<double>(out.pattern.elements());
+      stride = std::max(stride, port_stride(out, model.array_shape(out.port.name)));
+    }
+    k.cost.global_loads_per_thread = loads;
+    k.cost.global_stores_per_thread = stores;
+    // Index arithmetic: ~4 ops per addressed element, plus the IP.
+    k.cost.flops_per_thread = 4.0 * (loads + stores) + task.op.flops_per_invocation;
+    k.cost.warp_access_stride = stride;
+    k.cost.bytes_per_access = 4;
+    k.opencl_source = emit_kernel_source_text(model, task, k.name);
+    app.kernels_.push_back(std::move(k));
+  }
+  app.model_ = std::move(model);
+  return app;
+}
+
+std::string OpenClApplication::opencl_source() const {
+  std::string s = cat("// Generated by the saclo GASPARD2-style chain for model '",
+                      model_.name(), "'.\n\n");
+  for (const TaskKernel& k : kernels_) {
+    s += k.opencl_source;
+    s += "\n";
+  }
+  return s;
+}
+
+std::map<std::string, IntArray> OpenClApplication::run(
+    gpu::opencl::CommandQueue& queue, const std::map<std::string, IntArray>& inputs,
+    bool execute) {
+  // Create buffers (int32 frames, as on the paper's device).
+  std::map<std::string, gpu::opencl::Buffer> buffers;
+  for (const BufferPlan& plan : buffers_) {
+    buffers.emplace(plan.array,
+                    queue.create_buffer(plan.shape.elements() * static_cast<std::int64_t>(4)));
+  }
+  // Upload inputs.
+  for (const BufferPlan& plan : buffers_) {
+    if (!plan.is_input) continue;
+    if (execute) {
+      auto it = inputs.find(plan.array);
+      if (it == inputs.end()) throw ChainError(cat("missing input '", plan.array, "'"));
+      auto dev = buffers.at(plan.array).view<std::int32_t>();
+      for (std::int64_t i = 0; i < it->second.elements(); ++i) {
+        dev[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(it->second[i]);
+      }
+      queue.gpu().account_transfer(plan.shape.elements() * 4, gpu::Dir::HostToDevice,
+                                   gpu::opencl::CommandQueue::kHtoDOp);
+    } else {
+      queue.account_write(plan.shape.elements() * 4);
+    }
+  }
+
+  // Launch every task kernel in schedule order.
+  for (const TaskKernel& k : kernels_) {
+    const RepetitiveTask& task = model_.tasks()[k.task];
+    // Precompute addressing and bind device views.
+    struct BoundPort {
+      PortAddressing addr;
+      std::span<std::int32_t> data;
+    };
+    std::vector<BoundPort> ins;
+    std::vector<BoundPort> outs;
+    std::int64_t in_total = 0;
+    std::int64_t out_total = 0;
+    for (const TiledPort& in : task.inputs) {
+      ins.push_back(BoundPort{make_addressing(in, model_.array_shape(in.port.name),
+                                              task.repetition),
+                              buffers.at(in.port.name).view<std::int32_t>()});
+      in_total += in.pattern.elements();
+    }
+    for (const TiledPort& out : task.outputs) {
+      outs.push_back(BoundPort{make_addressing(out, model_.array_shape(out.port.name),
+                                               task.repetition),
+                               buffers.at(out.port.name).view<std::int32_t>()});
+      out_total += out.pattern.elements();
+    }
+    const auto* op = &task.op;
+    std::array<std::int64_t, kMaxRank> rep_dims{};
+    const std::size_t rep_rank = task.repetition.rank();
+    for (std::size_t d = 0; d < rep_rank; ++d) rep_dims[d] = task.repetition[d];
+
+    gpu::KernelLaunch launch;
+    launch.name = k.name;
+    launch.threads = k.work_items;
+    launch.cost = k.cost;
+    launch.body = [ins, outs, op, rep_dims, rep_rank, in_total, out_total](std::int64_t tid) {
+      thread_local std::vector<std::int64_t> in_buf;
+      thread_local std::vector<std::int64_t> out_buf;
+      if (in_buf.size() < static_cast<std::size_t>(in_total)) in_buf.resize(in_total);
+      if (out_buf.size() < static_cast<std::size_t>(out_total)) out_buf.resize(out_total);
+      // Work-item decode, dimension 0 fastest.
+      std::array<std::int64_t, kMaxRank> rep{};
+      std::int64_t rest = tid;
+      for (std::size_t d = 0; d < rep_rank; ++d) {
+        rep[d] = rest % rep_dims[d];
+        rest /= rep_dims[d];
+      }
+      // Gather input patterns.
+      std::size_t pos = 0;
+      for (const BoundPort& bp : ins) {
+        std::array<std::int64_t, kMaxRank> ref{};
+        for (std::size_t d = 0; d < bp.addr.array_rank; ++d) {
+          std::int64_t v = bp.addr.origin[d];
+          for (std::size_t r = 0; r < bp.addr.rep_rank; ++r) {
+            v += bp.addr.paving[d * kMaxRank + r] * rep[r];
+          }
+          ref[d] = v;
+        }
+        for (const auto& fit : bp.addr.fit_offsets) {
+          std::int64_t off = 0;
+          for (std::size_t d = 0; d < bp.addr.array_rank; ++d) {
+            std::int64_t idx = (ref[d] + fit[d]) % bp.addr.array_dims[d];
+            if (idx < 0) idx += bp.addr.array_dims[d];
+            off += idx * bp.addr.array_strides[d];
+          }
+          in_buf[pos++] = bp.data[static_cast<std::size_t>(off)];
+        }
+      }
+      // The IP.
+      op->compute(std::span<const std::int64_t>(in_buf.data(), static_cast<std::size_t>(in_total)),
+                  std::span<std::int64_t>(out_buf.data(), static_cast<std::size_t>(out_total)));
+      // Scatter output patterns.
+      pos = 0;
+      for (const BoundPort& bp : outs) {
+        std::array<std::int64_t, kMaxRank> ref{};
+        for (std::size_t d = 0; d < bp.addr.array_rank; ++d) {
+          std::int64_t v = bp.addr.origin[d];
+          for (std::size_t r = 0; r < bp.addr.rep_rank; ++r) {
+            v += bp.addr.paving[d * kMaxRank + r] * rep[r];
+          }
+          ref[d] = v;
+        }
+        for (const auto& fit : bp.addr.fit_offsets) {
+          std::int64_t off = 0;
+          for (std::size_t d = 0; d < bp.addr.array_rank; ++d) {
+            std::int64_t idx = (ref[d] + fit[d]) % bp.addr.array_dims[d];
+            if (idx < 0) idx += bp.addr.array_dims[d];
+            off += idx * bp.addr.array_strides[d];
+          }
+          bp.data[static_cast<std::size_t>(off)] =
+              static_cast<std::int32_t>(out_buf[pos++]);
+        }
+      }
+    };
+    queue.enqueue_ndrange(launch, execute);
+  }
+
+  // Read outputs back.
+  std::map<std::string, IntArray> results;
+  for (const BufferPlan& plan : buffers_) {
+    if (!plan.is_output) continue;
+    IntArray out(plan.shape);
+    if (execute) {
+      auto dev = buffers.at(plan.array).view<const std::int32_t>();
+      for (std::int64_t i = 0; i < out.elements(); ++i) {
+        out[i] = dev[static_cast<std::size_t>(i)];
+      }
+      queue.gpu().account_transfer(plan.shape.elements() * 4, gpu::Dir::DeviceToHost,
+                                   gpu::opencl::CommandQueue::kDtoHOp);
+    } else {
+      queue.account_read(plan.shape.elements() * 4);
+    }
+    results.emplace(plan.array, std::move(out));
+  }
+  return results;
+}
+
+}  // namespace saclo::gaspard

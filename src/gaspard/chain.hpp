@@ -1,0 +1,74 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arrayol/model.hpp"
+#include "gpu/runtime_opencl.hpp"
+
+namespace saclo::gaspard {
+
+/// Raised when the transformation chain or the runner fails.
+class ChainError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// One OpenCL kernel generated from a repetitive task — GASPARD2 maps
+/// each elementary task instance to exactly one kernel whose work items
+/// are the repetition points (Section V of the paper). Contrast with
+/// the SaC backend's one-kernel-per-generator.
+struct TaskKernel {
+  std::string name;
+  aol::TaskId task = 0;
+  std::int64_t work_items = 0;
+  gpu::KernelCost cost;
+  std::string opencl_source;
+};
+
+/// Where each array lives in the generated application.
+struct BufferPlan {
+  std::string array;
+  Shape shape;
+  bool is_input = false;
+  bool is_output = false;
+};
+
+/// The result of the GASPARD2-style transformation chain:
+///   UML/MARTE model (here: the aol::Model API)
+///     -> validate -> schedule -> allocate buffers -> generate OpenCL.
+/// The object is both the generated source (for inspection / golden
+/// tests) and an executable artefact on the simulated device.
+class OpenClApplication {
+ public:
+  static OpenClApplication build(aol::Model model);
+
+  const aol::Model& model() const { return model_; }
+  const std::vector<TaskKernel>& kernels() const { return kernels_; }
+  const std::vector<BufferPlan>& buffers() const { return buffers_; }
+  const std::vector<aol::TaskId>& schedule() const { return schedule_; }
+
+  /// The full generated .cl translation unit.
+  std::string opencl_source() const;
+
+  /// Runs one invocation: writes the input arrays, launches every task
+  /// kernel in schedule order, reads the outputs back. execute=false
+  /// accrues simulated time only.
+  std::map<std::string, IntArray> run(gpu::opencl::CommandQueue& queue,
+                                      const std::map<std::string, IntArray>& inputs,
+                                      bool execute);
+
+ private:
+  aol::Model model_{""};
+  std::vector<TaskKernel> kernels_;
+  std::vector<BufferPlan> buffers_;
+  std::vector<aol::TaskId> schedule_;
+};
+
+/// Generates the Figure 11-style tiler code of one input port (exposed
+/// for the golden tests).
+std::string emit_tiler_code(const aol::RepetitiveTask& task, const aol::TiledPort& port,
+                            bool is_input, const Shape& array_shape);
+
+}  // namespace saclo::gaspard

@@ -1,0 +1,37 @@
+#include "gpu/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace saclo::gpu {
+
+double kernel_time_us(const DeviceSpec& dev, std::int64_t threads, const KernelCost& cost) {
+  if (threads <= 0) return dev.kernel_launch_overhead_us;
+
+  // Wave quantisation: a launch smaller than one resident wave still
+  // occupies the machine for a full (short) wave; larger launches
+  // pipeline, so we use the exact thread count.
+  const double resident = static_cast<double>(dev.max_resident_threads());
+  const double effective_threads =
+      threads < resident ? std::max<double>(static_cast<double>(threads), resident * 0.05)
+                         : static_cast<double>(threads);
+
+  const double compute_us = effective_threads * cost.flops_per_thread /
+                            (dev.peak_gflops() * 1e3);  // GFLOP/s -> ops/us
+
+  const double penalty = std::clamp<double>(static_cast<double>(cost.warp_access_stride), 1.0,
+                                            dev.max_stride_penalty);
+  const double useful_bytes = effective_threads *
+                              (cost.global_loads_per_thread + cost.global_stores_per_thread) *
+                              cost.bytes_per_access;
+  const double mem_us = useful_bytes * penalty / (dev.mem_bandwidth_gbs * 1e3);  // GB/s -> B/us
+
+  return dev.kernel_launch_overhead_us + std::max(compute_us, mem_us);
+}
+
+double transfer_time_us(const DeviceSpec& dev, std::int64_t bytes, Dir dir) {
+  const double gbs = dir == Dir::HostToDevice ? dev.pcie_h2d_gbs : dev.pcie_d2h_gbs;
+  return dev.pcie_latency_us + static_cast<double>(bytes) / (gbs * 1e3);
+}
+
+}  // namespace saclo::gpu

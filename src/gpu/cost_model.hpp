@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/device.hpp"
+
+namespace saclo::gpu {
+
+/// Static per-thread cost descriptor of a kernel.
+///
+/// These numbers are *derived by the code generators from the IR*, not
+/// supplied by benchmarks: the SaC CUDA backend counts the loads,
+/// stores and arithmetic ops of each outlined generator body and
+/// analyses the address stride between adjacent threads of a warp; the
+/// GASPARD2 OpenCL generator does the same for its task kernels.
+struct KernelCost {
+  double flops_per_thread = 0.0;
+  double global_loads_per_thread = 0.0;
+  double global_stores_per_thread = 0.0;
+  int bytes_per_access = 4;
+  /// Address distance (in elements) between the accesses of adjacent
+  /// threads in a warp; 1 == fully coalesced.
+  std::int64_t warp_access_stride = 1;
+};
+
+/// Timing model for one kernel launch (microseconds of simulated GPU
+/// time).
+///
+/// Roofline style: the launch costs its fixed overhead plus the larger
+/// of compute time and global-memory time, where strided warp accesses
+/// move `min(stride, max_stride_penalty)` times more bytes than useful.
+/// Occupancy quantisation is modelled by rounding the thread count up
+/// to whole waves of resident threads for small launches.
+double kernel_time_us(const DeviceSpec& dev, std::int64_t threads, const KernelCost& cost);
+
+/// PCIe transfer time (microseconds) for `bytes` in the given
+/// direction.
+enum class Dir { HostToDevice, DeviceToHost };
+double transfer_time_us(const DeviceSpec& dev, std::int64_t bytes, Dir dir);
+
+}  // namespace saclo::gpu

@@ -1,0 +1,42 @@
+#include "gpu/device.hpp"
+
+namespace saclo::gpu {
+
+DeviceSpec gtx480() {
+  DeviceSpec d;
+  d.name = "NVIDIA GTX480 (Fermi, simulated)";
+  return d;
+}
+
+DeviceSpec gtx280() {
+  DeviceSpec d;
+  d.name = "NVIDIA GTX280 (GT200, simulated)";
+  d.sm_count = 30;
+  d.cores_per_sm = 8;
+  d.clock_ghz = 1.3;
+  d.max_resident_threads_per_sm = 1024;
+  d.global_mem_bytes = 1.0e9;
+  d.mem_bandwidth_gbs = 140.0;
+  d.max_stride_penalty = 16.0;  // no L2 cache to absorb strided access
+  d.pcie_h2d_gbs = 3.0;
+  d.pcie_d2h_gbs = 3.0;
+  return d;
+}
+
+DeviceSpec bigger_fermi() {
+  DeviceSpec d;
+  d.name = "2x-Fermi (hypothetical, simulated)";
+  d.sm_count = 30;
+  d.mem_bandwidth_gbs = 340.0;
+  d.global_mem_bytes = 3.0e9;
+  d.name += "";
+  return d;
+}
+
+HostSpec i7_930() {
+  HostSpec h;
+  h.name = "Intel i7-930 @ 2.8GHz (simulated)";
+  return h;
+}
+
+}  // namespace saclo::gpu

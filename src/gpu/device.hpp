@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace saclo::gpu {
+
+/// Static description of a (simulated) GPU.
+///
+/// The analytic timing model consumes exactly these numbers; see
+/// cost_model.hpp. The defaults of gtx480() are calibrated so the
+/// paper's measured operations land at the magnitudes of its Tables
+/// I/II (see DESIGN.md §3 and EXPERIMENTS.md).
+struct DeviceSpec {
+  std::string name;
+
+  // Compute.
+  int sm_count = 15;
+  int cores_per_sm = 32;
+  double clock_ghz = 1.4;
+  int warp_size = 32;
+  int max_resident_threads_per_sm = 1536;
+  double flops_per_core_per_cycle = 1.0;
+
+  // Memory system.
+  double global_mem_bytes = 1.5e9;
+  double mem_bandwidth_gbs = 170.0;  ///< peak, fully coalesced
+  /// Upper bound on the slowdown of strided (uncoalesced) warp
+  /// accesses. On Fermi the L2 cache caps the effective penalty well
+  /// below the warp size; 11 reproduces the paper's measured kernel
+  /// times for stride-1920 accesses.
+  double max_stride_penalty = 11.0;
+
+  // Host link (PCIe x16 Gen2 on the paper's testbed).
+  double pcie_h2d_gbs = 5.36;
+  double pcie_d2h_gbs = 6.30;
+  double pcie_latency_us = 8.0;
+
+  // Driver/runtime.
+  double kernel_launch_overhead_us = 20.0;
+
+  double peak_gflops() const {
+    return sm_count * cores_per_sm * clock_ghz * flops_per_core_per_cycle;
+  }
+  std::int64_t max_resident_threads() const {
+    return static_cast<std::int64_t>(sm_count) * max_resident_threads_per_sm;
+  }
+};
+
+/// Static description of a (simulated) host CPU used for sequential
+/// code. cycles_per_op is calibrated against the paper's sequential SaC
+/// runtimes (compiler-generated C, superscalar issue, no SIMD): the
+/// non-generic horizontal filter lands at the paper's ~4.5 s per 300
+/// frames.
+struct HostSpec {
+  std::string name;
+  int cores = 4;
+  double clock_ghz = 2.8;
+  /// Average cycles per abstract interpreter-level operation (a load,
+  /// store, or arithmetic op of the lowered loop nest).
+  double cycles_per_op = 0.9;
+
+  double time_us(double ops) const { return ops * cycles_per_op / (clock_ghz * 1e3); }
+};
+
+/// NVIDIA GTX480 (Fermi), the paper's evaluation device.
+DeviceSpec gtx480();
+/// An older Tesla-class part, for the ablation sweeps.
+DeviceSpec gtx280();
+/// A modern-ish larger device, for the ablation sweeps.
+DeviceSpec bigger_fermi();
+/// Intel i7-930, the paper's host CPU.
+HostSpec i7_930();
+
+}  // namespace saclo::gpu

@@ -1,0 +1,44 @@
+#include "gpu/memory.hpp"
+
+#include "core/fmt.hpp"
+
+namespace saclo::gpu {
+
+BufferHandle DeviceMemoryPool::allocate(std::int64_t bytes) {
+  if (bytes < 0) throw DeviceMemoryError(cat("allocate(", bytes, ") is negative"));
+  if (used_ + bytes > capacity_) {
+    throw DeviceMemoryError(cat("device out of memory: requested ", bytes, " bytes, ",
+                                capacity_ - used_, " of ", capacity_, " available"));
+  }
+  BufferHandle h{next_id_++, bytes};
+  buffers_.emplace(h.id, std::vector<std::byte>(static_cast<std::size_t>(bytes)));
+  used_ += bytes;
+  return h;
+}
+
+void DeviceMemoryPool::free(BufferHandle handle) {
+  auto it = buffers_.find(handle.id);
+  if (it == buffers_.end()) {
+    throw DeviceMemoryError(cat("free of invalid device buffer id ", handle.id));
+  }
+  used_ -= static_cast<std::int64_t>(it->second.size());
+  buffers_.erase(it);
+}
+
+std::span<std::byte> DeviceMemoryPool::bytes(BufferHandle handle) {
+  auto it = buffers_.find(handle.id);
+  if (it == buffers_.end()) {
+    throw DeviceMemoryError(cat("access to invalid device buffer id ", handle.id));
+  }
+  return it->second;
+}
+
+std::span<const std::byte> DeviceMemoryPool::bytes(BufferHandle handle) const {
+  auto it = buffers_.find(handle.id);
+  if (it == buffers_.end()) {
+    throw DeviceMemoryError(cat("access to invalid device buffer id ", handle.id));
+  }
+  return it->second;
+}
+
+}  // namespace saclo::gpu

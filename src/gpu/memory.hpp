@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace saclo::gpu {
+
+/// Raised on device out-of-memory or use of an invalid buffer handle.
+class DeviceMemoryError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Opaque handle to a device allocation (the simulator's cudaMalloc /
+/// clCreateBuffer result).
+struct BufferHandle {
+  std::uint64_t id = 0;
+  std::int64_t bytes = 0;
+  bool valid() const { return id != 0; }
+};
+
+/// Simulated device global memory: allocations are backed by host
+/// vectors (so kernels can execute functionally) while capacity
+/// accounting enforces the device's memory size.
+class DeviceMemoryPool {
+ public:
+  explicit DeviceMemoryPool(std::int64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  BufferHandle allocate(std::int64_t bytes);
+  void free(BufferHandle handle);
+
+  /// Raw access to a buffer's backing store; throws on stale handles.
+  std::span<std::byte> bytes(BufferHandle handle);
+  std::span<const std::byte> bytes(BufferHandle handle) const;
+
+  /// Typed view; `handle` must hold a whole number of T.
+  template <typename T>
+  std::span<T> view(BufferHandle handle) {
+    auto raw = bytes(handle);
+    if (raw.size() % sizeof(T) != 0) {
+      throw DeviceMemoryError("buffer size is not a multiple of element size");
+    }
+    return {reinterpret_cast<T*>(raw.data()), raw.size() / sizeof(T)};
+  }
+
+  std::int64_t used_bytes() const { return used_; }
+  std::int64_t capacity_bytes() const { return capacity_; }
+  std::size_t live_allocations() const { return buffers_.size(); }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t used_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::vector<std::byte>> buffers_;
+};
+
+/// RAII owner of a BufferHandle (Core Guidelines I.11: no raw-handle
+/// ownership across API boundaries).
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(DeviceMemoryPool& pool, std::int64_t bytes)
+      : pool_(&pool), handle_(pool.allocate(bytes)) {}
+  ~DeviceBuffer() { reset(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { swap(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      swap(other);
+    }
+    return *this;
+  }
+
+  BufferHandle handle() const { return handle_; }
+  std::int64_t bytes() const { return handle_.bytes; }
+  bool valid() const { return handle_.valid(); }
+
+  void reset() {
+    if (pool_ != nullptr && handle_.valid()) pool_->free(handle_);
+    pool_ = nullptr;
+    handle_ = {};
+  }
+
+ private:
+  void swap(DeviceBuffer& other) {
+    std::swap(pool_, other.pool_);
+    std::swap(handle_, other.handle_);
+  }
+  DeviceMemoryPool* pool_ = nullptr;
+  BufferHandle handle_{};
+};
+
+}  // namespace saclo::gpu

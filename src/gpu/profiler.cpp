@@ -1,0 +1,64 @@
+#include "gpu/profiler.hpp"
+
+#include <cmath>
+
+#include "core/fmt.hpp"
+
+namespace saclo::gpu {
+
+void Profiler::record(const std::string& name, OpKind kind, std::int64_t calls, double us) {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    index_.emplace(name, rows_.size());
+    rows_.push_back(Row{name, kind, calls, us});
+    return;
+  }
+  Row& row = rows_[it->second];
+  row.calls += calls;
+  row.total_us += us;
+}
+
+std::vector<Profiler::Row> Profiler::rows() const { return rows_; }
+
+double Profiler::total_us() const {
+  double t = 0.0;
+  for (const Row& r : rows_) t += r.total_us;
+  return t;
+}
+
+double Profiler::total_us(OpKind kind) const {
+  double t = 0.0;
+  for (const Row& r : rows_) {
+    if (r.kind == kind) t += r.total_us;
+  }
+  return t;
+}
+
+double Profiler::us_for(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? 0.0 : rows_[it->second].total_us;
+}
+
+void Profiler::clear() {
+  rows_.clear();
+  index_.clear();
+}
+
+std::string Profiler::table() const {
+  const double total = total_us();
+  std::string out;
+  out += pad_right("Operation", 28) + pad_left("#calls", 8) + pad_left("GPU time(usec)", 16) +
+         pad_left("GPU time (%)", 14) + "\n";
+  out += std::string(66, '-') + "\n";
+  for (const Row& r : rows_) {
+    out += pad_right(r.name, 28) + pad_left(std::to_string(r.calls), 8) +
+           pad_left(std::to_string(static_cast<std::int64_t>(std::llround(r.total_us))), 16) +
+           pad_left(fixed(total > 0 ? 100.0 * r.total_us / total : 0.0, 2), 14) + "\n";
+  }
+  out += std::string(66, '-') + "\n";
+  out += pad_right("Total", 28) + pad_left("-", 8) + pad_left(fixed(total / 1e6, 2) + "sec", 16) +
+         pad_left("100.00", 14) + "\n";
+  return out;
+}
+
+}  // namespace saclo::gpu

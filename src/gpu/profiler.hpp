@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace saclo::gpu {
+
+/// Kind of a profiled operation — selects the section of the
+/// nvprof-style report.
+enum class OpKind { Kernel, MemcpyHtoD, MemcpyDtoH, Host };
+
+/// Accumulates simulated times per named operation and renders them as
+/// the nvprof-style tables the paper reports (Tables I and II).
+class Profiler {
+ public:
+  /// Adds `us` microseconds and `calls` invocations to `name`.
+  void record(const std::string& name, OpKind kind, std::int64_t calls, double us);
+
+  struct Row {
+    std::string name;
+    OpKind kind = OpKind::Kernel;
+    std::int64_t calls = 0;
+    double total_us = 0.0;
+  };
+
+  /// Rows in first-recorded order.
+  std::vector<Row> rows() const;
+  double total_us() const;
+  double total_us(OpKind kind) const;
+  double us_for(const std::string& name) const;
+
+  void clear();
+
+  /// Renders the table in the layout of the paper's Table I/II:
+  ///   Operation | #calls | GPU time(usec) | GPU time (%)
+  /// with a total row in seconds.
+  std::string table() const;
+
+ private:
+  std::vector<Row> rows_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace saclo::gpu

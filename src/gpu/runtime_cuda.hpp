@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstring>
+#include <string>
+
+#include "core/ndarray.hpp"
+#include "gpu/sim_gpu.hpp"
+
+namespace saclo::gpu::cuda {
+
+/// A typed, shaped device allocation in the CUDA-style runtime (the
+/// simulated analogue of a `T*` returned by cudaMalloc plus the shape
+/// descriptor the SaC runtime keeps next to it).
+template <typename T>
+class DeviceArray {
+ public:
+  DeviceArray() = default;
+  DeviceArray(VirtualGpu& gpu, Shape shape)
+      : gpu_(&gpu),
+        shape_(std::move(shape)),
+        buffer_(gpu.memory(), shape_.elements() * static_cast<std::int64_t>(sizeof(T))) {}
+
+  const Shape& shape() const { return shape_; }
+  bool valid() const { return buffer_.valid(); }
+  BufferHandle handle() const { return buffer_.handle(); }
+
+  /// The simulator-side storage (only meaningful when ops executed
+  /// functionally wrote to it).
+  std::span<T> view() { return gpu_->memory().view<T>(buffer_.handle()); }
+  std::span<const T> view() const { return gpu_->memory().view<T>(buffer_.handle()); }
+
+ private:
+  VirtualGpu* gpu_ = nullptr;
+  Shape shape_;
+  DeviceBuffer buffer_;
+};
+
+/// CUDA-flavoured façade over the simulator: the vocabulary the SaC
+/// backend's generated host code uses (Section VII of the paper —
+/// `host2device`, `device2host`, kernel launches).
+class Runtime {
+ public:
+  explicit Runtime(VirtualGpu& gpu) : gpu_(&gpu) {}
+
+  VirtualGpu& gpu() { return *gpu_; }
+  const DeviceSpec& spec() const { return gpu_->spec(); }
+
+  template <typename T>
+  DeviceArray<T> device_alloc(Shape shape) {
+    return DeviceArray<T>(*gpu_, std::move(shape));
+  }
+
+  /// The paper's `host2device` instruction.
+  template <typename T>
+  void host2device(DeviceArray<T>& dst, const NDArray<T>& src, bool execute = true) {
+    gpu_->copy_h2d(dst.handle(), std::as_bytes(src.data()), kHtoDOp, execute);
+  }
+
+  /// The paper's `device2host` instruction.
+  template <typename T>
+  NDArray<T> device2host(const DeviceArray<T>& src, bool execute = true) {
+    NDArray<T> out(src.shape());
+    gpu_->copy_d2h(std::as_writable_bytes(out.data()), src.handle(), kDtoHOp, execute);
+    return out;
+  }
+
+  /// Accounts a transfer without moving data (simulated repetition of a
+  /// frame loop).
+  void account_host2device(std::int64_t bytes) {
+    gpu_->account_transfer(bytes, Dir::HostToDevice, kHtoDOp);
+  }
+  void account_device2host(std::int64_t bytes) {
+    gpu_->account_transfer(bytes, Dir::DeviceToHost, kDtoHOp);
+  }
+
+  double launch(const KernelLaunch& kernel, bool execute = true) {
+    return gpu_->launch(kernel, execute);
+  }
+
+  /// Frame transfers: mini-SaC values are int64 on the host, but the
+  /// paper's pixel data is 32-bit — device frames are stored (and
+  /// their PCIe cost modelled) as 4-byte ints.
+  void host2device_frame(DeviceArray<std::int32_t>& dst, const NDArray<std::int64_t>& src,
+                         bool execute = true, bool account = true) {
+    if (execute) {
+      std::vector<std::int32_t> staging(static_cast<std::size_t>(src.elements()));
+      for (std::int64_t i = 0; i < src.elements(); ++i) {
+        staging[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(src[i]);
+      }
+      gpu_->copy_h2d(dst.handle(), std::as_bytes(std::span<const std::int32_t>(staging)),
+                     kHtoDOp, true, account);
+    } else if (account) {
+      gpu_->account_transfer(src.elements() * 4, Dir::HostToDevice, kHtoDOp);
+    }
+  }
+
+  NDArray<std::int64_t> device2host_frame(const DeviceArray<std::int32_t>& src,
+                                          bool execute = true, bool account = true) {
+    NDArray<std::int64_t> out(src.shape());
+    if (execute) {
+      std::vector<std::int32_t> staging(static_cast<std::size_t>(out.elements()));
+      gpu_->copy_d2h(std::as_writable_bytes(std::span<std::int32_t>(staging)), src.handle(),
+                     kDtoHOp, true, account);
+      for (std::int64_t i = 0; i < out.elements(); ++i) {
+        out[i] = staging[static_cast<std::size_t>(i)];
+      }
+    } else if (account) {
+      gpu_->account_transfer(out.elements() * 4, Dir::DeviceToHost, kDtoHOp);
+    }
+    return out;
+  }
+
+  /// Row names used by the CUDA profiler — and by the paper's tables.
+  static constexpr const char* kHtoDOp = "memcpyHtoDasync";
+  static constexpr const char* kDtoHOp = "memcpyDtoHasync";
+
+ private:
+  VirtualGpu* gpu_;
+};
+
+}  // namespace saclo::gpu::cuda

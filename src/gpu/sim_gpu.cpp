@@ -1,0 +1,62 @@
+#include "gpu/sim_gpu.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/fmt.hpp"
+
+namespace saclo::gpu {
+
+void VirtualGpu::copy_h2d(BufferHandle dst, std::span<const std::byte> src, const std::string& op,
+                          bool execute, bool account) {
+  auto dest = memory_.bytes(dst);
+  if (src.size() > dest.size()) {
+    throw DeviceMemoryError(cat("copy_h2d of ", src.size(), " bytes into ", dest.size(),
+                                "-byte device buffer"));
+  }
+  if (execute) {
+    std::memcpy(dest.data(), src.data(), src.size());
+  }
+  if (account) {
+    profiler_.record(op, OpKind::MemcpyHtoD, 1,
+                     transfer_time_us(spec_, static_cast<std::int64_t>(src.size()),
+                                      Dir::HostToDevice));
+  }
+}
+
+void VirtualGpu::copy_d2h(std::span<std::byte> dst, BufferHandle src, const std::string& op,
+                          bool execute, bool account) {
+  auto source = memory_.bytes(src);
+  if (dst.size() > source.size()) {
+    throw DeviceMemoryError(cat("copy_d2h of ", dst.size(), " bytes from ", source.size(),
+                                "-byte device buffer"));
+  }
+  if (execute) {
+    std::memcpy(dst.data(), source.data(), dst.size());
+  }
+  if (account) {
+    profiler_.record(op, OpKind::MemcpyDtoH, 1,
+                     transfer_time_us(spec_, static_cast<std::int64_t>(dst.size()),
+                                      Dir::DeviceToHost));
+  }
+}
+
+void VirtualGpu::account_transfer(std::int64_t bytes, Dir dir, const std::string& op) {
+  profiler_.record(op, dir == Dir::HostToDevice ? OpKind::MemcpyHtoD : OpKind::MemcpyDtoH, 1,
+                   transfer_time_us(spec_, bytes, dir));
+}
+
+double VirtualGpu::launch(const KernelLaunch& kernel, bool execute) {
+  return launch_impl(kernel, execute);
+}
+
+double VirtualGpu::launch_impl(const KernelLaunch& kernel, bool execute) {
+  const double us = kernel_time_us(spec_, kernel.threads, kernel.cost);
+  if (execute && kernel.body) {
+    pool_.parallel_for(kernel.threads, kernel.body);
+  }
+  profiler_.record(kernel.name, OpKind::Kernel, 1, us);
+  return us;
+}
+
+}  // namespace saclo::gpu

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "gpu/cost_model.hpp"
+#include "gpu/device.hpp"
+#include "gpu/executor.hpp"
+#include "gpu/memory.hpp"
+#include "gpu/profiler.hpp"
+
+namespace saclo::gpu {
+
+/// A kernel ready to launch on the simulator: a name (for profiling), a
+/// 1-D thread count (grids are linearised by the code generators, which
+/// matches how both generated-code styles compute a global id), a
+/// static cost descriptor, and the functional body.
+struct KernelLaunch {
+  std::string name;
+  std::int64_t threads = 0;
+  KernelCost cost;
+  /// The body receives the global thread id. It must be safe to call
+  /// concurrently for distinct ids (single-assignment output, as both
+  /// source languages guarantee).
+  std::function<void(std::int64_t)> body;
+};
+
+/// The simulated GPU: device memory + functional executor + analytic
+/// clock + profiler.
+///
+/// Every operation takes an `execute` flag: with execute=true the data
+/// movement / kernel body really runs (bit-exact results); with
+/// execute=false only simulated time is accrued. Pipelines use this to
+/// validate a few frames functionally and then account the remaining
+/// repetitions of an identical-cost operation without re-running them.
+class VirtualGpu {
+ public:
+  explicit VirtualGpu(DeviceSpec spec, unsigned workers = 0)
+      : spec_(std::move(spec)),
+        memory_(static_cast<std::int64_t>(spec_.global_mem_bytes)),
+        pool_(workers) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+  DeviceMemoryPool& memory() { return memory_; }
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
+  ThreadPool& thread_pool() { return pool_; }
+
+  /// Total simulated time accrued so far (all ops), microseconds.
+  double clock_us() const { return profiler_.total_us(); }
+
+  BufferHandle alloc(std::int64_t bytes) { return memory_.allocate(bytes); }
+  void free(BufferHandle h) { memory_.free(h); }
+
+  /// Host-to-device copy. `op` is the profiler row name (e.g. the
+  /// CUDA-style "memcpyHtoDasync"). With account=false the copy happens
+  /// (when execute) but no simulated time is recorded — used for data
+  /// that conceptually never crosses PCIe (device-resident
+  /// intermediates handed between separately compiled programs).
+  void copy_h2d(BufferHandle dst, std::span<const std::byte> src, const std::string& op,
+                bool execute, bool account = true);
+  /// Device-to-host copy.
+  void copy_d2h(std::span<std::byte> dst, BufferHandle src, const std::string& op, bool execute,
+                bool account = true);
+
+  /// Accrues transfer time without moving data (simulated repetition).
+  void account_transfer(std::int64_t bytes, Dir dir, const std::string& op);
+
+  /// Launches a kernel; returns its simulated duration in microseconds.
+  double launch(const KernelLaunch& kernel, bool execute);
+
+  /// Accrues the time of a kernel launch without running the body.
+  double account_launch(const KernelLaunch& kernel) { return launch_impl(kernel, false); }
+
+ private:
+  double launch_impl(const KernelLaunch& kernel, bool execute);
+
+  DeviceSpec spec_;
+  DeviceMemoryPool memory_;
+  ThreadPool pool_;
+  Profiler profiler_;
+};
+
+}  // namespace saclo::gpu

@@ -1,0 +1,157 @@
+#include "sac/builtins.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fmt.hpp"
+
+namespace saclo::sac {
+
+namespace {
+
+Value shape_of(const Value& v) {
+  const Index dims = v.shape().dims();
+  IntArray out(Shape{static_cast<std::int64_t>(dims.size())});
+  for (std::size_t i = 0; i < dims.size(); ++i) out[static_cast<std::int64_t>(i)] = dims[i];
+  return Value(std::move(out));
+}
+
+Value concat(const Value& a, const Value& b) {
+  // Matrix case: CAT(paving, fitting) joins the columns of two
+  // matrices with equal row counts (the tiler composition of the
+  // paper's Figure 4).
+  if (a.shape().rank() == 2 && b.shape().rank() == 2 && a.is_int() && b.is_int()) {
+    const std::int64_t rows = a.shape()[0];
+    if (b.shape()[0] != rows) {
+      throw EvalError(cat("CAT of matrices with different row counts: ", a.shape().to_string(),
+                          " and ", b.shape().to_string()));
+    }
+    const std::int64_t ca = a.shape()[1];
+    const std::int64_t cb = b.shape()[1];
+    IntArray out(Shape{rows, ca + cb});
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < ca; ++c) out[r * (ca + cb) + c] = a.ints()[r * ca + c];
+      for (std::int64_t c = 0; c < cb; ++c) out[r * (ca + cb) + ca + c] = b.ints()[r * cb + c];
+    }
+    return Value(std::move(out));
+  }
+  if (a.shape().rank() > 1 || b.shape().rank() > 1) {
+    throw EvalError(cat("CAT/++ expects vectors, got shapes ", a.shape().to_string(), " and ",
+                        b.shape().to_string()));
+  }
+  auto as_vec = [](const Value& v) {
+    return v.shape().rank() == 0 ? Index{v.as_int()} : v.as_index_vector();
+  };
+  Index va = as_vec(a);
+  const Index vb = as_vec(b);
+  va.insert(va.end(), vb.begin(), vb.end());
+  IntArray out(Shape{static_cast<std::int64_t>(va.size())});
+  for (std::size_t i = 0; i < va.size(); ++i) out[static_cast<std::int64_t>(i)] = va[i];
+  return Value(std::move(out));
+}
+
+Value mv(const Value& m, const Value& v) {
+  if (m.shape().rank() != 2 || v.shape().rank() != 1) {
+    throw EvalError(cat("MV expects a matrix and a vector, got ", m.shape().to_string(), " and ",
+                        v.shape().to_string()));
+  }
+  const IntArray& mat = m.ints();
+  const Index vec = v.as_index_vector();
+  const std::int64_t rows = mat.shape()[0];
+  const std::int64_t cols = mat.shape()[1];
+  if (cols != static_cast<std::int64_t>(vec.size())) {
+    throw EvalError(cat("MV: matrix has ", cols, " columns but vector has ", vec.size(),
+                        " elements"));
+  }
+  IntArray out(Shape{rows});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int64_t acc = 0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      acc += mat[r * cols + c] * vec[static_cast<std::size_t>(c)];
+    }
+    out[r] = acc;
+  }
+  return Value(std::move(out));
+}
+
+template <typename Fn>
+Value scalar_binary(const std::string& name, const Value& a, const Value& b, Fn&& fn) {
+  if (a.is_int() != b.is_int()) {
+    throw EvalError(cat(name, ": mixed int/float operands"));
+  }
+  if (a.is_int()) return Value::from_int(fn(a.as_int(), b.as_int()));
+  return Value::from_double(fn(a.as_double(), b.as_double()));
+}
+
+}  // namespace
+
+const std::vector<std::string>& builtin_names() {
+  static const std::vector<std::string> names = {"shape", "dim", "MV",  "CAT", "min",
+                                                 "max",   "abs", "sum", "tod", "toi"};
+  return names;
+}
+
+bool is_builtin(const std::string& name) {
+  const auto& names = builtin_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+Value eval_builtin(const std::string& name, const std::vector<Value>& args) {
+  auto need = [&](std::size_t n) {
+    if (args.size() != n) {
+      throw EvalError(cat(name, " expects ", n, " argument(s), got ", args.size()));
+    }
+  };
+  if (name == "shape") {
+    need(1);
+    return shape_of(args[0]);
+  }
+  if (name == "dim") {
+    need(1);
+    return Value::from_int(static_cast<std::int64_t>(args[0].shape().rank()));
+  }
+  if (name == "MV") {
+    need(2);
+    return mv(args[0], args[1]);
+  }
+  if (name == "CAT") {
+    need(2);
+    return concat(args[0], args[1]);
+  }
+  if (name == "min") {
+    need(2);
+    return scalar_binary("min", args[0], args[1], [](auto a, auto b) { return std::min(a, b); });
+  }
+  if (name == "max") {
+    need(2);
+    return scalar_binary("max", args[0], args[1], [](auto a, auto b) { return std::max(a, b); });
+  }
+  if (name == "abs") {
+    need(1);
+    if (args[0].is_int()) return Value::from_int(std::llabs(args[0].as_int()));
+    return Value::from_double(std::fabs(args[0].as_double()));
+  }
+  if (name == "sum") {
+    need(1);
+    if (args[0].is_int()) {
+      std::int64_t acc = 0;
+      for (std::int64_t i = 0; i < args[0].ints().elements(); ++i) acc += args[0].ints()[i];
+      return Value::from_int(acc);
+    }
+    double acc = 0;
+    for (std::int64_t i = 0; i < args[0].floats().elements(); ++i) acc += args[0].floats()[i];
+    return Value::from_double(acc);
+  }
+  if (name == "tod") {
+    need(1);
+    return Value::from_double(args[0].as_double());
+  }
+  if (name == "toi") {
+    need(1);
+    if (args[0].is_int()) return Value::from_int(args[0].as_int());
+    return Value::from_int(static_cast<std::int64_t>(args[0].as_double()));
+  }
+  throw EvalError(cat("unknown builtin '", name, "'"));
+}
+
+}  // namespace saclo::sac

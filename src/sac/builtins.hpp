@@ -1,0 +1,34 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sac/value.hpp"
+
+namespace saclo::sac {
+
+/// Raised on dynamic semantic errors during evaluation (bad shapes,
+/// unknown names, division by zero, ...).
+class EvalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// True when `name` is a builtin function of mini-SaC.
+///
+/// The builtins follow the SaC standard library operations the paper's
+/// programs use: `shape`, `dim`, `MV` (matrix–vector product), `CAT`
+/// (concatenation, same as `++`), plus the usual scalar helpers. They
+/// are primitives rather than SaC-defined functions so the CUDA
+/// backend can treat them as intrinsics (a with-loop calling them still
+/// qualifies as a CUDA-with-loop; see Section VII of the paper).
+bool is_builtin(const std::string& name);
+
+/// Evaluates a builtin; throws EvalError on arity/shape errors.
+Value eval_builtin(const std::string& name, const std::vector<Value>& args);
+
+/// Names of all builtins (for the typechecker's scope seeding).
+const std::vector<std::string>& builtin_names();
+
+}  // namespace saclo::sac

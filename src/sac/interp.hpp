@@ -1,0 +1,88 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sac/ast.hpp"
+#include "sac/builtins.hpp"
+#include "sac/value.hpp"
+
+namespace saclo::sac {
+
+/// The reference interpreter: a direct implementation of mini-SaC's
+/// semantics. Every compiled artefact (the sequential lowering, the
+/// CUDA backend on the simulated GPU, and the folded programs) is
+/// tested bit-exact against this.
+///
+/// It also counts abstract operations (scalar arithmetic + array
+/// element reads/writes), which the host cost model converts into
+/// simulated sequential runtimes (see gpu::HostSpec).
+class Interp {
+ public:
+  explicit Interp(const Module& mod) : mod_(&mod) {}
+
+  /// Calls a function by name with the given argument values.
+  Value call(const std::string& fn, std::vector<Value> args);
+
+  /// Evaluates a closed expression (no free variables).
+  Value eval_closed(const Expr& expr);
+
+  /// Executes top-level statements against a mutable variable
+  /// environment (used by the CUDA backend's host-fallback steps, which
+  /// interleave interpreted statements with simulated kernels).
+  /// Returns the value of a `return` statement if one executed.
+  std::optional<Value> exec_stmts(const std::vector<StmtPtr>& stmts,
+                                  std::map<std::string, Value>& vars);
+
+  /// Abstract operations executed so far (monotonic).
+  double ops() const { return ops_; }
+  void reset_ops() { ops_ = 0; }
+
+ private:
+  friend class Scope;
+
+  struct Env {
+    struct Scope {
+      std::map<std::string, Value> vars;
+      /// Barrier scopes (with-loop generator bodies, function frames)
+      /// stop outward assignment: writes from inside them never mutate
+      /// enclosing bindings, preserving single-assignment semantics.
+      bool barrier = false;
+    };
+    std::vector<Scope> scopes;
+    Value* find(const std::string& name);
+    void define(const std::string& name, Value v);
+    void assign(const std::string& name, Value v);
+    void push(bool barrier) { scopes.push_back(Scope{{}, barrier}); }
+    void pop() { scopes.pop_back(); }
+  };
+
+  Value eval(const Expr& expr, Env& env);
+  Value eval_with(const Expr& expr, Env& env);
+  /// Executes statements; returns true as soon as a (possibly nested)
+  /// return statement fired, with the value stored in *returned.
+  bool exec_block(const std::vector<StmtPtr>& block, Env& env, Value* returned);
+  bool exec(const Stmt& stmt, Env& env, Value* returned);
+  Value eval_binop(const Expr& expr, Env& env);
+  Value eval_select(const Expr& expr, Env& env);
+  void elem_assign(Value& target, const std::vector<ExprPtr>& indices, const Value& rhs,
+                   Env& env);
+
+  /// Resolves generator bounds/step/width to concrete index vectors.
+  struct GenBounds {
+    Index lower;
+    Index upper;  // exclusive
+    Index step;
+    Index width;
+  };
+  GenBounds resolve_generator(const Generator& g, const Shape& frame, Env& env);
+
+  const Module* mod_;
+  double ops_ = 0;
+};
+
+/// Convenience: parse nothing, just run `fn` of `mod` on `args`.
+Value run_function(const Module& mod, const std::string& fn, std::vector<Value> args);
+
+}  // namespace saclo::sac

@@ -1,0 +1,273 @@
+#include "sac/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "core/fmt.hpp"
+
+namespace saclo::sac {
+
+std::string to_string(Tok t) {
+  switch (t) {
+    case Tok::End: return "<end>";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::KwWith: return "'with'";
+    case Tok::KwGenarray: return "'genarray'";
+    case Tok::KwModarray: return "'modarray'";
+    case Tok::KwFold: return "'fold'";
+    case Tok::KwStep: return "'step'";
+    case Tok::KwWidth: return "'width'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwFloat: return "'float'";
+    case Tok::KwBool: return "'bool'";
+    case Tok::KwTrue: return "'true'";
+    case Tok::KwFalse: return "'false'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Dot: return "'.'";
+    case Tok::Star: return "'*'";
+    case Tok::Plus: return "'+'";
+    case Tok::PlusPlus: return "'++'";
+    case Tok::Minus: return "'-'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Assign: return "'='";
+    case Tok::Eq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::Not: return "'!'";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> kw = {
+      {"with", Tok::KwWith},     {"genarray", Tok::KwGenarray},
+      {"modarray", Tok::KwModarray}, {"fold", Tok::KwFold},
+      {"step", Tok::KwStep},
+      {"width", Tok::KwWidth},   {"for", Tok::KwFor},
+      {"if", Tok::KwIf},         {"else", Tok::KwElse},
+      {"return", Tok::KwReturn}, {"int", Tok::KwInt},
+      {"float", Tok::KwFloat},   {"bool", Tok::KwBool},
+      {"true", Tok::KwTrue},     {"false", Tok::KwFalse},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int col = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < n ? source[i + off] : '\0';
+  };
+  auto advance = [&]() {
+    if (source[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  };
+  auto push = [&](Tok kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.col = col;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (i < n && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i >= n) throw ParseError(cat("unterminated comment at line ", line));
+      advance();
+      advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const int start_line = line, start_col = col;
+      std::string word;
+      while (i < n &&
+             (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+        word += peek();
+        advance();
+      }
+      Token t;
+      auto it = keywords().find(word);
+      t.kind = it == keywords().end() ? Tok::Ident : it->second;
+      t.text = std::move(word);
+      t.line = start_line;
+      t.col = start_col;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const int start_line = line, start_col = col;
+      std::string num;
+      while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+        num += peek();
+        advance();
+      }
+      bool is_float = false;
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        num += peek();
+        advance();
+        while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+          num += peek();
+          advance();
+        }
+      }
+      Token t;
+      t.line = start_line;
+      t.col = start_col;
+      t.text = num;
+      if (is_float) {
+        t.kind = Tok::FloatLit;
+        t.float_val = std::stod(num);
+      } else {
+        t.kind = Tok::IntLit;
+        t.int_val = std::stoll(num);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    auto two = [&](char second) { return peek(1) == second; };
+    switch (c) {
+      case '(': push(Tok::LParen, "("); advance(); break;
+      case ')': push(Tok::RParen, ")"); advance(); break;
+      case '[': push(Tok::LBracket, "["); advance(); break;
+      case ']': push(Tok::RBracket, "]"); advance(); break;
+      case '{': push(Tok::LBrace, "{"); advance(); break;
+      case '}': push(Tok::RBrace, "}"); advance(); break;
+      case ',': push(Tok::Comma, ","); advance(); break;
+      case ';': push(Tok::Semi, ";"); advance(); break;
+      case ':': push(Tok::Colon, ":"); advance(); break;
+      case '.': push(Tok::Dot, "."); advance(); break;
+      case '*': push(Tok::Star, "*"); advance(); break;
+      case '%': push(Tok::Percent, "%"); advance(); break;
+      case '/': push(Tok::Slash, "/"); advance(); break;
+      case '+':
+        if (two('+')) {
+          push(Tok::PlusPlus, "++");
+          advance();
+          advance();
+        } else {
+          push(Tok::Plus, "+");
+          advance();
+        }
+        break;
+      case '-': push(Tok::Minus, "-"); advance(); break;
+      case '=':
+        if (two('=')) {
+          push(Tok::Eq, "==");
+          advance();
+          advance();
+        } else {
+          push(Tok::Assign, "=");
+          advance();
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(Tok::Ne, "!=");
+          advance();
+          advance();
+        } else {
+          push(Tok::Not, "!");
+          advance();
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(Tok::Le, "<=");
+          advance();
+          advance();
+        } else {
+          push(Tok::Lt, "<");
+          advance();
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(Tok::Ge, ">=");
+          advance();
+          advance();
+        } else {
+          push(Tok::Gt, ">");
+          advance();
+        }
+        break;
+      case '&':
+        if (two('&')) {
+          push(Tok::AndAnd, "&&");
+          advance();
+          advance();
+        } else {
+          throw ParseError(cat("stray '&' at line ", line, ":", col));
+        }
+        break;
+      case '|':
+        if (two('|')) {
+          push(Tok::OrOr, "||");
+          advance();
+          advance();
+        } else {
+          throw ParseError(cat("stray '|' at line ", line, ":", col));
+        }
+        break;
+      default:
+        throw ParseError(cat("unexpected character '", std::string(1, c), "' at line ", line,
+                             ":", col));
+    }
+  }
+
+  Token end;
+  end.kind = Tok::End;
+  end.line = line;
+  end.col = col;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace saclo::sac

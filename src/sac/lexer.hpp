@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace saclo::sac {
+
+/// Raised on malformed source (lexing or parsing).
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+enum class Tok {
+  End,
+  Ident,
+  IntLit,
+  FloatLit,
+  // keywords
+  KwWith,
+  KwGenarray,
+  KwModarray,
+  KwFold,
+  KwStep,
+  KwWidth,
+  KwFor,
+  KwIf,
+  KwElse,
+  KwReturn,
+  KwInt,
+  KwFloat,
+  KwBool,
+  KwTrue,
+  KwFalse,
+  // punctuation / operators
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Colon,
+  Dot,
+  Star,
+  Plus,
+  PlusPlus,
+  Minus,
+  Slash,
+  Percent,
+  Assign,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Not,
+  AndAnd,
+  OrOr
+};
+
+std::string to_string(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+  int line = 1;
+  int col = 1;
+};
+
+/// Tokenises mini-SaC source. Supports `//` and `/* */` comments.
+/// Throws ParseError on unknown characters or malformed literals.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace saclo::sac

@@ -1,0 +1,531 @@
+#include "sac/parser.hpp"
+
+#include "core/fmt.hpp"
+
+namespace saclo::sac {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Module parse_module() {
+    Module mod;
+    while (!at(Tok::End)) {
+      mod.functions.push_back(parse_fundef());
+    }
+    return mod;
+  }
+
+  ExprPtr parse_single_expression() {
+    ExprPtr e = parse_expr();
+    expect(Tok::End, "after expression");
+    return e;
+  }
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& peek(std::size_t off = 1) const {
+    return tokens_[std::min(pos_ + off, tokens_.size() - 1)];
+  }
+  bool at(Tok kind) const { return cur().kind == kind; }
+  Token advance() { return tokens_[pos_++]; }
+  bool accept(Tok kind) {
+    if (at(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Token expect(Tok kind, const std::string& context) {
+    if (!at(kind)) {
+      throw ParseError(cat("expected ", to_string(kind), " ", context, " but found ",
+                           to_string(cur().kind), " ('", cur().text, "') at line ", cur().line,
+                           ":", cur().col));
+    }
+    return advance();
+  }
+
+  [[noreturn]] void fail(const std::string& message) {
+    throw ParseError(cat(message, " at line ", cur().line, ":", cur().col, " (found ",
+                         to_string(cur().kind), " '", cur().text, "')"));
+  }
+
+  // --- types ---------------------------------------------------------------
+
+  bool at_type_keyword() const {
+    return at(Tok::KwInt) || at(Tok::KwFloat) || at(Tok::KwBool);
+  }
+
+  TypeSpec parse_type() {
+    TypeSpec t;
+    if (accept(Tok::KwInt)) {
+      t.elem = ElemType::Int;
+    } else if (accept(Tok::KwFloat)) {
+      t.elem = ElemType::Float;
+    } else if (accept(Tok::KwBool)) {
+      t.elem = ElemType::Bool;
+    } else {
+      fail("expected a type");
+    }
+    if (accept(Tok::LBracket)) {
+      if (accept(Tok::Star)) {
+        t.kind = TypeSpec::Dims::AnyRank;
+      } else {
+        t.kind = TypeSpec::Dims::Described;
+        do {
+          if (accept(Tok::Dot)) {
+            t.dims.push_back(-1);
+          } else {
+            Token num = expect(Tok::IntLit, "in type dimensions");
+            t.dims.push_back(num.int_val);
+          }
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RBracket, "closing type dimensions");
+    }
+    return t;
+  }
+
+  // --- functions & statements ----------------------------------------------
+
+  FunDef parse_fundef() {
+    FunDef fn;
+    fn.line = cur().line;
+    fn.return_type = parse_type();
+    fn.name = expect(Tok::Ident, "as function name").text;
+    expect(Tok::LParen, "after function name");
+    if (!at(Tok::RParen)) {
+      do {
+        TypeSpec pt = parse_type();
+        std::string pn = expect(Tok::Ident, "as parameter name").text;
+        fn.params.emplace_back(std::move(pt), std::move(pn));
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "after parameters");
+    fn.body = parse_block();
+    return fn;
+  }
+
+  std::vector<StmtPtr> parse_block() {
+    expect(Tok::LBrace, "to open a block");
+    std::vector<StmtPtr> stmts;
+    while (!at(Tok::RBrace)) {
+      stmts.push_back(parse_stmt());
+    }
+    expect(Tok::RBrace, "to close a block");
+    return stmts;
+  }
+
+  StmtPtr parse_stmt() {
+    if (at(Tok::KwReturn)) return parse_return();
+    if (at(Tok::KwFor)) return parse_for();
+    if (at(Tok::KwIf)) return parse_if();
+    if (at_type_keyword()) return parse_declaration();
+    if (at(Tok::Ident)) return parse_assignment();
+    fail("expected a statement");
+  }
+
+  StmtPtr parse_return() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Return;
+    s->line = cur().line;
+    expect(Tok::KwReturn, "");
+    const bool parens = accept(Tok::LParen);
+    s->value = parse_expr();
+    if (parens) expect(Tok::RParen, "after return value");
+    expect(Tok::Semi, "after return");
+    return s;
+  }
+
+  StmtPtr parse_declaration() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Assign;
+    s->line = cur().line;
+    s->decl_type = parse_type();
+    s->target = expect(Tok::Ident, "as declared variable").text;
+    if (accept(Tok::Assign)) {
+      s->value = parse_expr();
+    }
+    expect(Tok::Semi, "after declaration");
+    return s;
+  }
+
+  StmtPtr parse_assignment() {
+    auto s = std::make_unique<Stmt>();
+    s->line = cur().line;
+    s->target = expect(Tok::Ident, "as assignment target").text;
+    while (at(Tok::LBracket)) {
+      advance();
+      s->indices.push_back(parse_expr_or_array_tail());
+      expect(Tok::RBracket, "after index");
+    }
+    expect(Tok::Assign, "in assignment");
+    s->kind = s->indices.empty() ? StmtKind::Assign : StmtKind::ElemAssign;
+    s->value = parse_expr();
+    expect(Tok::Semi, "after assignment");
+    return s;
+  }
+
+  /// Inside `a[ ... ]` the content is a normal expression; `a[[i,j]]`
+  /// arrives naturally because `[i,j]` is an array literal.
+  ExprPtr parse_expr_or_array_tail() { return parse_expr(); }
+
+  StmtPtr parse_for() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::For;
+    s->line = cur().line;
+    expect(Tok::KwFor, "");
+    expect(Tok::LParen, "after 'for'");
+    s->target = expect(Tok::Ident, "as loop variable").text;
+    expect(Tok::Assign, "in loop initialiser");
+    s->for_init = parse_expr();
+    expect(Tok::Semi, "after loop initialiser");
+    s->for_cond = parse_expr();
+    expect(Tok::Semi, "after loop condition");
+    // Increment: `i++`, `i = i + k`, or `i = <expr>` (treated as
+    // arbitrary reassignment with step stored as full expression).
+    std::string iv = expect(Tok::Ident, "in loop increment").text;
+    if (iv != s->target) fail(cat("loop increments variable '", iv, "', expected '", s->target, "'"));
+    if (accept(Tok::PlusPlus)) {
+      s->for_step = make_int(1);
+    } else {
+      expect(Tok::Assign, "in loop increment");
+      ExprPtr rhs = parse_expr();
+      // Normalise `i = i + k` to step k; otherwise keep `i = expr` by
+      // encoding step as (expr - i), evaluated each iteration.
+      if (rhs->kind == ExprKind::BinOp && rhs->bin_op == BinOpKind::Add &&
+          rhs->args[0]->kind == ExprKind::Var && rhs->args[0]->name == s->target) {
+        s->for_step = std::move(rhs->args[1]);
+      } else {
+        s->for_step = make_bin(BinOpKind::Sub, std::move(rhs), make_var(s->target));
+      }
+    }
+    expect(Tok::RParen, "after loop header");
+    s->body = parse_block();
+    return s;
+  }
+
+  StmtPtr parse_if() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::If;
+    s->line = cur().line;
+    expect(Tok::KwIf, "");
+    expect(Tok::LParen, "after 'if'");
+    s->value = parse_expr();
+    expect(Tok::RParen, "after condition");
+    s->body = parse_block();
+    if (accept(Tok::KwElse)) {
+      if (at(Tok::KwIf)) {
+        s->else_body.push_back(parse_if());
+      } else {
+        s->else_body = parse_block();
+      }
+    }
+    return s;
+  }
+
+  // --- expressions -----------------------------------------------------------
+  // Precedence (low to high):
+  //   || ; && ; == != ; < <= > >= ; ++ ; + - ; * / % ; unary ; postfix.
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (at(Tok::OrOr)) {
+      int line = advance().line;
+      ExprPtr e = make_bin(BinOpKind::Or, std::move(lhs), parse_and());
+      e->line = line;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_equality();
+    while (at(Tok::AndAnd)) {
+      int line = advance().line;
+      ExprPtr e = make_bin(BinOpKind::And, std::move(lhs), parse_equality());
+      e->line = line;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_equality() {
+    ExprPtr lhs = parse_relational();
+    while (at(Tok::Eq) || at(Tok::Ne)) {
+      BinOpKind op = at(Tok::Eq) ? BinOpKind::Eq : BinOpKind::Ne;
+      int line = advance().line;
+      ExprPtr e = make_bin(op, std::move(lhs), parse_relational());
+      e->line = line;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_relational() {
+    ExprPtr lhs = parse_concat();
+    while (at(Tok::Lt) || at(Tok::Le) || at(Tok::Gt) || at(Tok::Ge)) {
+      BinOpKind op = at(Tok::Lt)   ? BinOpKind::Lt
+                     : at(Tok::Le) ? BinOpKind::Le
+                     : at(Tok::Gt) ? BinOpKind::Gt
+                                   : BinOpKind::Ge;
+      int line = advance().line;
+      ExprPtr e = make_bin(op, std::move(lhs), parse_concat());
+      e->line = line;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_concat() {
+    ExprPtr lhs = parse_additive();
+    while (at(Tok::PlusPlus)) {
+      int line = advance().line;
+      ExprPtr e = make_bin(BinOpKind::Concat, std::move(lhs), parse_additive());
+      e->line = line;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      BinOpKind op = at(Tok::Plus) ? BinOpKind::Add : BinOpKind::Sub;
+      int line = advance().line;
+      ExprPtr e = make_bin(op, std::move(lhs), parse_multiplicative());
+      e->line = line;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent)) {
+      BinOpKind op = at(Tok::Star)    ? BinOpKind::Mul
+                     : at(Tok::Slash) ? BinOpKind::Div
+                                      : BinOpKind::Mod;
+      int line = advance().line;
+      ExprPtr e = make_bin(op, std::move(lhs), parse_unary());
+      e->line = line;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(Tok::Minus) || at(Tok::Not)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::UnOp;
+      e->un_op = at(Tok::Minus) ? UnOpKind::Neg : UnOpKind::Not;
+      e->line = advance().line;
+      e->args.push_back(parse_unary());
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    while (at(Tok::LBracket)) {
+      int line = advance().line;
+      ExprPtr idx = parse_expr();
+      expect(Tok::RBracket, "after index");
+      e = make_select(std::move(e), std::move(idx));
+      e->line = line;
+    }
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    const int line = cur().line;
+    if (at(Tok::IntLit)) {
+      ExprPtr e = make_int(advance().int_val);
+      e->line = line;
+      return e;
+    }
+    if (at(Tok::FloatLit)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::FloatLit;
+      e->float_val = advance().float_val;
+      e->line = line;
+      return e;
+    }
+    if (at(Tok::KwTrue) || at(Tok::KwFalse)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::BoolLit;
+      e->int_val = at(Tok::KwTrue) ? 1 : 0;
+      advance();
+      e->line = line;
+      return e;
+    }
+    if (accept(Tok::LParen)) {
+      ExprPtr e = parse_expr();
+      expect(Tok::RParen, "after parenthesised expression");
+      return e;
+    }
+    if (at(Tok::LBracket)) {
+      advance();
+      std::vector<ExprPtr> elems;
+      if (!at(Tok::RBracket)) {
+        do {
+          elems.push_back(parse_expr());
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RBracket, "after array literal");
+      ExprPtr e = make_array_lit(std::move(elems));
+      e->line = line;
+      return e;
+    }
+    if (at(Tok::KwWith)) return parse_with();
+    if (at(Tok::Ident)) {
+      std::string name = advance().text;
+      if (accept(Tok::LParen)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Call;
+        e->name = std::move(name);
+        e->line = line;
+        if (!at(Tok::RParen)) {
+          do {
+            e->args.push_back(parse_expr());
+          } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "after call arguments");
+        return e;
+      }
+      ExprPtr e = make_var(std::move(name));
+      e->line = line;
+      return e;
+    }
+    fail("expected an expression");
+  }
+
+  // --- with-loops -------------------------------------------------------------
+
+  ExprPtr parse_with() {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::With;
+    e->line = cur().line;
+    expect(Tok::KwWith, "");
+    expect(Tok::LBrace, "after 'with'");
+    while (!at(Tok::RBrace)) {
+      e->generators.push_back(parse_generator());
+    }
+    expect(Tok::RBrace, "after generators");
+    expect(Tok::Colon, "before with-loop operation");
+    e->op = parse_with_op();
+    return e;
+  }
+
+  Generator parse_generator() {
+    Generator g;
+    expect(Tok::LParen, "to open a generator");
+    g.lower = parse_bound();
+    if (accept(Tok::Le)) {
+      g.lower_inclusive = true;
+    } else {
+      expect(Tok::Lt, "in generator lower bound");
+      g.lower_inclusive = false;
+    }
+    parse_generator_var(g);
+    if (accept(Tok::Le)) {
+      g.upper_inclusive = true;
+    } else {
+      expect(Tok::Lt, "in generator upper bound");
+      g.upper_inclusive = false;
+    }
+    g.upper = parse_bound();
+    if (accept(Tok::KwStep)) {
+      g.step = parse_concat();
+    }
+    if (accept(Tok::KwWidth)) {
+      // `width` without `step` parses but is rejected by the checker.
+      g.width = parse_concat();
+    }
+    expect(Tok::RParen, "to close a generator");
+    if (at(Tok::LBrace)) {
+      g.body = parse_block();
+    }
+    expect(Tok::Colon, "before generator value");
+    g.value = parse_expr();
+    expect(Tok::Semi, "after generator value");
+    return g;
+  }
+
+  /// `.` or an expression. Bounds parse below the relational level so
+  /// that the generator's own `<=`/`<` separators are not consumed as
+  /// comparison operators.
+  ExprPtr parse_bound() {
+    if (accept(Tok::Dot)) return nullptr;
+    return parse_concat();
+  }
+
+  void parse_generator_var(Generator& g) {
+    if (accept(Tok::LBracket)) {
+      g.vector_var = false;
+      do {
+        g.vars.push_back(expect(Tok::Ident, "in generator index pattern").text);
+      } while (accept(Tok::Comma));
+      expect(Tok::RBracket, "after generator index pattern");
+      return;
+    }
+    g.vector_var = true;
+    g.vars.push_back(expect(Tok::Ident, "as generator index variable").text);
+  }
+
+  WithOp parse_with_op() {
+    WithOp op;
+    if (accept(Tok::KwGenarray)) {
+      op.kind = WithOpKind::Genarray;
+      expect(Tok::LParen, "after 'genarray'");
+      op.shape_or_target = parse_expr();
+      if (accept(Tok::Comma)) {
+        op.default_value = parse_expr();
+      }
+      expect(Tok::RParen, "after genarray arguments");
+      return op;
+    }
+    if (accept(Tok::KwFold)) {
+      op.kind = WithOpKind::Fold;
+      expect(Tok::LParen, "after 'fold'");
+      // Reduction operator: +, *, or an identifier (min/max).
+      if (accept(Tok::Plus)) {
+        op.fold_op = "+";
+      } else if (accept(Tok::Star)) {
+        op.fold_op = "*";
+      } else {
+        op.fold_op = expect(Tok::Ident, "as fold operator").text;
+      }
+      expect(Tok::Comma, "after fold operator");
+      op.shape_or_target = parse_expr();  // the neutral element
+      expect(Tok::RParen, "after fold arguments");
+      return op;
+    }
+    expect(Tok::KwModarray, "as with-loop operation");
+    op.kind = WithOpKind::Modarray;
+    expect(Tok::LParen, "after 'modarray'");
+    op.shape_or_target = parse_expr();
+    expect(Tok::RParen, "after modarray argument");
+    return op;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Module parse(const std::string& source) { return Parser(lex(source)).parse_module(); }
+
+ExprPtr parse_expression(const std::string& source) {
+  return Parser(lex(source)).parse_single_expression();
+}
+
+}  // namespace saclo::sac

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "sac/ast.hpp"
+#include "sac/lexer.hpp"
+
+namespace saclo::sac {
+
+/// Parses a mini-SaC module. Throws ParseError with line/column
+/// diagnostics on malformed input.
+Module parse(const std::string& source);
+
+/// Parses a single expression (used by tests and the REPL-style
+/// examples).
+ExprPtr parse_expression(const std::string& source);
+
+}  // namespace saclo::sac

@@ -1,0 +1,20 @@
+#include "sac/pipeline.hpp"
+
+#include "sac/typecheck.hpp"
+
+namespace saclo::sac {
+
+CompiledFunction compile(const Module& mod, const std::string& fn,
+                         const std::vector<ArgSpec>& args, const CompileOptions& options) {
+  typecheck(mod);
+  CompiledFunction out;
+  out.fn = specialize(mod, fn, args);
+  for (std::size_t i = 0; i < out.fn.params.size() && i < args.size(); ++i) {
+    out.param_shapes[out.fn.params[i].second] = args[i].shape;
+    out.param_elems[out.fn.params[i].second] = args[i].elem;
+  }
+  out.stats = optimize(out.fn.body, out.param_shapes, options.enable_wlf);
+  return out;
+}
+
+}  // namespace saclo::sac

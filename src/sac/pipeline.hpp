@@ -1,0 +1,36 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sac/ast.hpp"
+#include "sac/specialize.hpp"
+#include "sac/wlf.hpp"
+
+namespace saclo::sac {
+
+/// Options of the high-level compilation pipeline.
+struct CompileOptions {
+  /// Run With-Loop Folding (+ %-elimination splitting). Disabling this
+  /// reproduces the paper's "no WLF" ablation.
+  bool enable_wlf = true;
+};
+
+/// A fully specialised and optimised function: the unit both backends
+/// (sequential host lowering and CUDA code generation) consume.
+struct CompiledFunction {
+  FunDef fn;
+  OptStats stats;
+  std::map<std::string, Shape> param_shapes;
+  std::map<std::string, ElemType> param_elems;
+};
+
+/// The sac2c-style frontend pipeline used throughout this repo:
+/// parse (done by the caller) -> typecheck -> specialise for concrete
+/// argument shapes/values -> optimise (modarray conversion, WLF,
+/// %-elimination, DCE).
+CompiledFunction compile(const Module& mod, const std::string& fn,
+                         const std::vector<ArgSpec>& args, const CompileOptions& options = {});
+
+}  // namespace saclo::sac

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "sac/ast.hpp"
+
+namespace saclo::sac {
+
+/// Renders AST nodes back to (normalised) mini-SaC source. Used by the
+/// golden tests that pin the shape of optimised with-loops (the
+/// paper's Figure 8) and by the examples to show before/after WLF.
+std::string print(const Expr& expr, int indent = 0);
+std::string print(const Stmt& stmt, int indent = 0);
+std::string print(const std::vector<StmtPtr>& block, int indent = 0);
+std::string print(const FunDef& fn);
+std::string print(const Module& mod);
+
+}  // namespace saclo::sac

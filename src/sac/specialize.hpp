@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sac/ast.hpp"
+#include "sac/value.hpp"
+
+namespace saclo::sac {
+
+/// Raised when specialisation cannot proceed (recursive calls, shape
+/// mismatches discovered at specialisation time, ...).
+class SpecializeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Compile-time description of one entry-function argument: its element
+/// type, concrete shape, and — for arguments like tiler matrices that
+/// are known at compile time — its full value.
+///
+/// This plays the role of sac2c's function specialisation: the paper's
+/// pipeline compiles the downscaler for fixed frame sizes and fixed
+/// tiler specifications, which is what enables WLF to produce the
+/// concrete generators of Figure 8.
+struct ArgSpec {
+  ElemType elem = ElemType::Int;
+  Shape shape;
+  std::optional<Value> constant;
+
+  static ArgSpec array(ElemType e, Shape s) { return {e, std::move(s), std::nullopt}; }
+  static ArgSpec value(Value v) {
+    ArgSpec a;
+    a.elem = v.is_int() ? ElemType::Int : ElemType::Float;
+    a.shape = v.shape();
+    a.constant = std::move(v);
+    return a;
+  }
+};
+
+/// Specialises `fn` of `mod` for the given argument descriptions:
+/// inlines all user-function calls, propagates and folds constants
+/// (shapes, tiler matrices, generator bounds), and resolves `.` bounds.
+/// The result is a self-contained FunDef with the same parameter list,
+/// runnable by the interpreter and consumable by the optimiser and the
+/// backends.
+FunDef specialize(const Module& mod, const std::string& fn, const std::vector<ArgSpec>& args);
+
+/// Builds a literal expression from a constant value (rank <= 2).
+ExprPtr literal_expr(const Value& v);
+
+/// Attempts to read an expression as a compile-time constant (literals
+/// and literal arrays only — no environment).
+std::optional<Value> literal_value(const Expr& e);
+
+}  // namespace saclo::sac

@@ -1,0 +1,141 @@
+#include "sac/stdlib.hpp"
+
+#include "core/fmt.hpp"
+#include "sac/parser.hpp"
+
+namespace saclo::sac {
+
+std::string prelude_source() {
+  return R"(
+// --- mini-SaC prelude ------------------------------------------------------
+// Pure SaC definitions of the classic array operations. Everything is
+// shape-generic; the specialiser fixes shapes per call site.
+
+int[*] iota(int n) {
+  v = with { ([0] <= [i] < [n]) : i; } : genarray([n]);
+  return (v);
+}
+
+int[*] vreverse(int[*] v) {
+  n = shape(v)[0];
+  r = with { ([0] <= [i] < [n]) : v[[n - 1 - i]]; } : genarray([n]);
+  return (r);
+}
+
+int[*] rotate(int[*] v, int k) {
+  n = shape(v)[0];
+  r = with { ([0] <= [i] < [n]) : v[[(i + k) % n]]; } : genarray([n]);
+  return (r);
+}
+
+int[*] take(int[*] v, int k) {
+  t = with { ([0] <= [i] < [k]) : v[[i]]; } : genarray([k]);
+  return (t);
+}
+
+int[*] drop(int[*] v, int k) {
+  n = shape(v)[0];
+  t = with { ([0] <= [i] < [n - k]) : v[[i + k]]; } : genarray([n - k]);
+  return (t);
+}
+
+int vsum(int[*] v) {
+  n = shape(v)[0];
+  s = with { ([0] <= [i] < [n]) : v[[i]]; } : fold(+, 0);
+  return (s);
+}
+
+int vprod(int[*] v) {
+  n = shape(v)[0];
+  p = with { ([0] <= [i] < [n]) : v[[i]]; } : fold(*, 1);
+  return (p);
+}
+
+int vmin(int[*] v) {
+  n = shape(v)[0];
+  m = with { ([0] <= [i] < [n]) : v[[i]]; } : fold(min, 9223372036854775807);
+  return (m);
+}
+
+int vmax(int[*] v) {
+  n = shape(v)[0];
+  m = with { ([0] <= [i] < [n]) : v[[i]]; } : fold(max, 0 - 9223372036854775807);
+  return (m);
+}
+
+int dot(int[*] a, int[*] b) {
+  n = shape(a)[0];
+  s = with { ([0] <= [i] < [n]) : a[[i]] * b[[i]]; } : fold(+, 0);
+  return (s);
+}
+
+int[*] transpose(int[*] m) {
+  r = shape(m)[0];
+  c = shape(m)[1];
+  t = with { ([0,0] <= [i,j] < [c,r]) : m[[j,i]]; } : genarray([c,r]);
+  return (t);
+}
+
+int[*] matmul(int[*] a, int[*] b) {
+  n = shape(a)[0];
+  k = shape(a)[1];
+  m = shape(b)[1];
+  c = with {
+    ([0,0] <= [i,j] < [n,m]) {
+      acc = with { ([0] <= [p] < [k]) : a[[i,p]] * b[[p,j]]; } : fold(+, 0);
+    } : acc;
+  } : genarray([n,m]);
+  return (c);
+}
+
+int[*] outer(int[*] a, int[*] b) {
+  n = shape(a)[0];
+  m = shape(b)[0];
+  o = with { ([0,0] <= [i,j] < [n,m]) : a[[i]] * b[[j]]; } : genarray([n,m]);
+  return (o);
+}
+
+int[*] clampv(int[*] v, int lo, int hi) {
+  n = shape(v)[0];
+  c = with { ([0] <= [i] < [n]) : min(max(v[[i]], lo), hi); } : genarray([n]);
+  return (c);
+}
+
+int[*] convolve1d(int[*] v, int[*] k) {
+  n = shape(v)[0];
+  m = shape(k)[0];
+  c = with {
+    ([0] <= [i] < [n - m + 1]) {
+      acc = with { ([0] <= [p] < [m]) : v[[i + p]] * k[[p]]; } : fold(+, 0);
+    } : acc;
+  } : genarray([n - m + 1]);
+  return (c);
+}
+
+int[*] histogram(int[*] v, int bins) {
+  n = shape(v)[0];
+  h = with {
+    ([0] <= [b] < [bins]) {
+      count = with { ([0] <= [i] < [n]) : toi(v[[i]] == b); } : fold(+, 0);
+    } : count;
+  } : genarray([bins]);
+  return (h);
+}
+)";
+}
+
+std::size_t link_prelude(Module& module) {
+  Module prelude = parse(prelude_source());
+  for (const FunDef& f : prelude.functions) {
+    if (module.find(f.name) != nullptr) {
+      throw ParseError(cat("link_prelude: function '", f.name, "' already defined"));
+    }
+  }
+  const std::size_t n = prelude.functions.size();
+  for (FunDef& f : prelude.functions) {
+    module.functions.push_back(std::move(f));
+  }
+  return n;
+}
+
+}  // namespace saclo::sac

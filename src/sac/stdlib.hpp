@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "sac/ast.hpp"
+
+namespace saclo::sac {
+
+/// The mini-SaC prelude: the slice of SaC's standard array library the
+/// paper's programs and the examples build on, written in mini-SaC
+/// itself (SaC's own stdlib is SaC code too — that is the point of the
+/// "without losing abstractions" argument).
+///
+/// Functions (all total on their documented domains):
+///   iota(n)              -> [0, 1, ..., n-1]
+///   vreverse(v)          -> v reversed
+///   rotate(v, k)         -> v rotated left by k (k >= 0)
+///   take(v, k), drop(v, k)
+///   vsum(v), vprod(v), vmin(v), vmax(v)      (fold-based reductions)
+///   dot(a, b)            -> inner product
+///   transpose(m)         -> 2-D transpose
+///   matmul(a, b)         -> dense 2-D matrix product
+///   outer(a, b)          -> outer product of two vectors
+///   clampv(v, lo, hi)    -> elementwise clamp
+///   convolve1d(v, k)     -> valid 1-D convolution (len(v)-len(k)+1)
+///   histogram(v, bins)   -> counts of v's values in [0, bins)
+std::string prelude_source();
+
+/// Parses the prelude and appends its functions to `module` (names must
+/// not collide). Returns the number of functions added.
+std::size_t link_prelude(Module& module);
+
+}  // namespace saclo::sac

@@ -1,0 +1,321 @@
+#include "sac/typecheck.hpp"
+
+#include <map>
+
+#include "core/fmt.hpp"
+#include "sac/builtins.hpp"
+
+namespace saclo::sac {
+
+namespace {
+
+int rank_of(const TypeSpec& t) {
+  switch (t.kind) {
+    case TypeSpec::Dims::Scalar: return 0;
+    case TypeSpec::Dims::AnyRank: return -1;
+    case TypeSpec::Dims::Described: return static_cast<int>(t.dims.size());
+  }
+  return -1;
+}
+
+class Checker {
+ public:
+  explicit Checker(const Module& mod) : mod_(&mod) {}
+
+  void check_function(const FunDef& fn) {
+    scopes_.clear();
+    scopes_.emplace_back();
+    fn_ = &fn;
+    for (const auto& [t, name] : fn.params) {
+      declare(name, CheckedType{t.elem, rank_of(t)}, fn.line);
+    }
+    bool returns = check_block(fn.body);
+    if (!returns) {
+      throw TypeError(cat("function '", fn.name, "' has no return statement"));
+    }
+  }
+
+ private:
+  using Scope = std::map<std::string, CheckedType>;
+
+  void declare(const std::string& name, CheckedType t, int line) {
+    auto [it, inserted] = scopes_.back().emplace(name, t);
+    if (!inserted) {
+      // Reassignment is fine in mini-SaC; element types must agree.
+      if (it->second.elem != t.elem) {
+        throw TypeError(cat("variable '", name, "' changes element type from ",
+                            to_string(it->second.elem), " to ", to_string(t.elem), " at line ",
+                            line));
+      }
+      it->second = t;
+    }
+  }
+
+  const CheckedType* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return &f->second;
+    }
+    return nullptr;
+  }
+
+  bool check_block(const std::vector<StmtPtr>& block) {
+    bool returns = false;
+    for (const StmtPtr& s : block) {
+      if (returns) {
+        throw TypeError(cat("unreachable statement after return at line ", s->line));
+      }
+      returns = check_stmt(*s);
+    }
+    return returns;
+  }
+
+  bool check_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        CheckedType t{ElemType::Int, -1};
+        if (s.value) {
+          t = check_expr(*s.value);
+        } else if (s.decl_type) {
+          t = CheckedType{s.decl_type->elem, rank_of(*s.decl_type)};
+        }
+        if (s.decl_type && s.value && s.decl_type->elem != t.elem &&
+            !(s.decl_type->elem == ElemType::Bool && t.elem == ElemType::Int)) {
+          throw TypeError(cat("initialiser of '", s.target, "' has element type ",
+                              to_string(t.elem), ", declared ", to_string(s.decl_type->elem),
+                              " at line ", s.line));
+        }
+        if (s.decl_type) t.elem = s.decl_type->elem;
+        declare(s.target, t, s.line);
+        return false;
+      }
+      case StmtKind::ElemAssign: {
+        const CheckedType* t = lookup(s.target);
+        if (t == nullptr) {
+          throw TypeError(cat("element assignment to undeclared '", s.target, "' at line ",
+                              s.line));
+        }
+        if (t->rank == 0) {
+          throw TypeError(cat("element assignment into scalar '", s.target, "' at line ",
+                              s.line));
+        }
+        for (const ExprPtr& i : s.indices) check_expr(*i);
+        const CheckedType rhs = check_expr(*s.value);
+        if (rhs.elem != t->elem && !(t->elem == ElemType::Float && rhs.elem == ElemType::Int &&
+                                     false)) {
+          if (rhs.elem != t->elem) {
+            throw TypeError(cat("assigning ", to_string(rhs.elem), " cell into ",
+                                to_string(t->elem), " array '", s.target, "' at line ", s.line));
+          }
+        }
+        return false;
+      }
+      case StmtKind::For: {
+        const CheckedType init = check_expr(*s.for_init);
+        if (init.elem == ElemType::Float) {
+          throw TypeError(cat("loop variable '", s.target, "' must be integral at line ", s.line));
+        }
+        declare(s.target, CheckedType{ElemType::Int, 0}, s.line);
+        check_expr(*s.for_cond);
+        check_expr(*s.for_step);
+        scopes_.emplace_back();
+        const bool r = check_block(s.body);
+        scopes_.pop_back();
+        if (r) throw TypeError(cat("return inside for-loop at line ", s.line));
+        return false;
+      }
+      case StmtKind::If: {
+        check_expr(*s.value);
+        scopes_.emplace_back();
+        const bool rt = check_block(s.body);
+        scopes_.pop_back();
+        scopes_.emplace_back();
+        const bool re = s.else_body.empty() ? false : check_block(s.else_body);
+        scopes_.pop_back();
+        return rt && re;
+      }
+      case StmtKind::Return: {
+        const CheckedType t = check_expr(*s.value);
+        if (fn_ != nullptr && t.elem != fn_->return_type.elem &&
+            !(fn_->return_type.elem == ElemType::Bool && t.elem == ElemType::Int)) {
+          throw TypeError(cat("function '", fn_->name, "' returns ", to_string(t.elem),
+                              ", declared ", to_string(fn_->return_type.elem), " at line ",
+                              s.line));
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  CheckedType check_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit: return {ElemType::Int, 0};
+      case ExprKind::BoolLit: return {ElemType::Bool, 0};
+      case ExprKind::FloatLit: return {ElemType::Float, 0};
+      case ExprKind::Var: {
+        const CheckedType* t = lookup(e.name);
+        if (t == nullptr) throw TypeError(cat("unknown variable '", e.name, "' at line ", e.line));
+        return *t;
+      }
+      case ExprKind::ArrayLit: {
+        if (e.args.empty()) return {ElemType::Int, 1};
+        CheckedType first = check_expr(*e.args[0]);
+        for (std::size_t i = 1; i < e.args.size(); ++i) {
+          const CheckedType t = check_expr(*e.args[i]);
+          if (t.elem != first.elem) {
+            throw TypeError(cat("mixed element types in array literal at line ", e.line));
+          }
+        }
+        return {first.elem, first.rank < 0 ? -1 : first.rank + 1};
+      }
+      case ExprKind::BinOp: {
+        const CheckedType a = check_expr(*e.args[0]);
+        const CheckedType b = check_expr(*e.args[1]);
+        if (e.bin_op == BinOpKind::Concat) {
+          if (a.elem != b.elem) {
+            throw TypeError(cat("'++' on mixed element types at line ", e.line));
+          }
+          return {a.elem, 1};
+        }
+        ElemType ea = a.elem == ElemType::Bool ? ElemType::Int : a.elem;
+        ElemType eb = b.elem == ElemType::Bool ? ElemType::Int : b.elem;
+        if (ea != eb) {
+          throw TypeError(cat("operands of '", to_string(e.bin_op),
+                              "' have mixed element types at line ", e.line));
+        }
+        if (e.bin_op == BinOpKind::Mod && ea == ElemType::Float) {
+          throw TypeError(cat("'%' on float operands at line ", e.line));
+        }
+        switch (e.bin_op) {
+          case BinOpKind::Lt:
+          case BinOpKind::Le:
+          case BinOpKind::Gt:
+          case BinOpKind::Ge:
+          case BinOpKind::Eq:
+          case BinOpKind::Ne:
+          case BinOpKind::And:
+          case BinOpKind::Or:
+            return {ElemType::Bool, std::max(a.rank, b.rank)};
+          default:
+            return {ea, a.rank < 0 || b.rank < 0 ? -1 : std::max(a.rank, b.rank)};
+        }
+      }
+      case ExprKind::UnOp: {
+        const CheckedType t = check_expr(*e.args[0]);
+        return e.un_op == UnOpKind::Not ? CheckedType{ElemType::Bool, t.rank} : t;
+      }
+      case ExprKind::Call: {
+        for (const ExprPtr& a : e.args) check_expr(*a);
+        if (is_builtin(e.name)) {
+          if (e.name == "shape" || e.name == "MV" || e.name == "CAT") {
+            return {ElemType::Int, 1};
+          }
+          if (e.name == "dim" || e.name == "toi") return {ElemType::Int, 0};
+          if (e.name == "tod") return {ElemType::Float, 0};
+          return {ElemType::Int, -1};
+        }
+        const FunDef* callee = mod_->find(e.name);
+        if (callee == nullptr) {
+          throw TypeError(cat("call to unknown function '", e.name, "' at line ", e.line));
+        }
+        if (callee->params.size() != e.args.size()) {
+          throw TypeError(cat("function '", e.name, "' expects ", callee->params.size(),
+                              " arguments, got ", e.args.size(), " at line ", e.line));
+        }
+        return {callee->return_type.elem, rank_of(callee->return_type)};
+      }
+      case ExprKind::Select: {
+        const CheckedType arr = check_expr(*e.args[0]);
+        check_expr(*e.args[1]);
+        if (arr.rank == 0) {
+          throw TypeError(cat("selection from a scalar at line ", e.line));
+        }
+        return {arr.elem, -1};
+      }
+      case ExprKind::With: {
+        // Check operation first.
+        check_expr(*e.op.shape_or_target);
+        if (e.op.default_value) check_expr(*e.op.default_value);
+        if (e.generators.empty()) {
+          throw TypeError(cat("with-loop without generators at line ", e.line));
+        }
+        ElemType elem = ElemType::Int;
+        bool elem_known = false;
+        if (e.op.kind == WithOpKind::Modarray) {
+          const CheckedType t = check_expr(*e.op.shape_or_target);
+          elem = t.elem;
+          elem_known = true;
+        } else if (e.op.kind == WithOpKind::Fold) {
+          const CheckedType t = check_expr(*e.op.shape_or_target);
+          if (t.rank > 0) {
+            throw TypeError(cat("fold neutral must be a scalar at line ", e.line));
+          }
+          elem = t.elem;
+          elem_known = true;
+          if (e.op.fold_op != "+" && e.op.fold_op != "*" && e.op.fold_op != "min" &&
+              e.op.fold_op != "max") {
+            throw TypeError(cat("unsupported fold operator '", e.op.fold_op, "' at line ",
+                                e.line));
+          }
+          for (const Generator& g : e.generators) {
+            if (!g.lower || !g.upper) {
+              throw TypeError(cat("fold generators need explicit bounds at line ", e.line));
+            }
+          }
+        } else if (e.op.default_value) {
+          elem = check_expr(*e.op.default_value).elem;
+          elem_known = true;
+        }
+        for (const Generator& g : e.generators) {
+          if (g.lower) check_expr(*g.lower);
+          if (g.upper) check_expr(*g.upper);
+          if (g.step) check_expr(*g.step);
+          if (g.width && !g.step) {
+            throw TypeError(cat("generator has 'width' without 'step' at line ", e.line));
+          }
+          if (g.width) check_expr(*g.width);
+          scopes_.emplace_back();
+          if (g.vector_var) {
+            declare(g.vars[0], CheckedType{ElemType::Int, 1}, e.line);
+          } else {
+            for (const std::string& v : g.vars) declare(v, CheckedType{ElemType::Int, 0}, e.line);
+          }
+          if (check_block(g.body)) {
+            throw TypeError(cat("return inside with-loop generator at line ", e.line));
+          }
+          const CheckedType cell = check_expr(*g.value);
+          scopes_.pop_back();
+          if (elem_known && cell.elem != elem &&
+              !(elem == ElemType::Int && cell.elem == ElemType::Bool)) {
+            throw TypeError(cat("generator cell element type ", to_string(cell.elem),
+                                " conflicts with with-loop element type ", to_string(elem),
+                                " at line ", e.line));
+          }
+          if (!elem_known) {
+            elem = cell.elem;
+            elem_known = true;
+          }
+        }
+        return {elem == ElemType::Bool ? ElemType::Int : elem, -1};
+      }
+    }
+    throw TypeError("unreachable expression kind");
+  }
+
+  const Module* mod_;
+  const FunDef* fn_ = nullptr;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace
+
+std::size_t typecheck(const Module& mod) {
+  Checker checker(mod);
+  for (const FunDef& fn : mod.functions) {
+    checker.check_function(fn);
+  }
+  return mod.functions.size();
+}
+
+}  // namespace saclo::sac

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sac/ast.hpp"
+
+namespace saclo::sac {
+
+/// Raised on static semantic errors (unknown names, arity mismatches,
+/// element-type conflicts, malformed generators).
+class TypeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Statically checked properties of an expression: the element type and
+/// (when derivable) the rank. Shapes are resolved later, during
+/// specialisation; the checker's job is to reject programs that cannot
+/// be given a meaning at all.
+struct CheckedType {
+  ElemType elem = ElemType::Int;
+  int rank = -1;  ///< -1 == unknown
+};
+
+/// Typechecks a module. Throws TypeError on the first error. Returns
+/// the number of functions checked (for reporting).
+std::size_t typecheck(const Module& mod);
+
+}  // namespace saclo::sac

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <variant>
+
+#include "core/fmt.hpp"
+#include "core/ndarray.hpp"
+
+namespace saclo::sac {
+
+/// A runtime value of the mini-SaC interpreter.
+///
+/// SaC is an array language: *every* value is a multidimensional array,
+/// scalars being rank-0 arrays. The paper's programs are integral, but
+/// the language also carries doubles for the extra examples.
+class Value {
+ public:
+  Value() : v_(IntArray::scalar(0)) {}
+  /*implicit*/ Value(IntArray a) : v_(std::move(a)) {}
+  /*implicit*/ Value(FloatArray a) : v_(std::move(a)) {}
+
+  static Value from_int(std::int64_t i) { return Value(IntArray::scalar(i)); }
+  static Value from_double(double d) { return Value(FloatArray::scalar(d)); }
+  static Value from_bool(bool b) { return from_int(b ? 1 : 0); }
+
+  bool is_int() const { return std::holds_alternative<IntArray>(v_); }
+  bool is_float() const { return std::holds_alternative<FloatArray>(v_); }
+
+  IntArray& ints() { return std::get<IntArray>(v_); }
+  const IntArray& ints() const { return std::get<IntArray>(v_); }
+  FloatArray& floats() { return std::get<FloatArray>(v_); }
+  const FloatArray& floats() const { return std::get<FloatArray>(v_); }
+
+  const Shape& shape() const {
+    return is_int() ? ints().shape() : floats().shape();
+  }
+  bool is_scalar() const { return shape().rank() == 0; }
+
+  /// The scalar payload of a rank-0 (or single-element) int value.
+  std::int64_t as_int() const {
+    if (!is_int()) throw Error("expected an integer value");
+    if (ints().elements() != 1) {
+      throw Error(cat("expected a scalar, got shape ", shape().to_string()));
+    }
+    return ints()[0];
+  }
+  double as_double() const {
+    if (is_int()) return static_cast<double>(as_int());
+    if (floats().elements() != 1) {
+      throw Error(cat("expected a scalar, got shape ", shape().to_string()));
+    }
+    return floats()[0];
+  }
+  bool as_bool() const { return as_int() != 0; }
+
+  /// Converts a rank-<=1 int value to an index vector (shape-like
+  /// values: `[1080, 1920]`). A scalar becomes a 1-element vector.
+  Index as_index_vector() const {
+    const IntArray& a = ints();
+    if (a.shape().rank() > 1) {
+      throw Error(cat("expected an index vector, got shape ", shape().to_string()));
+    }
+    Index out(static_cast<std::size_t>(a.elements()));
+    for (std::int64_t i = 0; i < a.elements(); ++i) out[static_cast<std::size_t>(i)] = a[i];
+    return out;
+  }
+
+  bool operator==(const Value& other) const = default;
+
+ private:
+  std::variant<IntArray, FloatArray> v_;
+};
+
+}  // namespace saclo::sac

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "sac/affine.hpp"
+#include "sac/ast.hpp"
+
+namespace saclo::sac {
+
+/// Concrete (fully literal) generator bounds, normalised to
+/// [lb, ub) with explicit step and width vectors.
+struct ConcreteGen {
+  Index lb;
+  Index ub;  ///< exclusive
+  Index step;
+  Index width;
+
+  std::int64_t points() const;
+};
+
+/// Extracts literal bounds from a specialised generator; nullopt when
+/// any bound is still symbolic.
+std::optional<ConcreteGen> concrete_generator(const Generator& g);
+
+/// The iteration lattice of a width-1 concrete generator (nullopt when
+/// not concrete or any width != 1).
+std::optional<affine::Lattice> lattice_of(const Generator& g);
+
+/// Statistics of an optimisation run, reported by the examples and the
+/// WLF ablation bench.
+struct OptStats {
+  int folds = 0;              ///< producer cells substituted into consumers
+  int generator_splits = 0;   ///< sub-generators created by folding/mod-splitting
+  int mods_removed = 0;       ///< `% extent` operations proven redundant
+  int modarrays_converted = 0;
+  int stmts_removed = 0;      ///< dead statements eliminated
+
+  OptStats& operator+=(const OptStats& other);
+};
+
+/// With-Loop Folding (Scholz '98, as used in Section VII of the paper):
+/// substitutes the cells of producer with-loops into consumer
+/// with-loops whose accesses are affine on the generator lattice,
+/// splitting consumer generators where different producer generators
+/// (or the default) apply. For-loop consumers are *not* folded — the
+/// exact limitation that makes the paper's generic output tiler slow.
+OptStats run_wlf(std::vector<StmtPtr>& body);
+
+/// Splits generators so that `x % extent` index computations whose
+/// value provably stays in range disappear (the source of the paper's
+/// Figure 8 boundary generators).
+OptStats run_mod_split(std::vector<StmtPtr>& body);
+
+/// Converts fully covered modarray with-loops into genarray form,
+/// dropping the dependency on the overwritten array. `shapes` supplies
+/// the shapes of function parameters (other shapes are inferred).
+OptStats convert_modarray(std::vector<StmtPtr>& body,
+                          const std::map<std::string, Shape>& shapes);
+
+/// Dead-code elimination over a (specialised) function body.
+OptStats run_dce(std::vector<StmtPtr>& body);
+
+/// Local simplification of every with-loop generator in the body
+/// (constant folding, select forwarding, vector expansion, copy
+/// propagation). Also run implicitly by the passes above.
+void simplify_body(std::vector<StmtPtr>& body);
+
+/// Rewrites a generator whose cells have shape `cell` (rank >= 1) so
+/// that its value becomes an array literal of scalar element
+/// expressions (row-major cell order), hoisting whatever producer
+/// bodies that requires. Returns false when the cell cannot be
+/// decomposed — the caller then falls back to host execution. Used by
+/// the CUDA backend to outline kernels with non-scalar cells.
+bool flatten_cell(Generator& g, const Shape& cell);
+
+/// Infers the shapes of all top-level assigned variables of a
+/// specialised body, given the parameter shapes.
+std::map<std::string, Shape> infer_shapes(const std::vector<StmtPtr>& body,
+                                          const std::map<std::string, Shape>& param_shapes);
+
+/// The full sac2c-style pipeline: modarray conversion, WLF to fixpoint,
+/// %-elimination, DCE. With `enable_wlf` false only simplification and
+/// DCE run (the paper's "no WLF" baseline for the ablation bench).
+OptStats optimize(std::vector<StmtPtr>& body, const std::map<std::string, Shape>& param_shapes,
+                  bool enable_wlf);
+
+}  // namespace saclo::sac

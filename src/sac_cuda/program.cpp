@@ -1,0 +1,669 @@
+#include "sac_cuda/program.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/fmt.hpp"
+#include "sac/builtins.hpp"
+#include "sac/interp.hpp"
+#include "sac/specialize.hpp"
+
+namespace saclo::sac_cuda {
+
+using sac::Expr;
+using sac::ExprKind;
+using sac::Generator;
+using sac::Stmt;
+using sac::StmtKind;
+using sac::StmtPtr;
+using sac::Value;
+using sac::WithOpKind;
+
+namespace {
+
+void visit_all_exprs(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  for (const sac::ExprPtr& a : e.args) {
+    if (a) visit_all_exprs(*a, fn);
+  }
+  for (const Generator& g : e.generators) {
+    if (g.lower) visit_all_exprs(*g.lower, fn);
+    if (g.upper) visit_all_exprs(*g.upper, fn);
+    if (g.step) visit_all_exprs(*g.step, fn);
+    if (g.width) visit_all_exprs(*g.width, fn);
+    for (const StmtPtr& s : g.body) {
+      if (s->value) visit_all_exprs(*s->value, fn);
+      for (const sac::ExprPtr& i : s->indices) {
+        if (i) visit_all_exprs(*i, fn);
+      }
+    }
+    if (g.value) visit_all_exprs(*g.value, fn);
+  }
+  if (e.op.shape_or_target) visit_all_exprs(*e.op.shape_or_target, fn);
+  if (e.op.default_value) visit_all_exprs(*e.op.default_value, fn);
+}
+
+void collect_reads(const Stmt& s, std::set<std::string>& reads) {
+  auto on_expr = [&](const Expr& x) {
+    if (x.kind == ExprKind::Var) reads.insert(x.name);
+  };
+  if (s.value) visit_all_exprs(*s.value, on_expr);
+  for (const sac::ExprPtr& i : s.indices) {
+    if (i) visit_all_exprs(*i, on_expr);
+  }
+  if (s.for_init) visit_all_exprs(*s.for_init, on_expr);
+  if (s.for_cond) visit_all_exprs(*s.for_cond, on_expr);
+  if (s.for_step) visit_all_exprs(*s.for_step, on_expr);
+  for (const StmtPtr& c : s.body) collect_reads(*c, reads);
+  for (const StmtPtr& c : s.else_body) collect_reads(*c, reads);
+  if (s.kind == StmtKind::ElemAssign) reads.insert(s.target);
+}
+
+// --- static operation estimates ----------------------------------------------------
+
+std::optional<double> ops_of_expr(const Expr& e);
+
+std::optional<double> ops_of_block(const std::vector<StmtPtr>& body);
+
+std::optional<double> ops_of_with(const Expr& e) {
+  double total = 2;  // result allocation bookkeeping
+  for (const Generator& g : e.generators) {
+    auto cg = sac::concrete_generator(g);
+    if (!cg) return std::nullopt;
+    auto body_ops = ops_of_block(g.body);
+    auto value_ops = ops_of_expr(*g.value);
+    if (!body_ops || !value_ops) return std::nullopt;
+    total += static_cast<double>(cg->points()) *
+             (*body_ops + *value_ops + 2.0 * static_cast<double>(cg->lb.size()));
+  }
+  return total;
+}
+
+std::optional<double> ops_of_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::BoolLit:
+      return 0.0;
+    case ExprKind::Var:
+      return 0.5;
+    case ExprKind::ArrayLit: {
+      double total = static_cast<double>(e.args.size());
+      for (const sac::ExprPtr& a : e.args) {
+        auto x = ops_of_expr(*a);
+        if (!x) return std::nullopt;
+        total += *x;
+      }
+      return total;
+    }
+    case ExprKind::BinOp:
+    case ExprKind::UnOp: {
+      double total = 1.0;
+      for (const sac::ExprPtr& a : e.args) {
+        auto x = ops_of_expr(*a);
+        if (!x) return std::nullopt;
+        total += *x;
+      }
+      return total;
+    }
+    case ExprKind::Call: {
+      double total = e.name == "MV" ? 8.0 : 2.0;
+      for (const sac::ExprPtr& a : e.args) {
+        auto x = ops_of_expr(*a);
+        if (!x) return std::nullopt;
+        total += *x;
+      }
+      return total;
+    }
+    case ExprKind::Select: {
+      auto idx = ops_of_expr(*e.args[1]);
+      auto arr = ops_of_expr(*e.args[0]);
+      if (!idx || !arr) return std::nullopt;
+      return 2.0 + *idx + *arr;
+    }
+    case ExprKind::With:
+      return ops_of_with(e);
+  }
+  return std::nullopt;
+}
+
+/// Trip count of `for (v = init; v < K; v += s)` with literal pieces.
+std::optional<double> trip_count(const Stmt& s) {
+  auto init = sac::literal_value(*s.for_init);
+  auto step = sac::literal_value(*s.for_step);
+  if (!init || !step || !init->is_int() || !step->is_int()) return std::nullopt;
+  const Expr& cond = *s.for_cond;
+  if (cond.kind != ExprKind::BinOp) return std::nullopt;
+  if (cond.args[0]->kind != ExprKind::Var || cond.args[0]->name != s.target) return std::nullopt;
+  auto bound = sac::literal_value(*cond.args[1]);
+  if (!bound || !bound->is_int()) return std::nullopt;
+  const std::int64_t i0 = init->as_int();
+  const std::int64_t st = step->as_int();
+  const std::int64_t b = bound->as_int();
+  if (st <= 0) return std::nullopt;
+  std::int64_t end = b;
+  if (cond.bin_op == sac::BinOpKind::Le) {
+    end = b + 1;
+  } else if (cond.bin_op != sac::BinOpKind::Lt) {
+    return std::nullopt;
+  }
+  if (end <= i0) return 0.0;
+  return static_cast<double>((end - i0 + st - 1) / st);
+}
+
+std::optional<double> ops_of_stmt(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::Assign: {
+      if (!s.value) return 1.0;
+      auto v = ops_of_expr(*s.value);
+      if (!v) return std::nullopt;
+      return 1.0 + *v;
+    }
+    case StmtKind::ElemAssign: {
+      double total = 2.0;
+      for (const sac::ExprPtr& i : s.indices) {
+        auto x = ops_of_expr(*i);
+        if (!x) return std::nullopt;
+        total += *x;
+      }
+      auto v = ops_of_expr(*s.value);
+      if (!v) return std::nullopt;
+      return total + *v;
+    }
+    case StmtKind::For: {
+      auto trips = trip_count(s);
+      auto body = ops_of_block(s.body);
+      if (!trips || !body) return std::nullopt;
+      return *trips * (*body + 4.0) + 2.0;
+    }
+    case StmtKind::If: {
+      auto c = ops_of_expr(*s.value);
+      auto a = ops_of_block(s.body);
+      auto b = ops_of_block(s.else_body);
+      if (!c || !a || !b) return std::nullopt;
+      return *c + std::max(*a, *b) + 1.0;
+    }
+    case StmtKind::Return: {
+      auto v = ops_of_expr(*s.value);
+      if (!v) return std::nullopt;
+      return *v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> ops_of_block(const std::vector<StmtPtr>& body) {
+  double total = 0.0;
+  for (const StmtPtr& s : body) {
+    auto x = ops_of_stmt(*s);
+    if (!x) return std::nullopt;
+    total += *x;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::optional<double> estimate_ops(const std::vector<StmtPtr>& body) {
+  return ops_of_block(body);
+}
+
+// --- planning -------------------------------------------------------------------------
+
+namespace {
+
+/// Address stride (in elements) between warp-adjacent threads (t0+1)
+/// for every global access of the flattened generator; worst case when
+/// an index is not affine (boundary generators keep `% extent`).
+std::int64_t warp_stride_of(const Generator& g, const sac::affine::Lattice& lat,
+                            const std::map<std::string, Shape>& shapes, const Shape& full,
+                            std::int64_t step0) {
+  sac::affine::AffineEval ae(lat);
+  ae.bind_block(g.body);
+  std::int64_t worst = 1;
+  auto on_expr = [&](const Expr& x) {
+    if (x.kind != ExprKind::Select || x.args[0]->kind != ExprKind::Var) return;
+    auto it = shapes.find(x.args[0]->name);
+    if (it == shapes.end()) return;
+    const Index strides = it->second.strides();
+    auto lin = ae.eval_vector(*x.args[1]);
+    if (!lin || lin->size() != strides.size()) {
+      worst = std::max<std::int64_t>(worst, 1 << 20);  // unknown: assume uncoalesced
+      return;
+    }
+    std::int64_t delta = 0;
+    for (std::size_t d = 0; d < lin->size(); ++d) {
+      if (!(*lin)[d].coeff.empty()) delta += (*lin)[d].coeff[0] * strides[d];
+    }
+    worst = std::max<std::int64_t>(worst, std::llabs(delta));
+  };
+  for (const StmtPtr& s : g.body) {
+    if (s->value) visit_all_exprs(*s->value, on_expr);
+  }
+  visit_all_exprs(*g.value, on_expr);
+  // The output store moves step0 rows per adjacent thread.
+  if (!full.dims().empty()) {
+    worst = std::max<std::int64_t>(worst, std::llabs(step0 * full.strides()[0]));
+  }
+  return worst;
+}
+
+std::optional<KernelGroup> plan_with(const std::string& target, const Expr& w,
+                                     const std::map<std::string, Shape>& shapes,
+                                     const std::map<std::string, sac::ElemType>& param_elems,
+                                     const std::string& kernel_prefix) {
+  if (w.op.kind == WithOpKind::Fold) return std::nullopt;  // reductions stay on the host
+  auto it = shapes.find(target);
+  if (it == shapes.end()) return std::nullopt;
+  const Shape full = it->second;
+
+  KernelGroup group;
+  group.target = target;
+  group.full = full;
+  if (w.op.kind == WithOpKind::Modarray) {
+    // modarray(T): a device copy of T followed by the generator
+    // kernels overwriting their regions.
+    if (w.op.shape_or_target->kind != ExprKind::Var) return std::nullopt;
+    group.is_modarray = true;
+    group.modarray_source = w.op.shape_or_target->name;
+    if (!shapes.count(group.modarray_source) ||
+        shapes.at(group.modarray_source) != full) {
+      return std::nullopt;
+    }
+    std::size_t gen_rank = full.rank();
+    if (!w.generators.empty()) {
+      auto lat = sac::lattice_of(w.generators[0]);
+      if (!lat) return std::nullopt;
+      gen_rank = lat->rank();
+    }
+    if (gen_rank > full.rank()) return std::nullopt;
+    group.frame = full.take(gen_rank);
+  } else {
+    auto shp = sac::literal_value(*w.op.shape_or_target);
+    if (!shp || !shp->is_int()) return std::nullopt;
+    group.frame = Shape(shp->as_index_vector());
+    if (full.rank() < group.frame.rank()) return std::nullopt;
+    if (full.take(group.frame.rank()) != group.frame) return std::nullopt;
+  }
+  const Shape frame = group.frame;
+  const Shape cell = full.drop(frame.rank());
+
+  if (w.op.default_value) {
+    auto dv = sac::literal_value(*w.op.default_value);
+    if (!dv || !dv->is_int() || dv->shape().rank() != 0) return std::nullopt;
+    group.default_value = dv->as_int();
+  }
+
+  std::int64_t covered = 0;
+  std::set<std::string> inputs;
+  for (std::size_t gi = 0; gi < w.generators.size(); ++gi) {
+    Generator g = sac::clone_generator(w.generators[gi]);
+    auto lat = sac::lattice_of(g);
+    if (!lat) return std::nullopt;
+    if (!sac::flatten_cell(g, cell)) return std::nullopt;
+
+    // Collect the result element expressions.
+    std::vector<const Expr*> results;
+    if (cell.rank() == 0) {
+      results.push_back(g.value.get());
+    } else {
+      for (const sac::ExprPtr& e : g.value->args) results.push_back(e.get());
+    }
+
+    // Index variable slot names.
+    std::vector<std::string> index_vars;
+    if (!lat->vector_name.empty()) return std::nullopt;  // vector-var gens should be rare here
+    index_vars = lat->scalar_names;
+
+    // Array dims of everything selectable.
+    std::map<std::string, Index> array_dims;
+    std::set<std::string> used;
+    auto scan = [&](const Expr& x) {
+      if (x.kind == ExprKind::Select && x.args[0]->kind == ExprKind::Var) {
+        used.insert(x.args[0]->name);
+      }
+    };
+    for (const StmtPtr& s : g.body) {
+      if (s->value) visit_all_exprs(*s->value, scan);
+    }
+    visit_all_exprs(*g.value, scan);
+    for (const std::string& name : used) {
+      auto sh = shapes.find(name);
+      if (sh == shapes.end()) continue;  // local scalar chains — tape resolves or fails
+      // Kernels are integer-only.
+      auto pe = param_elems.find(name);
+      if (pe != param_elems.end() && pe->second == sac::ElemType::Float) return std::nullopt;
+      array_dims[name] = sh->second.dims();
+    }
+
+    auto tape = compile_tape(g.body, results, index_vars, array_dims);
+    if (!tape) return std::nullopt;
+
+    GenKernel k;
+    k.name = cat(kernel_prefix, "_g", gi);
+    k.lattice = *lat;
+    k.cell = cell;
+    k.threads = 1;
+    std::int64_t pts = 1;
+    for (const auto& d : lat->dims) pts *= d.extent;
+    k.threads = pts;
+    covered += pts;
+    k.cost.flops_per_thread =
+        tape->arith_ops() + 2.0 * static_cast<double>(lat->dims.size());
+    k.cost.global_loads_per_thread = tape->array_loads();
+    k.cost.global_stores_per_thread = static_cast<double>(std::max<std::int64_t>(cell.elements(), 1));
+    k.cost.bytes_per_access = 4;  // the paper's frames are 32-bit ints
+    k.cost.warp_access_stride =
+        warp_stride_of(g, *lat, shapes, full, lat->dims.empty() ? 1 : lat->dims[0].step);
+    for (const std::string& a : tape->array_names) inputs.insert(a);
+    k.tape = std::move(*tape);
+    k.source = std::move(g);
+    group.kernels.push_back(std::move(k));
+  }
+  group.needs_default_fill = !group.is_modarray && covered < frame.elements();
+  if (group.is_modarray) inputs.insert(group.modarray_source);
+  group.inputs.assign(inputs.begin(), inputs.end());
+  return group;
+}
+
+}  // namespace
+
+CudaProgram CudaProgram::plan(const sac::CompiledFunction& fn) {
+  CudaProgram prog;
+  prog.fn_.fn = sac::FunDef{fn.fn.name, fn.fn.return_type, fn.fn.params,
+                            sac::clone_block(fn.fn.body), fn.fn.line};
+  prog.fn_.stats = fn.stats;
+  prog.fn_.param_shapes = fn.param_shapes;
+  prog.fn_.param_elems = fn.param_elems;
+  prog.shapes_ = sac::infer_shapes(prog.fn_.fn.body, prog.fn_.param_shapes);
+
+  const auto& body = prog.fn_.fn.body;
+  auto flush_host = [&](std::vector<std::size_t>& pending) {
+    if (pending.empty()) return;
+    Step step;
+    step.kind = Step::Kind::Host;
+    step.host.stmt_indices = pending;
+    std::set<std::string> reads;
+    for (std::size_t i : pending) collect_reads(*body[i], reads);
+    for (const std::string& r : reads) {
+      if (prog.shapes_.count(r) && prog.shapes_.at(r).rank() > 0) {
+        step.host.array_reads.push_back(r);
+      }
+    }
+    std::vector<StmtPtr> clones;
+    for (std::size_t i : pending) clones.push_back(body[i]->clone());
+    if (auto ops = ops_of_block(clones)) step.host.static_ops = *ops;
+    prog.steps_.push_back(std::move(step));
+    pending.clear();
+  };
+
+  std::vector<std::size_t> pending_host;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const Stmt& s = *body[i];
+    if (s.kind == StmtKind::Return) {
+      if (s.value->kind == ExprKind::Var) {
+        prog.return_var_ = s.value->name;
+      } else {
+        // Compute the return expression on the host into a pseudo-var.
+        pending_host.push_back(i);
+        prog.return_var_ = "__result";
+      }
+      continue;
+    }
+    if (s.kind == StmtKind::Assign && s.value && s.value->kind == ExprKind::With) {
+      auto group = plan_with(s.target, *s.value, prog.shapes_, prog.fn_.param_elems,
+                             cat(prog.fn_.fn.name, "_w", i));
+      if (group) {
+        flush_host(pending_host);
+        Step step;
+        step.kind = Step::Kind::Kernels;
+        step.group = std::move(*group);
+        prog.steps_.push_back(std::move(step));
+        continue;
+      }
+    }
+    pending_host.push_back(i);
+  }
+  flush_host(pending_host);
+  if (prog.return_var_.empty()) {
+    throw BackendError(cat("function '", prog.fn_.fn.name, "' has no return statement"));
+  }
+  return prog;
+}
+
+int CudaProgram::kernel_count() const {
+  int n = 0;
+  for (const Step& s : steps_) {
+    if (s.kind == Step::Kind::Kernels) n += static_cast<int>(s.group.kernels.size());
+  }
+  return n;
+}
+
+int CudaProgram::host_block_count() const {
+  int n = 0;
+  for (const Step& s : steps_) {
+    if (s.kind == Step::Kind::Host) ++n;
+  }
+  return n;
+}
+
+// --- execution -------------------------------------------------------------------------
+
+sac::Value CudaProgram::run(gpu::cuda::Runtime& rt, const std::vector<sac::Value>& args,
+                            const gpu::HostSpec& host, gpu::Profiler& host_profiler,
+                            const RunOptions& options) {
+  const bool execute = options.execute;
+  if (args.size() != fn_.fn.params.size()) {
+    throw BackendError(cat("program '", fn_.fn.name, "' expects ", fn_.fn.params.size(),
+                           " arguments, got ", args.size()));
+  }
+  std::map<std::string, Value> host_env;
+  std::map<std::string, gpu::cuda::DeviceArray<std::int32_t>> device;
+  std::set<std::string> device_valid;
+  std::set<std::string> host_valid;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& name = fn_.fn.params[i].second;
+    host_env.emplace(name, args[i]);
+    host_valid.insert(name);
+  }
+
+  auto shape_of = [&](const std::string& name) -> const Shape& {
+    auto it = shapes_.find(name);
+    if (it == shapes_.end()) {
+      throw BackendError(cat("no shape recorded for '", name, "'"));
+    }
+    return it->second;
+  };
+
+  auto ensure_device = [&](const std::string& name) {
+    if (device_valid.count(name)) return;
+    const bool account = !options.silent_params.count(name);
+    const Shape& shape = shape_of(name);
+    auto it = device.find(name);
+    if (it == device.end()) {
+      it = device.emplace(name, rt.device_alloc<std::int32_t>(shape)).first;
+    }
+    if (execute) {
+      auto h = host_env.find(name);
+      if (h == host_env.end() || !h->second.is_int()) {
+        throw BackendError(cat("host value for '", name, "' missing before host2device"));
+      }
+      rt.host2device_frame(it->second, h->second.ints(), true, account);
+    } else {
+      rt.host2device_frame(it->second, IntArray(shape), false, account);
+    }
+    device_valid.insert(name);
+  };
+
+  auto ensure_host = [&](const std::string& name, bool account) {
+    if (host_valid.count(name)) return;
+    if (!device_valid.count(name)) {
+      if (!execute) return;  // timing-only run: nothing to materialise
+      throw BackendError(cat("value of '", name, "' is nowhere"));
+    }
+    auto it = device.find(name);
+    IntArray back = rt.device2host_frame(it->second, execute, account);
+    if (execute) host_env.insert_or_assign(name, Value(std::move(back)));
+    host_valid.insert(name);
+  };
+
+  sac::Module empty_module;
+  sac::Interp interp(empty_module);
+
+  for (std::size_t si = 0; si < steps_.size(); ++si) {
+    const Step& step = steps_[si];
+    if (step.kind == Step::Kind::Kernels) {
+      const KernelGroup& group = step.group;
+      for (const std::string& in : group.inputs) ensure_device(in);
+      auto dit = device.find(group.target);
+      if (dit == device.end()) {
+        dit = device.emplace(group.target, rt.device_alloc<std::int32_t>(group.full)).first;
+      }
+      auto out_span = dit->second.view();
+
+      if (group.is_modarray) {
+        // Device-to-device copy of the modarray target (coalesced).
+        auto src_span = device.at(group.modarray_source).view();
+        gpu::KernelLaunch copy;
+        copy.name = group.target + "_copy";
+        copy.threads = group.full.elements();
+        copy.cost.global_loads_per_thread = 1;
+        copy.cost.global_stores_per_thread = 1;
+        copy.cost.warp_access_stride = 1;
+        copy.body = [src_span, out_span](std::int64_t tid) {
+          out_span[static_cast<std::size_t>(tid)] = src_span[static_cast<std::size_t>(tid)];
+        };
+        rt.launch(copy, execute);
+      }
+      if (group.needs_default_fill) {
+        gpu::KernelLaunch fill;
+        fill.name = group.target + "_init";
+        fill.threads = group.full.elements();
+        fill.cost.global_stores_per_thread = 1;
+        fill.cost.warp_access_stride = 1;
+        const std::int32_t dv = static_cast<std::int32_t>(group.default_value);
+        fill.body = [out_span, dv](std::int64_t tid) {
+          out_span[static_cast<std::size_t>(tid)] = dv;
+        };
+        rt.launch(fill, execute);
+      }
+
+      for (const GenKernel& k : group.kernels) {
+        // Bind tape arrays in tape id order.
+        std::vector<TapeArray> arrays;
+        arrays.reserve(k.tape.array_names.size());
+        for (const std::string& an : k.tape.array_names) {
+          const Shape& shp = shape_of(an);
+          TapeArray ta;
+          ta.data = device.at(an).view();
+          ta.dims = shp.dims();
+          ta.strides = shp.strides();
+          arrays.push_back(std::move(ta));
+        }
+        const Tape* tape = &k.tape;
+        const auto lat = k.lattice;  // copy into closure
+        const Index full_strides = group.full.strides();
+        const std::size_t rank = lat.dims.size();
+        const int slot_count = k.tape.slot_count;
+
+        gpu::KernelLaunch launch;
+        launch.name = k.name;
+        launch.threads = k.threads;
+        launch.cost = k.cost;
+        launch.body = [tape, arrays, lat, full_strides, rank, slot_count,
+                       out_span](std::int64_t tid) {
+          thread_local std::vector<std::int64_t> slots;
+          if (slots.size() < static_cast<std::size_t>(slot_count)) slots.resize(slot_count);
+          // Decode the global id with dimension 0 fastest (the
+          // `iGID % n0` mapping of the generated code, Figure 11).
+          std::int64_t rest = tid;
+          std::int64_t out_base = 0;
+          for (std::size_t d = 0; d < rank; ++d) {
+            const auto& dim = lat.dims[d];
+            const std::int64_t t = rest % dim.extent;
+            rest /= dim.extent;
+            const std::int64_t iv = dim.lb + dim.step * t;
+            slots[static_cast<std::size_t>(tape->index_slots[d])] = iv;
+            out_base += iv * full_strides[d];
+          }
+          tape->run(slots, arrays);
+          for (std::size_t c = 0; c < tape->result_slots.size(); ++c) {
+            out_span[static_cast<std::size_t>(out_base + static_cast<std::int64_t>(c))] =
+                static_cast<std::int32_t>(slots[static_cast<std::size_t>(tape->result_slots[c])]);
+          }
+        };
+        rt.launch(launch, execute);
+      }
+      device_valid.insert(group.target);
+      host_valid.erase(group.target);
+      continue;
+    }
+
+    // Host step.
+    for (const std::string& r : step.host.array_reads) {
+      if (device_valid.count(r)) ensure_host(r, /*account=*/true);
+    }
+    double ops = step.host.static_ops;
+    if (execute) {
+      std::vector<StmtPtr> stmts;
+      for (std::size_t i : step.host.stmt_indices) stmts.push_back(fn_.fn.body[i]->clone());
+      const double before = interp.ops();
+      auto returned = interp.exec_stmts(stmts, host_env);
+      const double measured = interp.ops() - before;
+      measured_host_ops_[si] = measured;
+      if (ops < 0) ops = measured;
+      if (returned) host_env.insert_or_assign("__result", std::move(*returned));
+    } else if (ops < 0) {
+      auto m = measured_host_ops_.find(si);
+      if (m == measured_host_ops_.end()) {
+        throw BackendError("host step needs one executed run before timing-only runs");
+      }
+      ops = m->second;
+    }
+    // Mark everything written by the block (including writes nested in
+    // loops/conditionals) as host-resident; their device copies are
+    // stale now.
+    std::function<void(const Stmt&)> mark_writes = [&](const Stmt& s) {
+      if (!s.target.empty()) {
+        host_valid.insert(s.target);
+        device_valid.erase(s.target);
+      }
+      for (const StmtPtr& c : s.body) mark_writes(*c);
+      for (const StmtPtr& c : s.else_body) mark_writes(*c);
+    };
+    for (std::size_t i : step.host.stmt_indices) mark_writes(*fn_.fn.body[i]);
+    host_profiler.record(cat(fn_.fn.name, "_host"), gpu::OpKind::Host, 1, host.time_us(ops));
+  }
+
+  ensure_host(return_var_, /*account=*/!options.silent_result);
+  if (!execute) return Value();
+  auto it = host_env.find(return_var_);
+  if (it == host_env.end()) {
+    throw BackendError(cat("result variable '", return_var_, "' was never produced"));
+  }
+  return it->second;
+}
+
+// --- sequential lowering ---------------------------------------------------------------
+
+HostRunResult run_sequential(const sac::CompiledFunction& fn, const std::vector<sac::Value>& args,
+                             const gpu::HostSpec& host, bool execute) {
+  HostRunResult out;
+  auto ops = estimate_ops(fn.fn.body);
+  sac::Module mod;
+  mod.functions.push_back(
+      sac::FunDef{fn.fn.name, fn.fn.return_type, fn.fn.params, sac::clone_block(fn.fn.body), 0});
+  sac::Interp interp(mod);
+  if (execute) {
+    out.result = interp.call(fn.fn.name, args);
+    if (!ops) ops = interp.ops();
+  } else if (!ops) {
+    throw BackendError("sequential run needs statically countable ops for timing-only mode");
+  }
+  out.ops = *ops;
+  out.time_us = host.time_us(out.ops);
+  return out;
+}
+
+}  // namespace saclo::sac_cuda

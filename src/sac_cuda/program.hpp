@@ -1,0 +1,145 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gpu/profiler.hpp"
+#include "gpu/runtime_cuda.hpp"
+#include "sac/pipeline.hpp"
+#include "sac_cuda/tape.hpp"
+
+namespace saclo::sac_cuda {
+
+/// Raised when planning or running a CUDA program fails.
+class BackendError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// One outlined CUDA kernel: exactly one with-loop generator, as in
+/// Section VII of the paper ("we outline each WITH-loop generator as a
+/// kernel function").
+struct GenKernel {
+  std::string name;
+  sac::affine::Lattice lattice;  ///< iteration space (iv = lb + step*t)
+  Shape cell;
+  Tape tape;
+  gpu::KernelCost cost;
+  std::int64_t threads = 0;
+  /// The flattened generator (cell decomposed into scalar element
+  /// expressions) — kept for the CUDA-C text emitter.
+  sac::Generator source;
+};
+
+/// All kernels of one with-loop assignment, plus the data-transfer
+/// metadata around them.
+struct KernelGroup {
+  std::string target;
+  Shape frame;
+  Shape full;  ///< frame ++ cell
+  bool needs_default_fill = false;
+  std::int64_t default_value = 0;
+  /// modarray with-loops start from a device-to-device copy of the
+  /// target array (sac2c's scheme for partially covering generators).
+  bool is_modarray = false;
+  std::string modarray_source;
+  std::vector<std::string> inputs;  ///< free arrays the kernels read
+  std::vector<GenKernel> kernels;
+};
+
+/// Statements that stay on the host (for-loop tilers, scalar glue).
+/// Any device-resident array they read is copied back first — the
+/// `device2host` penalty of the paper's generic output tiler.
+struct HostBlock {
+  std::vector<std::size_t> stmt_indices;  ///< into the compiled body
+  std::vector<std::string> array_reads;
+  double static_ops = -1.0;  ///< < 0: measured on first executed run
+};
+
+struct Step {
+  enum class Kind { Kernels, Host };
+  Kind kind = Kind::Host;
+  KernelGroup group;
+  HostBlock host;
+};
+
+/// A mini-SaC function compiled to (simulated) CUDA: the identification
+/// of CUDA-with-loops, transfer insertion and kernel outlining of the
+/// paper's Section VII.
+class CudaProgram {
+ public:
+  /// Plans a compiled function (deep-copied). Ineligible with-loops
+  /// silently fall back to host steps (exactly what sac2c does with
+  /// for-loops).
+  static CudaProgram plan(const sac::CompiledFunction& fn);
+
+  const sac::CompiledFunction& compiled() const { return fn_; }
+  const std::vector<Step>& steps() const { return steps_; }
+  const std::map<std::string, Shape>& shapes() const { return shapes_; }
+  const std::string& return_var() const { return return_var_; }
+
+  /// Number of generator kernels (the paper's per-filter kernel counts).
+  int kernel_count() const;
+  /// Number of host-executed statement blocks.
+  int host_block_count() const;
+
+  /// The CUDA C translation unit a real backend would emit.
+  std::string cuda_source() const;
+
+  /// Per-invocation options. `silent_params` lists parameters whose
+  /// upload is not profiled (they are conceptually already
+  /// device-resident — handed over by an upstream program, as the
+  /// vertical filter receives the horizontal filter's result).
+  /// `silent_result` likewise suppresses accounting of the result
+  /// fetch (a downstream program consumes it on the device).
+  struct RunOptions {
+    bool execute = true;
+    std::set<std::string> silent_params;
+    bool silent_result = false;
+  };
+
+  /// Executes one invocation. With execute=true data really moves and
+  /// kernels really run (bit-exact against the interpreter); with
+  /// execute=false only simulated time is accrued (repetition of a
+  /// frame loop). Host-step times go to `host_profiler`; GPU times to
+  /// the runtime's device profiler.
+  sac::Value run(gpu::cuda::Runtime& rt, const std::vector<sac::Value>& args,
+                 const gpu::HostSpec& host, gpu::Profiler& host_profiler,
+                 const RunOptions& options);
+  sac::Value run(gpu::cuda::Runtime& rt, const std::vector<sac::Value>& args,
+                 const gpu::HostSpec& host, gpu::Profiler& host_profiler, bool execute) {
+    RunOptions o;
+    o.execute = execute;
+    return run(rt, args, host, host_profiler, o);
+  }
+
+ private:
+  sac::CompiledFunction fn_;
+  std::vector<Step> steps_;
+  std::string return_var_;
+  std::map<std::string, Shape> shapes_;
+  std::map<std::size_t, double> measured_host_ops_;  // step index -> ops
+};
+
+/// The sequential lowering: the whole compiled function runs on the
+/// host model (the paper's SAC-Seq baselines). With execute=true the
+/// result is computed by the reference interpreter; the simulated time
+/// always comes from the operation estimate.
+struct HostRunResult {
+  sac::Value result;  ///< meaningful only when executed
+  double ops = 0;
+  double time_us = 0;
+};
+HostRunResult run_sequential(const sac::CompiledFunction& fn,
+                             const std::vector<sac::Value>& args, const gpu::HostSpec& host,
+                             bool execute);
+
+/// Static abstract-operation estimate of a statement list (loop trip
+/// counts and generator sizes must be literal). nullopt when something
+/// is not statically countable.
+std::optional<double> estimate_ops(const std::vector<sac::StmtPtr>& body);
+
+}  // namespace saclo::sac_cuda

@@ -1,0 +1,385 @@
+#include "sac_cuda/tape.hpp"
+
+#include <algorithm>
+
+#include "core/fmt.hpp"
+#include "sac/specialize.hpp"
+#include "sac/wlf.hpp"
+
+namespace saclo::sac_cuda {
+
+using sac::BinOpKind;
+using sac::Expr;
+using sac::ExprKind;
+using sac::Stmt;
+using sac::StmtKind;
+using sac::StmtPtr;
+
+int Tape::arith_ops() const {
+  int n = 0;
+  for (const TapeInstr& i : code) {
+    switch (i.op) {
+      case TapeOp::Push:
+      case TapeOp::LoadSlot:
+      case TapeOp::StoreSlot:
+      case TapeOp::LoadArr:
+        break;
+      default:
+        ++n;
+    }
+  }
+  return n;
+}
+
+int Tape::array_loads() const {
+  int n = 0;
+  for (const TapeInstr& i : code) {
+    if (i.op == TapeOp::LoadArr) ++n;
+  }
+  return n;
+}
+
+void Tape::run(std::span<std::int64_t> slots, std::span<const TapeArray> arrays) const {
+  std::int64_t stack[64];
+  int sp = 0;
+  for (const TapeInstr& ins : code) {
+    switch (ins.op) {
+      case TapeOp::Push: stack[sp++] = ins.imm; break;
+      case TapeOp::LoadSlot: stack[sp++] = slots[static_cast<std::size_t>(ins.a)]; break;
+      case TapeOp::StoreSlot: slots[static_cast<std::size_t>(ins.a)] = stack[--sp]; break;
+      case TapeOp::Add: --sp; stack[sp - 1] += stack[sp]; break;
+      case TapeOp::Sub: --sp; stack[sp - 1] -= stack[sp]; break;
+      case TapeOp::Mul: --sp; stack[sp - 1] *= stack[sp]; break;
+      case TapeOp::Div:
+        --sp;
+        if (stack[sp] == 0) throw Error("tape: division by zero");
+        stack[sp - 1] /= stack[sp];
+        break;
+      case TapeOp::Mod:
+        --sp;
+        if (stack[sp] == 0) throw Error("tape: modulo by zero");
+        stack[sp - 1] %= stack[sp];
+        break;
+      case TapeOp::Neg: stack[sp - 1] = -stack[sp - 1]; break;
+      case TapeOp::Not: stack[sp - 1] = stack[sp - 1] == 0 ? 1 : 0; break;
+      case TapeOp::Abs: stack[sp - 1] = stack[sp - 1] < 0 ? -stack[sp - 1] : stack[sp - 1]; break;
+      case TapeOp::Min: --sp; stack[sp - 1] = std::min(stack[sp - 1], stack[sp]); break;
+      case TapeOp::Max: --sp; stack[sp - 1] = std::max(stack[sp - 1], stack[sp]); break;
+      case TapeOp::Lt: --sp; stack[sp - 1] = stack[sp - 1] < stack[sp]; break;
+      case TapeOp::Le: --sp; stack[sp - 1] = stack[sp - 1] <= stack[sp]; break;
+      case TapeOp::Gt: --sp; stack[sp - 1] = stack[sp - 1] > stack[sp]; break;
+      case TapeOp::Ge: --sp; stack[sp - 1] = stack[sp - 1] >= stack[sp]; break;
+      case TapeOp::Eq: --sp; stack[sp - 1] = stack[sp - 1] == stack[sp]; break;
+      case TapeOp::Ne: --sp; stack[sp - 1] = stack[sp - 1] != stack[sp]; break;
+      case TapeOp::And: --sp; stack[sp - 1] = (stack[sp - 1] != 0 && stack[sp] != 0); break;
+      case TapeOp::Or: --sp; stack[sp - 1] = (stack[sp - 1] != 0 || stack[sp] != 0); break;
+      case TapeOp::LoadArr: {
+        std::span<const std::int32_t> data;
+        const Index* dims;
+        const Index* strides;
+        if (ins.a < 0) {
+          const TapeImmediate& imm = imm_arrays[static_cast<std::size_t>(-ins.a - 1)];
+          data = imm.data;
+          dims = &imm.dims;
+          strides = &imm.strides;
+        } else {
+          const TapeArray& arr = arrays[static_cast<std::size_t>(ins.a)];
+          data = arr.data;
+          dims = &arr.dims;
+          strides = &arr.strides;
+        }
+        sp -= ins.b;
+        std::int64_t off = 0;
+        for (std::int32_t d = 0; d < ins.b; ++d) {
+          const std::int64_t iv = stack[sp + d];
+          if (iv < 0 || iv >= (*dims)[static_cast<std::size_t>(d)]) {
+            throw Error(cat("tape: index ", iv, " out of bounds for dim ", d, " extent ",
+                            (*dims)[static_cast<std::size_t>(d)]));
+          }
+          off += iv * (*strides)[static_cast<std::size_t>(d)];
+        }
+        stack[sp++] = data[static_cast<std::size_t>(off)];
+        break;
+      }
+    }
+  }
+}
+
+std::string Tape::to_string() const {
+  std::string out;
+  for (const TapeInstr& i : code) {
+    switch (i.op) {
+      case TapeOp::Push: out += cat("push ", i.imm, "\n"); break;
+      case TapeOp::LoadSlot: out += cat("load s", i.a, "\n"); break;
+      case TapeOp::StoreSlot: out += cat("store s", i.a, "\n"); break;
+      case TapeOp::LoadArr:
+        if (i.a < 0) {
+          out += cat("ldimm #", -i.a - 1, " rank=", i.b, "\n");
+        } else {
+          out += cat("ldarr ", array_names[static_cast<std::size_t>(i.a)], " rank=", i.b, "\n");
+        }
+        break;
+      default: out += cat("op#", static_cast<int>(i.op), "\n"); break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class TapeBuilder {
+ public:
+  explicit TapeBuilder(const std::map<std::string, Index>& array_dims)
+      : array_dims_(&array_dims) {}
+
+  std::optional<Tape> build(const std::vector<StmtPtr>& body,
+                            const std::vector<const Expr*>& results,
+                            const std::vector<std::string>& index_vars) {
+    for (const std::string& iv : index_vars) {
+      tape_.index_slots.push_back(slot(iv));
+    }
+    for (const StmtPtr& s : body) {
+      if (s->kind != StmtKind::Assign || !s->value) return std::nullopt;
+      // Inner fold with-loops (reductions nested inside a kernel body,
+      // e.g. the dot product of a matmul cell) compile by full
+      // unrolling over their — necessarily small — lattice.
+      if (s->value->kind == ExprKind::With) {
+        if (!compile_inner_fold(*s->value)) return std::nullopt;
+        tape_.code.push_back({TapeOp::StoreSlot, slot(s->target), 0, 0});
+        continue;
+      }
+      // Vector-valued bindings must have been expanded away by the
+      // simplifier; anything not scalar-compilable fails here.
+      if (!compile_expr(*s->value)) return std::nullopt;
+      tape_.code.push_back({TapeOp::StoreSlot, slot(s->target), 0, 0});
+    }
+    for (const Expr* r : results) {
+      if (!compile_expr(*r)) return std::nullopt;
+      const int rs = fresh_slot();
+      tape_.result_slots.push_back(rs);
+      tape_.code.push_back({TapeOp::StoreSlot, rs, 0, 0});
+    }
+    tape_.slot_count = next_slot_;
+    return std::move(tape_);
+  }
+
+ private:
+  int slot(const std::string& name) {
+    auto it = slots_.find(name);
+    if (it != slots_.end()) return it->second;
+    const int s = next_slot_++;
+    slots_.emplace(name, s);
+    return s;
+  }
+  int fresh_slot() { return next_slot_++; }
+
+  /// Unrolls `with { gens } : fold(op, neutral)` into straight-line
+  /// tape code: neutral on the stack, then one combine per lattice
+  /// point. Returns false (-> host fallback) for non-fold operations,
+  /// symbolic bounds, non-scalar cells, or lattices above the unroll
+  /// cap.
+  bool compile_inner_fold(const Expr& w) {
+    if (w.op.kind != sac::WithOpKind::Fold) return false;
+    TapeOp combine;
+    if (w.op.fold_op == "+") {
+      combine = TapeOp::Add;
+    } else if (w.op.fold_op == "*") {
+      combine = TapeOp::Mul;
+    } else if (w.op.fold_op == "min") {
+      combine = TapeOp::Min;
+    } else if (w.op.fold_op == "max") {
+      combine = TapeOp::Max;
+    } else {
+      return false;
+    }
+    if (!compile_expr(*w.op.shape_or_target)) return false;  // the neutral
+    constexpr std::int64_t kUnrollCap = 1024;
+    std::int64_t total = 0;
+    for (const sac::Generator& g : w.generators) {
+      auto cg = sac::concrete_generator(g);
+      if (!cg) return false;
+      total += cg->points();
+      if (total > kUnrollCap) return false;
+      // Lattice point enumeration.
+      bool ok = true;
+      Shape box;
+      {
+        Index dims;
+        for (std::size_t d = 0; d < cg->lb.size(); ++d) {
+          const std::int64_t span = cg->ub[d] - cg->lb[d];
+          dims.push_back(span > 0 ? (span + cg->step[d] - 1) / cg->step[d] : 0);
+        }
+        box = Shape(dims);
+      }
+      for_each_index(box, [&](const Index& t) {
+        if (!ok) return;
+        Index iv(t.size());
+        for (std::size_t d = 0; d < t.size(); ++d) iv[d] = cg->lb[d] + cg->step[d] * t[d];
+        // Width > 1 lattices are not unrolled (concrete_generator
+        // normalises width==step; anything else fails earlier).
+        for (std::size_t d = 0; d < t.size(); ++d) {
+          if (cg->width[d] != 1) ok = false;
+        }
+        if (!ok) return;
+        // Bind the generator variables for this point.
+        if (g.vector_var) {
+          ok = false;  // vector vars are destructured by the simplifier
+          return;
+        }
+        for (std::size_t d = 0; d < g.vars.size(); ++d) {
+          tape_.code.push_back({TapeOp::Push, 0, 0, iv[d]});
+          tape_.code.push_back({TapeOp::StoreSlot, slot(g.vars[d]), 0, 0});
+        }
+        for (const StmtPtr& bs : g.body) {
+          if (bs->kind != StmtKind::Assign || !bs->value || !compile_expr(*bs->value)) {
+            ok = false;
+            return;
+          }
+          tape_.code.push_back({TapeOp::StoreSlot, slot(bs->target), 0, 0});
+        }
+        if (!compile_expr(*g.value)) {
+          ok = false;
+          return;
+        }
+        tape_.code.push_back({combine, 0, 0, 0});
+      });
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  bool compile_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::BoolLit:
+        tape_.code.push_back({TapeOp::Push, 0, 0, e.int_val});
+        return true;
+      case ExprKind::FloatLit:
+        return false;  // int-only kernels (the paper's programs are integral)
+      case ExprKind::Var: {
+        auto it = slots_.find(e.name);
+        if (it == slots_.end()) return false;  // array var or unknown
+        tape_.code.push_back({TapeOp::LoadSlot, it->second, 0, 0});
+        return true;
+      }
+      case ExprKind::BinOp: {
+        if (e.bin_op == BinOpKind::Concat) return false;
+        if (!compile_expr(*e.args[0]) || !compile_expr(*e.args[1])) return false;
+        TapeOp op;
+        switch (e.bin_op) {
+          case BinOpKind::Add: op = TapeOp::Add; break;
+          case BinOpKind::Sub: op = TapeOp::Sub; break;
+          case BinOpKind::Mul: op = TapeOp::Mul; break;
+          case BinOpKind::Div: op = TapeOp::Div; break;
+          case BinOpKind::Mod: op = TapeOp::Mod; break;
+          case BinOpKind::Lt: op = TapeOp::Lt; break;
+          case BinOpKind::Le: op = TapeOp::Le; break;
+          case BinOpKind::Gt: op = TapeOp::Gt; break;
+          case BinOpKind::Ge: op = TapeOp::Ge; break;
+          case BinOpKind::Eq: op = TapeOp::Eq; break;
+          case BinOpKind::Ne: op = TapeOp::Ne; break;
+          case BinOpKind::And: op = TapeOp::And; break;
+          case BinOpKind::Or: op = TapeOp::Or; break;
+          default: return false;
+        }
+        tape_.code.push_back({op, 0, 0, 0});
+        return true;
+      }
+      case ExprKind::UnOp: {
+        if (!compile_expr(*e.args[0])) return false;
+        tape_.code.push_back({e.un_op == sac::UnOpKind::Neg ? TapeOp::Neg : TapeOp::Not, 0, 0, 0});
+        return true;
+      }
+      case ExprKind::Call: {
+        if (e.name == "min" || e.name == "max") {
+          if (e.args.size() != 2) return false;
+          if (!compile_expr(*e.args[0]) || !compile_expr(*e.args[1])) return false;
+          tape_.code.push_back({e.name == "min" ? TapeOp::Min : TapeOp::Max, 0, 0, 0});
+          return true;
+        }
+        if (e.name == "abs" && e.args.size() == 1) {
+          if (!compile_expr(*e.args[0])) return false;
+          tape_.code.push_back({TapeOp::Abs, 0, 0, 0});
+          return true;
+        }
+        return false;
+      }
+      case ExprKind::Select: {
+        // `arrayvar[[i0, i1, ...]]` (full-rank selection) or a
+        // selection from a literal constant array (baked-in
+        // coefficient tables -> immediate arrays).
+        const Expr& arr = *e.args[0];
+        const Expr& idx = *e.args[1];
+        std::int32_t id;
+        std::size_t rank;
+        if (arr.kind == ExprKind::Var) {
+          auto dims = array_dims_->find(arr.name);
+          if (dims == array_dims_->end()) return false;
+          id = array_id(arr.name);
+          rank = dims->second.size();
+        } else if (auto lit = sac::literal_value(arr); lit && lit->is_int()) {
+          id = immediate_id(*lit);
+          rank = lit->shape().rank();
+        } else {
+          return false;
+        }
+        std::vector<const Expr*> comps;
+        if (idx.kind == ExprKind::ArrayLit) {
+          for (const sac::ExprPtr& c : idx.args) comps.push_back(c.get());
+        } else {
+          comps.push_back(&idx);  // scalar index into a rank-1 array
+        }
+        if (comps.size() != rank) return false;
+        for (const Expr* c : comps) {
+          if (!compile_expr(*c)) return false;
+        }
+        tape_.code.push_back({TapeOp::LoadArr, id, static_cast<std::int32_t>(comps.size()), 0});
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  std::int32_t immediate_id(const sac::Value& v) {
+    TapeImmediate imm;
+    imm.dims = v.shape().dims();
+    imm.strides = v.shape().strides();
+    imm.data.resize(static_cast<std::size_t>(v.ints().elements()));
+    for (std::int64_t i = 0; i < v.ints().elements(); ++i) {
+      imm.data[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(v.ints()[i]);
+    }
+    for (std::size_t k = 0; k < tape_.imm_arrays.size(); ++k) {
+      if (tape_.imm_arrays[k].data == imm.data && tape_.imm_arrays[k].dims == imm.dims) {
+        return -static_cast<std::int32_t>(k) - 1;
+      }
+    }
+    tape_.imm_arrays.push_back(std::move(imm));
+    return -static_cast<std::int32_t>(tape_.imm_arrays.size());
+  }
+
+  std::int32_t array_id(const std::string& name) {
+    for (std::size_t i = 0; i < tape_.array_names.size(); ++i) {
+      if (tape_.array_names[i] == name) return static_cast<std::int32_t>(i);
+    }
+    tape_.array_names.push_back(name);
+    return static_cast<std::int32_t>(tape_.array_names.size() - 1);
+  }
+
+  const std::map<std::string, Index>* array_dims_;
+  Tape tape_;
+  std::map<std::string, int> slots_;
+  int next_slot_ = 0;
+};
+
+}  // namespace
+
+std::optional<Tape> compile_tape(const std::vector<StmtPtr>& body,
+                                 const std::vector<const Expr*>& results,
+                                 const std::vector<std::string>& index_vars,
+                                 const std::map<std::string, Index>& array_dims) {
+  TapeBuilder builder(array_dims);
+  return builder.build(body, results, index_vars);
+}
+
+}  // namespace saclo::sac_cuda

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ndarray.hpp"
+#include "sac/ast.hpp"
+
+namespace saclo::sac_cuda {
+
+/// A compiled, allocation-free evaluator for straight-line scalar
+/// generator bodies — the simulated analogue of the PTX a real CUDA
+/// backend would produce. Kernel bodies run once per thread, so they
+/// must not walk the AST or touch hash maps; the tape is a flat
+/// postfix program over an int64 stack.
+enum class TapeOp : std::uint8_t {
+  Push,      ///< push imm
+  LoadSlot,  ///< push slots[a]
+  StoreSlot, ///< slots[a] = pop
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Neg,
+  Not,
+  Abs,
+  Min,
+  Max,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And,
+  Or,
+  LoadArr  ///< pop b indices, push arrays[a] element (bounds-checked);
+           ///< negative a indexes the tape's immediate (constant)
+           ///< arrays: imm_arrays[-a - 1] — the analogue of CUDA
+           ///< __constant__ memory for literal coefficient tables
+};
+
+struct TapeInstr {
+  TapeOp op;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int64_t imm = 0;
+};
+
+/// A bound input array: element data plus row-major strides. Device
+/// frames are 32-bit (the paper's pixel format); the tape widens on
+/// load.
+struct TapeArray {
+  std::span<const std::int32_t> data;
+  Index dims;
+  Index strides;
+};
+
+/// A constant array baked into the tape (literal coefficient tables).
+struct TapeImmediate {
+  std::vector<std::int32_t> data;
+  Index dims;
+  Index strides;
+};
+
+/// A compiled kernel body: the statements execute first, then each
+/// result expression's value is stored into its result slot. One
+/// execution per thread; the caller pre-fills the index-variable slots
+/// and reads the result slots afterwards.
+class Tape {
+ public:
+  std::vector<TapeInstr> code;
+  int slot_count = 0;
+  std::vector<std::string> array_names;   ///< array id -> variable name
+  std::vector<TapeImmediate> imm_arrays;  ///< constant arrays (negative LoadArr ids)
+  std::vector<int> index_slots;           ///< slots of the index variables, in order
+  std::vector<int> result_slots;          ///< slots holding the cell element values
+
+  /// Counts for the kernel cost descriptor.
+  int arith_ops() const;
+  int array_loads() const;
+
+  /// Executes the whole tape once. `slots` must have slot_count
+  /// entries with the index slots pre-filled.
+  void run(std::span<std::int64_t> slots, std::span<const TapeArray> arrays) const;
+
+  std::string to_string() const;
+};
+
+/// Compiles straight-line statements plus result expressions into a
+/// tape. Returns nullopt when the body is not tape-able (vector locals
+/// that survived simplification, nested with-loops, float arithmetic,
+/// control flow, ...), in which case the caller falls back to host
+/// execution.
+std::optional<Tape> compile_tape(const std::vector<sac::StmtPtr>& body,
+                                 const std::vector<const sac::Expr*>& results,
+                                 const std::vector<std::string>& index_vars,
+                                 const std::map<std::string, Index>& array_dims);
+
+}  // namespace saclo::sac_cuda

@@ -1,0 +1,214 @@
+#include "apps/downscaler/pipelines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "apps/downscaler/frames.hpp"
+#include "sac/interp.hpp"
+#include "sac/parser.hpp"
+#include "sac/typecheck.hpp"
+
+namespace saclo::apps {
+namespace {
+
+TEST(ConfigTest, PaperGeometry) {
+  const DownscalerConfig cfg = DownscalerConfig::paper();
+  EXPECT_EQ(cfg.mid_width(), 720);
+  EXPECT_EQ(cfg.out_height(), 480);
+  EXPECT_EQ(cfg.h_repetition(), (Shape{1080, 240}));
+  EXPECT_EQ(cfg.v_repetition(), (Shape{120, 720}));
+}
+
+TEST(ConfigTest, ValidationCatchesBadGeometry) {
+  DownscalerConfig cfg = DownscalerConfig::tiny();
+  cfg.width = 33;  // not divisible by paving 8
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = DownscalerConfig::tiny();
+  cfg.h.window_starts = {7};  // 7 + 6 > 11
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(SacSourceTest, GeneratedModuleParsesAndTypechecks) {
+  const std::string src = downscaler_sac_source(DownscalerConfig::paper());
+  const sac::Module m = sac::parse(src);
+  EXPECT_NO_THROW(sac::typecheck(m));
+  EXPECT_NE(m.find("hfilter_nongeneric"), nullptr);
+  EXPECT_NE(m.find("vfilter_generic"), nullptr);
+  EXPECT_NE(m.find("downscale_nongeneric"), nullptr);
+}
+
+TEST(FramesTest, SyntheticChannelsAre8Bit) {
+  const IntArray c = synthetic_channel(Shape{18, 32}, 4, 1);
+  for (std::int64_t i = 0; i < c.elements(); ++i) {
+    EXPECT_GE(c[i], 0);
+    EXPECT_LE(c[i], 255);
+  }
+  // Different frames / channels differ.
+  EXPECT_NE(c, synthetic_channel(Shape{18, 32}, 5, 1));
+  EXPECT_NE(c, synthetic_channel(Shape{18, 32}, 4, 2));
+}
+
+struct TinyFixture {
+  DownscalerConfig cfg = DownscalerConfig::tiny();
+  SacDownscaler::Options ng_opts;
+  SacDownscaler::Options g_opts;
+  TinyFixture() {
+    ng_opts.workers = 1;
+    g_opts.generic = true;
+    g_opts.workers = 1;
+  }
+};
+
+TEST(CrossSystemTest, SacCudaSeqAndGaspardAgree) {
+  // The central correctness claim: all five implementations compute the
+  // same frames.
+  TinyFixture f;
+  SacDownscaler ng(f.cfg, f.ng_opts);
+  SacDownscaler g(f.cfg, f.g_opts);
+
+  auto cuda_ng = ng.run_cuda_chain(1, 1, 1);
+  auto cuda_g = g.run_cuda_chain(1, 1, 1);
+  auto seq_ng = ng.run_seq(1, 1);
+  auto seq_g = g.run_seq(1, 1);
+
+  GaspardDownscaler::Options gopts;
+  gopts.rgb = false;
+  gopts.workers = 1;
+  GaspardDownscaler gd(f.cfg, gopts);
+  auto gaspard = gd.run(1, 1);
+
+  ASSERT_EQ(cuda_ng.last_output.shape(), f.cfg.out_shape());
+  EXPECT_EQ(cuda_ng.last_output, cuda_g.last_output);
+  EXPECT_EQ(cuda_ng.last_output, seq_ng.last_output);
+  EXPECT_EQ(cuda_ng.last_output, seq_g.last_output);
+  EXPECT_EQ(cuda_ng.last_output, gaspard.last_output);
+}
+
+TEST(SacPipelineTest, ChainTransferCountsMatchPaperScheme) {
+  TinyFixture f;
+  SacDownscaler ng(f.cfg, f.ng_opts);
+  auto r = ng.run_cuda_chain(5, 3, 1);
+  // Per frame and channel: exactly one frame upload (attributed to H)
+  // and one result download (attributed to V) — the paper's 900 + 900
+  // over 300 RGB frames.
+  EXPECT_EQ(r.h.h2d_calls, 15);
+  EXPECT_EQ(r.h.d2h_calls, 0);
+  EXPECT_EQ(r.v.h2d_calls, 0);
+  EXPECT_EQ(r.v.d2h_calls, 15);
+  // Kernel launches: kernels-per-filter x 15.
+  EXPECT_EQ(r.h.kernel_launches, ng.h_kernels() * 15);
+  EXPECT_EQ(r.v.kernel_launches, ng.v_kernels() * 15);
+  EXPECT_NE(r.nvprof_table.find("H. Filter ("), std::string::npos);
+  EXPECT_NE(r.nvprof_table.find("memcpyHtoDasync"), std::string::npos);
+}
+
+TEST(SacPipelineTest, KernelCountsShowWlfSplitting) {
+  TinyFixture f;
+  SacDownscaler ng(f.cfg, f.ng_opts);
+  // Non-generic H: the 3 output-tile generators plus boundary splits.
+  EXPECT_GE(ng.h_kernels(), 3);
+  // V: 4 output-tile generators plus splits.
+  EXPECT_GE(ng.v_kernels(), 4);
+  // And more kernels than GASPARD2's single kernel per filter — the
+  // paper's Section VIII-C observation.
+  EXPECT_GT(ng.h_kernels(), 1);
+  EXPECT_GT(ng.v_kernels(), 1);
+}
+
+TEST(SacPipelineTest, GenericHasHostBlocksAndNonGenericDoesNot) {
+  TinyFixture f;
+  SacDownscaler ng(f.cfg, f.ng_opts);
+  SacDownscaler g(f.cfg, f.g_opts);
+  EXPECT_EQ(ng.h_program().host_block_count(), 0);
+  EXPECT_EQ(ng.v_program().host_block_count(), 0);
+  EXPECT_GE(g.h_program().host_block_count(), 1);
+  EXPECT_GE(g.v_program().host_block_count(), 1);
+}
+
+TEST(SacPipelineTest, GenericSlowerThanNonGenericAtScale) {
+  // Figure 9's headline GPU effect needs a realistic frame size (at
+  // tiny scale launch overhead dominates and the ordering flips).
+  DownscalerConfig cfg = DownscalerConfig::small();
+  SacDownscaler::Options ng_opts;
+  SacDownscaler::Options g_opts;
+  g_opts.generic = true;
+  SacDownscaler ng(cfg, ng_opts);
+  SacDownscaler g(cfg, g_opts);
+  auto rng = ng.run_cuda_filter(true, 10, 1);
+  auto rg = g.run_cuda_filter(true, 10, 1);
+  EXPECT_GT(rg.ops.total_us(), rng.ops.total_us());
+  // The generic variant pays host tiler time; the non-generic none.
+  EXPECT_GT(rg.ops.host_us, 0.0);
+  EXPECT_DOUBLE_EQ(rng.ops.host_us, 0.0);
+  // Results agree.
+  EXPECT_EQ(rng.last_output, rg.last_output);
+}
+
+TEST(SacPipelineTest, SeqTimesInsensitiveToGenericity) {
+  TinyFixture f;
+  SacDownscaler ng(f.cfg, f.ng_opts);
+  SacDownscaler g(f.cfg, f.g_opts);
+  auto sng = ng.run_seq(300, 0);
+  auto sg = g.run_seq(300, 0);
+  const double rel =
+      std::abs(sng.total_us() - sg.total_us()) / std::max(sng.total_us(), sg.total_us());
+  EXPECT_LT(rel, 0.5);  // "do not vary significantly" (Figure 9)
+}
+
+TEST(SacPipelineTest, CudaMuchFasterThanSeqAtScale) {
+  DownscalerConfig cfg = DownscalerConfig::small();
+  SacDownscaler::Options opts;
+  SacDownscaler ng(cfg, opts);
+  auto cuda = ng.run_cuda_filter(true, 300, 1);
+  auto seq = ng.run_seq(300, 0);
+  EXPECT_GT(seq.h_us / cuda.ops.total_us(), 2.0);
+}
+
+TEST(GaspardPipelineTest, TableOneCountsAtTinyScale) {
+  TinyFixture f;
+  GaspardDownscaler::Options gopts;
+  GaspardDownscaler gd(f.cfg, gopts);
+  auto r = gd.run(10, 1);
+  EXPECT_EQ(r.h.kernel_launches, 30);  // 3 channels x 10 frames
+  EXPECT_EQ(r.v.kernel_launches, 30);
+  EXPECT_EQ(r.h.h2d_calls, 30);
+  EXPECT_EQ(r.v.d2h_calls, 30);
+  EXPECT_NE(r.nvprof_table.find("H. Filter (3 kernels)"), std::string::npos);
+  EXPECT_NE(r.nvprof_table.find("V. Filter (3 kernels)"), std::string::npos);
+}
+
+TEST(WlfAblationTest, DisablingWlfAddsKernelGroupsAndTime) {
+  DownscalerConfig cfg = DownscalerConfig::small();
+  SacDownscaler::Options wlf_on;
+  SacDownscaler::Options wlf_off;
+  wlf_off.enable_wlf = false;
+  SacDownscaler on(cfg, wlf_on);
+  SacDownscaler off(cfg, wlf_off);
+  // Without WLF each pipeline stage keeps its own with-loop.
+  EXPECT_GT(off.h_kernels(), 0);
+  auto r_on = on.run_cuda_filter(true, 20, 1);
+  auto r_off = off.run_cuda_filter(true, 20, 1);
+  // Unfused: intermediate arrays cost extra kernel traffic.
+  EXPECT_GT(r_off.ops.kernel_us, r_on.ops.kernel_us);
+  EXPECT_EQ(r_on.last_output, r_off.last_output);
+}
+
+TEST(PpmTest, WritesValidHeader) {
+  const Shape s{8, 12};
+  RgbFrame f = synthetic_frame(s, 0);
+  const std::string path = "/tmp/saclo_test_frame.ppm";
+  write_ppm(path, f);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+  int w = 0;
+  int h = 0;
+  in >> w >> h;
+  EXPECT_EQ(w, 12);
+  EXPECT_EQ(h, 8);
+}
+
+}  // namespace
+}  // namespace saclo::apps

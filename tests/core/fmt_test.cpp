@@ -1,0 +1,40 @@
+#include "core/fmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saclo {
+namespace {
+
+TEST(FmtTest, CatConcatenatesHeterogeneousArgs) {
+  EXPECT_EQ(cat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(cat(), "");
+  EXPECT_EQ(cat(42), "42");
+}
+
+TEST(FmtTest, JoinWithSeparator) {
+  EXPECT_EQ(join(std::vector<int>{1, 2, 3}, ","), "1,2,3");
+  EXPECT_EQ(join(std::vector<std::string>{"x"}, ", "), "x");
+  EXPECT_EQ(join(std::vector<int>{}, ","), "");
+}
+
+TEST(FmtTest, Bracketed) {
+  EXPECT_EQ(bracketed({1080, 1920}), "[1080,1920]");
+  EXPECT_EQ(bracketed({}), "[]");
+  EXPECT_EQ(bracketed({-3}), "[-3]");
+}
+
+TEST(FmtTest, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // never truncates
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(FmtTest, FixedDecimals) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace saclo

@@ -1,0 +1,66 @@
+#include "core/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace saclo {
+namespace {
+
+TEST(IntMatTest, InitializerListLayout) {
+  const IntMat m{{1, 0}, {0, 8}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.at(0, 0), 1);
+  EXPECT_EQ(m.at(1, 1), 8);
+}
+
+TEST(IntMatTest, RaggedInitializerThrows) {
+  EXPECT_THROW(IntMat({{1, 2}, {3}}), ShapeError);
+}
+
+TEST(IntMatTest, MatrixVectorProduct) {
+  // The paper's horizontal-filter paving matrix {{1,0},{0,8}} maps
+  // repetition index (r0, r1) to reference element (r0, 8*r1).
+  const IntMat paving{{1, 0}, {0, 8}};
+  EXPECT_EQ(paving.mv({5, 3}), (Index{5, 24}));
+}
+
+TEST(IntMatTest, MvChecksDimensions) {
+  const IntMat m{{1, 0}};
+  EXPECT_THROW(m.mv({1}), ShapeError);
+}
+
+TEST(IntMatTest, HcatConcatenatesColumns) {
+  // CAT(paving, fitting) from the paper's generic tiler: one product
+  // maps the concatenated (repetition ++ pattern) index.
+  const IntMat paving{{1, 0}, {0, 8}};
+  const IntMat fitting{{0}, {1}};
+  const IntMat cat = paving.hcat(fitting);
+  EXPECT_EQ(cat.rows(), 2u);
+  EXPECT_EQ(cat.cols(), 3u);
+  EXPECT_EQ(cat.mv({5, 3, 7}), (Index{5, 31}));
+}
+
+TEST(IntMatTest, HcatChecksRows) {
+  EXPECT_THROW(IntMat(2, 2).hcat(IntMat(3, 1)), ShapeError);
+}
+
+TEST(IntMatTest, IdentityActsAsNoop) {
+  const IntMat id = IntMat::identity(3);
+  EXPECT_EQ(id.mv({4, 5, 6}), (Index{4, 5, 6}));
+}
+
+TEST(IntMatTest, OutOfRangeAccessThrows) {
+  IntMat m(2, 2);
+  EXPECT_THROW(m.at(2, 0), ShapeError);
+  EXPECT_THROW(m.at(0, 2), ShapeError);
+}
+
+TEST(IntMatTest, ToStringIsBraceNested) {
+  const IntMat m{{1, 0}, {0, 8}};
+  EXPECT_EQ(m.to_string(), "{{1,0},{0,8}}");
+}
+
+}  // namespace
+}  // namespace saclo

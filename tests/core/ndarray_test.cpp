@@ -1,0 +1,63 @@
+#include "core/ndarray.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saclo {
+namespace {
+
+TEST(NDArrayTest, DefaultIsScalarZero) {
+  IntArray a;
+  EXPECT_EQ(a.shape().rank(), 0u);
+  EXPECT_EQ(a[0], 0);
+}
+
+TEST(NDArrayTest, FillConstructor) {
+  IntArray a(Shape{2, 3}, 7);
+  EXPECT_EQ(a.elements(), 6);
+  for (std::int64_t i = 0; i < a.elements(); ++i) EXPECT_EQ(a[i], 7);
+}
+
+TEST(NDArrayTest, DataVectorSizeMustMatch) {
+  EXPECT_THROW(IntArray(Shape{2, 2}, std::vector<std::int64_t>{1, 2, 3}), ShapeError);
+}
+
+TEST(NDArrayTest, AtUsesRowMajorLayout) {
+  IntArray a(Shape{2, 3});
+  a.at({1, 2}) = 42;
+  EXPECT_EQ(a[5], 42);
+}
+
+TEST(NDArrayTest, GenerateEvaluatesAtEachIndex) {
+  const IntArray a = IntArray::generate(Shape{3, 4}, [](const Index& i) { return 10 * i[0] + i[1]; });
+  EXPECT_EQ(a.at({0, 0}), 0);
+  EXPECT_EQ(a.at({2, 3}), 23);
+}
+
+TEST(NDArrayTest, ReshapePreservesData) {
+  const IntArray a = IntArray::generate(Shape{2, 3}, [](const Index& i) { return i[0] * 3 + i[1]; });
+  const IntArray b = a.reshaped(Shape{6});
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(b[i], i);
+}
+
+TEST(NDArrayTest, ReshapeChecksElementCount) {
+  IntArray a(Shape{2, 3});
+  EXPECT_THROW(a.reshaped(Shape{7}), ShapeError);
+}
+
+TEST(NDArrayTest, EqualityIsValueBased) {
+  IntArray a(Shape{2}, 1);
+  IntArray b(Shape{2}, 1);
+  EXPECT_EQ(a, b);
+  b[1] = 2;
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, IntArray(Shape{3}, 1));
+}
+
+TEST(NDArrayTest, ScalarFactory) {
+  const auto s = NDArray<double>::scalar(2.5);
+  EXPECT_EQ(s.shape().rank(), 0u);
+  EXPECT_DOUBLE_EQ(s[0], 2.5);
+}
+
+}  // namespace
+}  // namespace saclo

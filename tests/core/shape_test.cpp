@@ -1,0 +1,109 @@
+#include "core/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saclo {
+namespace {
+
+TEST(ShapeTest, ScalarShapeHasOneElement) {
+  Shape s{};
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.elements(), 1);
+}
+
+TEST(ShapeTest, ElementsIsProductOfExtents) {
+  EXPECT_EQ((Shape{1080, 1920}).elements(), 1080 * 1920);
+  EXPECT_EQ((Shape{3, 4, 5}).elements(), 60);
+  EXPECT_EQ((Shape{7, 0, 2}).elements(), 0);
+}
+
+TEST(ShapeTest, NegativeExtentThrows) {
+  EXPECT_THROW(Shape({2, -1}), ShapeError);
+}
+
+TEST(ShapeTest, StridesAreRowMajor) {
+  const Index s = Shape{2, 3, 4}.strides();
+  EXPECT_EQ(s, (Index{12, 4, 1}));
+}
+
+TEST(ShapeTest, LinearizeRoundTrips) {
+  const Shape s{3, 5, 7};
+  for (std::int64_t i = 0; i < s.elements(); ++i) {
+    EXPECT_EQ(s.linearize(s.delinearize(i)), i);
+  }
+}
+
+TEST(ShapeTest, LinearizeChecksBounds) {
+  const Shape s{3, 5};
+  EXPECT_THROW(s.linearize({3, 0}), ShapeError);
+  EXPECT_THROW(s.linearize({0, 5}), ShapeError);
+  EXPECT_THROW(s.linearize({-1, 0}), ShapeError);
+  EXPECT_THROW(s.linearize({0}), ShapeError);
+}
+
+TEST(ShapeTest, ContainsMatchesBoundsAndRank) {
+  const Shape s{2, 2};
+  EXPECT_TRUE(s.contains({0, 0}));
+  EXPECT_TRUE(s.contains({1, 1}));
+  EXPECT_FALSE(s.contains({2, 0}));
+  EXPECT_FALSE(s.contains({0}));
+}
+
+TEST(ShapeTest, ConcatJoinsDimensions) {
+  EXPECT_EQ((Shape{1080, 240}).concat(Shape{11}), (Shape{1080, 240, 11}));
+  EXPECT_EQ((Shape{}).concat(Shape{3}), (Shape{3}));
+}
+
+TEST(ShapeTest, TakeAndDropSplit) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.take(1), (Shape{2}));
+  EXPECT_EQ(s.drop(1), (Shape{3, 4}));
+  EXPECT_EQ(s.take(0), Shape{});
+  EXPECT_EQ(s.drop(3), Shape{});
+  EXPECT_THROW(s.take(4), ShapeError);
+}
+
+TEST(FloorModTest, WrapsNegativeValues) {
+  EXPECT_EQ(floor_mod(-1, 1920), 1919);
+  EXPECT_EQ(floor_mod(1920, 1920), 0);
+  EXPECT_EQ(floor_mod(1922, 1920), 2);
+  EXPECT_EQ(floor_mod(0, 5), 0);
+}
+
+TEST(FloorModTest, RejectsNonPositiveModulus) {
+  EXPECT_THROW(floor_mod(1, 0), ShapeError);
+  EXPECT_THROW(floor_mod(1, -3), ShapeError);
+}
+
+TEST(FloorModTest, VectorFormChecksRank) {
+  EXPECT_EQ(floor_mod(Index{-1, 1922}, Index{1080, 1920}), (Index{1079, 2}));
+  EXPECT_THROW(floor_mod(Index{1}, Index{2, 3}), ShapeError);
+}
+
+TEST(ForEachIndexTest, VisitsRowMajorOrder) {
+  std::vector<Index> seen;
+  for_each_index(Shape{2, 2}, [&](const Index& i) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], (Index{0, 0}));
+  EXPECT_EQ(seen[1], (Index{0, 1}));
+  EXPECT_EQ(seen[2], (Index{1, 0}));
+  EXPECT_EQ(seen[3], (Index{1, 1}));
+}
+
+TEST(ForEachIndexTest, EmptyShapeVisitsNothing) {
+  int count = 0;
+  for_each_index(Shape{0, 5}, [&](const Index&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ForEachIndexTest, ScalarShapeVisitsOnce) {
+  int count = 0;
+  for_each_index(Shape{}, [&](const Index& i) {
+    ++count;
+    EXPECT_TRUE(i.empty());
+  });
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace saclo

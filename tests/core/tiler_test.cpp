@@ -1,0 +1,129 @@
+#include "core/tiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saclo {
+namespace {
+
+/// The paper's horizontal-filter input tiler (Figure 10), scaled down:
+/// array {H, W}, pattern {11}, repetition {H, W/8},
+/// origin {0,0}, fitting {{0},{1}}, paving {{1,0},{0,8}}.
+TilerSpec hfilter_input_tiler() {
+  TilerSpec t;
+  t.origin = {0, 0};
+  t.fitting = IntMat{{0}, {1}};
+  t.paving = IntMat{{1, 0}, {0, 8}};
+  return t;
+}
+
+TEST(TilerSpecTest, ValidateAcceptsPaperSpec) {
+  const TilerSpec t = hfilter_input_tiler();
+  EXPECT_NO_THROW(t.validate(Shape{1080, 1920}, Shape{11}, Shape{1080, 240}));
+}
+
+TEST(TilerSpecTest, ValidateRejectsWrongOriginRank) {
+  TilerSpec t = hfilter_input_tiler();
+  t.origin = {0};
+  EXPECT_THROW(t.validate(Shape{16, 32}, Shape{11}, Shape{16, 4}), TilerError);
+}
+
+TEST(TilerSpecTest, ValidateRejectsWrongFitting) {
+  TilerSpec t = hfilter_input_tiler();
+  t.fitting = IntMat{{0, 0}, {1, 1}};
+  EXPECT_THROW(t.validate(Shape{16, 32}, Shape{11}, Shape{16, 4}), TilerError);
+}
+
+TEST(TilerSpecTest, ElementIndexFollowsFormula) {
+  const TilerSpec t = hfilter_input_tiler();
+  const Shape arr{16, 32};
+  // e = (o + P.r + F.i) mod s
+  EXPECT_EQ(t.element_index(arr, {3, 2}, {5}), (Index{3, 21}));
+  EXPECT_EQ(t.reference(arr, {3, 2}), (Index{3, 16}));
+}
+
+TEST(TilerSpecTest, ElementIndexWrapsModularly) {
+  const TilerSpec t = hfilter_input_tiler();
+  const Shape arr{16, 32};
+  // Last tile: reference column 8*3 = 24, pattern element 10 -> 34 mod 32 = 2.
+  EXPECT_EQ(t.element_index(arr, {0, 3}, {10}), (Index{0, 2}));
+}
+
+TEST(TilerGatherTest, GathersOverlappingPatterns) {
+  const TilerSpec t = hfilter_input_tiler();
+  const IntArray frame =
+      IntArray::generate(Shape{4, 16}, [](const Index& i) { return i[0] * 100 + i[1]; });
+  const IntArray tiles = gather(frame, t, Shape{11}, Shape{4, 2});
+  EXPECT_EQ(tiles.shape(), (Shape{4, 2, 11}));
+  // Tile (r0=1, r1=1) starts at column 8 of row 1.
+  for (std::int64_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(tiles.at({1, 1, k}), 100 + 8 + k);
+  }
+  // Elements 8..10 wrap around to columns 0..2.
+  EXPECT_EQ(tiles.at({1, 1, 8}), 100 + 0);
+  EXPECT_EQ(tiles.at({1, 1, 10}), 100 + 2);
+}
+
+TEST(TilerScatterTest, RoundTripsWithExactPartition) {
+  // Output tiler of the downscaler: pattern {3}, paving {{1,0},{0,3}} —
+  // an exact partition of the output frame.
+  TilerSpec t;
+  t.origin = {0, 0};
+  t.fitting = IntMat{{0}, {1}};
+  t.paving = IntMat{{1, 0}, {0, 3}};
+  const Shape out_shape{4, 12};
+  const Shape pattern{3};
+  const Shape repetition{4, 4};
+  ASSERT_TRUE(is_exact_partition(t, out_shape, pattern, repetition));
+
+  const IntArray original =
+      IntArray::generate(out_shape, [](const Index& i) { return i[0] * 1000 + i[1]; });
+  const IntArray tiles = gather(original, t, pattern, repetition);
+  IntArray rebuilt(out_shape, -1);
+  scatter(rebuilt, tiles, t, pattern, repetition);
+  EXPECT_EQ(rebuilt, original);
+}
+
+TEST(TilerScatterTest, RejectsWrongTileShape) {
+  TilerSpec t;
+  t.origin = {0};
+  t.fitting = IntMat{{1}};
+  t.paving = IntMat{{4}};
+  IntArray out(Shape{16});
+  IntArray tiles(Shape{4, 3});  // pattern should be {4}
+  EXPECT_THROW(scatter(out, tiles, t, Shape{4}, Shape{4}), TilerError);
+}
+
+TEST(TilerCoverageTest, InputTilerOversamples) {
+  // The 11-wide pattern with paving step 8 reads boundary pixels more
+  // than once: coverage is not a partition.
+  const TilerSpec t = hfilter_input_tiler();
+  EXPECT_FALSE(is_exact_partition(t, Shape{4, 16}, Shape{11}, Shape{4, 2}));
+  const IntArray cover = coverage_map(t, Shape{4, 16}, Shape{11}, Shape{4, 2});
+  // Each row: 2 tiles x 11 elements = 22 reads over 16 columns.
+  std::int64_t row_total = 0;
+  for (std::int64_t c = 0; c < 16; ++c) row_total += cover.at({0, c});
+  EXPECT_EQ(row_total, 22);
+}
+
+TEST(TilerPartitionPropertyTest, BlockTilersPartition) {
+  // Property: for any (h, w, bh, bw) with bh|h and bw|w, the block
+  // tiler with fitting=diag(1,1), paving=diag(bh,bw) partitions.
+  for (std::int64_t h : {2, 4, 6}) {
+    for (std::int64_t w : {3, 5}) {
+      for (std::int64_t bh : {1, 2}) {
+        for (std::int64_t bw : {1, 3}) {
+          if (h % bh != 0 || w % bw != 0) continue;
+          TilerSpec t;
+          t.origin = {0, 0};
+          t.fitting = IntMat{{1, 0}, {0, 1}};
+          t.paving = IntMat{{bh, 0}, {0, bw}};
+          EXPECT_TRUE(is_exact_partition(t, Shape{h, w}, Shape{bh, bw}, Shape{h / bh, w / bw}))
+              << "h=" << h << " w=" << w << " bh=" << bh << " bw=" << bw;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saclo

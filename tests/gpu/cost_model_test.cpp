@@ -1,0 +1,99 @@
+#include "gpu/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saclo::gpu {
+namespace {
+
+KernelCost gaspard_hfilter_cost() {
+  // One GASPARD2 horizontal-filter kernel (per colour channel): each
+  // work item gathers 11 pixels, computes 3 outputs, with a
+  // column-major global-id mapping (stride = one full row).
+  KernelCost c;
+  c.flops_per_thread = 40;
+  c.global_loads_per_thread = 11;
+  c.global_stores_per_thread = 3;
+  c.warp_access_stride = 1920;
+  return c;
+}
+
+TEST(CostModelTest, LaunchOverheadIsFloor) {
+  const DeviceSpec dev = gtx480();
+  KernelCost c;
+  EXPECT_GE(kernel_time_us(dev, 0, c), dev.kernel_launch_overhead_us);
+  EXPECT_GE(kernel_time_us(dev, 1, c), dev.kernel_launch_overhead_us);
+}
+
+TEST(CostModelTest, TimeGrowsWithThreads) {
+  const DeviceSpec dev = gtx480();
+  const KernelCost c = gaspard_hfilter_cost();
+  const double t1 = kernel_time_us(dev, 100'000, c);
+  const double t2 = kernel_time_us(dev, 200'000, c);
+  EXPECT_GT(t2, t1);
+  // Large launches scale roughly linearly.
+  EXPECT_NEAR(t2 - dev.kernel_launch_overhead_us, 2.0 * (t1 - dev.kernel_launch_overhead_us),
+              0.05 * t2);
+}
+
+TEST(CostModelTest, StridePenaltySaturates) {
+  const DeviceSpec dev = gtx480();
+  KernelCost c = gaspard_hfilter_cost();
+  c.warp_access_stride = 1;
+  const double coalesced = kernel_time_us(dev, 259'200, c);
+  c.warp_access_stride = 8;
+  const double stride8 = kernel_time_us(dev, 259'200, c);
+  c.warp_access_stride = 1920;
+  const double stride1920 = kernel_time_us(dev, 259'200, c);
+  c.warp_access_stride = 100'000;
+  const double huge = kernel_time_us(dev, 259'200, c);
+  EXPECT_LT(coalesced, stride8);
+  EXPECT_LT(stride8, stride1920);
+  EXPECT_DOUBLE_EQ(stride1920, huge);  // clamped at max_stride_penalty
+}
+
+TEST(CostModelTest, CalibratedGaspardHFilterKernelNearPaper) {
+  // Paper Table I: 844185 us over 900 launches => ~938 us per launch.
+  const DeviceSpec dev = gtx480();
+  const double us = kernel_time_us(dev, 1080 * 240, gaspard_hfilter_cost());
+  EXPECT_GT(us, 938.0 * 0.7);
+  EXPECT_LT(us, 938.0 * 1.3);
+}
+
+TEST(CostModelTest, TransferTimesMatchPaperRates) {
+  const DeviceSpec dev = gtx480();
+  // Paper Table I: 900 HtoD copies of a 1080x1920 int frame take
+  // 1391670 us => ~1546 us each.
+  const double h2d = transfer_time_us(dev, 1080 * 1920 * 4, Dir::HostToDevice);
+  EXPECT_NEAR(h2d, 1546.0, 160.0);
+  // 900 DtoH copies of a 480x720 int frame take 197057 us => ~219 us.
+  const double d2h = transfer_time_us(dev, 480 * 720 * 4, Dir::DeviceToHost);
+  EXPECT_NEAR(d2h, 219.0, 40.0);
+}
+
+TEST(CostModelTest, ComputeBoundKernelUsesFlopTime) {
+  const DeviceSpec dev = gtx480();
+  KernelCost c;
+  c.flops_per_thread = 100'000;  // heavy arithmetic, no memory
+  c.global_loads_per_thread = 0;
+  c.global_stores_per_thread = 0;
+  const double us = kernel_time_us(dev, 1'000'000, c);
+  const double expected = 1e6 * 1e5 / (dev.peak_gflops() * 1e3) + dev.kernel_launch_overhead_us;
+  EXPECT_NEAR(us, expected, expected * 0.01);
+}
+
+TEST(CostModelTest, HostModelScalesWithOps) {
+  const HostSpec host = i7_930();
+  EXPECT_NEAR(host.time_us(2.8e6), 1e3 * host.cycles_per_op, 1.0);
+  EXPECT_GT(host.time_us(2e6), host.time_us(1e6));
+}
+
+TEST(DeviceSpecTest, Gtx480MatchesPaperTestbed) {
+  const DeviceSpec dev = gtx480();
+  EXPECT_EQ(dev.sm_count, 15);
+  EXPECT_EQ(dev.cores_per_sm, 32);
+  EXPECT_DOUBLE_EQ(dev.clock_ghz, 1.4);
+  EXPECT_DOUBLE_EQ(dev.global_mem_bytes, 1.5e9);
+}
+
+}  // namespace
+}  // namespace saclo::gpu

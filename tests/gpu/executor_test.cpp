@@ -1,0 +1,60 @@
+#include "gpu/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace saclo::gpu {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeCountsAreNoops) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.parallel_for(0, [&](std::int64_t) { ++count; });
+  pool.parallel_for(-5, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ThreadPoolTest, SingleWorkerIsSerial) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  std::vector<std::int64_t> order;
+  pool.parallel_for(10, [&](std::int64_t i) { order.push_back(i); });
+  std::vector<std::int64_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagate) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::int64_t i) {
+                                   if (i == 57) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must remain usable afterwards.
+  std::atomic<int> done{0};
+  pool.parallel_for(50, [&](std::int64_t) { done++; });
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  ThreadPool pool(2);
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(100, [&](std::int64_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 20 * (99 * 100 / 2));
+}
+
+}  // namespace
+}  // namespace saclo::gpu

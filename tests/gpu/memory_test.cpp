@@ -1,0 +1,79 @@
+#include "gpu/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saclo::gpu {
+namespace {
+
+TEST(DeviceMemoryPoolTest, AllocatesAndTracksUsage) {
+  DeviceMemoryPool pool(1024);
+  const BufferHandle a = pool.allocate(100);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(pool.used_bytes(), 100);
+  const BufferHandle b = pool.allocate(924);
+  EXPECT_EQ(pool.used_bytes(), 1024);
+  pool.free(a);
+  EXPECT_EQ(pool.used_bytes(), 924);
+  pool.free(b);
+  EXPECT_EQ(pool.used_bytes(), 0);
+}
+
+TEST(DeviceMemoryPoolTest, OutOfMemoryThrows) {
+  DeviceMemoryPool pool(100);
+  (void)pool.allocate(60);
+  EXPECT_THROW(pool.allocate(50), DeviceMemoryError);
+}
+
+TEST(DeviceMemoryPoolTest, DoubleFreeThrows) {
+  DeviceMemoryPool pool(100);
+  const BufferHandle a = pool.allocate(10);
+  pool.free(a);
+  EXPECT_THROW(pool.free(a), DeviceMemoryError);
+}
+
+TEST(DeviceMemoryPoolTest, StaleHandleAccessThrows) {
+  DeviceMemoryPool pool(100);
+  const BufferHandle a = pool.allocate(10);
+  pool.free(a);
+  EXPECT_THROW(pool.bytes(a), DeviceMemoryError);
+}
+
+TEST(DeviceMemoryPoolTest, TypedViewChecksElementSize) {
+  DeviceMemoryPool pool(100);
+  const BufferHandle a = pool.allocate(10);  // not a multiple of 8
+  EXPECT_THROW(pool.view<std::int64_t>(a), DeviceMemoryError);
+  const BufferHandle b = pool.allocate(16);
+  auto v = pool.view<std::int64_t>(b);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(DeviceMemoryPoolTest, BuffersAreZeroInitialised) {
+  DeviceMemoryPool pool(64);
+  auto v = pool.view<std::int64_t>(pool.allocate(64));
+  for (std::int64_t x : v) EXPECT_EQ(x, 0);
+}
+
+TEST(DeviceBufferTest, RaiiFreesOnDestruction) {
+  DeviceMemoryPool pool(100);
+  {
+    DeviceBuffer buf(pool, 40);
+    EXPECT_EQ(pool.used_bytes(), 40);
+  }
+  EXPECT_EQ(pool.used_bytes(), 0);
+  EXPECT_EQ(pool.live_allocations(), 0u);
+}
+
+TEST(DeviceBufferTest, MoveTransfersOwnership) {
+  DeviceMemoryPool pool(100);
+  DeviceBuffer a(pool, 40);
+  DeviceBuffer b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(pool.used_bytes(), 40);
+  DeviceBuffer c(pool, 20);
+  c = std::move(b);
+  EXPECT_EQ(pool.used_bytes(), 40);  // the 20-byte buffer was released
+}
+
+}  // namespace
+}  // namespace saclo::gpu

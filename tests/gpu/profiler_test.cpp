@@ -1,0 +1,71 @@
+#include "gpu/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saclo::gpu {
+namespace {
+
+TEST(ProfilerTest, AccumulatesCallsAndTime) {
+  Profiler p;
+  p.record("H. Filter (3 kernels)", OpKind::Kernel, 1, 938.0);
+  p.record("H. Filter (3 kernels)", OpKind::Kernel, 1, 938.0);
+  p.record("memcpyHtoDasync", OpKind::MemcpyHtoD, 1, 1546.0);
+  const auto rows = p.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "H. Filter (3 kernels)");
+  EXPECT_EQ(rows[0].calls, 2);
+  EXPECT_DOUBLE_EQ(rows[0].total_us, 1876.0);
+  EXPECT_DOUBLE_EQ(p.total_us(), 1876.0 + 1546.0);
+}
+
+TEST(ProfilerTest, TotalsByKind) {
+  Profiler p;
+  p.record("k", OpKind::Kernel, 1, 100.0);
+  p.record("h2d", OpKind::MemcpyHtoD, 1, 50.0);
+  p.record("d2h", OpKind::MemcpyDtoH, 1, 25.0);
+  EXPECT_DOUBLE_EQ(p.total_us(OpKind::Kernel), 100.0);
+  EXPECT_DOUBLE_EQ(p.total_us(OpKind::MemcpyHtoD), 50.0);
+  EXPECT_DOUBLE_EQ(p.total_us(OpKind::MemcpyDtoH), 25.0);
+}
+
+TEST(ProfilerTest, RowsKeepFirstRecordedOrder) {
+  Profiler p;
+  p.record("b", OpKind::Kernel, 1, 1.0);
+  p.record("a", OpKind::Kernel, 1, 1.0);
+  p.record("b", OpKind::Kernel, 1, 1.0);
+  const auto rows = p.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "b");
+  EXPECT_EQ(rows[1].name, "a");
+}
+
+TEST(ProfilerTest, TableHasPaperLayout) {
+  Profiler p;
+  p.record("H. Filter (3 kernels)", OpKind::Kernel, 300, 844185.0);
+  p.record("memcpyHtoDasync", OpKind::MemcpyHtoD, 900, 1391670.0);
+  const std::string table = p.table();
+  EXPECT_NE(table.find("Operation"), std::string::npos);
+  EXPECT_NE(table.find("#calls"), std::string::npos);
+  EXPECT_NE(table.find("GPU time(usec)"), std::string::npos);
+  EXPECT_NE(table.find("GPU time (%)"), std::string::npos);
+  EXPECT_NE(table.find("844185"), std::string::npos);
+  EXPECT_NE(table.find("Total"), std::string::npos);
+  // 2.24sec total
+  EXPECT_NE(table.find("2.24sec"), std::string::npos);
+}
+
+TEST(ProfilerTest, UsForUnknownNameIsZero) {
+  Profiler p;
+  EXPECT_DOUBLE_EQ(p.us_for("nothing"), 0.0);
+}
+
+TEST(ProfilerTest, ClearResets) {
+  Profiler p;
+  p.record("k", OpKind::Kernel, 1, 10.0);
+  p.clear();
+  EXPECT_TRUE(p.rows().empty());
+  EXPECT_DOUBLE_EQ(p.total_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace saclo::gpu

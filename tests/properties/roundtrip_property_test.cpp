@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "apps/downscaler/sac_source.hpp"
+#include "core/fmt.hpp"
+#include "sac/interp.hpp"
+#include "sac/parser.hpp"
+#include "sac/printer.hpp"
+#include "sac/typecheck.hpp"
+
+namespace saclo::sac {
+namespace {
+
+/// Property: print(parse(x)) is a fixpoint — parsing the printer's
+/// output and printing again yields the same text, and both modules
+/// compute the same values.
+class RoundTripProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripProperty, PrintParsePrintIsStable) {
+  const Module m1 = parse(GetParam());
+  const std::string p1 = print(m1);
+  const Module m2 = parse(p1);
+  const std::string p2 = print(m2);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST_P(RoundTripProperty, ReparsedModuleTypechecks) {
+  const Module m1 = parse(GetParam());
+  EXPECT_NO_THROW(typecheck(parse(print(m1))));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTripProperty,
+    ::testing::Values(
+        "int f(int a, int b) { return (a * b + a / b - a % b); }",
+        "int[*] f(int[*] v) { return (with { (. <= iv <= .) : v[iv] + 1; } "
+        ": genarray(shape(v))); }",
+        "int[*] f(int[*] v) { return (with { ([0,0] <= [i,j] < [4,4] step [1,2] width [1,1]) "
+        ": i * j; } : genarray([4,4], 0)); }",
+        "int f(int[*] v) { return (with { ([0] <= [i] < [8]) : v[[i]]; } : fold(+, 0)); }",
+        "int f(int n) { s = 0; for (i = 0; i < n; i = i + 2) { s = s + i; } return (s); }",
+        "int f(int a) { if (a > 0 && a < 10 || a == 42) { return (1); } else { return (0); } }",
+        "int[*] f(int[*] m) { return (m[[1,2]] ++ shape(m)); }",
+        "int[*] f(int[*] o) { return (with { ([0] <= [i] < [6] step [2]) : 0 - i; } "
+        ": modarray(o)); }"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return saclo::cat("p", info.index);
+    });
+
+/// Property: the generated downscaler module round-trips for several
+/// geometries (covers every construct the generator emits).
+class SourceGenRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SourceGenRoundTrip, GeneratedModuleRoundTrips) {
+  apps::DownscalerConfig cfg;
+  switch (GetParam()) {
+    case 0: cfg = apps::DownscalerConfig::tiny(); break;
+    case 1: cfg = apps::DownscalerConfig::small(); break;
+    default: cfg = apps::DownscalerConfig::paper(); break;
+  }
+  const std::string src = apps::downscaler_sac_source(cfg);
+  const Module m = parse(src);
+  const std::string p1 = print(m);
+  EXPECT_EQ(p1, print(parse(p1)));
+  EXPECT_NO_THROW(typecheck(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SourceGenRoundTrip, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace saclo::sac

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/tiler.hpp"
+
+namespace saclo {
+namespace {
+
+/// A parameterised tiler scenario over a 2-D array.
+struct TilerCase {
+  const char* name;
+  Index array;       // array shape
+  Index pattern;     // pattern shape (rank 1 or 2)
+  Index repetition;  // repetition shape
+  Index origin;
+  IntMat fitting;
+  IntMat paving;
+  bool expect_partition;
+};
+
+std::ostream& operator<<(std::ostream& os, const TilerCase& c) { return os << c.name; }
+
+class TilerProperty : public ::testing::TestWithParam<TilerCase> {};
+
+TEST_P(TilerProperty, ValidatesAndCoversConsistently) {
+  const TilerCase& c = GetParam();
+  TilerSpec spec{c.origin, c.fitting, c.paving};
+  const Shape array(c.array);
+  const Shape pattern(c.pattern);
+  const Shape repetition(c.repetition);
+  ASSERT_NO_THROW(spec.validate(array, pattern, repetition));
+
+  // Property 1: the coverage map counts exactly repetition*pattern
+  // visits in total (the tiler formulas never lose an element).
+  const IntArray cover = coverage_map(spec, array, pattern, repetition);
+  std::int64_t total = 0;
+  for (std::int64_t i = 0; i < cover.elements(); ++i) total += cover[i];
+  EXPECT_EQ(total, repetition.elements() * pattern.elements());
+
+  // Property 2: partition expectation.
+  EXPECT_EQ(is_exact_partition(spec, array, pattern, repetition), c.expect_partition);
+}
+
+TEST_P(TilerProperty, GatherScatterRoundTripOnPartitions) {
+  const TilerCase& c = GetParam();
+  if (!c.expect_partition) GTEST_SKIP() << "round-trip only holds for partitions";
+  TilerSpec spec{c.origin, c.fitting, c.paving};
+  const Shape array(c.array);
+  const Shape pattern(c.pattern);
+  const Shape repetition(c.repetition);
+  const IntArray original = IntArray::generate(
+      array, [](const Index& i) { return i[0] * 1009 + (i.size() > 1 ? i[1] * 31 : 0) + 7; });
+  const IntArray tiles = gather(original, spec, pattern, repetition);
+  IntArray rebuilt(array, -1);
+  scatter(rebuilt, tiles, spec, pattern, repetition);
+  EXPECT_EQ(rebuilt, original);
+}
+
+TEST_P(TilerProperty, GatherAgreesWithElementFormula) {
+  const TilerCase& c = GetParam();
+  TilerSpec spec{c.origin, c.fitting, c.paving};
+  const Shape array(c.array);
+  const Shape pattern(c.pattern);
+  const Shape repetition(c.repetition);
+  const IntArray in = IntArray::generate(
+      array, [](const Index& i) { return i[0] * 131 + (i.size() > 1 ? i[1] : 0); });
+  const IntArray tiles = gather(in, spec, pattern, repetition);
+  // Spot-check every tile against e = (o + P.r + F.i) mod s.
+  for_each_index(repetition, [&](const Index& rep) {
+    for_each_index(pattern, [&](const Index& pat) {
+      Index at = rep;
+      at.insert(at.end(), pat.begin(), pat.end());
+      EXPECT_EQ(tiles.at(at), in.at(spec.element_index(array, rep, pat)));
+    });
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TilerProperty,
+    ::testing::Values(
+        TilerCase{"hfilter_input", {6, 32}, {11}, {6, 4}, {0, 0},
+                  IntMat{{0}, {1}}, IntMat{{1, 0}, {0, 8}}, false},
+        TilerCase{"hfilter_output", {6, 12}, {3}, {6, 4}, {0, 0},
+                  IntMat{{0}, {1}}, IntMat{{1, 0}, {0, 3}}, true},
+        TilerCase{"vfilter_input", {18, 8}, {13}, {2, 8}, {0, 0},
+                  IntMat{{1}, {0}}, IntMat{{9, 0}, {0, 1}}, false},
+        TilerCase{"vfilter_output", {8, 6}, {4}, {2, 6}, {0, 0},
+                  IntMat{{1}, {0}}, IntMat{{4, 0}, {0, 1}}, true},
+        TilerCase{"block_2x4", {8, 16}, {2, 4}, {4, 4}, {0, 0},
+                  IntMat{{1, 0}, {0, 1}}, IntMat{{2, 0}, {0, 4}}, true},
+        TilerCase{"column_strips", {8, 15}, {8, 5}, {3}, {0, 0},
+                  IntMat{{1, 0}, {0, 1}}, IntMat{{0}, {5}}, true},
+        TilerCase{"offset_origin", {8, 8}, {2}, {8, 4}, {0, 3},
+                  IntMat{{0}, {1}}, IntMat{{1, 0}, {0, 2}}, true},
+        TilerCase{"skewed_paving", {6, 12}, {2}, {6, 6}, {0, 0},
+                  IntMat{{0}, {1}}, IntMat{{1, 1}, {0, 2}}, true},
+        TilerCase{"strided_fitting", {4, 16}, {4}, {4, 2}, {0, 0},
+                  IntMat{{0}, {2}}, IntMat{{1, 0}, {0, 8}}, false},
+        TilerCase{"interleave", {12}, {3}, {4}, {0},
+                  IntMat{{4}}, IntMat{{1}}, true}),
+    [](const ::testing::TestParamInfo<TilerCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace saclo

@@ -1,0 +1,199 @@
+#include "sac/affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sac/parser.hpp"
+
+namespace saclo::sac::affine {
+namespace {
+
+/// A 2-D lattice mimicking the non-generic output tiler's generator:
+/// i in [0,8) step 1, j in [1,24) step 3 (t1 in [0,8)).
+Lattice tiler_lattice() {
+  Lattice lat;
+  lat.dims = {{0, 1, 8}, {1, 3, 8}};
+  lat.scalar_names = {"i", "j"};
+  return lat;
+}
+
+Lin eval(const std::string& expr_src, const AffineEval& ae) {
+  const ExprPtr e = parse_expression(expr_src);
+  auto lin = ae.eval_scalar(*e);
+  EXPECT_TRUE(lin.has_value()) << expr_src;
+  return lin.value_or(Lin{});
+}
+
+TEST(AffineEvalTest, LatticeVariablesAreLinear) {
+  const Lattice lat = tiler_lattice();
+  AffineEval ae(lat);
+  const Lin i = eval("i", ae);
+  EXPECT_EQ(i.coeff, (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(i.c0, 0);
+  const Lin j = eval("j", ae);
+  EXPECT_EQ(j.coeff, (std::vector<std::int64_t>{0, 3}));
+  EXPECT_EQ(j.c0, 1);
+}
+
+TEST(AffineEvalTest, DivisionOnLatticeSimplifies) {
+  // j = 3*t1 + 1, so j/3 == t1 (truncated division on the lattice).
+  const Lattice lat = tiler_lattice();
+  AffineEval ae(lat);
+  const Lin t1 = eval("j / 3", ae);
+  EXPECT_EQ(t1.coeff, (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(t1.c0, 0);
+}
+
+TEST(AffineEvalTest, ModOnLatticeSimplifies) {
+  const Lattice lat = tiler_lattice();
+  AffineEval ae(lat);
+  const Lin r = eval("j % 3", ae);
+  EXPECT_TRUE(r.is_const());
+  EXPECT_EQ(r.c0, 1);
+}
+
+TEST(AffineEvalTest, UnsupportedDivisionFails) {
+  const Lattice lat = tiler_lattice();
+  AffineEval ae(lat);
+  // i/3 does not divide evenly on the lattice (step 1).
+  const ExprPtr e = parse_expression("i / 3");
+  EXPECT_FALSE(ae.eval_scalar(*e).has_value());
+}
+
+TEST(AffineEvalTest, ArithmeticCombines) {
+  const Lattice lat = tiler_lattice();
+  AffineEval ae(lat);
+  const Lin l = eval("2 * i + (j - 1) / 3 + 5", ae);
+  EXPECT_EQ(l.coeff, (std::vector<std::int64_t>{2, 1}));
+  EXPECT_EQ(l.c0, 5);
+}
+
+TEST(AffineEvalTest, BodyBindingsResolve) {
+  const Lattice lat = tiler_lattice();
+  AffineEval ae(lat);
+  const Module m = parse("int f(int i, int j) { rep = [i, j / 3]; off = rep * 8; return (0); }");
+  ae.bind_block(m.functions[0].body);
+  const ExprPtr e = parse_expression("off");
+  auto vec = ae.eval_vector(*e);
+  ASSERT_TRUE(vec.has_value());
+  ASSERT_EQ(vec->size(), 2u);
+  EXPECT_EQ((*vec)[0].coeff, (std::vector<std::int64_t>{8, 0}));
+  EXPECT_EQ((*vec)[1].coeff, (std::vector<std::int64_t>{0, 8}));
+}
+
+TEST(AffineEvalTest, MVOfConstantMatrix) {
+  const Lattice lat = tiler_lattice();
+  AffineEval ae(lat);
+  const ExprPtr e = parse_expression("MV([[1,0],[0,8]], [i, j/3])");
+  auto vec = ae.eval_vector(*e);
+  ASSERT_TRUE(vec.has_value());
+  EXPECT_EQ((*vec)[0].coeff, (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ((*vec)[1].coeff, (std::vector<std::int64_t>{0, 8}));
+}
+
+TEST(AffineEvalTest, ConcatBuildsLongerVectors) {
+  const Lattice lat = tiler_lattice();
+  AffineEval ae(lat);
+  const ExprPtr e = parse_expression("[i] ++ [j, 4]");
+  auto vec = ae.eval_vector(*e);
+  ASSERT_TRUE(vec.has_value());
+  EXPECT_EQ(vec->size(), 3u);
+  EXPECT_EQ((*vec)[2].c0, 4);
+}
+
+TEST(AffineEvalTest, RangeOverLatticeBox) {
+  const Lattice lat = tiler_lattice();
+  AffineEval ae(lat);
+  const Lin j = eval("j", ae);
+  const auto [lo, hi] = ae.range(j);
+  EXPECT_EQ(lo, 1);
+  EXPECT_EQ(hi, 1 + 3 * 7);
+  const Lin combo = eval("8 * (j / 3) + 10", ae);
+  const auto [clo, chi] = ae.range(combo);
+  EXPECT_EQ(clo, 10);
+  EXPECT_EQ(chi, 8 * 7 + 10);
+}
+
+TEST(LinToExprTest, EmitsIndexVariableForms) {
+  const Lattice lat = tiler_lattice();
+  Lin l;
+  l.coeff = {0, 1};
+  l.c0 = 0;
+  // t1 == (j - 1) / 3
+  const ExprPtr e = lin_to_expr(l, lat);
+  AffineEval ae(lat);
+  auto back = ae.eval_scalar(*e);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, l);
+}
+
+TEST(LinToExprTest, ConstantsStayConstants) {
+  const Lattice lat = tiler_lattice();
+  Lin l;
+  l.coeff = {0, 0};
+  l.c0 = 42;
+  const ExprPtr e = lin_to_expr(l, lat);
+  EXPECT_EQ(e->kind, ExprKind::IntLit);
+  EXPECT_EQ(e->int_val, 42);
+}
+
+// --- regions -------------------------------------------------------------------
+
+TEST(DimRegionTest, CountAndFirst) {
+  const DimRegion r{2, 20, 1, 3};  // t in [2,20), t % 3 == 1
+  EXPECT_EQ(r.first(), 4);
+  EXPECT_EQ(r.count(), 6);  // 4,7,10,13,16,19
+  EXPECT_EQ(r.last(), 19);
+}
+
+TEST(DimRegionTest, EmptyWhenNoResidueFits) {
+  const DimRegion r{5, 6, 0, 3};  // only t=5, needs t%3==0
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(DimRegionTest, IntersectMergesResidues) {
+  const DimRegion a{0, 30, 1, 2};  // odd
+  const DimRegion b{0, 30, 2, 3};  // ==2 mod 3
+  const auto i = a.intersect(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->m, 6);
+  EXPECT_EQ(i->r, 5);
+  EXPECT_EQ(i->first(), 5);
+}
+
+TEST(DimRegionTest, IntersectDetectsInfeasibleResidues) {
+  const DimRegion a{0, 30, 0, 2};
+  const DimRegion b{0, 30, 1, 2};
+  EXPECT_FALSE(a.intersect(b).has_value());
+}
+
+TEST(DimRegionTest, SubtractPartitions) {
+  const DimRegion full{0, 24, 0, 1};
+  const DimRegion cut{8, 16, 1, 2};  // odd numbers in [8,16)
+  const auto parts = full.subtract(cut);
+  std::int64_t total = 0;
+  for (const DimRegion& p : parts) {
+    total += p.count();
+    // No part may intersect the cut.
+    EXPECT_FALSE(p.intersect(cut).has_value() && p.intersect(cut)->count() > 0);
+  }
+  EXPECT_EQ(total + full.intersect(cut)->count(), full.count());
+}
+
+TEST(BoxTest, SubtractIsExactPartition) {
+  const Box a{DimRegion::full(10), DimRegion::full(12)};
+  const Box b{{2, 7, 0, 1}, {3, 12, 0, 3}};
+  const auto inter = box_intersect(a, b);
+  ASSERT_TRUE(inter.has_value());
+  const auto parts = box_subtract(a, b);
+  std::int64_t total = box_count(*inter);
+  for (const Box& p : parts) {
+    total += box_count(p);
+    // Parts must be disjoint from b.
+    auto pi = box_intersect(p, b);
+    EXPECT_TRUE(!pi || box_count(*pi) == 0);
+  }
+  EXPECT_EQ(total, box_count(a));
+}
+
+}  // namespace
+}  // namespace saclo::sac::affine

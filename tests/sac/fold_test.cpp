@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "sac/interp.hpp"
+#include "sac/parser.hpp"
+#include "sac/pipeline.hpp"
+#include "sac/printer.hpp"
+#include "sac/typecheck.hpp"
+#include "sac_cuda/program.hpp"
+
+namespace saclo::sac {
+namespace {
+
+Value run_main(const std::string& src, std::vector<Value> args = {}) {
+  const Module m = parse(src);
+  typecheck(m);
+  return run_function(m, "main", std::move(args));
+}
+
+TEST(FoldTest, SumOverRange) {
+  EXPECT_EQ(run_main("int main() { s = with { ([0] <= [i] < [10]) : i; } : fold(+, 0); "
+                     "return (s); }")
+                .as_int(),
+            45);
+}
+
+TEST(FoldTest, ProductAndNeutral) {
+  EXPECT_EQ(run_main("int main() { p = with { ([1] <= [i] <= [5]) : i; } : fold(*, 1); "
+                     "return (p); }")
+                .as_int(),
+            120);
+  // Empty generator range: the neutral element survives.
+  EXPECT_EQ(run_main("int main() { p = with { ([5] <= [i] < [5]) : i; } : fold(*, 7); "
+                     "return (p); }")
+                .as_int(),
+            7);
+}
+
+TEST(FoldTest, MinMaxOverArray) {
+  const std::string src = R"(
+int main(int[*] v) {
+  lo = with { ([0] <= [i] < [8]) : v[[i]]; } : fold(min, 1000000);
+  hi = with { ([0] <= [i] < [8]) : v[[i]]; } : fold(max, 0 - 1000000);
+  return (hi - lo);
+}
+)";
+  const IntArray v(Shape{8}, std::vector<std::int64_t>{5, -3, 9, 2, 14, 0, -7, 4});
+  EXPECT_EQ(run_main(src, {Value(v)}).as_int(), 21);
+}
+
+TEST(FoldTest, TwoDimensionalAndStepped) {
+  EXPECT_EQ(run_main("int main() { s = with { ([0,0] <= [i,j] < [4,4]) : i * 4 + j; } "
+                     ": fold(+, 0); return (s); }")
+                .as_int(),
+            120);
+  // Stepped generator: only even indices contribute.
+  EXPECT_EQ(run_main("int main() { s = with { ([0] <= [i] < [10] step [2]) : i; } "
+                     ": fold(+, 0); return (s); }")
+                .as_int(),
+            20);
+}
+
+TEST(FoldTest, MultipleGeneratorsAccumulate) {
+  EXPECT_EQ(run_main("int main() { s = with { ([0] <= [i] < [3]) : 1; ([0] <= [j] < [4]) : 10; }"
+                     " : fold(+, 0); return (s); }")
+                .as_int(),
+            43);
+}
+
+TEST(FoldTest, VectorVarGenerator) {
+  EXPECT_EQ(run_main("int main() { s = with { ([0,0] <= iv < [3,3]) : iv[0] + iv[1]; } "
+                     ": fold(+, 0); return (s); }")
+                .as_int(),
+            18);
+}
+
+TEST(FoldTest, PrinterRoundTrips) {
+  const std::string src =
+      "int main() { s = with { ([0] <= [i] < [4]) : i; } : fold(+, 0); return (s); }";
+  const Module m = parse(src);
+  const Module m2 = parse(print(m));
+  EXPECT_EQ(run_function(m2, "main", {}).as_int(), 6);
+}
+
+TEST(FoldTest, TypecheckRejectsBadOperators) {
+  EXPECT_THROW(typecheck(parse(
+                   "int main() { s = with { ([0] <= [i] < [4]) : i; } : fold(shape, 0); "
+                   "return (s); }")),
+               TypeError);
+}
+
+TEST(FoldTest, TypecheckRejectsDotBounds) {
+  EXPECT_THROW(
+      typecheck(parse("int main() { s = with { (. <= [i] <= .) : 1; } : fold(+, 0); "
+                      "return (s); }")),
+      TypeError);
+}
+
+TEST(FoldTest, TypecheckRejectsNonScalarNeutral) {
+  EXPECT_THROW(typecheck(parse(
+                   "int main() { s = with { ([0] <= [i] < [4]) : i; } : fold(+, [1,2]); "
+                   "return (s); }")),
+               TypeError);
+}
+
+TEST(FoldTest, SpecializedFoldBehavesIdentically) {
+  const std::string src = R"(
+int main(int[*] v) {
+  n = shape(v)[0];
+  s = with { ([0] <= [i] < [n]) : v[[i]] * v[[i]]; } : fold(+, 0);
+  return (s);
+}
+)";
+  const Module m = parse(src);
+  const IntArray v = IntArray::generate(Shape{12}, [](const Index& i) { return i[0] + 1; });
+  const Value expected = run_function(m, "main", {Value(v)});
+  CompiledFunction cf = compile(m, "main", {ArgSpec::array(ElemType::Int, Shape{12})});
+  Module wrapped;
+  wrapped.functions.push_back(
+      FunDef{cf.fn.name, cf.fn.return_type, cf.fn.params, clone_block(cf.fn.body), 0});
+  EXPECT_EQ(run_function(wrapped, "main", {Value(v)}), expected);
+}
+
+TEST(FoldTest, WlfFoldsProducerIntoFoldConsumer) {
+  // A map followed by a reduction: the producer's cells substitute into
+  // the fold's generator, eliminating the intermediate array.
+  const std::string src = R"(
+int main(int[*] v) {
+  sq = with { ([0] <= [i] < [16]) : v[[i]] * v[[i]]; } : genarray([16]);
+  s = with { ([0] <= [i] < [16]) : sq[[i]]; } : fold(+, 0);
+  return (s);
+}
+)";
+  const Module m = parse(src);
+  CompiledFunction cf = compile(m, "main", {ArgSpec::array(ElemType::Int, Shape{16})});
+  EXPECT_GE(cf.stats.folds, 1);
+  const std::string text = print(cf.fn);
+  EXPECT_EQ(text.find("sq"), std::string::npos) << text;  // intermediate eliminated
+  const IntArray v = IntArray::generate(Shape{16}, [](const Index& i) { return i[0]; });
+  Module wrapped;
+  wrapped.functions.push_back(
+      FunDef{cf.fn.name, cf.fn.return_type, cf.fn.params, clone_block(cf.fn.body), 0});
+  EXPECT_EQ(run_function(wrapped, "main", {Value(v)}).as_int(),
+            run_function(m, "main", {Value(v)}).as_int());
+}
+
+TEST(FoldTest, CudaBackendRunsFoldOnHost) {
+  // The paper's backend only parallelises genarray/modarray with-loops;
+  // folds execute on the host (after the producers ran on the device).
+  const std::string src = R"(
+int main(int[*] v) {
+  sq = with { (. <= [i] <= .) : v[[i]] * 3; } : genarray(shape(v));
+  s = with { ([0] <= [i] < [64]) : sq[[i]]; } : fold(+, 0);
+  total = with { ([0] <= [i] < [64]) : sq[[i]] + s; } : genarray([64]);
+  return (total);
+}
+)";
+  const Module m = parse(src);
+  sac::CompileOptions opts;
+  opts.enable_wlf = false;  // keep the fold separate from its producer
+  CompiledFunction cf = compile(m, "main", {ArgSpec::array(ElemType::Int, Shape{64})}, opts);
+  auto prog = sac_cuda::CudaProgram::plan(cf);
+  EXPECT_GE(prog.host_block_count(), 1);  // the fold
+  EXPECT_GE(prog.kernel_count(), 1);      // the maps
+  gpu::VirtualGpu gpu(gpu::gtx480(), 1);
+  gpu::cuda::Runtime rt(gpu);
+  gpu::Profiler host_profiler;
+  const IntArray v = IntArray::generate(Shape{64}, [](const Index& i) { return i[0] % 7; });
+  const Value expected = run_function(m, "main", {Value(v)});
+  const Value actual = prog.run(rt, {Value(v)}, gpu::i7_930(), host_profiler, true);
+  EXPECT_EQ(expected, actual);
+}
+
+}  // namespace
+}  // namespace saclo::sac

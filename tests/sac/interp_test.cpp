@@ -1,0 +1,213 @@
+#include "sac/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sac/parser.hpp"
+
+namespace saclo::sac {
+namespace {
+
+Value run(const std::string& src, const std::string& fn, std::vector<Value> args) {
+  const Module m = parse(src);
+  return run_function(m, fn, std::move(args));
+}
+
+Value run_main(const std::string& src, std::vector<Value> args = {}) {
+  return run(src, "main", std::move(args));
+}
+
+TEST(InterpTest, ScalarArithmetic) {
+  EXPECT_EQ(run_main("int main() { return (2 + 3 * 4); }").as_int(), 14);
+  EXPECT_EQ(run_main("int main() { return (7 / 2); }").as_int(), 3);
+  EXPECT_EQ(run_main("int main() { return (7 % 3); }").as_int(), 1);
+  EXPECT_EQ(run_main("int main() { return (-5 + 2); }").as_int(), -3);
+}
+
+TEST(InterpTest, DivisionByZeroThrows) {
+  EXPECT_THROW(run_main("int main() { return (1 / 0); }"), EvalError);
+  EXPECT_THROW(run_main("int main() { return (1 % 0); }"), EvalError);
+}
+
+TEST(InterpTest, ArrayLiteralAndSelection) {
+  EXPECT_EQ(run_main("int main() { a = [10, 20, 30]; return (a[1]); }").as_int(), 20);
+  EXPECT_EQ(run_main("int main() { a = [[1,2],[3,4]]; return (a[[1,0]]); }").as_int(), 3);
+  // Partial selection yields a subarray.
+  EXPECT_EQ(run_main("int main() { a = [[1,2],[3,4]]; b = a[1]; return (b[1]); }").as_int(), 4);
+}
+
+TEST(InterpTest, OutOfBoundsSelectionThrows) {
+  EXPECT_THROW(run_main("int main() { a = [1,2]; return (a[2]); }"), EvalError);
+  EXPECT_THROW(run_main("int main() { a = [1,2]; return (a[-1]); }"), EvalError);
+}
+
+TEST(InterpTest, ElementwiseVectorOps) {
+  EXPECT_EQ(run_main("int main() { v = [5, 7] % [4, 4]; return (v[0] * 10 + v[1]); }").as_int(),
+            13);
+  EXPECT_EQ(run_main("int main() { v = [1, 2] + 10; return (v[1]); }").as_int(), 12);
+}
+
+TEST(InterpTest, BuiltinShapeDimConcat) {
+  EXPECT_EQ(run_main("int main() { a = [[1,2,3],[4,5,6]]; s = shape(a); "
+                     "return (s[0] * 10 + s[1]); }")
+                .as_int(),
+            23);
+  EXPECT_EQ(run_main("int main() { a = [[1,2],[3,4]]; return (dim(a)); }").as_int(), 2);
+  EXPECT_EQ(run_main("int main() { v = [1] ++ [2, 3]; return (shape(v)[0]); }").as_int(), 3);
+  EXPECT_EQ(run_main("int main() { v = CAT([1], [2, 3]); return (v[2]); }").as_int(), 3);
+}
+
+TEST(InterpTest, BuiltinMV) {
+  EXPECT_EQ(run_main("int main() { m = [[1,0],[0,8]]; v = MV(m, [5,3]); "
+                     "return (v[0] * 100 + v[1]); }")
+                .as_int(),
+            524);
+}
+
+TEST(InterpTest, ForLoopAccumulates) {
+  EXPECT_EQ(run_main("int main() { s = 0; for (i = 0; i < 10; i++) { s = s + i; } return (s); }")
+                .as_int(),
+            45);
+  EXPECT_EQ(
+      run_main("int main() { s = 0; for (i = 0; i < 10; i = i + 3) { s = s + i; } return (s); }")
+          .as_int(),
+      18);
+}
+
+TEST(InterpTest, IfElse) {
+  const std::string src =
+      "int main(int a) { if (a > 0) { r = 1; } else { r = 0 - 1; } return (r); }";
+  EXPECT_EQ(run(src, "main", {Value::from_int(5)}).as_int(), 1);
+  EXPECT_EQ(run(src, "main", {Value::from_int(-5)}).as_int(), -1);
+}
+
+TEST(InterpTest, FunctionCalls) {
+  const std::string src =
+      "int sq(int x) { return (x * x); } int main() { return (sq(3) + sq(4)); }";
+  EXPECT_EQ(run_main(src), Value::from_int(25));
+}
+
+TEST(InterpTest, RecursionWorksInInterpreter) {
+  const std::string src =
+      "int fact(int n) { if (n <= 1) { return (1); } return (n * fact(n - 1)); }"
+      "int main() { return (fact(6)); }";
+  EXPECT_EQ(run_main(src).as_int(), 720);
+}
+
+TEST(InterpTest, GenarrayBasic) {
+  const Value v = run_main(
+      "int[*] main() { return (with { ([0,0] <= iv < [2,3]) : iv[0] * 10 + iv[1]; }"
+      " : genarray([2,3])); }");
+  EXPECT_EQ(v.shape(), (Shape{2, 3}));
+  EXPECT_EQ(v.ints().at({1, 2}), 12);
+}
+
+TEST(InterpTest, GenarrayWithDefault) {
+  const Value v = run_main(
+      "int[*] main() { return (with { ([1] <= iv < [3]) : 7; } : genarray([5], -1)); }");
+  EXPECT_EQ(v.ints()[0], -1);
+  EXPECT_EQ(v.ints()[1], 7);
+  EXPECT_EQ(v.ints()[2], 7);
+  EXPECT_EQ(v.ints()[3], -1);
+}
+
+TEST(InterpTest, GenarrayNonScalarCells) {
+  // genarray(frame) with vector cells: shape is frame ++ cell.
+  const Value v = run_main(
+      "int[*] main() { return (with { ([0] <= iv < [4]) : [iv[0], 2 * iv[0]]; }"
+      " : genarray([4])); }");
+  EXPECT_EQ(v.shape(), (Shape{4, 2}));
+  EXPECT_EQ(v.ints().at({3, 1}), 6);
+}
+
+TEST(InterpTest, GeneratorStepAndWidth) {
+  const Value v = run_main(
+      "int[*] main() { return (with { ([0] <= iv < [10] step [4] width [2]) : 1; }"
+      " : genarray([10], 0)); }");
+  const std::vector<std::int64_t> expected{1, 1, 0, 0, 1, 1, 0, 0, 1, 1};
+  for (std::int64_t i = 0; i < 10; ++i) EXPECT_EQ(v.ints()[i], expected[static_cast<std::size_t>(i)]);
+}
+
+TEST(InterpTest, ModarrayOverwritesSelectively) {
+  const Value v = run_main(
+      "int[*] main() { base = with { ([0] <= iv < [6]) : 9; } : genarray([6]);"
+      " return (with { ([0] <= [i] < [6] step [2]) : i; } : modarray(base)); }");
+  const std::vector<std::int64_t> expected{0, 9, 2, 9, 4, 9};
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(v.ints()[i], expected[static_cast<std::size_t>(i)]);
+}
+
+TEST(InterpTest, DestructuredGeneratorVars) {
+  const Value v = run_main(
+      "int[*] main() { return (with { ([0,0] <= [i,j] < [2,2]) : i * 2 + j; }"
+      " : genarray([2,2])); }");
+  EXPECT_EQ(v.ints().at({1, 1}), 3);
+}
+
+TEST(InterpTest, DotBoundsResolveFromOperation) {
+  const Value v = run_main(
+      "int[*] main() { base = with { ([0] <= iv < [4]) : 0; } : genarray([4]);"
+      " return (with { (. <= [i] <= .) : i + 1; } : modarray(base)); }");
+  EXPECT_EQ(v.ints()[3], 4);
+}
+
+TEST(InterpTest, WithBodyBindingsAreLocalPerCell) {
+  // The body binding `t` must not leak between cells or to the outside.
+  const Value v = run_main(
+      "int main() { t = 100; x = with { ([0] <= [i] < [3]) { t = i * i; } : t; }"
+      " : genarray([3]); return (t + x[2]); }");
+  EXPECT_EQ(v.as_int(), 104);
+}
+
+TEST(InterpTest, ElementAssignmentOnArrays) {
+  const Value v = run_main(
+      "int[*] main() { a = [0, 0, 0]; a[1] = 5; a[[2]] = 7; return (a); }");
+  EXPECT_EQ(v.ints()[1], 5);
+  EXPECT_EQ(v.ints()[2], 7);
+}
+
+TEST(InterpTest, ElemAssignShapeMismatchThrows) {
+  EXPECT_THROW(run_main("int[*] main() { a = [[1,2],[3,4]]; a[0] = 5; return (a); }"),
+               EvalError);
+}
+
+TEST(InterpTest, NestedWithLoopsGatherTiles) {
+  // A miniature version of the paper's input tiler: gather 3-element
+  // patterns with step-2 paving from an 8-vector.
+  const std::string src = R"(
+int[*] main() {
+  frame = with { ([0] <= [i] < [8]) : i * i; } : genarray([8]);
+  out = with {
+    (. <= rep <= .) {
+      tile = with {
+        (. <= pat <= .) {
+          iv = (rep * 2 + pat) % shape(frame);
+          e = frame[iv];
+        } : e;
+      } : genarray([3], 0);
+    } : tile;
+  } : genarray([4]);
+  return (out);
+}
+)";
+  const Value v = run_main(src);
+  EXPECT_EQ(v.shape(), (Shape{4, 3}));
+  EXPECT_EQ(v.ints().at({0, 0}), 0);
+  EXPECT_EQ(v.ints().at({3, 1}), 49);   // (3*2+1)^2
+  EXPECT_EQ(v.ints().at({3, 2}), 0);    // wraps to index 0
+}
+
+TEST(InterpTest, OpsCounterIncreases) {
+  const Module m = parse("int main() { s = 0; for (i = 0; i < 100; i++) { s = s + i; } return (s); }");
+  Interp interp(m);
+  EXPECT_EQ(interp.call("main", {}).as_int(), 4950);
+  EXPECT_GT(interp.ops(), 100.0);
+}
+
+TEST(InterpTest, FloatArrays) {
+  const Value v = run_main(
+      "float[*] main() { return (with { ([0] <= [i] < [3]) : tod(i) * 1.5; } : genarray([3], 0.0)); }");
+  EXPECT_TRUE(v.is_float());
+  EXPECT_DOUBLE_EQ(v.floats()[2], 3.0);
+}
+
+}  // namespace
+}  // namespace saclo::sac

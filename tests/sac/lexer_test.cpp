@@ -1,0 +1,77 @@
+#include "sac/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saclo::sac {
+namespace {
+
+std::vector<Tok> kinds(const std::string& src) {
+  std::vector<Tok> out;
+  for (const Token& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  const auto ks = kinds("with genarray modarray step width foo bar_2");
+  EXPECT_EQ(ks, (std::vector<Tok>{Tok::KwWith, Tok::KwGenarray, Tok::KwModarray, Tok::KwStep,
+                                  Tok::KwWidth, Tok::Ident, Tok::Ident, Tok::End}));
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  const auto toks = lex("1080 3.5 0");
+  EXPECT_EQ(toks[0].kind, Tok::IntLit);
+  EXPECT_EQ(toks[0].int_val, 1080);
+  EXPECT_EQ(toks[1].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(toks[1].float_val, 3.5);
+  EXPECT_EQ(toks[2].int_val, 0);
+}
+
+TEST(LexerTest, DotIsSeparateFromFloats) {
+  // `.` bounds in generators must lex as Dot, not start a float.
+  const auto ks = kinds("( . <= rep <= . )");
+  EXPECT_EQ(ks, (std::vector<Tok>{Tok::LParen, Tok::Dot, Tok::Le, Tok::Ident, Tok::Le, Tok::Dot,
+                                  Tok::RParen, Tok::End}));
+}
+
+TEST(LexerTest, PlusPlusVersusPlus) {
+  const auto ks = kinds("rep++pat + 1");
+  EXPECT_EQ(ks, (std::vector<Tok>{Tok::Ident, Tok::PlusPlus, Tok::Ident, Tok::Plus, Tok::IntLit,
+                                  Tok::End}));
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  const auto ks = kinds("<= < >= > == != =");
+  EXPECT_EQ(ks, (std::vector<Tok>{Tok::Le, Tok::Lt, Tok::Ge, Tok::Gt, Tok::Eq, Tok::Ne,
+                                  Tok::Assign, Tok::End}));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  const auto ks = kinds("a // line comment\n b /* block \n comment */ c");
+  EXPECT_EQ(ks, (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::Ident, Tok::End}));
+}
+
+TEST(LexerTest, UnterminatedCommentThrows) {
+  EXPECT_THROW(lex("a /* oops"), ParseError);
+}
+
+TEST(LexerTest, UnknownCharacterThrows) {
+  EXPECT_THROW(lex("a $ b"), ParseError);
+  EXPECT_THROW(lex("a & b"), ParseError);
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  const auto toks = lex("a\nb\n  c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_EQ(toks[2].col, 3);
+}
+
+TEST(LexerTest, PaperTilerSignatureLexes) {
+  const std::string src =
+      "int[*] input_tiler(int[*] in_frame, int[.] in_pattern, int[.,.] fitting)";
+  EXPECT_NO_THROW(lex(src));
+}
+
+}  // namespace
+}  // namespace saclo::sac

@@ -1,0 +1,188 @@
+#include "sac/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sac/printer.hpp"
+
+namespace saclo::sac {
+namespace {
+
+TEST(ParserTest, SimpleFunction) {
+  const Module m = parse("int add(int a, int b) { return (a + b); }");
+  ASSERT_EQ(m.functions.size(), 1u);
+  const FunDef& f = m.functions[0];
+  EXPECT_EQ(f.name, "add");
+  ASSERT_EQ(f.params.size(), 2u);
+  EXPECT_EQ(f.params[0].second, "a");
+  ASSERT_EQ(f.body.size(), 1u);
+  EXPECT_EQ(f.body[0]->kind, StmtKind::Return);
+}
+
+TEST(ParserTest, TypeSpecs) {
+  const Module m = parse(
+      "int[*] f(int[*] a, int[.] b, int[.,.] c, int[1080,1920] d, float x) { return (a); }");
+  const auto& ps = m.functions[0].params;
+  EXPECT_EQ(ps[0].first.kind, TypeSpec::Dims::AnyRank);
+  EXPECT_EQ(ps[1].first.dims, (std::vector<std::int64_t>{-1}));
+  EXPECT_EQ(ps[2].first.dims, (std::vector<std::int64_t>{-1, -1}));
+  EXPECT_EQ(ps[3].first.dims, (std::vector<std::int64_t>{1080, 1920}));
+  EXPECT_EQ(ps[4].first.kind, TypeSpec::Dims::Scalar);
+  EXPECT_EQ(ps[4].first.elem, ElemType::Float);
+}
+
+TEST(ParserTest, PrecedenceOfArithmetic) {
+  const ExprPtr e = parse_expression("1 + 2 * 3 - 4 / 2");
+  // (1 + (2*3)) - (4/2)
+  EXPECT_EQ(print(*e), "1 + 2 * 3 - 4 / 2");
+  ASSERT_EQ(e->kind, ExprKind::BinOp);
+  EXPECT_EQ(e->bin_op, BinOpKind::Sub);
+}
+
+TEST(ParserTest, ConcatBindsLooserThanAdd) {
+  const ExprPtr e = parse_expression("a + b ++ c");
+  ASSERT_EQ(e->kind, ExprKind::BinOp);
+  EXPECT_EQ(e->bin_op, BinOpKind::Concat);
+}
+
+TEST(ParserTest, DoubleBracketSelection) {
+  // input[[i,j,k]] is selection with an array-literal index.
+  const ExprPtr e = parse_expression("input[[i,j/3,0]]");
+  ASSERT_EQ(e->kind, ExprKind::Select);
+  EXPECT_EQ(e->args[1]->kind, ExprKind::ArrayLit);
+  EXPECT_EQ(e->args[1]->args.size(), 3u);
+}
+
+TEST(ParserTest, ChainedSelection) {
+  const ExprPtr e = parse_expression("input[rep][0]");
+  ASSERT_EQ(e->kind, ExprKind::Select);
+  EXPECT_EQ(e->args[0]->kind, ExprKind::Select);
+}
+
+TEST(ParserTest, WithLoopGenarray) {
+  const ExprPtr e = parse_expression(
+      "with { (. <= rep <= .) { x = 1; } : x; } : genarray( repetition, 0)");
+  ASSERT_EQ(e->kind, ExprKind::With);
+  ASSERT_EQ(e->generators.size(), 1u);
+  const Generator& g = e->generators[0];
+  EXPECT_EQ(g.lower, nullptr);
+  EXPECT_EQ(g.upper, nullptr);
+  EXPECT_TRUE(g.lower_inclusive);
+  EXPECT_TRUE(g.upper_inclusive);
+  EXPECT_TRUE(g.vector_var);
+  EXPECT_EQ(g.vars[0], "rep");
+  EXPECT_EQ(g.body.size(), 1u);
+  EXPECT_EQ(e->op.kind, WithOpKind::Genarray);
+  ASSERT_NE(e->op.default_value, nullptr);
+}
+
+TEST(ParserTest, WithLoopModarrayWithStepGenerators) {
+  // The paper's non-generic output tiler (Figure 7).
+  const ExprPtr e = parse_expression(
+      "with {"
+      "  ([0,0]<=[i,j]<=. step [1,3]):input[[i,j/3,0]];"
+      "  ([0,1]<=[i,j]<=. step [1,3]):input[[i,j/3,1]];"
+      "  ([0,2]<=[i,j]<=. step [1,3]):input[[i,j/3,2]];"
+      "} : modarray( output)");
+  ASSERT_EQ(e->kind, ExprKind::With);
+  EXPECT_EQ(e->op.kind, WithOpKind::Modarray);
+  ASSERT_EQ(e->generators.size(), 3u);
+  const Generator& g = e->generators[0];
+  EXPECT_FALSE(g.vector_var);
+  EXPECT_EQ(g.vars, (std::vector<std::string>{"i", "j"}));
+  ASSERT_NE(g.step, nullptr);
+  EXPECT_EQ(g.step->kind, ExprKind::ArrayLit);
+}
+
+TEST(ParserTest, GeneratorWithStepAndWidth) {
+  const ExprPtr e = parse_expression(
+      "with { ([0,0] <= iv < [1080,720] step [1,3] width [1,1]) : 0; } : genarray([1080,720])");
+  const Generator& g = e->generators[0];
+  ASSERT_NE(g.width, nullptr);
+  EXPECT_FALSE(g.upper_inclusive);
+}
+
+TEST(ParserTest, ForLoopIncrementForms) {
+  const Module m = parse(
+      "int f(int n) {"
+      "  s = 0;"
+      "  for (i = 0; i < n; i++) { s = s + i; }"
+      "  for (j = 0; j < n; j = j + 2) { s = s + j; }"
+      "  return (s);"
+      "}");
+  const auto& body = m.functions[0].body;
+  ASSERT_EQ(body.size(), 4u);
+  EXPECT_EQ(body[1]->kind, StmtKind::For);
+  EXPECT_EQ(body[1]->for_step->int_val, 1);
+  EXPECT_EQ(body[2]->for_step->int_val, 2);
+}
+
+TEST(ParserTest, ElemAssignWithMultipleBrackets) {
+  const Module m = parse("int f(int[*] a) { a[0][1] = 5; a[[2,3]] = 6; return (a[0]); }");
+  const auto& body = m.functions[0].body;
+  EXPECT_EQ(body[0]->kind, StmtKind::ElemAssign);
+  EXPECT_EQ(body[0]->indices.size(), 2u);
+  EXPECT_EQ(body[1]->indices.size(), 1u);
+  EXPECT_EQ(body[1]->indices[0]->kind, ExprKind::ArrayLit);
+}
+
+TEST(ParserTest, DeclarationWithoutInitialiser) {
+  const Module m = parse("int f() { int[4,4] frame; return (frame[[0,0]]); }");
+  const Stmt& s = *m.functions[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::Assign);
+  EXPECT_EQ(s.value, nullptr);
+  ASSERT_TRUE(s.decl_type.has_value());
+  EXPECT_EQ(s.decl_type->dims, (std::vector<std::int64_t>{4, 4}));
+}
+
+TEST(ParserTest, IfElseChains) {
+  const Module m = parse(
+      "int f(int a) { if (a > 0) { return (1); } else if (a < 0) { return (2); }"
+      " else { return (0); } }");
+  const Stmt& s = *m.functions[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::If);
+  ASSERT_EQ(s.else_body.size(), 1u);
+  EXPECT_EQ(s.else_body[0]->kind, StmtKind::If);
+}
+
+TEST(ParserTest, ErrorsCarryLocation) {
+  try {
+    parse("int f() { return (1; }");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+}
+
+TEST(ParserTest, MissingSemicolonThrows) {
+  EXPECT_THROW(parse("int f() { x = 1 return (x); }"), ParseError);
+}
+
+TEST(ParserTest, PaperInputTilerParses) {
+  // Figure 4 of the paper, modulo syntax normalisation of `(. <= x <= .)`.
+  const std::string src = R"(
+int[*] input_tiler(int[*] in_frame, int[.] in_pattern, int[.] repetition,
+                   int[.] origin, int[.,.] fitting, int[.,.] paving)
+{
+  output = with {
+    (. <= rep <= .) {
+      tile = with {
+        (. <= pat <= .) {
+          off = origin + MV( CAT( paving, fitting), rep++pat);
+          iv = off % shape(in_frame);
+          elem = in_frame[iv];
+        } : elem;
+      } : genarray( in_pattern, 0);
+    } : tile;
+  } : genarray( repetition);
+  return( output);
+}
+)";
+  const Module m = parse(src);
+  ASSERT_EQ(m.functions.size(), 1u);
+  // Round-trip through the printer and re-parse.
+  const Module m2 = parse(print(m));
+  EXPECT_EQ(m2.functions[0].name, "input_tiler");
+}
+
+}  // namespace
+}  // namespace saclo::sac

@@ -1,0 +1,79 @@
+#include "sac/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sac/parser.hpp"
+
+namespace saclo::sac {
+namespace {
+
+std::string norm(const std::string& src) { return print(parse(src)); }
+
+TEST(PrinterTest, FunctionLayout) {
+  EXPECT_EQ(norm("int add(int a,int b){return(a+b);}"),
+            "int add(int a, int b)\n{\n  return (a + b);\n}\n\n");
+}
+
+TEST(PrinterTest, PrecedenceParenthesisation) {
+  // Parentheses appear only where required.
+  EXPECT_NE(norm("int f(int a,int b,int c){return((a+b)*c);}").find("(a + b) * c"),
+            std::string::npos);
+  EXPECT_NE(norm("int f(int a,int b,int c){return(a+b*c);}").find("a + b * c"),
+            std::string::npos);
+  EXPECT_NE(norm("int f(int a,int b){return(a-(b-1));}").find("a - (b - 1)"),
+            std::string::npos);
+}
+
+TEST(PrinterTest, WithLoopLayout) {
+  const std::string out = norm(
+      "int[*] f(int[*] v){o=with{([0]<=[i]<[4] step [2]):v[[i]];}:genarray([4],0);return(o);}");
+  EXPECT_NE(out.find("with {\n"), std::string::npos);
+  EXPECT_NE(out.find("([0] <= [i] < [4] step [2]) : v[[i]];"), std::string::npos);
+  EXPECT_NE(out.find("} : genarray([4], 0)"), std::string::npos);
+}
+
+TEST(PrinterTest, DotBoundsPrintAsDots) {
+  const std::string out =
+      norm("int[*] f(int[*] v){o=with{(.<=iv<=.):v[iv];}:genarray(shape(v));return(o);}");
+  EXPECT_NE(out.find("(. <= iv <= .)"), std::string::npos);
+}
+
+TEST(PrinterTest, GeneratorBodiesIndent) {
+  const std::string out = norm(
+      "int[*] f(int[*] v){o=with{([0]<=[i]<[4]){t=v[[i]]*2;}:t;}:genarray([4]);return(o);}");
+  EXPECT_NE(out.find(") {\n      t = v[[i]] * 2;\n    } : t;"), std::string::npos) << out;
+}
+
+TEST(PrinterTest, ForAndIfLayout) {
+  const std::string out = norm(
+      "int f(int n){s=0;for(i=0;i<n;i=i+2){if(i>3){s=s+i;}else{s=s-1;}}return(s);}");
+  EXPECT_NE(out.find("for (i = 0; i < n; i = i + 2) {"), std::string::npos);
+  EXPECT_NE(out.find("if (i > 3) {"), std::string::npos);
+  EXPECT_NE(out.find("} else {"), std::string::npos);
+}
+
+TEST(PrinterTest, ModarrayAndFoldOps) {
+  EXPECT_NE(norm("int[*] f(int[*] o){r=with{([0]<=[i]<[2]):0;}:modarray(o);return(r);}")
+                .find("} : modarray(o)"),
+            std::string::npos);
+  EXPECT_NE(norm("int f(){s=with{([0]<=[i]<[2]):i;}:fold(+,0);return(s);}")
+                .find("} : fold(+, 0)"),
+            std::string::npos);
+  EXPECT_NE(norm("int f(){s=with{([0]<=[i]<[2]):i;}:fold(max,0);return(s);}")
+                .find("} : fold(max, 0)"),
+            std::string::npos);
+}
+
+TEST(PrinterTest, ElemAssignChains) {
+  EXPECT_NE(norm("int[*] f(int[*] a){a[0][1]=5;return(a);}").find("  a[0][1] = 5;\n"),
+            std::string::npos);
+}
+
+TEST(PrinterTest, TypeSpecsRoundTrip) {
+  const std::string out =
+      norm("float[*] f(float[1080,1920] a, int[.,.] b, bool c){return(a);}");
+  EXPECT_NE(out.find("float[*] f(float[1080,1920] a, int[.,.] b, bool c)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saclo::sac

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "sac/interp.hpp"
+#include "sac/parser.hpp"
+#include "sac/pipeline.hpp"
+#include "sac/printer.hpp"
+
+namespace saclo::sac {
+namespace {
+
+/// Unit tests of individual optimiser rewrite rules, observed through
+/// the printed output of compiled functions.
+std::string optimised(const std::string& src, const std::string& fn,
+                      std::vector<ArgSpec> args) {
+  const Module m = parse(src);
+  CompiledFunction cf = compile(m, fn, args);
+  return print(cf.fn);
+}
+
+TEST(SimplifierTest, MvOfConstantMatrixExpands) {
+  const std::string out = optimised(
+      "int[*] f(int[*] v) { o = with { ([0,0] <= [i,j] < [4,4]) : "
+      "v[MV([[1,0],[0,8]], [i,j])]; } : genarray([4,4]); return (o); }",
+      "f", {ArgSpec::array(ElemType::Int, Shape{4, 32})});
+  EXPECT_EQ(out.find("MV"), std::string::npos) << out;
+  EXPECT_NE(out.find("8 * j"), std::string::npos) << out;
+}
+
+TEST(SimplifierTest, ConcatOfLiteralsMerges) {
+  const std::string out = optimised(
+      "int[*] f(int[*] v) { o = with { ([0] <= [i] < [4]) : v[[1] ++ [i]]; } "
+      ": genarray([4]); return (o); }",
+      "f", {ArgSpec::array(ElemType::Int, Shape{2, 4})});
+  EXPECT_NE(out.find("v[[1,i]]"), std::string::npos) << out;
+}
+
+TEST(SimplifierTest, NestedSelectCollapses) {
+  const std::string out = optimised(
+      "int[*] f(int[*] m) { o = with { ([0] <= [i] < [3]) : m[[i]][[1]]; } "
+      ": genarray([3]); return (o); }",
+      "f", {ArgSpec::array(ElemType::Int, Shape{3, 2})});
+  EXPECT_NE(out.find("m[[i,1]]"), std::string::npos) << out;
+}
+
+TEST(SimplifierTest, AlgebraicIdentities) {
+  const std::string out = optimised(
+      "int[*] f(int[*] v) { o = with { ([0] <= [i] < [4]) : "
+      "(v[[i]] + 0) * 1 - 0 + (0 + i) / 1; } : genarray([4]); return (o); }",
+      "f", {ArgSpec::array(ElemType::Int, Shape{4})});
+  EXPECT_NE(out.find("v[[i]] + i"), std::string::npos) << out;
+}
+
+TEST(SimplifierTest, RowWrapModDisappears) {
+  // (i % 4) over i in [0,4) is provably redundant.
+  const std::string out = optimised(
+      "int[*] f(int[*] v) { o = with { ([0] <= [i] < [4]) : v[[i % 4]]; } "
+      ": genarray([4]); return (o); }",
+      "f", {ArgSpec::array(ElemType::Int, Shape{4})});
+  EXPECT_EQ(out.find('%'), std::string::npos) << out;
+}
+
+TEST(SimplifierTest, BoundaryModSplitsGenerator) {
+  // i+2 wraps for the last two indices: the generator splits, the
+  // interior loses its %.
+  const std::string src =
+      "int[*] f(int[*] v) { o = with { ([0] <= [i] < [8]) : v[[(i + 2) % 8]]; } "
+      ": genarray([8]); return (o); }";
+  const Module m = parse(src);
+  CompiledFunction cf = compile(m, "f", {ArgSpec::array(ElemType::Int, Shape{8})});
+  ASSERT_GE(cf.stats.generator_splits, 1);
+  // Correctness of the split.
+  Module wrapped;
+  wrapped.functions.push_back(
+      FunDef{cf.fn.name, cf.fn.return_type, cf.fn.params, clone_block(cf.fn.body), 0});
+  const IntArray v = IntArray::generate(Shape{8}, [](const Index& i) { return 10 * i[0]; });
+  EXPECT_EQ(run_function(wrapped, "f", {Value(v)}), run_function(m, "f", {Value(v)}));
+}
+
+TEST(SimplifierTest, TileElementForwarding) {
+  // tile[k] writes forward into selections; the tile array disappears.
+  const std::string out = optimised(R"(
+int[*] f(int[*] v) {
+  o = with {
+    ([0] <= [i] < [4]) {
+      tile = with { ([0] <= [p] < [2]) : 0; } : genarray([2], 0);
+      tile[0] = v[[i]] * 2;
+      tile[1] = v[[i]] + 5;
+    } : tile[0] + tile[1];
+  } : genarray([4]);
+  return (o);
+}
+)",
+                                    "f", {ArgSpec::array(ElemType::Int, Shape{4})});
+  EXPECT_EQ(out.find("tile"), std::string::npos) << out;
+  EXPECT_NE(out.find("v[[i]] * 2 + (v[[i]] + 5)"), std::string::npos) << out;
+}
+
+TEST(SimplifierTest, LoopBodyStrengthReduction) {
+  // MV/CAT in a for-loop body (the generic tiler shape) reduce to plain
+  // index arithmetic.
+  const std::string out = optimised(R"(
+int[*] f(int[*] v) {
+  o = with { ([0,0] <= iv < [4,6]) : 0; } : genarray([4,6]);
+  for (i = 0; i < 4; i++) {
+    for (j = 0; j < 6; j++) {
+      off = MV(CAT([[1,0],[0,1]], [[0],[0]]), [i,j,0]);
+      o[off] = v[[i, j]];
+    }
+  }
+  return (o);
+}
+)",
+                                    "f", {ArgSpec::array(ElemType::Int, Shape{4, 6})});
+  EXPECT_EQ(out.find("MV"), std::string::npos) << out;
+  EXPECT_EQ(out.find("CAT"), std::string::npos) << out;
+}
+
+TEST(SimplifierTest, DeadStatementsEliminated) {
+  const std::string out = optimised(R"(
+int f(int a) {
+  unused1 = a * 1000;
+  unused2 = with { ([0] <= [i] < [100]) : i; } : genarray([100]);
+  r = a + 1;
+  return (r);
+}
+)",
+                                    "f", {ArgSpec::array(ElemType::Int, Shape{})});
+  EXPECT_EQ(out.find("unused1"), std::string::npos) << out;
+  EXPECT_EQ(out.find("unused2"), std::string::npos) << out;
+}
+
+TEST(SimplifierTest, AliasChainsCollapse) {
+  const std::string out = optimised(R"(
+int[*] f(int[*] v) {
+  a = with { (. <= [i] <= .) : v[[i]] * 2; } : genarray(shape(v));
+  b = a;
+  c = b;
+  d = with { (. <= [i] <= .) : c[[i]] + 1; } : genarray(shape(v));
+  return (d);
+}
+)",
+                                    "f", {ArgSpec::array(ElemType::Int, Shape{6})});
+  // The alias chain must not block fusion: one with-loop remains.
+  int withs = 0;
+  for (std::size_t pos = out.find("with {"); pos != std::string::npos;
+       pos = out.find("with {", pos + 1)) {
+    ++withs;
+  }
+  EXPECT_EQ(withs, 1) << out;
+}
+
+}  // namespace
+}  // namespace saclo::sac

@@ -1,0 +1,169 @@
+#include "sac/specialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sac/interp.hpp"
+#include "sac/parser.hpp"
+#include "sac/printer.hpp"
+
+namespace saclo::sac {
+namespace {
+
+Module wrap(const FunDef& fn) {
+  Module m;
+  m.functions.push_back(FunDef{fn.name, fn.return_type, fn.params, clone_block(fn.body), fn.line});
+  return m;
+}
+
+TEST(LiteralTest, RoundTripValueExpr) {
+  const Value v(IntArray::generate(Shape{2, 3}, [](const Index& i) { return i[0] * 3 + i[1]; }));
+  const ExprPtr e = literal_expr(v);
+  const auto back = literal_value(*e);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, v);
+}
+
+TEST(SpecializeTest, FoldsConstantArithmetic) {
+  const Module m = parse("int main(int a) { x = 2 + 3 * 4; return (x + a); }");
+  const FunDef fn = specialize(m, "main", {ArgSpec::array(ElemType::Int, Shape{})});
+  // x = 14 should appear as a literal.
+  const std::string text = print(fn);
+  EXPECT_NE(text.find("x = 14"), std::string::npos);
+}
+
+TEST(SpecializeTest, ShapeFoldsFromStaticShapes) {
+  // shape(frame) folds even though frame's contents are unknown.
+  const Module m = parse("int[*] main(int[*] frame) { s = shape(frame); return (s); }");
+  const FunDef fn = specialize(m, "main", {ArgSpec::array(ElemType::Int, Shape{1080, 1920})});
+  const std::string text = print(fn);
+  EXPECT_NE(text.find("[1080,1920]"), std::string::npos);
+}
+
+TEST(SpecializeTest, InlinesUserFunctions) {
+  const Module m = parse(
+      "int sq(int x) { y = x * x; return (y); }"
+      "int main(int a) { return (sq(a) + sq(2)); }");
+  const FunDef fn = specialize(m, "main", {ArgSpec::array(ElemType::Int, Shape{})});
+  const std::string text = print(fn);
+  EXPECT_EQ(text.find("sq("), std::string::npos) << text;  // no calls remain
+  // sq(2) folds to 4 entirely.
+  EXPECT_NE(text.find("4"), std::string::npos);
+}
+
+TEST(SpecializeTest, RecursiveFunctionRejected) {
+  const Module m = parse("int f(int n) { return (f(n - 1)); } int main() { return (f(3)); }");
+  EXPECT_THROW(specialize(m, "main", {}), SpecializeError);
+}
+
+TEST(SpecializeTest, SpecializedProgramBehavesIdentically) {
+  const std::string src = R"(
+int helper(int[*] v, int k) { return (v[k] * 2); }
+int[*] main(int[*] frame) {
+  n = shape(frame)[0];
+  out = with { ([0] <= [i] < [6]) : helper(frame, i) + n; } : genarray([6]);
+  return (out);
+}
+)";
+  const Module m = parse(src);
+  const IntArray frame = IntArray::generate(Shape{6}, [](const Index& i) { return i[0] + 1; });
+  const Value expected = run_function(m, "main", {Value(frame)});
+
+  const FunDef fn = specialize(m, "main", {ArgSpec::array(ElemType::Int, Shape{6})});
+  const Module m2 = wrap(fn);
+  const Value actual = run_function(m2, "main", {Value(frame)});
+  EXPECT_EQ(expected, actual);
+}
+
+TEST(SpecializeTest, ConstantArgumentsAreBakedIn) {
+  const std::string src = R"(
+int[*] main(int[*] frame, int[.,.] paving) {
+  out = with { ([0,0] <= rep < [2,2]) : frame[MV(paving, rep)]; } : genarray([2,2]);
+  return (out);
+}
+)";
+  const Module m = parse(src);
+  const Value paving(IntArray(Shape{2, 2}, std::vector<std::int64_t>{1, 0, 0, 2}));
+  const FunDef fn = specialize(
+      m, "main", {ArgSpec::array(ElemType::Int, Shape{4, 4}), ArgSpec::value(paving)});
+  const std::string text = print(fn.body);
+  EXPECT_EQ(text.find("paving"), std::string::npos) << text;  // matrix literal substituted
+  EXPECT_NE(text.find("[[1,0],[0,2]]"), std::string::npos) << text;
+  // Behaviour check.
+  const IntArray frame =
+      IntArray::generate(Shape{4, 4}, [](const Index& i) { return i[0] * 10 + i[1]; });
+  const Value expected = run_function(m, "main", {Value(frame), paving});
+  const Value actual = run_function(wrap(fn), "main", {Value(frame), paving});
+  EXPECT_EQ(expected, actual);
+}
+
+TEST(SpecializeTest, DotBoundsBecomeConcrete) {
+  const std::string src = R"(
+int[*] main(int[*] frame) {
+  out = with { (. <= iv <= .) : frame[iv] + 1; } : genarray(shape(frame));
+  return (out);
+}
+)";
+  const Module m = parse(src);
+  const FunDef fn = specialize(m, "main", {ArgSpec::array(ElemType::Int, Shape{3, 5})});
+  const std::string text = print(fn);
+  EXPECT_NE(text.find("[0,0] <= iv < [3,5]"), std::string::npos) << text;
+}
+
+TEST(SpecializeTest, ConstantConditionSplicesBranch) {
+  const Module m = parse(
+      "int main(int a) { if (1 < 2) { r = a + 1; } else { r = a - 1; } return (r); }");
+  const FunDef fn = specialize(m, "main", {ArgSpec::array(ElemType::Int, Shape{})});
+  const std::string text = print(fn);
+  EXPECT_EQ(text.find("if"), std::string::npos);
+  EXPECT_NE(text.find("a + 1"), std::string::npos);
+}
+
+TEST(SpecializeTest, ForLoopBoundsFold) {
+  const std::string src = R"(
+int[*] main(int[*] v, int[.] repetition) {
+  s = v;
+  for (i = 0; i < repetition[[0]]; i++) { s[i] = i; }
+  return (s);
+}
+)";
+  const Module m = parse(src);
+  const FunDef fn = specialize(m, "main",
+                               {ArgSpec::array(ElemType::Int, Shape{4}),
+                                ArgSpec::value(Value(IntArray(Shape{1}, {4})))});
+  const std::string text = print(fn);
+  EXPECT_NE(text.find("i < 4"), std::string::npos) << text;
+  const IntArray v(Shape{4}, 9);
+  const Value out = run_function(wrap(fn), "main",
+                                 {Value(v), Value(IntArray(Shape{1}, {4}))});
+  EXPECT_EQ(out.ints()[3], 3);
+}
+
+TEST(SpecializeTest, NestedInliningWithRenaming) {
+  // Two call sites of the same function must not collide.
+  const std::string src = R"(
+int addc(int x) { c = x + 1; return (c); }
+int main(int a) { p = addc(a); q = addc(p); return (q); }
+)";
+  const Module m = parse(src);
+  const FunDef fn = specialize(m, "main", {ArgSpec::array(ElemType::Int, Shape{})});
+  const Value out = run_function(wrap(fn), "main", {Value::from_int(10)});
+  EXPECT_EQ(out.as_int(), 12);
+}
+
+TEST(SpecializeTest, WithLoopCellShapeFromGeneratorValue) {
+  const std::string src = R"(
+int[*] main(int[*] frame) {
+  out = with { ([0] <= [r] < [4]) { t = [frame[r], frame[r]]; } : t; } : genarray([4]);
+  inner = out[[1,1]];
+  return (shape(out) ++ [inner]);
+}
+)";
+  const Module m = parse(src);
+  const FunDef fn = specialize(m, "main", {ArgSpec::array(ElemType::Int, Shape{8})});
+  // shape(out) folded implies cell shape [2] was derived: result [4,2,<v>].
+  const std::string text = print(fn);
+  EXPECT_NE(text.find("[4,2]"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace saclo::sac

@@ -1,0 +1,142 @@
+#include "sac/stdlib.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sac/interp.hpp"
+#include "sac/parser.hpp"
+#include "sac/pipeline.hpp"
+#include "sac/typecheck.hpp"
+#include "sac_cuda/program.hpp"
+
+namespace saclo::sac {
+namespace {
+
+struct PreludeFixture : public ::testing::Test {
+  Module mod;
+  void SetUp() override {
+    mod = parse(prelude_source());
+    typecheck(mod);
+  }
+  Value call(const std::string& fn, std::vector<Value> args) {
+    return run_function(mod, fn, std::move(args));
+  }
+  static Value vec(std::vector<std::int64_t> v) {
+    const auto n = static_cast<std::int64_t>(v.size());
+    return Value(IntArray(Shape{n}, std::move(v)));
+  }
+};
+
+TEST_F(PreludeFixture, Iota) {
+  const Value v = call("iota", {Value::from_int(5)});
+  EXPECT_EQ(v, vec({0, 1, 2, 3, 4}));
+}
+
+TEST_F(PreludeFixture, ReverseAndRotate) {
+  EXPECT_EQ(call("vreverse", {vec({1, 2, 3, 4})}), vec({4, 3, 2, 1}));
+  EXPECT_EQ(call("rotate", {vec({1, 2, 3, 4, 5}), Value::from_int(2)}), vec({3, 4, 5, 1, 2}));
+  EXPECT_EQ(call("rotate", {vec({1, 2, 3}), Value::from_int(0)}), vec({1, 2, 3}));
+}
+
+TEST_F(PreludeFixture, TakeAndDrop) {
+  EXPECT_EQ(call("take", {vec({7, 8, 9, 10}), Value::from_int(2)}), vec({7, 8}));
+  EXPECT_EQ(call("drop", {vec({7, 8, 9, 10}), Value::from_int(3)}), vec({10}));
+  EXPECT_EQ(call("drop", {vec({7}), Value::from_int(0)}), vec({7}));
+}
+
+TEST_F(PreludeFixture, Reductions) {
+  EXPECT_EQ(call("vsum", {vec({1, 2, 3, 4})}).as_int(), 10);
+  EXPECT_EQ(call("vprod", {vec({2, 3, 4})}).as_int(), 24);
+  EXPECT_EQ(call("vmin", {vec({5, -2, 9})}).as_int(), -2);
+  EXPECT_EQ(call("vmax", {vec({5, -2, 9})}).as_int(), 9);
+  EXPECT_EQ(call("dot", {vec({1, 2, 3}), vec({4, 5, 6})}).as_int(), 32);
+}
+
+TEST_F(PreludeFixture, TransposeRoundTrips) {
+  const Value m(IntArray::generate(Shape{3, 5}, [](const Index& i) { return i[0] * 5 + i[1]; }));
+  const Value t = call("transpose", {m});
+  EXPECT_EQ(t.shape(), (Shape{5, 3}));
+  EXPECT_EQ(call("transpose", {t}), m);
+}
+
+TEST_F(PreludeFixture, MatmulAgainstNative) {
+  const IntArray a =
+      IntArray::generate(Shape{4, 3}, [](const Index& i) { return i[0] + 2 * i[1]; });
+  const IntArray b =
+      IntArray::generate(Shape{3, 5}, [](const Index& i) { return 3 * i[0] - i[1]; });
+  const Value c = call("matmul", {Value(a), Value(b)});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t p = 0; p < 3; ++p) acc += a.at({i, p}) * b.at({p, j});
+      EXPECT_EQ(c.ints().at({i, j}), acc);
+    }
+  }
+}
+
+TEST_F(PreludeFixture, OuterProduct) {
+  const Value o = call("outer", {vec({1, 2}), vec({10, 20, 30})});
+  EXPECT_EQ(o.shape(), (Shape{2, 3}));
+  EXPECT_EQ(o.ints().at({1, 2}), 60);
+}
+
+TEST_F(PreludeFixture, ClampAndConvolve) {
+  EXPECT_EQ(call("clampv", {vec({-5, 0, 5, 500}), Value::from_int(0), Value::from_int(255)}),
+            vec({0, 0, 5, 255}));
+  // convolve1d([1,2,3,4], [1,1]) = [3,5,7]
+  EXPECT_EQ(call("convolve1d", {vec({1, 2, 3, 4}), vec({1, 1})}), vec({3, 5, 7}));
+}
+
+TEST_F(PreludeFixture, Histogram) {
+  EXPECT_EQ(call("histogram", {vec({0, 1, 1, 2, 1, 0}), Value::from_int(4)}),
+            vec({2, 3, 1, 0}));
+}
+
+TEST_F(PreludeFixture, LinkPreludeIntoUserModule) {
+  Module user = parse("int f(int[*] v) { return (vsum(v) + vmax(v)); }");
+  const std::size_t added = link_prelude(user);
+  EXPECT_GT(added, 10u);
+  typecheck(user);
+  EXPECT_EQ(run_function(user, "f", {vec({1, 2, 3})}).as_int(), 9);
+  // Name collisions are rejected.
+  Module clash = parse("int iota(int n) { return (n); }");
+  EXPECT_THROW(link_prelude(clash), ParseError);
+}
+
+TEST_F(PreludeFixture, PreludeFunctionsCompileToKernels) {
+  // Every shape-generic prelude function specialises and (where the
+  // backend supports it) becomes device kernels; all must compute the
+  // interpreter's result on the simulator.
+  struct Case {
+    const char* fn;
+    std::vector<ArgSpec> args;
+    std::vector<Value> values;
+  };
+  const Value v = vec({3, 1, 4, 1, 5, 9, 2, 6});
+  const std::vector<Case> cases = {
+      {"vreverse", {ArgSpec::array(ElemType::Int, Shape{8})}, {v}},
+      {"rotate",
+       {ArgSpec::array(ElemType::Int, Shape{8}), ArgSpec::value(Value::from_int(3))},
+       {v, Value::from_int(3)}},
+      {"clampv",
+       {ArgSpec::array(ElemType::Int, Shape{8}), ArgSpec::value(Value::from_int(2)),
+        ArgSpec::value(Value::from_int(5))},
+       {v, Value::from_int(2), Value::from_int(5)}},
+      {"convolve1d",
+       {ArgSpec::array(ElemType::Int, Shape{8}), ArgSpec::value(vec({1, 2, 1}))},
+       {v, vec({1, 2, 1})}},
+  };
+  for (const Case& c : cases) {
+    CompiledFunction cf = compile(mod, c.fn, c.args);
+    auto prog = sac_cuda::CudaProgram::plan(cf);
+    EXPECT_GE(prog.kernel_count(), 1) << c.fn;
+    gpu::VirtualGpu gpu(gpu::gtx480(), 1);
+    gpu::cuda::Runtime rt(gpu);
+    gpu::Profiler host_profiler;
+    const Value expected = run_function(mod, c.fn, c.values);
+    const Value actual = prog.run(rt, c.values, gpu::i7_930(), host_profiler, true);
+    EXPECT_EQ(expected, actual) << c.fn;
+  }
+}
+
+}  // namespace
+}  // namespace saclo::sac

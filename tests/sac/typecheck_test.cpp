@@ -1,0 +1,121 @@
+#include "sac/typecheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sac/parser.hpp"
+
+namespace saclo::sac {
+namespace {
+
+void expect_ok(const std::string& src) {
+  EXPECT_NO_THROW(typecheck(parse(src))) << src;
+}
+
+void expect_error(const std::string& src, const std::string& fragment) {
+  try {
+    typecheck(parse(src));
+    FAIL() << "expected TypeError for: " << src;
+  } catch (const TypeError& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+TEST(TypecheckTest, AcceptsSimplePrograms) {
+  expect_ok("int f(int a) { return (a + 1); }");
+  expect_ok("int[*] g(int[*] a) { b = a; return (b); }");
+  expect_ok("float h(float x) { return (x * 2.0); }");
+}
+
+TEST(TypecheckTest, UnknownVariable) {
+  expect_error("int f() { return (y); }", "unknown variable 'y'");
+}
+
+TEST(TypecheckTest, UnknownFunction) {
+  expect_error("int f() { return (g(1)); }", "unknown function 'g'");
+}
+
+TEST(TypecheckTest, ArityMismatch) {
+  expect_error("int g(int a) { return (a); } int f() { return (g(1, 2)); }", "expects 1");
+}
+
+TEST(TypecheckTest, MissingReturn) {
+  expect_error("int f(int a) { b = a; }", "no return");
+}
+
+TEST(TypecheckTest, UnreachableAfterReturn) {
+  expect_error("int f(int a) { return (a); b = 1; }", "unreachable");
+}
+
+TEST(TypecheckTest, MixedOperandTypes) {
+  expect_error("int f(int a, float b) { return (a + b); }", "mixed element types");
+}
+
+TEST(TypecheckTest, ModOnFloats) {
+  expect_error("float f(float a) { return (a % 2.0); }", "'%' on float");
+}
+
+TEST(TypecheckTest, ReturnTypeMismatch) {
+  expect_error("int f(float x) { return (x); }", "returns float");
+}
+
+TEST(TypecheckTest, ElementAssignToScalar) {
+  expect_error("int f(int a) { a[0] = 1; return (a); }", "into scalar");
+}
+
+TEST(TypecheckTest, ElemTypeChangeRejected) {
+  expect_error("int f(int a) { x = 1; x = 2.0; return (a); }", "changes element type");
+}
+
+TEST(TypecheckTest, FloatLoopVariableRejected) {
+  expect_error("int f() { s = 0; for (i = 0.5; i < 2.0; i++) { s = s + 1; } return (s); }",
+               "must be integral");
+}
+
+TEST(TypecheckTest, WidthWithoutStepRejected) {
+  expect_error(
+      "int[*] f() { return (with { ([0] <= iv < [4] width [2]) : 0; } : genarray([4])); }",
+      "'width' without 'step'");
+}
+
+TEST(TypecheckTest, GeneratorCellTypeConflict) {
+  expect_error(
+      "int[*] f() { return (with { ([0] <= iv < [2]) : 1; ([2] <= iv < [4]) : 2.0; }"
+      " : genarray([4], 0)); }",
+      "conflicts");
+}
+
+TEST(TypecheckTest, SelectionFromScalarRejected) {
+  expect_error("int f(int a) { return (a[0]); }", "selection from a scalar");
+}
+
+TEST(TypecheckTest, GeneratorVariablesAreScoped) {
+  // iv must not leak out of the with-loop.
+  expect_error(
+      "int f() { x = with { ([0] <= iv < [3]) : 0; } : genarray([3]); return (iv[0]); }",
+      "unknown variable 'iv'");
+}
+
+TEST(TypecheckTest, PaperProgramsCheck) {
+  expect_ok(R"(
+int[*] task(int[*] input, int[.] out_pattern, int[.] repetition)
+{
+  output = with {
+    (. <= rep <= .) {
+      tile = with { (. <= pv <= .) : 0; } : genarray(out_pattern, 0);
+      tmp0 = input[rep][0] + input[rep][1] + input[rep][2] +
+             input[rep][3] + input[rep][4] + input[rep][5];
+      tile[0] = tmp0 / 6 - tmp0 % 6;
+    } : tile;
+  } : genarray( repetition);
+  return( output);
+}
+)");
+}
+
+TEST(TypecheckTest, ReturnsFunctionCount) {
+  EXPECT_EQ(typecheck(parse("int f() { return (1); } int g() { return (2); }")), 2u);
+}
+
+}  // namespace
+}  // namespace saclo::sac

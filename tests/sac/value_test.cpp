@@ -1,0 +1,62 @@
+#include "sac/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saclo::sac {
+namespace {
+
+TEST(ValueTest, DefaultIsIntScalarZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_TRUE(v.is_scalar());
+  EXPECT_EQ(v.as_int(), 0);
+}
+
+TEST(ValueTest, ScalarFactories) {
+  EXPECT_EQ(Value::from_int(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value::from_double(2.5).as_double(), 2.5);
+  EXPECT_TRUE(Value::from_bool(true).as_bool());
+  EXPECT_FALSE(Value::from_bool(false).as_bool());
+}
+
+TEST(ValueTest, AsIntRejectsNonScalars) {
+  Value v(IntArray(Shape{3}, 1));
+  EXPECT_THROW(v.as_int(), Error);
+}
+
+TEST(ValueTest, AsIntRejectsFloats) {
+  EXPECT_THROW(Value::from_double(1.0).as_int(), Error);
+}
+
+TEST(ValueTest, AsDoubleWidensInts) {
+  EXPECT_DOUBLE_EQ(Value::from_int(7).as_double(), 7.0);
+}
+
+TEST(ValueTest, IndexVectorConversion) {
+  Value v(IntArray(Shape{2}, std::vector<std::int64_t>{1080, 1920}));
+  EXPECT_EQ(v.as_index_vector(), (Index{1080, 1920}));
+  // Scalars become singleton vectors.
+  EXPECT_EQ(Value::from_int(5).as_index_vector(), (Index{5}));
+  // Matrices are rejected.
+  Value m(IntArray(Shape{2, 2}, 0));
+  EXPECT_THROW(m.as_index_vector(), Error);
+}
+
+TEST(ValueTest, EqualityIsDeepAndTypeAware) {
+  Value a(IntArray(Shape{2}, 3));
+  Value b(IntArray(Shape{2}, 3));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Value(IntArray(Shape{2}, 4)));
+  EXPECT_NE(Value::from_int(1), Value::from_double(1.0));
+}
+
+TEST(ValueTest, FloatArrayAccessors) {
+  Value v(FloatArray(Shape{2, 2}, 1.5));
+  EXPECT_TRUE(v.is_float());
+  EXPECT_EQ(v.shape(), (Shape{2, 2}));
+  EXPECT_DOUBLE_EQ(v.floats()[3], 1.5);
+  EXPECT_THROW(v.ints(), std::bad_variant_access);
+}
+
+}  // namespace
+}  // namespace saclo::sac

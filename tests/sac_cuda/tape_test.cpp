@@ -1,0 +1,105 @@
+#include "sac_cuda/tape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sac/parser.hpp"
+
+namespace saclo::sac_cuda {
+namespace {
+
+Tape compile_or_die(const std::string& fn_src, const std::vector<std::string>& index_vars,
+                    const std::map<std::string, Index>& arrays) {
+  const sac::Module m = sac::parse(fn_src);
+  const auto& body = m.functions[0].body;
+  std::vector<const sac::Expr*> results;
+  results.push_back(body.back()->value.get());  // the return expression
+  std::vector<sac::StmtPtr> stmts;
+  for (std::size_t i = 0; i + 1 < body.size(); ++i) stmts.push_back(body[i]->clone());
+  auto tape = compile_tape(stmts, results, index_vars, arrays);
+  EXPECT_TRUE(tape.has_value());
+  return tape ? std::move(*tape) : Tape{};
+}
+
+TEST(TapeTest, ScalarArithmetic) {
+  Tape t = compile_or_die("int f(int i) { a = i * 3 + 1; return (a - 2); }", {"i"}, {});
+  std::vector<std::int64_t> slots(static_cast<std::size_t>(t.slot_count), 0);
+  slots[static_cast<std::size_t>(t.index_slots[0])] = 5;
+  t.run(slots, {});
+  EXPECT_EQ(slots[static_cast<std::size_t>(t.result_slots[0])], 14);
+}
+
+TEST(TapeTest, ArrayLoads) {
+  std::map<std::string, Index> arrays{{"frame", {4, 8}}};
+  Tape t = compile_or_die("int f(int i, int j) { return (frame[[i, j + 1]]); }", {"i", "j"},
+                          arrays);
+  std::vector<std::int32_t> data(32);
+  for (int k = 0; k < 32; ++k) data[static_cast<std::size_t>(k)] = 100 + k;
+  TapeArray ta{std::span<const std::int32_t>(data), {4, 8}, Shape({4, 8}).strides()};
+  std::vector<std::int64_t> slots(static_cast<std::size_t>(t.slot_count), 0);
+  slots[static_cast<std::size_t>(t.index_slots[0])] = 2;
+  slots[static_cast<std::size_t>(t.index_slots[1])] = 3;
+  t.run(slots, {&ta, 1});
+  EXPECT_EQ(slots[static_cast<std::size_t>(t.result_slots[0])], 100 + 2 * 8 + 4);
+  EXPECT_EQ(t.array_loads(), 1);
+}
+
+TEST(TapeTest, OutOfBoundsLoadThrows) {
+  std::map<std::string, Index> arrays{{"v", {4}}};
+  Tape t = compile_or_die("int f(int i) { return (v[i]); }", {"i"}, arrays);
+  std::vector<std::int32_t> data(4);
+  TapeArray ta{std::span<const std::int32_t>(data), {4}, {1}};
+  std::vector<std::int64_t> slots(static_cast<std::size_t>(t.slot_count), 0);
+  slots[static_cast<std::size_t>(t.index_slots[0])] = 4;
+  EXPECT_THROW(t.run(slots, {&ta, 1}), Error);
+}
+
+TEST(TapeTest, MinMaxAbs) {
+  Tape t = compile_or_die("int f(int i) { return (min(max(i, 0), 10) + abs(0 - i)); }", {"i"},
+                          {});
+  std::vector<std::int64_t> slots(static_cast<std::size_t>(t.slot_count), 0);
+  slots[static_cast<std::size_t>(t.index_slots[0])] = -3;
+  t.run(slots, {});
+  EXPECT_EQ(slots[static_cast<std::size_t>(t.result_slots[0])], 0 + 3);
+}
+
+TEST(TapeTest, DivisionByZeroThrows) {
+  Tape t = compile_or_die("int f(int i) { return (10 / i); }", {"i"}, {});
+  std::vector<std::int64_t> slots(static_cast<std::size_t>(t.slot_count), 0);
+  EXPECT_THROW(t.run(slots, {}), Error);
+}
+
+TEST(TapeTest, RejectsFloats) {
+  const sac::Module m = sac::parse("float f(int i) { return (1.5); }");
+  std::vector<const sac::Expr*> results{m.functions[0].body[0]->value.get()};
+  EXPECT_FALSE(compile_tape({}, results, {"i"}, {}).has_value());
+}
+
+TEST(TapeTest, RejectsUnknownArrays) {
+  const sac::Module m = sac::parse("int f(int i) { return (mystery[i]); }");
+  std::vector<const sac::Expr*> results{m.functions[0].body[0]->value.get()};
+  EXPECT_FALSE(compile_tape({}, results, {"i"}, {}).has_value());
+}
+
+TEST(TapeTest, ArithOpCountsForCostModel) {
+  Tape t = compile_or_die("int f(int i) { a = i + 1; b = a * 2; return (b - a); }", {"i"}, {});
+  EXPECT_EQ(t.arith_ops(), 3);
+  EXPECT_EQ(t.array_loads(), 0);
+}
+
+TEST(TapeTest, MultipleResults) {
+  const sac::Module m = sac::parse("int f(int i) { a = i + 1; return (a); }");
+  std::vector<sac::StmtPtr> stmts;
+  stmts.push_back(m.functions[0].body[0]->clone());
+  const sac::ExprPtr r0 = sac::parse_expression("a * 10");
+  const sac::ExprPtr r1 = sac::parse_expression("a * 100");
+  auto tape = compile_tape(stmts, {r0.get(), r1.get()}, {"i"}, {});
+  ASSERT_TRUE(tape.has_value());
+  std::vector<std::int64_t> slots(static_cast<std::size_t>(tape->slot_count), 0);
+  slots[static_cast<std::size_t>(tape->index_slots[0])] = 4;
+  tape->run(slots, {});
+  EXPECT_EQ(slots[static_cast<std::size_t>(tape->result_slots[0])], 50);
+  EXPECT_EQ(slots[static_cast<std::size_t>(tape->result_slots[1])], 500);
+}
+
+}  // namespace
+}  // namespace saclo::sac_cuda

@@ -1,0 +1,92 @@
+#pragma once
+
+/// A miniature single-channel downscaler in the exact style of the
+/// paper's Figures 4-7 (generic input tiler, task function, and both
+/// output tilers), scaled down so tests run fast:
+/// frame 8x16 -> 8x6 (11-pixel pattern, paving step 8, tiles of 3).
+inline const char* kMiniDownscalerSrc = R"(
+int[*] zeros(int h, int w) {
+  z = with { ([0,0] <= iv < [h,w]) : 0; } : genarray([h,w]);
+  return (z);
+}
+
+int[*] input_tiler(int[*] in_frame, int[.] in_pattern, int[.] repetition,
+                   int[.] origin, int[.,.] fitting, int[.,.] paving)
+{
+  output = with {
+    (. <= rep <= .) {
+      tile = with {
+        (. <= pat <= .) {
+          off = origin + MV( CAT( paving, fitting), rep++pat);
+          iv = off % shape(in_frame);
+          elem = in_frame[iv];
+        } : elem;
+      } : genarray( in_pattern, 0);
+    } : tile;
+  } : genarray( repetition);
+  return( output);
+}
+
+int[*] task(int[*] input, int[.] out_pattern, int[.] repetition)
+{
+  output = with {
+    (. <= rep <= .) {
+      tile = with { (. <= pv <= .) : 0; } : genarray( out_pattern, 0);
+      tmp0 = input[rep][0] + input[rep][1] + input[rep][2] +
+             input[rep][3] + input[rep][4] + input[rep][5];
+      tile[0] = tmp0 / 6 - tmp0 % 6;
+      tmp1 = input[rep][2] + input[rep][3] + input[rep][4] +
+             input[rep][5] + input[rep][6] + input[rep][7];
+      tile[1] = tmp1 / 6 - tmp1 % 6;
+      tmp2 = input[rep][5] + input[rep][6] + input[rep][7] +
+             input[rep][8] + input[rep][9] + input[rep][10];
+      tile[2] = tmp2 / 6 - tmp2 % 6;
+    } : tile;
+  } : genarray( repetition);
+  return( output);
+}
+
+int[*] nongeneric_output_tiler(int[*] output, int[*] input)
+{
+  output = with {
+    ([0,0]<=[i,j]<=. step [1,3]):input[[i,j/3,0]];
+    ([0,1]<=[i,j]<=. step [1,3]):input[[i,j/3,1]];
+    ([0,2]<=[i,j]<=. step [1,3]):input[[i,j/3,2]];
+  } : modarray( output);
+  return( output);
+}
+
+int[*] generic_output_tiler(int[*] out_frame, int[*] input,
+                            int[.] out_pattern, int[.] repetition,
+                            int[.] origin, int[.,.] fitting, int[.,.] paving)
+{
+  for( i=0; i< repetition[[0]]; i++) {
+    for( j=0; j< repetition[[1]]; j++) {
+      for( k=0; k< out_pattern[[0]]; k++) {
+        off = origin + MV( CAT(paving, fitting), [i,j,k]);
+        iv = off % shape( out_frame);
+        out_frame[iv] = input[[i,j,k]];
+      }
+    }
+  }
+  return( out_frame);
+}
+
+int[*] hfilter_nongeneric(int[*] frame)
+{
+  gathered = input_tiler(frame, [11], [8,2], [0,0], [[0],[1]], [[1,0],[0,8]]);
+  compressed = task(gathered, [3], [8,2]);
+  base = zeros(8, 6);
+  output = nongeneric_output_tiler(base, compressed);
+  return( output);
+}
+
+int[*] hfilter_generic(int[*] frame)
+{
+  gathered = input_tiler(frame, [11], [8,2], [0,0], [[0],[1]], [[1,0],[0,8]]);
+  compressed = task(gathered, [3], [8,2]);
+  base = zeros(8, 6);
+  output = generic_output_tiler(base, compressed, [3], [8,2], [0,0], [[0],[1]], [[1,0],[0,3]]);
+  return( output);
+}
+)";
