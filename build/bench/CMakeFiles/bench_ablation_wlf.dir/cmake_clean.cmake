@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wlf.dir/ablation_wlf.cpp.o"
+  "CMakeFiles/bench_ablation_wlf.dir/ablation_wlf.cpp.o.d"
+  "bench_ablation_wlf"
+  "bench_ablation_wlf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wlf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

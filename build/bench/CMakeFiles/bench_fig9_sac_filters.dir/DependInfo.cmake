@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_sac_filters.cpp" "bench/CMakeFiles/bench_fig9_sac_filters.dir/fig9_sac_filters.cpp.o" "gcc" "bench/CMakeFiles/bench_fig9_sac_filters.dir/fig9_sac_filters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/saclo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sac_cuda/CMakeFiles/saclo_sac_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/sac/CMakeFiles/saclo_sac.dir/DependInfo.cmake"
+  "/root/repo/build/src/gaspard/CMakeFiles/saclo_gaspard.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/saclo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrayol/CMakeFiles/saclo_arrayol.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/saclo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

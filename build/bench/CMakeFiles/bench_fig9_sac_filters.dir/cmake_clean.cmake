@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sac_filters.dir/fig9_sac_filters.cpp.o"
+  "CMakeFiles/bench_fig9_sac_filters.dir/fig9_sac_filters.cpp.o.d"
+  "bench_fig9_sac_filters"
+  "bench_fig9_sac_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sac_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_gaspard.dir/table1_gaspard.cpp.o"
+  "CMakeFiles/bench_table1_gaspard.dir/table1_gaspard.cpp.o.d"
+  "bench_table1_gaspard"
+  "bench_table1_gaspard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gaspard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

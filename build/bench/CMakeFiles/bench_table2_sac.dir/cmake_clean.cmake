@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sac.dir/table2_sac.cpp.o"
+  "CMakeFiles/bench_table2_sac.dir/table2_sac.cpp.o.d"
+  "bench_table2_sac"
+  "bench_table2_sac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_downscaler_gaspard.dir/downscaler_gaspard.cpp.o"
+  "CMakeFiles/example_downscaler_gaspard.dir/downscaler_gaspard.cpp.o.d"
+  "example_downscaler_gaspard"
+  "example_downscaler_gaspard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_downscaler_gaspard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_downscaler_sac.dir/downscaler_sac.cpp.o"
+  "CMakeFiles/example_downscaler_sac.dir/downscaler_sac.cpp.o.d"
+  "example_downscaler_sac"
+  "example_downscaler_sac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_downscaler_sac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

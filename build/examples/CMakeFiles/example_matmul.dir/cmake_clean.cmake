@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matmul.dir/matmul.cpp.o"
+  "CMakeFiles/example_matmul.dir/matmul.cpp.o.d"
+  "example_matmul"
+  "example_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

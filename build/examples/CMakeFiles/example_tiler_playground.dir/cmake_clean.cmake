@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tiler_playground.dir/tiler_playground.cpp.o"
+  "CMakeFiles/example_tiler_playground.dir/tiler_playground.cpp.o.d"
+  "example_tiler_playground"
+  "example_tiler_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tiler_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_pipeline.dir/video_pipeline.cpp.o"
+  "CMakeFiles/example_video_pipeline.dir/video_pipeline.cpp.o.d"
+  "example_video_pipeline"
+  "example_video_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wlf_explorer.dir/wlf_explorer.cpp.o"
+  "CMakeFiles/example_wlf_explorer.dir/wlf_explorer.cpp.o.d"
+  "example_wlf_explorer"
+  "example_wlf_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wlf_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

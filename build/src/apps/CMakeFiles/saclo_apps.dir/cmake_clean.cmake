@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saclo_apps.dir/downscaler/arrayol_model.cpp.o"
+  "CMakeFiles/saclo_apps.dir/downscaler/arrayol_model.cpp.o.d"
+  "CMakeFiles/saclo_apps.dir/downscaler/config.cpp.o"
+  "CMakeFiles/saclo_apps.dir/downscaler/config.cpp.o.d"
+  "CMakeFiles/saclo_apps.dir/downscaler/frames.cpp.o"
+  "CMakeFiles/saclo_apps.dir/downscaler/frames.cpp.o.d"
+  "CMakeFiles/saclo_apps.dir/downscaler/pipelines.cpp.o"
+  "CMakeFiles/saclo_apps.dir/downscaler/pipelines.cpp.o.d"
+  "CMakeFiles/saclo_apps.dir/downscaler/sac_source.cpp.o"
+  "CMakeFiles/saclo_apps.dir/downscaler/sac_source.cpp.o.d"
+  "libsaclo_apps.a"
+  "libsaclo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saclo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saclo_arrayol.dir/hierarchy.cpp.o"
+  "CMakeFiles/saclo_arrayol.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/saclo_arrayol.dir/model.cpp.o"
+  "CMakeFiles/saclo_arrayol.dir/model.cpp.o.d"
+  "libsaclo_arrayol.a"
+  "libsaclo_arrayol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saclo_arrayol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

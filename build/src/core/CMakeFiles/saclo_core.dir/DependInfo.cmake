@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fmt.cpp" "src/core/CMakeFiles/saclo_core.dir/fmt.cpp.o" "gcc" "src/core/CMakeFiles/saclo_core.dir/fmt.cpp.o.d"
+  "/root/repo/src/core/matrix.cpp" "src/core/CMakeFiles/saclo_core.dir/matrix.cpp.o" "gcc" "src/core/CMakeFiles/saclo_core.dir/matrix.cpp.o.d"
+  "/root/repo/src/core/shape.cpp" "src/core/CMakeFiles/saclo_core.dir/shape.cpp.o" "gcc" "src/core/CMakeFiles/saclo_core.dir/shape.cpp.o.d"
+  "/root/repo/src/core/tiler.cpp" "src/core/CMakeFiles/saclo_core.dir/tiler.cpp.o" "gcc" "src/core/CMakeFiles/saclo_core.dir/tiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saclo_core.dir/fmt.cpp.o"
+  "CMakeFiles/saclo_core.dir/fmt.cpp.o.d"
+  "CMakeFiles/saclo_core.dir/matrix.cpp.o"
+  "CMakeFiles/saclo_core.dir/matrix.cpp.o.d"
+  "CMakeFiles/saclo_core.dir/shape.cpp.o"
+  "CMakeFiles/saclo_core.dir/shape.cpp.o.d"
+  "CMakeFiles/saclo_core.dir/tiler.cpp.o"
+  "CMakeFiles/saclo_core.dir/tiler.cpp.o.d"
+  "libsaclo_core.a"
+  "libsaclo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saclo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gaspard/chain.cpp" "src/gaspard/CMakeFiles/saclo_gaspard.dir/chain.cpp.o" "gcc" "src/gaspard/CMakeFiles/saclo_gaspard.dir/chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arrayol/CMakeFiles/saclo_arrayol.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/saclo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/saclo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

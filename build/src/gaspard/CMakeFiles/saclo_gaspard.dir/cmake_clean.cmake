@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saclo_gaspard.dir/chain.cpp.o"
+  "CMakeFiles/saclo_gaspard.dir/chain.cpp.o.d"
+  "libsaclo_gaspard.a"
+  "libsaclo_gaspard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saclo_gaspard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for saclo_gaspard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cost_model.cpp" "src/gpu/CMakeFiles/saclo_gpu.dir/cost_model.cpp.o" "gcc" "src/gpu/CMakeFiles/saclo_gpu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/gpu/device.cpp" "src/gpu/CMakeFiles/saclo_gpu.dir/device.cpp.o" "gcc" "src/gpu/CMakeFiles/saclo_gpu.dir/device.cpp.o.d"
+  "/root/repo/src/gpu/executor.cpp" "src/gpu/CMakeFiles/saclo_gpu.dir/executor.cpp.o" "gcc" "src/gpu/CMakeFiles/saclo_gpu.dir/executor.cpp.o.d"
+  "/root/repo/src/gpu/memory.cpp" "src/gpu/CMakeFiles/saclo_gpu.dir/memory.cpp.o" "gcc" "src/gpu/CMakeFiles/saclo_gpu.dir/memory.cpp.o.d"
+  "/root/repo/src/gpu/profiler.cpp" "src/gpu/CMakeFiles/saclo_gpu.dir/profiler.cpp.o" "gcc" "src/gpu/CMakeFiles/saclo_gpu.dir/profiler.cpp.o.d"
+  "/root/repo/src/gpu/sim_gpu.cpp" "src/gpu/CMakeFiles/saclo_gpu.dir/sim_gpu.cpp.o" "gcc" "src/gpu/CMakeFiles/saclo_gpu.dir/sim_gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/saclo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

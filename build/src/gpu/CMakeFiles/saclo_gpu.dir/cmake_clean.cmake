@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saclo_gpu.dir/cost_model.cpp.o"
+  "CMakeFiles/saclo_gpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/saclo_gpu.dir/device.cpp.o"
+  "CMakeFiles/saclo_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/saclo_gpu.dir/executor.cpp.o"
+  "CMakeFiles/saclo_gpu.dir/executor.cpp.o.d"
+  "CMakeFiles/saclo_gpu.dir/memory.cpp.o"
+  "CMakeFiles/saclo_gpu.dir/memory.cpp.o.d"
+  "CMakeFiles/saclo_gpu.dir/profiler.cpp.o"
+  "CMakeFiles/saclo_gpu.dir/profiler.cpp.o.d"
+  "CMakeFiles/saclo_gpu.dir/sim_gpu.cpp.o"
+  "CMakeFiles/saclo_gpu.dir/sim_gpu.cpp.o.d"
+  "libsaclo_gpu.a"
+  "libsaclo_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saclo_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

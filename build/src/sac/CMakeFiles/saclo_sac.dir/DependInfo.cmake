@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sac/affine.cpp" "src/sac/CMakeFiles/saclo_sac.dir/affine.cpp.o" "gcc" "src/sac/CMakeFiles/saclo_sac.dir/affine.cpp.o.d"
+  "/root/repo/src/sac/ast.cpp" "src/sac/CMakeFiles/saclo_sac.dir/ast.cpp.o" "gcc" "src/sac/CMakeFiles/saclo_sac.dir/ast.cpp.o.d"
+  "/root/repo/src/sac/builtins.cpp" "src/sac/CMakeFiles/saclo_sac.dir/builtins.cpp.o" "gcc" "src/sac/CMakeFiles/saclo_sac.dir/builtins.cpp.o.d"
+  "/root/repo/src/sac/interp.cpp" "src/sac/CMakeFiles/saclo_sac.dir/interp.cpp.o" "gcc" "src/sac/CMakeFiles/saclo_sac.dir/interp.cpp.o.d"
+  "/root/repo/src/sac/lexer.cpp" "src/sac/CMakeFiles/saclo_sac.dir/lexer.cpp.o" "gcc" "src/sac/CMakeFiles/saclo_sac.dir/lexer.cpp.o.d"
+  "/root/repo/src/sac/parser.cpp" "src/sac/CMakeFiles/saclo_sac.dir/parser.cpp.o" "gcc" "src/sac/CMakeFiles/saclo_sac.dir/parser.cpp.o.d"
+  "/root/repo/src/sac/pipeline.cpp" "src/sac/CMakeFiles/saclo_sac.dir/pipeline.cpp.o" "gcc" "src/sac/CMakeFiles/saclo_sac.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sac/printer.cpp" "src/sac/CMakeFiles/saclo_sac.dir/printer.cpp.o" "gcc" "src/sac/CMakeFiles/saclo_sac.dir/printer.cpp.o.d"
+  "/root/repo/src/sac/specialize.cpp" "src/sac/CMakeFiles/saclo_sac.dir/specialize.cpp.o" "gcc" "src/sac/CMakeFiles/saclo_sac.dir/specialize.cpp.o.d"
+  "/root/repo/src/sac/stdlib.cpp" "src/sac/CMakeFiles/saclo_sac.dir/stdlib.cpp.o" "gcc" "src/sac/CMakeFiles/saclo_sac.dir/stdlib.cpp.o.d"
+  "/root/repo/src/sac/typecheck.cpp" "src/sac/CMakeFiles/saclo_sac.dir/typecheck.cpp.o" "gcc" "src/sac/CMakeFiles/saclo_sac.dir/typecheck.cpp.o.d"
+  "/root/repo/src/sac/wlf.cpp" "src/sac/CMakeFiles/saclo_sac.dir/wlf.cpp.o" "gcc" "src/sac/CMakeFiles/saclo_sac.dir/wlf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/saclo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saclo_sac.dir/affine.cpp.o"
+  "CMakeFiles/saclo_sac.dir/affine.cpp.o.d"
+  "CMakeFiles/saclo_sac.dir/ast.cpp.o"
+  "CMakeFiles/saclo_sac.dir/ast.cpp.o.d"
+  "CMakeFiles/saclo_sac.dir/builtins.cpp.o"
+  "CMakeFiles/saclo_sac.dir/builtins.cpp.o.d"
+  "CMakeFiles/saclo_sac.dir/interp.cpp.o"
+  "CMakeFiles/saclo_sac.dir/interp.cpp.o.d"
+  "CMakeFiles/saclo_sac.dir/lexer.cpp.o"
+  "CMakeFiles/saclo_sac.dir/lexer.cpp.o.d"
+  "CMakeFiles/saclo_sac.dir/parser.cpp.o"
+  "CMakeFiles/saclo_sac.dir/parser.cpp.o.d"
+  "CMakeFiles/saclo_sac.dir/pipeline.cpp.o"
+  "CMakeFiles/saclo_sac.dir/pipeline.cpp.o.d"
+  "CMakeFiles/saclo_sac.dir/printer.cpp.o"
+  "CMakeFiles/saclo_sac.dir/printer.cpp.o.d"
+  "CMakeFiles/saclo_sac.dir/specialize.cpp.o"
+  "CMakeFiles/saclo_sac.dir/specialize.cpp.o.d"
+  "CMakeFiles/saclo_sac.dir/stdlib.cpp.o"
+  "CMakeFiles/saclo_sac.dir/stdlib.cpp.o.d"
+  "CMakeFiles/saclo_sac.dir/typecheck.cpp.o"
+  "CMakeFiles/saclo_sac.dir/typecheck.cpp.o.d"
+  "CMakeFiles/saclo_sac.dir/wlf.cpp.o"
+  "CMakeFiles/saclo_sac.dir/wlf.cpp.o.d"
+  "libsaclo_sac.a"
+  "libsaclo_sac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saclo_sac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsaclo_sac.a"
+)

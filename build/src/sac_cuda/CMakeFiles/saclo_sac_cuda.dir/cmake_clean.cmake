@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saclo_sac_cuda.dir/codegen_text.cpp.o"
+  "CMakeFiles/saclo_sac_cuda.dir/codegen_text.cpp.o.d"
+  "CMakeFiles/saclo_sac_cuda.dir/program.cpp.o"
+  "CMakeFiles/saclo_sac_cuda.dir/program.cpp.o.d"
+  "CMakeFiles/saclo_sac_cuda.dir/tape.cpp.o"
+  "CMakeFiles/saclo_sac_cuda.dir/tape.cpp.o.d"
+  "libsaclo_sac_cuda.a"
+  "libsaclo_sac_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saclo_sac_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for saclo_sac_cuda.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrayol_tests.dir/arrayol/hierarchy_test.cpp.o"
+  "CMakeFiles/arrayol_tests.dir/arrayol/hierarchy_test.cpp.o.d"
+  "CMakeFiles/arrayol_tests.dir/arrayol/model_test.cpp.o"
+  "CMakeFiles/arrayol_tests.dir/arrayol/model_test.cpp.o.d"
+  "arrayol_tests"
+  "arrayol_tests.pdb"
+  "arrayol_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrayol_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

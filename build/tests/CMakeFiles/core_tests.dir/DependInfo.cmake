@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/fmt_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fmt_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fmt_test.cpp.o.d"
+  "/root/repo/tests/core/matrix_test.cpp" "tests/CMakeFiles/core_tests.dir/core/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/matrix_test.cpp.o.d"
+  "/root/repo/tests/core/ndarray_test.cpp" "tests/CMakeFiles/core_tests.dir/core/ndarray_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ndarray_test.cpp.o.d"
+  "/root/repo/tests/core/shape_test.cpp" "tests/CMakeFiles/core_tests.dir/core/shape_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/shape_test.cpp.o.d"
+  "/root/repo/tests/core/tiler_test.cpp" "tests/CMakeFiles/core_tests.dir/core/tiler_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tiler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/saclo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/saclo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sac/CMakeFiles/saclo_sac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaspard_tests.dir/gaspard/chain_test.cpp.o"
+  "CMakeFiles/gaspard_tests.dir/gaspard/chain_test.cpp.o.d"
+  "gaspard_tests"
+  "gaspard_tests.pdb"
+  "gaspard_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaspard_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpu/cost_model_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/cost_model_test.cpp.o.d"
+  "/root/repo/tests/gpu/executor_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/executor_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/executor_test.cpp.o.d"
+  "/root/repo/tests/gpu/memory_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/memory_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/memory_test.cpp.o.d"
+  "/root/repo/tests/gpu/profiler_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/profiler_test.cpp.o.d"
+  "/root/repo/tests/gpu/sim_gpu_test.cpp" "tests/CMakeFiles/gpu_tests.dir/gpu/sim_gpu_test.cpp.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/sim_gpu_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/saclo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/saclo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sac/CMakeFiles/saclo_sac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_tests.dir/gpu/cost_model_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/cost_model_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/executor_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/executor_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/memory_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/memory_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/profiler_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/profiler_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/sim_gpu_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu/sim_gpu_test.cpp.o.d"
+  "gpu_tests"
+  "gpu_tests.pdb"
+  "gpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

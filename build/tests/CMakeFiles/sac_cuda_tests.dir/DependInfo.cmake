@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sac_cuda/codegen_golden_test.cpp" "tests/CMakeFiles/sac_cuda_tests.dir/sac_cuda/codegen_golden_test.cpp.o" "gcc" "tests/CMakeFiles/sac_cuda_tests.dir/sac_cuda/codegen_golden_test.cpp.o.d"
+  "/root/repo/tests/sac_cuda/program_test.cpp" "tests/CMakeFiles/sac_cuda_tests.dir/sac_cuda/program_test.cpp.o" "gcc" "tests/CMakeFiles/sac_cuda_tests.dir/sac_cuda/program_test.cpp.o.d"
+  "/root/repo/tests/sac_cuda/tape_test.cpp" "tests/CMakeFiles/sac_cuda_tests.dir/sac_cuda/tape_test.cpp.o" "gcc" "tests/CMakeFiles/sac_cuda_tests.dir/sac_cuda/tape_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/saclo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/saclo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sac/CMakeFiles/saclo_sac.dir/DependInfo.cmake"
+  "/root/repo/build/src/sac_cuda/CMakeFiles/saclo_sac_cuda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

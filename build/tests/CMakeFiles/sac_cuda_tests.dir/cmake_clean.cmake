@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_cuda_tests.dir/sac_cuda/codegen_golden_test.cpp.o"
+  "CMakeFiles/sac_cuda_tests.dir/sac_cuda/codegen_golden_test.cpp.o.d"
+  "CMakeFiles/sac_cuda_tests.dir/sac_cuda/program_test.cpp.o"
+  "CMakeFiles/sac_cuda_tests.dir/sac_cuda/program_test.cpp.o.d"
+  "CMakeFiles/sac_cuda_tests.dir/sac_cuda/tape_test.cpp.o"
+  "CMakeFiles/sac_cuda_tests.dir/sac_cuda/tape_test.cpp.o.d"
+  "sac_cuda_tests"
+  "sac_cuda_tests.pdb"
+  "sac_cuda_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_cuda_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sac/interp_test.cpp" "tests/CMakeFiles/sac_frontend_tests.dir/sac/interp_test.cpp.o" "gcc" "tests/CMakeFiles/sac_frontend_tests.dir/sac/interp_test.cpp.o.d"
+  "/root/repo/tests/sac/lexer_test.cpp" "tests/CMakeFiles/sac_frontend_tests.dir/sac/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/sac_frontend_tests.dir/sac/lexer_test.cpp.o.d"
+  "/root/repo/tests/sac/parser_test.cpp" "tests/CMakeFiles/sac_frontend_tests.dir/sac/parser_test.cpp.o" "gcc" "tests/CMakeFiles/sac_frontend_tests.dir/sac/parser_test.cpp.o.d"
+  "/root/repo/tests/sac/printer_test.cpp" "tests/CMakeFiles/sac_frontend_tests.dir/sac/printer_test.cpp.o" "gcc" "tests/CMakeFiles/sac_frontend_tests.dir/sac/printer_test.cpp.o.d"
+  "/root/repo/tests/sac/typecheck_test.cpp" "tests/CMakeFiles/sac_frontend_tests.dir/sac/typecheck_test.cpp.o" "gcc" "tests/CMakeFiles/sac_frontend_tests.dir/sac/typecheck_test.cpp.o.d"
+  "/root/repo/tests/sac/value_test.cpp" "tests/CMakeFiles/sac_frontend_tests.dir/sac/value_test.cpp.o" "gcc" "tests/CMakeFiles/sac_frontend_tests.dir/sac/value_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/saclo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/saclo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sac/CMakeFiles/saclo_sac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

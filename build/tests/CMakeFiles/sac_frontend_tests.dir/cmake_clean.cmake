@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_frontend_tests.dir/sac/interp_test.cpp.o"
+  "CMakeFiles/sac_frontend_tests.dir/sac/interp_test.cpp.o.d"
+  "CMakeFiles/sac_frontend_tests.dir/sac/lexer_test.cpp.o"
+  "CMakeFiles/sac_frontend_tests.dir/sac/lexer_test.cpp.o.d"
+  "CMakeFiles/sac_frontend_tests.dir/sac/parser_test.cpp.o"
+  "CMakeFiles/sac_frontend_tests.dir/sac/parser_test.cpp.o.d"
+  "CMakeFiles/sac_frontend_tests.dir/sac/printer_test.cpp.o"
+  "CMakeFiles/sac_frontend_tests.dir/sac/printer_test.cpp.o.d"
+  "CMakeFiles/sac_frontend_tests.dir/sac/typecheck_test.cpp.o"
+  "CMakeFiles/sac_frontend_tests.dir/sac/typecheck_test.cpp.o.d"
+  "CMakeFiles/sac_frontend_tests.dir/sac/value_test.cpp.o"
+  "CMakeFiles/sac_frontend_tests.dir/sac/value_test.cpp.o.d"
+  "sac_frontend_tests"
+  "sac_frontend_tests.pdb"
+  "sac_frontend_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_frontend_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sac/affine_test.cpp" "tests/CMakeFiles/sac_opt_tests.dir/sac/affine_test.cpp.o" "gcc" "tests/CMakeFiles/sac_opt_tests.dir/sac/affine_test.cpp.o.d"
+  "/root/repo/tests/sac/fold_test.cpp" "tests/CMakeFiles/sac_opt_tests.dir/sac/fold_test.cpp.o" "gcc" "tests/CMakeFiles/sac_opt_tests.dir/sac/fold_test.cpp.o.d"
+  "/root/repo/tests/sac/simplifier_test.cpp" "tests/CMakeFiles/sac_opt_tests.dir/sac/simplifier_test.cpp.o" "gcc" "tests/CMakeFiles/sac_opt_tests.dir/sac/simplifier_test.cpp.o.d"
+  "/root/repo/tests/sac/specialize_test.cpp" "tests/CMakeFiles/sac_opt_tests.dir/sac/specialize_test.cpp.o" "gcc" "tests/CMakeFiles/sac_opt_tests.dir/sac/specialize_test.cpp.o.d"
+  "/root/repo/tests/sac/stdlib_test.cpp" "tests/CMakeFiles/sac_opt_tests.dir/sac/stdlib_test.cpp.o" "gcc" "tests/CMakeFiles/sac_opt_tests.dir/sac/stdlib_test.cpp.o.d"
+  "/root/repo/tests/sac/wlf_test.cpp" "tests/CMakeFiles/sac_opt_tests.dir/sac/wlf_test.cpp.o" "gcc" "tests/CMakeFiles/sac_opt_tests.dir/sac/wlf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/saclo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/saclo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sac/CMakeFiles/saclo_sac.dir/DependInfo.cmake"
+  "/root/repo/build/src/sac_cuda/CMakeFiles/saclo_sac_cuda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_opt_tests.dir/sac/affine_test.cpp.o"
+  "CMakeFiles/sac_opt_tests.dir/sac/affine_test.cpp.o.d"
+  "CMakeFiles/sac_opt_tests.dir/sac/fold_test.cpp.o"
+  "CMakeFiles/sac_opt_tests.dir/sac/fold_test.cpp.o.d"
+  "CMakeFiles/sac_opt_tests.dir/sac/simplifier_test.cpp.o"
+  "CMakeFiles/sac_opt_tests.dir/sac/simplifier_test.cpp.o.d"
+  "CMakeFiles/sac_opt_tests.dir/sac/specialize_test.cpp.o"
+  "CMakeFiles/sac_opt_tests.dir/sac/specialize_test.cpp.o.d"
+  "CMakeFiles/sac_opt_tests.dir/sac/stdlib_test.cpp.o"
+  "CMakeFiles/sac_opt_tests.dir/sac/stdlib_test.cpp.o.d"
+  "CMakeFiles/sac_opt_tests.dir/sac/wlf_test.cpp.o"
+  "CMakeFiles/sac_opt_tests.dir/sac/wlf_test.cpp.o.d"
+  "sac_opt_tests"
+  "sac_opt_tests.pdb"
+  "sac_opt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_opt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/gpu_tests[1]_include.cmake")
+include("/root/repo/build/tests/sac_frontend_tests[1]_include.cmake")
+include("/root/repo/build/tests/arrayol_tests[1]_include.cmake")
+include("/root/repo/build/tests/gaspard_tests[1]_include.cmake")
+include("/root/repo/build/tests/apps_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/sac_cuda_tests[1]_include.cmake")
+include("/root/repo/build/tests/sac_opt_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saclo-gaspard.dir/saclo_gaspard.cpp.o"
+  "CMakeFiles/saclo-gaspard.dir/saclo_gaspard.cpp.o.d"
+  "saclo-gaspard"
+  "saclo-gaspard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saclo-gaspard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

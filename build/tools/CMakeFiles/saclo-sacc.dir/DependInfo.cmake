@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/saclo_sacc.cpp" "tools/CMakeFiles/saclo-sacc.dir/saclo_sacc.cpp.o" "gcc" "tools/CMakeFiles/saclo-sacc.dir/saclo_sacc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sac_cuda/CMakeFiles/saclo_sac_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/sac/CMakeFiles/saclo_sac.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/saclo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/saclo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

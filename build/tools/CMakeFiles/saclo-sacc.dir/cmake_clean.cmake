@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saclo-sacc.dir/saclo_sacc.cpp.o"
+  "CMakeFiles/saclo-sacc.dir/saclo_sacc.cpp.o.d"
+  "saclo-sacc"
+  "saclo-sacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saclo-sacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
