@@ -44,6 +44,12 @@ class SacDownscaler {
     gpu::DeviceSpec device = gpu::gtx480();
     gpu::HostSpec host = gpu::i7_930();
     unsigned workers = 0;  ///< thread-pool width for functional kernel execution
+    /// Issue the frame loop asynchronously on CUDA streams: the upload
+    /// of frame k+1 and the download of frame k-1 overlap frame k's
+    /// kernels, double-buffered (an upload waits until the frame buffer
+    /// two iterations back was consumed). Bit-exact vs synchronous.
+    bool async_streams = false;
+    bool capture_trace = false;  ///< fill CudaResult::trace_json (Chrome trace_event)
   };
 
   SacDownscaler(const DownscalerConfig& config, const Options& options);
@@ -60,6 +66,13 @@ class SacDownscaler {
     OpBreakdown v;
     IntArray last_output;        ///< last executed frame, first channel
     std::string nvprof_table;    ///< Table II style report
+    /// End-to-end wall clock of the frame loop: the stream-timeline
+    /// makespan plus (synchronous path) serial host time. With
+    /// async_streams this is strictly below the serialized sum whenever
+    /// transfers hid behind kernels.
+    double wall_us = 0;
+    std::string timeline;    ///< per-stream busy/overlap report
+    std::string trace_json;  ///< Chrome trace (only with capture_trace)
     double total_us() const { return h.total_us() + v.total_us(); }
   };
 
@@ -109,6 +122,12 @@ class GaspardDownscaler {
     gpu::DeviceSpec device = gpu::gtx480();
     unsigned workers = 0;
     bool rgb = true;  ///< full 3-channel model (the paper's Figure 3)
+    /// Run each frame over three OpenCL command queues (upload /
+    /// compute / download) so neighbouring frames' transfers overlap
+    /// this frame's kernels, double-buffered. Bit-exact vs the
+    /// single-queue path.
+    bool async_streams = false;
+    bool capture_trace = false;  ///< fill Result::trace_json
   };
 
   GaspardDownscaler(const DownscalerConfig& config, const Options& options);
@@ -120,6 +139,9 @@ class GaspardDownscaler {
     OpBreakdown v;  ///< all *vf kernels
     IntArray last_output;  ///< first output channel of the last executed frame
     std::string nvprof_table;
+    double wall_us = 0;      ///< stream-timeline makespan of the frame loop
+    std::string timeline;    ///< per-stream busy/overlap report
+    std::string trace_json;  ///< Chrome trace (only with capture_trace)
     double total_us() const { return h.total_us() + v.total_us(); }
   };
 

@@ -228,11 +228,18 @@ std::string OpenClApplication::opencl_source() const {
 std::map<std::string, IntArray> OpenClApplication::run(
     gpu::opencl::CommandQueue& queue, const std::map<std::string, IntArray>& inputs,
     bool execute) {
+  return run(queue, queue, queue, inputs, execute);
+}
+
+std::map<std::string, IntArray> OpenClApplication::run(
+    gpu::opencl::CommandQueue& upload, gpu::opencl::CommandQueue& compute,
+    gpu::opencl::CommandQueue& download, const std::map<std::string, IntArray>& inputs,
+    bool execute) {
   // Create buffers (int32 frames, as on the paper's device).
   std::map<std::string, gpu::opencl::Buffer> buffers;
   for (const BufferPlan& plan : buffers_) {
     buffers.emplace(plan.array,
-                    queue.create_buffer(plan.shape.elements() * static_cast<std::int64_t>(4)));
+                    compute.create_buffer(plan.shape.elements() * static_cast<std::int64_t>(4)));
   }
   // Upload inputs.
   for (const BufferPlan& plan : buffers_) {
@@ -244,11 +251,8 @@ std::map<std::string, IntArray> OpenClApplication::run(
       for (std::int64_t i = 0; i < it->second.elements(); ++i) {
         dev[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(it->second[i]);
       }
-      queue.gpu().account_transfer(plan.shape.elements() * 4, gpu::Dir::HostToDevice,
-                                   gpu::opencl::CommandQueue::kHtoDOp);
-    } else {
-      queue.account_write(plan.shape.elements() * 4);
     }
+    upload.account_write(buffers.at(plan.array), plan.shape.elements() * 4);
   }
 
   // Launch every task kernel in schedule order.
@@ -284,6 +288,12 @@ std::map<std::string, IntArray> OpenClApplication::run(
     launch.name = k.name;
     launch.threads = k.work_items;
     launch.cost = k.cost;
+    for (const TiledPort& in : task.inputs) {
+      launch.reads.push_back(buffers.at(in.port.name).handle());
+    }
+    for (const TiledPort& out : task.outputs) {
+      launch.writes.push_back(buffers.at(out.port.name).handle());
+    }
     launch.body = [ins, outs, op, rep_dims, rep_rank, in_total, out_total](std::int64_t tid) {
       thread_local std::vector<std::int64_t> in_buf;
       thread_local std::vector<std::int64_t> out_buf;
@@ -343,7 +353,7 @@ std::map<std::string, IntArray> OpenClApplication::run(
         }
       }
     };
-    queue.enqueue_ndrange(launch, execute);
+    compute.enqueue_ndrange(launch, execute);
   }
 
   // Read outputs back.
@@ -356,11 +366,8 @@ std::map<std::string, IntArray> OpenClApplication::run(
       for (std::int64_t i = 0; i < out.elements(); ++i) {
         out[i] = dev[static_cast<std::size_t>(i)];
       }
-      queue.gpu().account_transfer(plan.shape.elements() * 4, gpu::Dir::DeviceToHost,
-                                   gpu::opencl::CommandQueue::kDtoHOp);
-    } else {
-      queue.account_read(plan.shape.elements() * 4);
     }
+    download.account_read(buffers.at(plan.array), plan.shape.elements() * 4);
     results.emplace(plan.array, std::move(out));
   }
   return results;

@@ -59,6 +59,18 @@ class OpenClApplication {
                                       const std::map<std::string, IntArray>& inputs,
                                       bool execute);
 
+  /// Multi-queue variant: input writes on `upload`, kernels on
+  /// `compute`, output reads on `download`. Data hazards on the
+  /// buffers order the three queues; with distinct queues the
+  /// transfers of neighbouring invocations overlap this one's kernels
+  /// (the async command-queue pipeline). Results are bit-exact versus
+  /// the single-queue path.
+  std::map<std::string, IntArray> run(gpu::opencl::CommandQueue& upload,
+                                      gpu::opencl::CommandQueue& compute,
+                                      gpu::opencl::CommandQueue& download,
+                                      const std::map<std::string, IntArray>& inputs,
+                                      bool execute);
+
  private:
   aol::Model model_{""};
   std::vector<TaskKernel> kernels_;

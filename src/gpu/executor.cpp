@@ -64,7 +64,14 @@ void ThreadPool::parallel_for(std::int64_t n, const std::function<void(std::int6
     }
   }
   work_ready_.notify_all();
-  for (std::int64_t i = 0; i < submitted_end && i < n; ++i) fn(i);
+  // The caller's own chunk must not unwind past the wait below: pending
+  // tasks hold a pointer to `fn`, so leaving early would dangle it.
+  try {
+    for (std::int64_t i = 0; i < submitted_end && i < n; ++i) fn(i);
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
   {
     std::unique_lock lock(mutex_);
     work_done_.wait(lock, [this] { return outstanding_ == 0; });

@@ -1,6 +1,8 @@
 #include "gpu/profiler.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "core/fmt.hpp"
 
@@ -16,6 +18,12 @@ void Profiler::record(const std::string& name, OpKind kind, std::int64_t calls, 
   Row& row = rows_[it->second];
   row.calls += calls;
   row.total_us += us;
+}
+
+void Profiler::record_interval(const std::string& name, OpKind kind, StreamId stream,
+                               double start_us, double end_us) {
+  record(name, kind, 1, end_us - start_us);
+  intervals_.push_back(Interval{name, kind, stream, start_us, end_us});
 }
 
 std::vector<Profiler::Row> Profiler::rows() const { return rows_; }
@@ -39,9 +47,60 @@ double Profiler::us_for(const std::string& name) const {
   return it == index_.end() ? 0.0 : rows_[it->second].total_us;
 }
 
+double Profiler::makespan_us() const {
+  double m = 0.0;
+  for (const Interval& i : intervals_) m = std::max(m, i.end_us);
+  return m;
+}
+
+double Profiler::stream_busy_us(StreamId stream) const {
+  double t = 0.0;
+  for (const Interval& i : intervals_) {
+    if (i.stream == stream) t += i.duration_us();
+  }
+  return t;
+}
+
+Profiler::OverlapStats Profiler::overlap_stats() const {
+  OverlapStats s;
+  s.makespan_us = makespan_us();
+  // Merge the kernel intervals into a disjoint union, then intersect
+  // every transfer interval with it. Ops on the same stream never
+  // overlap, so no same-stream exclusion is needed.
+  std::vector<Interval> kernels;
+  for (const Interval& i : intervals_) {
+    s.serialized_us += i.duration_us();
+    if (i.kind == OpKind::MemcpyHtoD || i.kind == OpKind::MemcpyDtoH) {
+      s.transfer_us += i.duration_us();
+    } else if (i.kind == OpKind::Kernel) {
+      kernels.push_back(i);
+    }
+  }
+  std::sort(kernels.begin(), kernels.end(),
+            [](const Interval& a, const Interval& b) { return a.start_us < b.start_us; });
+  std::vector<std::pair<double, double>> merged;
+  for (const Interval& k : kernels) {
+    if (!merged.empty() && k.start_us <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, k.end_us);
+    } else {
+      merged.emplace_back(k.start_us, k.end_us);
+    }
+  }
+  for (const Interval& i : intervals_) {
+    if (i.kind != OpKind::MemcpyHtoD && i.kind != OpKind::MemcpyDtoH) continue;
+    for (const auto& [b, e] : merged) {
+      if (e <= i.start_us) continue;
+      if (b >= i.end_us) break;
+      s.hidden_transfer_us += std::min(e, i.end_us) - std::max(b, i.start_us);
+    }
+  }
+  return s;
+}
+
 void Profiler::clear() {
   rows_.clear();
   index_.clear();
+  intervals_.clear();
 }
 
 std::string Profiler::table() const {
@@ -58,6 +117,105 @@ std::string Profiler::table() const {
   out += std::string(66, '-') + "\n";
   out += pad_right("Total", 28) + pad_left("-", 8) + pad_left(fixed(total / 1e6, 2) + "sec", 16) +
          pad_left("100.00", 14) + "\n";
+  return out;
+}
+
+std::string Profiler::timeline() const {
+  std::string out;
+  out += pad_right("Stream", 10) + pad_left("#ops", 8) + pad_left("busy(usec)", 14) +
+         pad_left("first(usec)", 14) + pad_left("last(usec)", 14) + "\n";
+  out += std::string(60, '-') + "\n";
+  std::set<StreamId> streams;
+  for (const Interval& i : intervals_) streams.insert(i.stream);
+  for (StreamId s : streams) {
+    std::int64_t ops = 0;
+    double busy = 0.0;
+    double first = 0.0;
+    double last = 0.0;
+    bool any = false;
+    for (const Interval& i : intervals_) {
+      if (i.stream != s) continue;
+      ++ops;
+      busy += i.duration_us();
+      if (!any || i.start_us < first) first = i.start_us;
+      last = std::max(last, i.end_us);
+      any = true;
+    }
+    out += pad_right(cat("stream ", s), 10) + pad_left(std::to_string(ops), 8) +
+           pad_left(fixed(busy, 0), 14) + pad_left(fixed(first, 0), 14) +
+           pad_left(fixed(last, 0), 14) + "\n";
+  }
+  out += std::string(60, '-') + "\n";
+  const OverlapStats st = overlap_stats();
+  out += cat("serialized ", fixed(st.serialized_us / 1e6, 3), "sec   makespan ",
+             fixed(st.makespan_us / 1e6, 3), "sec   saved ", fixed(st.saved_us() / 1e6, 3),
+             "sec\n");
+  out += cat("transfers ", fixed(st.transfer_us / 1e6, 3), "sec, hidden behind kernels ",
+             fixed(st.hidden_transfer_us / 1e6, 3), "sec (",
+             fixed(100.0 * st.hidden_fraction(), 1), "%)\n");
+  return out;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+  return out;
+}
+
+const char* category_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::Kernel:
+      return "kernel";
+    case OpKind::MemcpyHtoD:
+      return "memcpy_h2d";
+    case OpKind::MemcpyDtoH:
+      return "memcpy_d2h";
+    case OpKind::Host:
+      return "host";
+  }
+  return "op";
+}
+
+}  // namespace
+
+std::string Profiler::chrome_trace_json() const {
+  // The trace_event "JSON Array Format": ts/dur are microseconds, which
+  // is exactly the simulator's unit. tid = stream.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  std::set<StreamId> streams;
+  for (const Interval& i : intervals_) streams.insert(i.stream);
+  bool first = true;
+  for (StreamId s : streams) {
+    if (!first) out += ",";
+    first = false;
+    out += cat("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":", s,
+               ",\"args\":{\"name\":\"stream ", s, "\"}}");
+  }
+  for (const Interval& i : intervals_) {
+    if (!first) out += ",";
+    first = false;
+    out += cat("{\"name\":\"", json_escape(i.name), "\",\"cat\":\"", category_of(i.kind),
+               "\",\"ph\":\"X\",\"pid\":0,\"tid\":", i.stream, ",\"ts\":", fixed(i.start_us, 3),
+               ",\"dur\":", fixed(i.duration_us(), 3), "}");
+  }
+  out += "]}";
   return out;
 }
 

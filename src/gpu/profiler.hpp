@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "gpu/stream.hpp"
+
 namespace saclo::gpu {
 
 /// Kind of a profiled operation — selects the section of the
@@ -12,11 +14,21 @@ namespace saclo::gpu {
 enum class OpKind { Kernel, MemcpyHtoD, MemcpyDtoH, Host };
 
 /// Accumulates simulated times per named operation and renders them as
-/// the nvprof-style tables the paper reports (Tables I and II).
+/// the nvprof-style tables the paper reports (Tables I and II). When
+/// operations are scheduled through the stream timeline it also keeps
+/// every per-op `{stream, start, end}` interval, from which it renders
+/// a per-stream timeline/overlap report and a Chrome `trace_event`
+/// JSON export.
 class Profiler {
  public:
-  /// Adds `us` microseconds and `calls` invocations to `name`.
+  /// Adds `us` microseconds and `calls` invocations to `name`
+  /// (aggregate only — no interval).
   void record(const std::string& name, OpKind kind, std::int64_t calls, double us);
+
+  /// Adds one scheduled occurrence of `name` with its placement on the
+  /// stream timeline. Also accumulates into the aggregate row.
+  void record_interval(const std::string& name, OpKind kind, StreamId stream, double start_us,
+                       double end_us);
 
   struct Row {
     std::string name;
@@ -25,11 +37,45 @@ class Profiler {
     double total_us = 0.0;
   };
 
+  /// One scheduled occurrence of an operation on a stream.
+  struct Interval {
+    std::string name;
+    OpKind kind = OpKind::Kernel;
+    StreamId stream = kDefaultStream;
+    double start_us = 0.0;
+    double end_us = 0.0;
+
+    double duration_us() const { return end_us - start_us; }
+  };
+
   /// Rows in first-recorded order.
   std::vector<Row> rows() const;
   double total_us() const;
   double total_us(OpKind kind) const;
   double us_for(const std::string& name) const;
+
+  /// Scheduled intervals in issue order (empty when only aggregate
+  /// records were made).
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Latest interval end (the simulated wall clock of the recorded
+  /// schedule); 0 with no intervals.
+  double makespan_us() const;
+  /// Sum of interval durations on one stream.
+  double stream_busy_us(StreamId stream) const;
+
+  /// Overlap accounting over the recorded intervals.
+  struct OverlapStats {
+    double serialized_us = 0.0;       ///< sum of every interval duration
+    double makespan_us = 0.0;         ///< wall clock of the schedule
+    double transfer_us = 0.0;         ///< total H2D + D2H time
+    double hidden_transfer_us = 0.0;  ///< transfer time overlapped with kernel execution
+    double saved_us() const { return serialized_us - makespan_us; }
+    double hidden_fraction() const {
+      return transfer_us > 0.0 ? hidden_transfer_us / transfer_us : 0.0;
+    }
+  };
+  OverlapStats overlap_stats() const;
 
   void clear();
 
@@ -38,9 +84,18 @@ class Profiler {
   /// with a total row in seconds.
   std::string table() const;
 
+  /// Renders the per-stream timeline report: ops, busy time and span
+  /// per stream, then the serialized-vs-makespan overlap summary.
+  std::string timeline() const;
+
+  /// Chrome `trace_event` JSON (load in chrome://tracing or Perfetto):
+  /// one complete ("ph":"X") event per interval, tid = stream.
+  std::string chrome_trace_json() const;
+
  private:
   std::vector<Row> rows_;
   std::map<std::string, std::size_t> index_;
+  std::vector<Interval> intervals_;
 };
 
 }  // namespace saclo::gpu

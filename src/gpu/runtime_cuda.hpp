@@ -52,60 +52,68 @@ class Runtime {
 
   /// The paper's `host2device` instruction.
   template <typename T>
-  void host2device(DeviceArray<T>& dst, const NDArray<T>& src, bool execute = true) {
-    gpu_->copy_h2d(dst.handle(), std::as_bytes(src.data()), kHtoDOp, execute);
+  void host2device(DeviceArray<T>& dst, const NDArray<T>& src, bool execute = true,
+                   StreamId stream = kDefaultStream) {
+    gpu_->copy_h2d(dst.handle(), std::as_bytes(src.data()), kHtoDOp, execute, true, stream);
   }
 
   /// The paper's `device2host` instruction.
   template <typename T>
-  NDArray<T> device2host(const DeviceArray<T>& src, bool execute = true) {
+  NDArray<T> device2host(const DeviceArray<T>& src, bool execute = true,
+                         StreamId stream = kDefaultStream) {
     NDArray<T> out(src.shape());
-    gpu_->copy_d2h(std::as_writable_bytes(out.data()), src.handle(), kDtoHOp, execute);
+    gpu_->copy_d2h(std::as_writable_bytes(out.data()), src.handle(), kDtoHOp, execute, true,
+                   stream);
     return out;
   }
 
   /// Accounts a transfer without moving data (simulated repetition of a
   /// frame loop).
-  void account_host2device(std::int64_t bytes) {
-    gpu_->account_transfer(bytes, Dir::HostToDevice, kHtoDOp);
+  void account_host2device(std::int64_t bytes, StreamId stream = kDefaultStream) {
+    gpu_->account_transfer(bytes, Dir::HostToDevice, kHtoDOp, stream);
   }
-  void account_device2host(std::int64_t bytes) {
-    gpu_->account_transfer(bytes, Dir::DeviceToHost, kDtoHOp);
+  void account_device2host(std::int64_t bytes, StreamId stream = kDefaultStream) {
+    gpu_->account_transfer(bytes, Dir::DeviceToHost, kDtoHOp, stream);
   }
 
-  double launch(const KernelLaunch& kernel, bool execute = true) {
-    return gpu_->launch(kernel, execute);
+  double launch(const KernelLaunch& kernel, bool execute = true,
+                StreamId stream = kDefaultStream) {
+    return gpu_->launch(kernel, execute, stream);
   }
 
   /// Frame transfers: mini-SaC values are int64 on the host, but the
   /// paper's pixel data is 32-bit — device frames are stored (and
   /// their PCIe cost modelled) as 4-byte ints.
   void host2device_frame(DeviceArray<std::int32_t>& dst, const NDArray<std::int64_t>& src,
-                         bool execute = true, bool account = true) {
+                         bool execute = true, bool account = true,
+                         StreamId stream = kDefaultStream) {
     if (execute) {
       std::vector<std::int32_t> staging(static_cast<std::size_t>(src.elements()));
       for (std::int64_t i = 0; i < src.elements(); ++i) {
         staging[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(src[i]);
       }
       gpu_->copy_h2d(dst.handle(), std::as_bytes(std::span<const std::int32_t>(staging)),
-                     kHtoDOp, true, account);
+                     kHtoDOp, true, account, stream);
     } else if (account) {
-      gpu_->account_transfer(src.elements() * 4, Dir::HostToDevice, kHtoDOp);
+      gpu_->account_transfer(src.elements() * 4, Dir::HostToDevice, kHtoDOp, stream,
+                             dst.handle());
     }
   }
 
   NDArray<std::int64_t> device2host_frame(const DeviceArray<std::int32_t>& src,
-                                          bool execute = true, bool account = true) {
+                                          bool execute = true, bool account = true,
+                                          StreamId stream = kDefaultStream) {
     NDArray<std::int64_t> out(src.shape());
     if (execute) {
       std::vector<std::int32_t> staging(static_cast<std::size_t>(out.elements()));
       gpu_->copy_d2h(std::as_writable_bytes(std::span<std::int32_t>(staging)), src.handle(),
-                     kDtoHOp, true, account);
+                     kDtoHOp, true, account, stream);
       for (std::int64_t i = 0; i < out.elements(); ++i) {
         out[i] = staging[static_cast<std::size_t>(i)];
       }
     } else if (account) {
-      gpu_->account_transfer(out.elements() * 4, Dir::DeviceToHost, kDtoHOp);
+      gpu_->account_transfer(out.elements() * 4, Dir::DeviceToHost, kDtoHOp, stream,
+                             src.handle());
     }
     return out;
   }

@@ -37,14 +37,18 @@ class Buffer {
 /// OpenCL-flavoured façade: a command queue onto the simulated device.
 /// GASPARD2's generated host code (Section V of the paper) creates
 /// buffers, enqueues async writes/reads and NDRange kernels; this class
-/// is that surface. All enqueues execute in order (an in-order queue),
-/// which matches the generated code's single-queue usage.
+/// is that surface. All enqueues execute in order (an in-order queue);
+/// distinct CommandQueues bound to distinct streams overlap on the
+/// simulated timeline unless ordered by a data hazard or a marker
+/// event — the multi-queue idiom of async OpenCL pipelines.
 class CommandQueue {
  public:
-  explicit CommandQueue(VirtualGpu& gpu) : gpu_(&gpu) {}
+  explicit CommandQueue(VirtualGpu& gpu, StreamId stream = kDefaultStream)
+      : gpu_(&gpu), stream_(stream) {}
 
   VirtualGpu& gpu() { return *gpu_; }
   const DeviceSpec& spec() const { return gpu_->spec(); }
+  StreamId stream() const { return stream_; }
 
   Buffer create_buffer(std::int64_t bytes) { return Buffer(*gpu_, bytes); }
 
@@ -55,26 +59,40 @@ class CommandQueue {
 
   template <typename T>
   void enqueue_write_buffer(Buffer& dst, const NDArray<T>& src, bool execute = true) {
-    gpu_->copy_h2d(dst.handle(), std::as_bytes(src.data()), kHtoDOp, execute);
+    gpu_->copy_h2d(dst.handle(), std::as_bytes(src.data()), kHtoDOp, execute, true, stream_);
   }
 
   template <typename T>
   void enqueue_read_buffer(NDArray<T>& dst, const Buffer& src, bool execute = true) {
-    gpu_->copy_d2h(std::as_writable_bytes(dst.data()), src.handle(), kDtoHOp, execute);
+    gpu_->copy_d2h(std::as_writable_bytes(dst.data()), src.handle(), kDtoHOp, execute, true,
+                   stream_);
   }
 
   void account_write(std::int64_t bytes) {
-    gpu_->account_transfer(bytes, Dir::HostToDevice, kHtoDOp);
+    gpu_->account_transfer(bytes, Dir::HostToDevice, kHtoDOp, stream_);
   }
   void account_read(std::int64_t bytes) {
-    gpu_->account_transfer(bytes, Dir::DeviceToHost, kDtoHOp);
+    gpu_->account_transfer(bytes, Dir::DeviceToHost, kDtoHOp, stream_);
+  }
+  /// Hazard-aware accounting variants: the buffer the transfer fills /
+  /// drains orders it against kernels on other queues.
+  void account_write(const Buffer& dst, std::int64_t bytes) {
+    gpu_->account_transfer(bytes, Dir::HostToDevice, kHtoDOp, stream_, dst.handle());
+  }
+  void account_read(const Buffer& src, std::int64_t bytes) {
+    gpu_->account_transfer(bytes, Dir::DeviceToHost, kDtoHOp, stream_, src.handle());
   }
 
   /// clEnqueueNDRangeKernel: `global_work_size` is linearised, exactly
   /// as the generated kernels compute `iGID = get_global_id(0)`.
   double enqueue_ndrange(const KernelLaunch& kernel, bool execute = true) {
-    return gpu_->launch(kernel, execute);
+    return gpu_->launch(kernel, execute, stream_);
   }
+
+  /// clEnqueueMarker: captures this queue's current tail as an event.
+  EventId enqueue_marker() { return gpu_->record_event(stream_); }
+  /// clEnqueueWaitForEvents: orders this queue after the event.
+  void enqueue_wait(EventId event) { gpu_->wait_event(stream_, event); }
 
   /// The GPU profiler reports OpenCL async copies under the same row
   /// names as CUDA ones (the paper's Table I was produced this way on
@@ -84,6 +102,7 @@ class CommandQueue {
 
  private:
   VirtualGpu* gpu_;
+  StreamId stream_ = kDefaultStream;
 };
 
 }  // namespace saclo::gpu::opencl

@@ -8,7 +8,7 @@
 namespace saclo::gpu {
 
 void VirtualGpu::copy_h2d(BufferHandle dst, std::span<const std::byte> src, const std::string& op,
-                          bool execute, bool account) {
+                          bool execute, bool account, StreamId stream) {
   auto dest = memory_.bytes(dst);
   if (src.size() > dest.size()) {
     throw DeviceMemoryError(cat("copy_h2d of ", src.size(), " bytes into ", dest.size(),
@@ -18,14 +18,16 @@ void VirtualGpu::copy_h2d(BufferHandle dst, std::span<const std::byte> src, cons
     std::memcpy(dest.data(), src.data(), src.size());
   }
   if (account) {
-    profiler_.record(op, OpKind::MemcpyHtoD, 1,
-                     transfer_time_us(spec_, static_cast<std::int64_t>(src.size()),
-                                      Dir::HostToDevice));
+    const double us =
+        transfer_time_us(spec_, static_cast<std::int64_t>(src.size()), Dir::HostToDevice);
+    const BufferHandle writes[] = {dst};
+    const auto iv = timeline_.schedule(stream, us, {}, writes);
+    profiler_.record_interval(op, OpKind::MemcpyHtoD, stream, iv.start_us, iv.end_us);
   }
 }
 
 void VirtualGpu::copy_d2h(std::span<std::byte> dst, BufferHandle src, const std::string& op,
-                          bool execute, bool account) {
+                          bool execute, bool account, StreamId stream) {
   auto source = memory_.bytes(src);
   if (dst.size() > source.size()) {
     throw DeviceMemoryError(cat("copy_d2h of ", dst.size(), " bytes from ", source.size(),
@@ -35,28 +37,44 @@ void VirtualGpu::copy_d2h(std::span<std::byte> dst, BufferHandle src, const std:
     std::memcpy(dst.data(), source.data(), dst.size());
   }
   if (account) {
-    profiler_.record(op, OpKind::MemcpyDtoH, 1,
-                     transfer_time_us(spec_, static_cast<std::int64_t>(dst.size()),
-                                      Dir::DeviceToHost));
+    const double us =
+        transfer_time_us(spec_, static_cast<std::int64_t>(dst.size()), Dir::DeviceToHost);
+    const BufferHandle reads[] = {src};
+    const auto iv = timeline_.schedule(stream, us, reads, {});
+    profiler_.record_interval(op, OpKind::MemcpyDtoH, stream, iv.start_us, iv.end_us);
   }
 }
 
-void VirtualGpu::account_transfer(std::int64_t bytes, Dir dir, const std::string& op) {
-  profiler_.record(op, dir == Dir::HostToDevice ? OpKind::MemcpyHtoD : OpKind::MemcpyDtoH, 1,
-                   transfer_time_us(spec_, bytes, dir));
+void VirtualGpu::account_transfer(std::int64_t bytes, Dir dir, const std::string& op,
+                                  StreamId stream, BufferHandle touched) {
+  const double us = transfer_time_us(spec_, bytes, dir);
+  const BufferHandle handles[] = {touched};
+  const std::span<const BufferHandle> hazard =
+      touched.valid() ? std::span<const BufferHandle>(handles) : std::span<const BufferHandle>();
+  const auto iv = dir == Dir::HostToDevice ? timeline_.schedule(stream, us, {}, hazard)
+                                           : timeline_.schedule(stream, us, hazard, {});
+  profiler_.record_interval(op, dir == Dir::HostToDevice ? OpKind::MemcpyHtoD : OpKind::MemcpyDtoH,
+                            stream, iv.start_us, iv.end_us);
 }
 
-double VirtualGpu::launch(const KernelLaunch& kernel, bool execute) {
-  return launch_impl(kernel, execute);
+double VirtualGpu::launch(const KernelLaunch& kernel, bool execute, StreamId stream) {
+  return launch_impl(kernel, execute, stream);
 }
 
-double VirtualGpu::launch_impl(const KernelLaunch& kernel, bool execute) {
+double VirtualGpu::launch_impl(const KernelLaunch& kernel, bool execute, StreamId stream) {
   const double us = kernel_time_us(spec_, kernel.threads, kernel.cost);
   if (execute && kernel.body) {
     pool_.parallel_for(kernel.threads, kernel.body);
   }
-  profiler_.record(kernel.name, OpKind::Kernel, 1, us);
+  const auto iv = timeline_.schedule(stream, us, kernel.reads, kernel.writes);
+  profiler_.record_interval(kernel.name, OpKind::Kernel, stream, iv.start_us, iv.end_us);
   return us;
+}
+
+double VirtualGpu::run_host(const std::string& op, double us, StreamId stream) {
+  const auto iv = timeline_.schedule(stream, us);
+  profiler_.record_interval(op, OpKind::Host, stream, iv.start_us, iv.end_us);
+  return iv.end_us;
 }
 
 }  // namespace saclo::gpu

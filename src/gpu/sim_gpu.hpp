@@ -2,12 +2,14 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "gpu/cost_model.hpp"
 #include "gpu/device.hpp"
 #include "gpu/executor.hpp"
 #include "gpu/memory.hpp"
 #include "gpu/profiler.hpp"
+#include "gpu/stream.hpp"
 
 namespace saclo::gpu {
 
@@ -23,16 +25,28 @@ struct KernelLaunch {
   /// concurrently for distinct ids (single-assignment output, as both
   /// source languages guarantee).
   std::function<void(std::int64_t)> body;
+  /// Device buffers the kernel reads/writes — the data hazards that
+  /// order it against operations on other streams. Empty lists mean no
+  /// cross-stream constraints (single-stream issue stays correct via
+  /// stream order alone).
+  std::vector<BufferHandle> reads;
+  std::vector<BufferHandle> writes;
 };
 
 /// The simulated GPU: device memory + functional executor + analytic
-/// clock + profiler.
+/// multi-stream clock + profiler.
 ///
 /// Every operation takes an `execute` flag: with execute=true the data
 /// movement / kernel body really runs (bit-exact results); with
 /// execute=false only simulated time is accrued. Pipelines use this to
 /// validate a few frames functionally and then account the remaining
 /// repetitions of an identical-cost operation without re-running them.
+///
+/// Operations land on a stream (default: stream 0). Functional
+/// execution always happens immediately in issue order — only the
+/// simulated timeline overlaps — so results are bit-exact regardless of
+/// the stream assignment, provided the issue order itself respects data
+/// dependences (it is the program order of the pipeline).
 class VirtualGpu {
  public:
   explicit VirtualGpu(DeviceSpec spec, unsigned workers = 0)
@@ -45,9 +59,25 @@ class VirtualGpu {
   Profiler& profiler() { return profiler_; }
   const Profiler& profiler() const { return profiler_; }
   ThreadPool& thread_pool() { return pool_; }
+  const Timeline& timeline() const { return timeline_; }
 
-  /// Total simulated time accrued so far (all ops), microseconds.
-  double clock_us() const { return profiler_.total_us(); }
+  /// Simulated wall clock: the makespan over all streams. With every
+  /// operation on the default stream this equals the serialized sum of
+  /// op times (the pre-stream behaviour).
+  double clock_us() const { return timeline_.makespan_us(); }
+  /// Current tail of one stream's timeline.
+  double stream_tail_us(StreamId stream) const { return timeline_.tail_us(stream); }
+
+  /// Creates a new stream (cudaStreamCreate / clCreateCommandQueue).
+  StreamId create_stream() { return timeline_.create_stream(); }
+  /// Captures the tail of `stream` as an event (cudaEventRecord).
+  EventId record_event(StreamId stream) { return timeline_.record_event(stream); }
+  /// Orders `stream` after `event` (cudaStreamWaitEvent).
+  void wait_event(StreamId stream, EventId event) { timeline_.wait_event(stream, event); }
+  /// Pushes the tail of `stream` to at least `time_us`.
+  void wait_until(StreamId stream, double time_us) { timeline_.wait_until(stream, time_us); }
+  /// Device-wide barrier: every stream's tail reaches the makespan.
+  void synchronize() { timeline_.synchronize(); }
 
   BufferHandle alloc(std::int64_t bytes) { return memory_.allocate(bytes); }
   void free(BufferHandle h) { memory_.free(h); }
@@ -58,27 +88,39 @@ class VirtualGpu {
   /// that conceptually never crosses PCIe (device-resident
   /// intermediates handed between separately compiled programs).
   void copy_h2d(BufferHandle dst, std::span<const std::byte> src, const std::string& op,
-                bool execute, bool account = true);
+                bool execute, bool account = true, StreamId stream = kDefaultStream);
   /// Device-to-host copy.
   void copy_d2h(std::span<std::byte> dst, BufferHandle src, const std::string& op, bool execute,
-                bool account = true);
+                bool account = true, StreamId stream = kDefaultStream);
 
   /// Accrues transfer time without moving data (simulated repetition).
-  void account_transfer(std::int64_t bytes, Dir dir, const std::string& op);
+  /// `touched` is the device buffer the transfer writes (H2D) or reads
+  /// (D2H) — its data hazard; pass an invalid handle for none.
+  void account_transfer(std::int64_t bytes, Dir dir, const std::string& op,
+                        StreamId stream = kDefaultStream, BufferHandle touched = {});
 
   /// Launches a kernel; returns its simulated duration in microseconds.
-  double launch(const KernelLaunch& kernel, bool execute);
+  double launch(const KernelLaunch& kernel, bool execute, StreamId stream = kDefaultStream);
 
   /// Accrues the time of a kernel launch without running the body.
-  double account_launch(const KernelLaunch& kernel) { return launch_impl(kernel, false); }
+  double account_launch(const KernelLaunch& kernel, StreamId stream = kDefaultStream) {
+    return launch_impl(kernel, false, stream);
+  }
+
+  /// Schedules `us` microseconds of host-side work (a tiler loop, glue
+  /// code) on `stream` — a host timeline interleaved with the device
+  /// streams, so host stages take part in the makespan. Returns the
+  /// scheduled end time.
+  double run_host(const std::string& op, double us, StreamId stream);
 
  private:
-  double launch_impl(const KernelLaunch& kernel, bool execute);
+  double launch_impl(const KernelLaunch& kernel, bool execute, StreamId stream);
 
   DeviceSpec spec_;
   DeviceMemoryPool memory_;
   ThreadPool pool_;
   Profiler profiler_;
+  Timeline timeline_;
 };
 
 }  // namespace saclo::gpu

@@ -457,10 +457,13 @@ sac::Value CudaProgram::run(gpu::cuda::Runtime& rt, const std::vector<sac::Value
     throw BackendError(cat("program '", fn_.fn.name, "' expects ", fn_.fn.params.size(),
                            " arguments, got ", args.size()));
   }
+  const gpu::StreamSet ss = options.streams.value_or(gpu::StreamSet{});
+  const bool async = options.streams.has_value();
   std::map<std::string, Value> host_env;
   std::map<std::string, gpu::cuda::DeviceArray<std::int32_t>> device;
   std::set<std::string> device_valid;
   std::set<std::string> host_valid;
+  std::set<std::string> host_written;  // arrays produced by host steps this invocation
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& name = fn_.fn.params[i].second;
@@ -479,6 +482,10 @@ sac::Value CudaProgram::run(gpu::cuda::Runtime& rt, const std::vector<sac::Value
   auto ensure_device = [&](const std::string& name) {
     if (device_valid.count(name)) return;
     const bool account = !options.silent_params.count(name);
+    // Re-uploads of host-computed intermediates (the generic tiler's
+    // results) stay in-line with the kernels; fresh param uploads go on
+    // the copy-in stream so they can overlap earlier frames' compute.
+    const gpu::StreamId stream = host_written.count(name) ? ss.compute : ss.h2d;
     const Shape& shape = shape_of(name);
     auto it = device.find(name);
     if (it == device.end()) {
@@ -489,21 +496,21 @@ sac::Value CudaProgram::run(gpu::cuda::Runtime& rt, const std::vector<sac::Value
       if (h == host_env.end() || !h->second.is_int()) {
         throw BackendError(cat("host value for '", name, "' missing before host2device"));
       }
-      rt.host2device_frame(it->second, h->second.ints(), true, account);
+      rt.host2device_frame(it->second, h->second.ints(), true, account, stream);
     } else {
-      rt.host2device_frame(it->second, IntArray(shape), false, account);
+      rt.host2device_frame(it->second, IntArray(shape), false, account, stream);
     }
     device_valid.insert(name);
   };
 
-  auto ensure_host = [&](const std::string& name, bool account) {
+  auto ensure_host = [&](const std::string& name, bool account, gpu::StreamId stream) {
     if (host_valid.count(name)) return;
     if (!device_valid.count(name)) {
       if (!execute) return;  // timing-only run: nothing to materialise
       throw BackendError(cat("value of '", name, "' is nowhere"));
     }
     auto it = device.find(name);
-    IntArray back = rt.device2host_frame(it->second, execute, account);
+    IntArray back = rt.device2host_frame(it->second, execute, account, stream);
     if (execute) host_env.insert_or_assign(name, Value(std::move(back)));
     host_valid.insert(name);
   };
@@ -531,10 +538,12 @@ sac::Value CudaProgram::run(gpu::cuda::Runtime& rt, const std::vector<sac::Value
         copy.cost.global_loads_per_thread = 1;
         copy.cost.global_stores_per_thread = 1;
         copy.cost.warp_access_stride = 1;
+        copy.reads.push_back(device.at(group.modarray_source).handle());
+        copy.writes.push_back(dit->second.handle());
         copy.body = [src_span, out_span](std::int64_t tid) {
           out_span[static_cast<std::size_t>(tid)] = src_span[static_cast<std::size_t>(tid)];
         };
-        rt.launch(copy, execute);
+        rt.launch(copy, execute, ss.compute);
       }
       if (group.needs_default_fill) {
         gpu::KernelLaunch fill;
@@ -542,11 +551,12 @@ sac::Value CudaProgram::run(gpu::cuda::Runtime& rt, const std::vector<sac::Value
         fill.threads = group.full.elements();
         fill.cost.global_stores_per_thread = 1;
         fill.cost.warp_access_stride = 1;
+        fill.writes.push_back(dit->second.handle());
         const std::int32_t dv = static_cast<std::int32_t>(group.default_value);
         fill.body = [out_span, dv](std::int64_t tid) {
           out_span[static_cast<std::size_t>(tid)] = dv;
         };
-        rt.launch(fill, execute);
+        rt.launch(fill, execute, ss.compute);
       }
 
       for (const GenKernel& k : group.kernels) {
@@ -571,6 +581,10 @@ sac::Value CudaProgram::run(gpu::cuda::Runtime& rt, const std::vector<sac::Value
         launch.name = k.name;
         launch.threads = k.threads;
         launch.cost = k.cost;
+        for (const std::string& an : k.tape.array_names) {
+          launch.reads.push_back(device.at(an).handle());
+        }
+        launch.writes.push_back(dit->second.handle());
         launch.body = [tape, arrays, lat, full_strides, rank, slot_count,
                        out_span](std::int64_t tid) {
           thread_local std::vector<std::int64_t> slots;
@@ -593,16 +607,19 @@ sac::Value CudaProgram::run(gpu::cuda::Runtime& rt, const std::vector<sac::Value
                 static_cast<std::int32_t>(slots[static_cast<std::size_t>(tape->result_slots[c])]);
           }
         };
-        rt.launch(launch, execute);
+        rt.launch(launch, execute, ss.compute);
       }
       device_valid.insert(group.target);
       host_valid.erase(group.target);
       continue;
     }
 
-    // Host step.
+    // Host step. Its device2host fetches stay in-line with the kernels
+    // (they are in the compute-critical path — the paper's generic
+    // output-tiler penalty), and the host work itself occupies a host
+    // timeline between the fetch and any re-upload.
     for (const std::string& r : step.host.array_reads) {
-      if (device_valid.count(r)) ensure_host(r, /*account=*/true);
+      if (device_valid.count(r)) ensure_host(r, /*account=*/true, ss.compute);
     }
     double ops = step.host.static_ops;
     if (execute) {
@@ -628,15 +645,26 @@ sac::Value CudaProgram::run(gpu::cuda::Runtime& rt, const std::vector<sac::Value
       if (!s.target.empty()) {
         host_valid.insert(s.target);
         device_valid.erase(s.target);
+        host_written.insert(s.target);
       }
       for (const StmtPtr& c : s.body) mark_writes(*c);
       for (const StmtPtr& c : s.else_body) mark_writes(*c);
     };
     for (std::size_t i : step.host.stmt_indices) mark_writes(*fn_.fn.body[i]);
-    host_profiler.record(cat(fn_.fn.name, "_host"), gpu::OpKind::Host, 1, host.time_us(ops));
+    if (async) {
+      // The host block starts once its fetches landed (compute-stream
+      // tail covers them: fetches were just issued there) and blocks
+      // the kernels that consume its results.
+      gpu::VirtualGpu& g = rt.gpu();
+      g.wait_until(ss.host, g.stream_tail_us(ss.compute));
+      g.run_host(cat(fn_.fn.name, "_host"), host.time_us(ops), ss.host);
+      g.wait_until(ss.compute, g.stream_tail_us(ss.host));
+    } else {
+      host_profiler.record(cat(fn_.fn.name, "_host"), gpu::OpKind::Host, 1, host.time_us(ops));
+    }
   }
 
-  ensure_host(return_var_, /*account=*/!options.silent_result);
+  ensure_host(return_var_, /*account=*/!options.silent_result, ss.d2h);
   if (!execute) return Value();
   auto it = host_env.find(return_var_);
   if (it == host_env.end()) {

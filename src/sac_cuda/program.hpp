@@ -95,10 +95,20 @@ class CudaProgram {
   /// vertical filter receives the horizontal filter's result).
   /// `silent_result` likewise suppresses accounting of the result
   /// fetch (a downstream program consumes it on the device).
+  ///
+  /// `streams`, when set, issues the invocation asynchronously: param
+  /// uploads on streams->h2d, kernels (plus the generic tiler's
+  /// in-line device2host/host2device traffic) on streams->compute, the
+  /// result fetch on streams->d2h, and host blocks on a host timeline
+  /// (streams->host) that takes part in the makespan. Kernel launches
+  /// carry their buffer read/write sets, so cross-stream data hazards
+  /// order the schedule; functional results are bit-exact versus
+  /// synchronous issue.
   struct RunOptions {
     bool execute = true;
     std::set<std::string> silent_params;
     bool silent_result = false;
+    std::optional<gpu::StreamSet> streams;
   };
 
   /// Executes one invocation. With execute=true data really moves and

@@ -56,5 +56,46 @@ TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
   EXPECT_EQ(sum.load(), 20 * (99 * 100 / 2));
 }
 
+TEST(ThreadPoolTest, FewerIterationsThanWorkers) {
+  ThreadPool pool(8);
+  for (std::int64_t n = 1; n < 8; ++n) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    pool.parallel_for(n, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotLoseOtherIterations) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(256, [&](std::int64_t i) {
+      ran++;
+      if (i % 64 == 0) throw std::runtime_error("several bodies throw");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  // Every iteration either ran or was abandoned after the throw; the
+  // pool itself stays consistent and reusable.
+  EXPECT_GE(ran.load(), 1);
+  std::atomic<int> done{0};
+  pool.parallel_for(64, [&](std::int64_t) { done++; });
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentStress) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kIterations = 200'000;
+  std::atomic<std::int64_t> sum{0};
+  std::vector<std::atomic<std::uint8_t>> hits(kIterations);
+  pool.parallel_for(kIterations, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), kIterations * (kIterations - 1) / 2);
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
 }  // namespace
 }  // namespace saclo::gpu

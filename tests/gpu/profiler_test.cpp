@@ -62,9 +62,64 @@ TEST(ProfilerTest, UsForUnknownNameIsZero) {
 TEST(ProfilerTest, ClearResets) {
   Profiler p;
   p.record("k", OpKind::Kernel, 1, 10.0);
+  p.record_interval("k", OpKind::Kernel, kDefaultStream, 0.0, 10.0);
   p.clear();
   EXPECT_TRUE(p.rows().empty());
+  EXPECT_TRUE(p.intervals().empty());
   EXPECT_DOUBLE_EQ(p.total_us(), 0.0);
+}
+
+TEST(ProfilerTest, IntervalsFeedAggregateRows) {
+  Profiler p;
+  p.record_interval("k", OpKind::Kernel, 1, 0.0, 10.0);
+  p.record_interval("k", OpKind::Kernel, 1, 10.0, 30.0);
+  const auto rows = p.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].calls, 2);
+  EXPECT_DOUBLE_EQ(rows[0].total_us, 30.0);
+  EXPECT_DOUBLE_EQ(p.makespan_us(), 30.0);
+  EXPECT_DOUBLE_EQ(p.stream_busy_us(1), 30.0);
+  EXPECT_DOUBLE_EQ(p.stream_busy_us(2), 0.0);
+}
+
+TEST(ProfilerTest, OverlapStatsCountHiddenTransfers) {
+  Profiler p;
+  // Kernel on stream 1 covers [0, 100); transfers on stream 2:
+  // [0, 40) fully hidden, [90, 120) partially hidden (10 of 30).
+  p.record_interval("k", OpKind::Kernel, 1, 0.0, 100.0);
+  p.record_interval("up", OpKind::MemcpyHtoD, 2, 0.0, 40.0);
+  p.record_interval("down", OpKind::MemcpyDtoH, 2, 90.0, 120.0);
+  const auto stats = p.overlap_stats();
+  EXPECT_DOUBLE_EQ(stats.serialized_us, 170.0);
+  EXPECT_DOUBLE_EQ(stats.makespan_us, 120.0);
+  EXPECT_DOUBLE_EQ(stats.saved_us(), 50.0);
+  EXPECT_DOUBLE_EQ(stats.transfer_us, 70.0);
+  EXPECT_DOUBLE_EQ(stats.hidden_transfer_us, 50.0);
+  EXPECT_NEAR(stats.hidden_fraction(), 50.0 / 70.0, 1e-12);
+}
+
+TEST(ProfilerTest, TimelineReportListsStreams) {
+  Profiler p;
+  p.record_interval("k", OpKind::Kernel, 1, 0.0, 100.0);
+  p.record_interval("up", OpKind::MemcpyHtoD, 2, 0.0, 40.0);
+  const std::string report = p.timeline();
+  EXPECT_NE(report.find("stream"), std::string::npos);
+  EXPECT_NE(report.find("makespan"), std::string::npos);
+  EXPECT_NE(report.find("hidden behind kernels"), std::string::npos);
+}
+
+TEST(ProfilerTest, ChromeTraceIsWellFormed) {
+  Profiler p;
+  p.record_interval("kern\"el", OpKind::Kernel, 1, 0.0, 10.0);
+  p.record_interval("up", OpKind::MemcpyHtoD, 2, 0.0, 4.0);
+  const std::string json = p.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("memcpy_h2d"), std::string::npos);
+  // Quotes in op names are escaped.
+  EXPECT_NE(json.find("kern\\\"el"), std::string::npos);
 }
 
 }  // namespace
