@@ -14,7 +14,7 @@ using namespace saclo::bench;
 
 namespace {
 
-void launch_overhead_sweep() {
+void launch_overhead_sweep(BenchJson& out) {
   print_header("Kernel-count ablation — launch-overhead sweep (300 RGB frames)");
   const DownscalerConfig cfg = DownscalerConfig::paper();
   std::printf("%-22s %14s %14s %12s\n", "launch overhead", "SaC kernels(s)",
@@ -37,13 +37,14 @@ void launch_overhead_sweep() {
     const double g_k = g.h.kernel_us + g.v.kernel_us;
     std::printf("%18.0f us %11.2f s  %11.2f s  %10.2fx\n", overhead, s_k / 1e6, g_k / 1e6,
                 s_k / g_k);
+    out.variant(cat("overhead_", fixed(overhead, 0), "us_sac"), s_k, {{"gaspard_us", g_k}});
   }
   std::printf("\nAt zero launch overhead the remaining gap is the lost data reuse of the\n"
               "split generators (the paper's second explanation); the overhead term adds\n"
               "the per-launch cost of the extra kernels.\n");
 }
 
-void device_sweep() {
+void device_sweep(BenchJson& out) {
   print_header("Device sweep — the same programs on different simulated GPUs");
   const DownscalerConfig cfg = DownscalerConfig::paper();
   for (const gpu::DeviceSpec& dev : {gpu::gtx280(), gpu::gtx480(), gpu::bigger_fermi()}) {
@@ -57,6 +58,8 @@ void device_sweep() {
     auto g = gd.run(kFrames, 0);
     std::printf("%-38s SaC %6.2f s   Gaspard2 %6.2f s\n", dev.name.c_str(), s.total_us() / 1e6,
                 g.total_us() / 1e6);
+    out.variant(cat("device_", dev.name, "_sac"), s.total_us(),
+                {{"gaspard_us", g.total_us()}});
   }
 }
 
@@ -76,8 +79,10 @@ BENCHMARK(BM_KernelTimeModel)->Arg(1)->Arg(8)->Arg(1920);
 }  // namespace
 
 int main(int argc, char** argv) {
-  launch_overhead_sweep();
-  device_sweep();
+  BenchJson out("ablation_kernels");
+  launch_overhead_sweep(out);
+  device_sweep(out);
+  out.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -90,6 +90,17 @@ void overlap_comparison() {
 
   std::ofstream("streams_trace_sac.json") << sac_ng.trace_json;
   std::printf("\nwrote streams_trace_sac.json (open in chrome://tracing or Perfetto)\n");
+
+  BenchJson out("ablation_streams");
+  out.variant("sac_nongeneric_sync", sac_ng.sync_us);
+  out.variant("sac_nongeneric_async", sac_ng.async_us);
+  out.variant("sac_generic_sync", sac_g.sync_us);
+  out.variant("sac_generic_async", sac_g.async_us);
+  out.variant("gaspard_sync", gaspard.sync_us);
+  out.variant("gaspard_async", gaspard.async_us);
+  out.scalar("generic_penalty_sync", sync_penalty);
+  out.scalar("generic_penalty_async", async_penalty);
+  out.write();
 }
 
 void BM_SacChainSync(benchmark::State& state) {

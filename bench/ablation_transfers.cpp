@@ -21,7 +21,7 @@ DownscalerConfig sized(std::int64_t height, std::int64_t width) {
   return cfg;
 }
 
-void frame_size_sweep() {
+void frame_size_sweep(BenchJson& out) {
   print_header("Transfer-share ablation — frame size sweep (SaC non-generic, 300 RGB frames)");
   std::printf("%-16s %12s %12s %12s %14s\n", "frame", "kernels(s)", "copies(s)", "total(s)",
               "copy share");
@@ -40,13 +40,17 @@ void frame_size_sweep() {
     std::printf("%6lldx%-8lld %9.2f s  %9.2f s  %9.2f s  %12.1f%%\n",
                 static_cast<long long>(c.h), static_cast<long long>(c.w), kernels / 1e6,
                 copies / 1e6, r.total_us() / 1e6, 100.0 * copies / r.total_us());
+    out.variant(cat("frame_", c.h, "x", c.w), r.total_us(),
+                {{"kernel_us", kernels},
+                 {"copy_us", copies},
+                 {"copy_share", copies / r.total_us()}});
   }
   std::printf("\nThe copy share is nearly scale-invariant: both kernels and copies grow\n"
               "linearly in the pixel count — the paper's ~50%% is a property of the\n"
               "algorithm:PCIe ratio, not of the frame size.\n");
 }
 
-void pcie_sweep() {
+void pcie_sweep(BenchJson& out) {
   print_header("PCIe bandwidth sweep (SaC non-generic, paper frames)");
   const DownscalerConfig cfg = DownscalerConfig::paper();
   std::printf("%-18s %12s %14s\n", "PCIe (GB/s)", "total(s)", "copy share");
@@ -61,6 +65,8 @@ void pcie_sweep() {
     const double copies = r.h.h2d_us + r.v.h2d_us + r.h.d2h_us + r.v.d2h_us;
     std::printf("%14.2f %11.2f s %12.1f%%\n", gbs, r.total_us() / 1e6,
                 100.0 * copies / r.total_us());
+    out.variant(cat("pcie_", fixed(gbs, 2), "gbs"), r.total_us(),
+                {{"copy_share", copies / r.total_us()}});
   }
 }
 
@@ -76,8 +82,10 @@ BENCHMARK(BM_TransferModel)->Arg(1 << 12)->Arg(1 << 20)->Arg(8294400);
 }  // namespace
 
 int main(int argc, char** argv) {
-  frame_size_sweep();
-  pcie_sweep();
+  BenchJson out("ablation_transfers");
+  frame_size_sweep(out);
+  pcie_sweep(out);
+  out.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -64,6 +64,17 @@ void wlf_on_off_comparison() {
                   (r_on.h.kernel_us + r_on.v.kernel_us));
   std::printf("kernels per H invocation: %d (WLF) vs %d (no WLF, one per pipeline stage gen)\n",
               on.h_kernels(), off.h_kernels());
+
+  BenchJson out("ablation_wlf");
+  out.variant("wlf_on_kernels", r_on.h.kernel_us + r_on.v.kernel_us);
+  out.variant("wlf_on_total", r_on.total_us());
+  out.variant("wlf_off_kernels", r_off.h.kernel_us + r_off.v.kernel_us);
+  out.variant("wlf_off_total", r_off.total_us());
+  out.scalar("kernel_ratio_off_over_on", (r_off.h.kernel_us + r_off.v.kernel_us) /
+                                             (r_on.h.kernel_us + r_on.v.kernel_us));
+  out.scalar("h_kernels_wlf", on.h_kernels());
+  out.scalar("h_kernels_no_wlf", off.h_kernels());
+  out.write();
 }
 
 void BM_WlfPassPaperScale(benchmark::State& state) {

@@ -47,6 +47,20 @@ void reproduce_fig12() {
               100.0 * best / worst);
   std::printf("  SaC kernels per filter: H=%d V=%d vs GASPARD2's 1 per task\n",
               sac.h_kernels(), sac.v_kernels());
+
+  BenchJson out("fig12_comparison");
+  out.variant("sac_h_kernels", s.h.kernel_us);
+  out.variant("sac_v_kernels", s.v.kernel_us);
+  out.variant("sac_h2d", s.h.h2d_us + s.v.h2d_us);
+  out.variant("sac_d2h", s.h.d2h_us + s.v.d2h_us);
+  out.variant("sac_total", s.total_us());
+  out.variant("gaspard_h_kernels", g.h.kernel_us);
+  out.variant("gaspard_v_kernels", g.v.kernel_us);
+  out.variant("gaspard_h2d", g.h.h2d_us + g.v.h2d_us);
+  out.variant("gaspard_d2h", g.h.d2h_us + g.v.d2h_us);
+  out.variant("gaspard_total", g.total_us());
+  out.scalar("total_ratio_best_over_worst", best / worst);
+  out.write();
 }
 
 void BM_Fig12BothPipelinesOneFrame(benchmark::State& state) {

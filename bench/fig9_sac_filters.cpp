@@ -58,6 +58,21 @@ void reproduce_fig9() {
   std::printf("\nGeneric CUDA breakdown (H): kernels %.2fs, d2h %.2fs, host tiler %.2fs\n",
               cuda_g_h.ops.kernel_us / 1e6, cuda_g_h.ops.d2h_us / 1e6,
               cuda_g_h.ops.host_us / 1e6);
+
+  BenchJson out("fig9_sac_filters");
+  out.variant("seq_generic_h", seq_g.h_us);
+  out.variant("seq_generic_v", seq_g.v_us);
+  out.variant("seq_nongeneric_h", seq_ng.h_us);
+  out.variant("seq_nongeneric_v", seq_ng.v_us);
+  out.variant("cuda_generic_h", cuda_g_h.ops.total_us());
+  out.variant("cuda_generic_v", cuda_g_v.ops.total_us());
+  out.variant("cuda_nongeneric_h", cuda_ng_h.ops.total_us());
+  out.variant("cuda_nongeneric_v", cuda_ng_v.ops.total_us());
+  out.scalar("gpu_generic_penalty_h", cuda_g_h.ops.total_us() / cuda_ng_h.ops.total_us());
+  out.scalar("gpu_generic_penalty_v", cuda_g_v.ops.total_us() / cuda_ng_v.ops.total_us());
+  out.scalar("seq_over_cuda_h", seq_ng.h_us / cuda_ng_h.ops.total_us());
+  out.scalar("seq_over_cuda_v", seq_ng.v_us / cuda_ng_v.ops.total_us());
+  out.write();
 }
 
 void BM_Fig9SimulatedIterationNonGeneric(benchmark::State& state) {

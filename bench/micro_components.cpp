@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/downscaler/arrayol_model.hpp"
+#include "bench_support.hpp"
 #include "apps/downscaler/frames.hpp"
 #include "apps/downscaler/sac_source.hpp"
 #include "core/tiler.hpp"
@@ -149,4 +150,13 @@ BENCHMARK(BM_CoverageMap);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  // These are real wall-clock micro-benchmarks, so the JSON's "us" is
+  // host time per iteration (not simulated device time).
+  saclo::bench::BenchJson out("micro_components");
+  saclo::bench::JsonCapturingReporter reporter(out);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  out.write();
+  return 0;
+}

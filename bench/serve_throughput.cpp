@@ -1,0 +1,137 @@
+// Fleet scaling sweep for the multi-GPU serving runtime: the same job
+// mix pushed through 1..8 simulated devices. Throughput is measured in
+// frames per second of *simulated* fleet time (the makespan over
+// devices), so the curve is deterministic: with a balanced mix it
+// scales nearly linearly until per-device warmup (driver compilation,
+// allocator cache fill) stops amortizing. The BENCH_serve.json export
+// is the artifact CI archives.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "serve/scheduler.hpp"
+
+using namespace saclo;
+using namespace saclo::apps;
+using namespace saclo::bench;
+using namespace saclo::serve;
+
+namespace {
+
+constexpr int kJobs = 64;
+constexpr int kFramesPerJob = 16;
+
+/// A mixed stream of requests: both SaC tilers plus the GASPARD route,
+/// like a front-end fanning heterogeneous traffic into one fleet.
+JobSpec job_for(int index) {
+  JobSpec spec;
+  const Route routes[] = {Route::SacNongeneric, Route::SacNongeneric, Route::SacGeneric,
+                          Route::Gaspard};
+  spec.route = routes[index % 4];
+  spec.frames = kFramesPerJob;
+  spec.exec_frames = 1;  // validate one frame functionally, simulate the rest
+  return spec;
+}
+
+struct SweepPoint {
+  int devices = 0;
+  double fps_sim = 0;
+  double fps_real = 0;
+  double makespan_us = 0;
+  double latency_p99_us = 0;
+  double min_utilization = 1.0;
+  double alloc_hit_rate = 0;
+};
+
+SweepPoint run_fleet(int devices) {
+  ServeRuntime::Options opts;
+  opts.devices = devices;
+  opts.queue_capacity = kJobs;
+  ServeRuntime runtime(opts);
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) futures.push_back(runtime.submit(job_for(i)));
+  for (auto& f : futures) f.get();
+  runtime.drain();
+
+  const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+  SweepPoint p;
+  p.devices = devices;
+  p.fps_sim = s.throughput_fps_sim;
+  p.fps_real = s.throughput_fps_real;
+  p.makespan_us = s.sim_makespan_us;
+  p.latency_p99_us = s.latency_p99_us;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  for (const FleetMetrics::DeviceSnapshot& d : s.devices) {
+    if (d.jobs > 0) p.min_utilization = std::min(p.min_utilization, d.utilization);
+    hits += d.allocator.hits;
+    misses += d.allocator.misses;
+  }
+  p.alloc_hit_rate = hits + misses > 0
+                         ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+                         : 0.0;
+  return p;
+}
+
+void device_sweep() {
+  print_header(cat("Serving fleet sweep — ", kJobs, " mixed jobs x ", kFramesPerJob,
+                   " frames, 1..8 devices"));
+  std::printf("%8s %14s %14s %12s %10s %8s\n", "devices", "sim fps", "makespan(s)", "p99(ms)",
+              "min util", "hit%");
+
+  BenchJson out("serve");
+  std::vector<SweepPoint> points;
+  for (int devices = 1; devices <= 8; devices *= 2) {
+    const SweepPoint p = run_fleet(devices);
+    points.push_back(p);
+    std::printf("%8d %14.1f %14.3f %12.2f %9.2f %7.1f\n", p.devices, p.fps_sim,
+                p.makespan_us / 1e6, p.latency_p99_us / 1e3, p.min_utilization,
+                100 * p.alloc_hit_rate);
+    out.variant(cat("devices_", devices), p.makespan_us,
+                {{"fps_sim", p.fps_sim},
+                 {"fps_real", p.fps_real},
+                 {"latency_p99_us", p.latency_p99_us},
+                 {"min_utilization", p.min_utilization},
+                 {"alloc_hit_rate", p.alloc_hit_rate}});
+  }
+  const double scaling_4x = points.size() >= 3 ? points[2].fps_sim / points[0].fps_sim : 0.0;
+  const double scaling_8x = points.size() >= 4 ? points[3].fps_sim / points[0].fps_sim : 0.0;
+  out.scalar("jobs", kJobs);
+  out.scalar("frames_per_job", kFramesPerJob);
+  out.scalar("speedup_4_devices", scaling_4x);
+  out.scalar("speedup_8_devices", scaling_8x);
+  std::printf("\nscaling vs 1 device: 4 devices %.2fx, 8 devices %.2fx\n", scaling_4x,
+              scaling_8x);
+  out.write();
+}
+
+void BM_FleetSmall(benchmark::State& state) {
+  const int devices = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ServeRuntime::Options opts;
+    opts.devices = devices;
+    ServeRuntime runtime(opts);
+    std::vector<std::future<JobResult>> futures;
+    for (int i = 0; i < 8; ++i) {
+      JobSpec spec = job_for(i);
+      spec.frames = 2;
+      spec.exec_frames = 1;
+      futures.push_back(runtime.submit(spec));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get().sim_wall_us);
+  }
+}
+BENCHMARK(BM_FleetSmall)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  device_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

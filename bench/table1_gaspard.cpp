@@ -29,6 +29,15 @@ void reproduce_table1() {
   const double transfer_share =
       (r.h.h2d_us + r.v.h2d_us + r.h.d2h_us + r.v.d2h_us) / r.total_us();
   std::printf("\nTransfer share of total: %.1f%% (paper: ~55%%)\n", 100 * transfer_share);
+
+  BenchJson out("table1_gaspard");
+  out.variant("h_filter_kernels", r.h.kernel_us, {{"paper_us", 844185}});
+  out.variant("v_filter_kernels", r.v.kernel_us, {{"paper_us", 424223}});
+  out.variant("memcpyHtoDasync", r.h.h2d_us + r.v.h2d_us, {{"paper_us", 1391670}});
+  out.variant("memcpyDtoHasync", r.h.d2h_us + r.v.d2h_us, {{"paper_us", 197057}});
+  out.variant("total", r.total_us(), {{"paper_us", 2.86e6}});
+  out.scalar("transfer_share", transfer_share);
+  out.write();
 }
 
 void BM_GaspardChainBuild(benchmark::State& state) {

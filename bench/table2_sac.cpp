@@ -33,6 +33,17 @@ void reproduce_table2() {
   const double transfer_share =
       (r.h.h2d_us + r.v.h2d_us + r.h.d2h_us + r.v.d2h_us) / r.total_us();
   std::printf("\nTransfer share of total: %.1f%% (paper: ~48%%)\n", 100 * transfer_share);
+
+  BenchJson out("table2_sac");
+  out.variant("h_filter_kernels", r.h.kernel_us, {{"paper_us", 1015137}});
+  out.variant("v_filter_kernels", r.v.kernel_us, {{"paper_us", 762270}});
+  out.variant("memcpyHtoDasync", r.h.h2d_us + r.v.h2d_us, {{"paper_us", 1454400}});
+  out.variant("memcpyDtoHasync", r.h.d2h_us + r.v.d2h_us, {{"paper_us", 198000}});
+  out.variant("total", r.total_us(), {{"paper_us", 3.43e6}});
+  out.scalar("transfer_share", transfer_share);
+  out.scalar("h_kernels", sac.h_kernels());
+  out.scalar("v_kernels", sac.v_kernels());
+  out.write();
 }
 
 void BM_SacCompileNonGeneric(benchmark::State& state) {

@@ -1,5 +1,8 @@
 #include "apps/downscaler/pipelines.hpp"
 
+#include <map>
+#include <utility>
+
 #include "apps/downscaler/frames.hpp"
 #include "core/fmt.hpp"
 #include "sac/parser.hpp"
@@ -97,9 +100,15 @@ SacDownscaler::SacDownscaler(const DownscalerConfig& config, const Options& opti
 SacDownscaler::CudaResult SacDownscaler::run_cuda_chain(int frames, int channels,
                                                         int exec_frames) {
   gpu::VirtualGpu gpu(opts_.device, opts_.workers);
+  return run_cuda_chain_on(gpu, frames, channels, exec_frames);
+}
+
+SacDownscaler::CudaResult SacDownscaler::run_cuda_chain_on(gpu::VirtualGpu& gpu, int frames,
+                                                           int channels, int exec_frames) {
   gpu::cuda::Runtime rt(gpu);
   gpu::Profiler host_profiler;
   CudaResult result;
+  const double clock0 = gpu.clock_us();
 
   std::optional<gpu::StreamSet> streams;
   if (opts_.async_streams) {
@@ -151,8 +160,10 @@ SacDownscaler::CudaResult SacDownscaler::run_cuda_chain(int frames, int channels
       cat("H. Filter (", h_prog_.kernel_count(), " kernels)"), result.h,
       cat("V. Filter (", v_prog_.kernel_count(), " kernels)"), result.v);
   // Async host blocks run on the gpu timeline (host stream) and are
-  // already inside the makespan; sync ones live in host_profiler.
-  result.wall_us = gpu.clock_us() + host_profiler.total_us();
+  // already inside the makespan; sync ones live in host_profiler. On a
+  // fleet device the clock is cumulative, so the job's wall time is the
+  // advance since entry.
+  result.wall_us = gpu.clock_us() - clock0 + host_profiler.total_us();
   result.timeline = gpu.profiler().timeline();
   if (opts_.capture_trace) result.trace_json = gpu.profiler().chrome_trace_json();
   return result;
@@ -217,7 +228,19 @@ GaspardDownscaler::GaspardDownscaler(const DownscalerConfig& config, const Optio
 
 GaspardDownscaler::Result GaspardDownscaler::run(int frames, int exec_frames) {
   gpu::VirtualGpu gpu(opts_.device, opts_.workers);
+  return run_on(gpu, frames, exec_frames);
+}
+
+GaspardDownscaler::Result GaspardDownscaler::run_on(gpu::VirtualGpu& gpu, int frames,
+                                                    int exec_frames) {
   gpu::opencl::CommandQueue queue(gpu);
+  const double clock0 = gpu.clock_us();
+  // Per-row snapshot so a fleet device's earlier jobs don't leak into
+  // this job's H/V split.
+  std::map<std::string, std::pair<std::int64_t, double>> rows_before;
+  for (const auto& row : gpu.profiler().rows()) {
+    rows_before.emplace(row.name, std::make_pair(row.calls, row.total_us));
+  }
   std::optional<gpu::opencl::CommandQueue> upload;
   std::optional<gpu::opencl::CommandQueue> compute;
   std::optional<gpu::opencl::CommandQueue> download;
@@ -254,25 +277,33 @@ GaspardDownscaler::Result GaspardDownscaler::run(int frames, int exec_frames) {
   gpu.synchronize();
 
   // Split the kernel rows between the horizontal and vertical filters;
-  // attribute uploads to H (they feed it) and downloads to V.
+  // attribute uploads to H (they feed it) and downloads to V. Only this
+  // call's delta counts — the profiler is cumulative on a fleet device.
   int h_kernels = 0;
   int v_kernels = 0;
   for (const auto& row : gpu.profiler().rows()) {
+    std::int64_t calls = row.calls;
+    double us = row.total_us;
+    if (auto it = rows_before.find(row.name); it != rows_before.end()) {
+      calls -= it->second.first;
+      us -= it->second.second;
+    }
+    if (calls == 0 && us == 0.0) continue;
     switch (row.kind) {
       case gpu::OpKind::Kernel: {
         const bool is_h = row.name.find("hf") != std::string::npos;
         OpBreakdown& b = is_h ? result.h : result.v;
-        b.kernel_us += row.total_us;
-        b.kernel_launches += row.calls;
+        b.kernel_us += us;
+        b.kernel_launches += calls;
         break;
       }
       case gpu::OpKind::MemcpyHtoD:
-        result.h.h2d_us += row.total_us;
-        result.h.h2d_calls += row.calls;
+        result.h.h2d_us += us;
+        result.h.h2d_calls += calls;
         break;
       case gpu::OpKind::MemcpyDtoH:
-        result.v.d2h_us += row.total_us;
-        result.v.d2h_calls += row.calls;
+        result.v.d2h_us += us;
+        result.v.d2h_calls += calls;
         break;
       case gpu::OpKind::Host:
         break;
@@ -288,7 +319,7 @@ GaspardDownscaler::Result GaspardDownscaler::run(int frames, int exec_frames) {
   result.nvprof_table =
       nvprof_style_table(cat("H. Filter (", h_kernels, " kernels)"), result.h,
                          cat("V. Filter (", v_kernels, " kernels)"), result.v);
-  result.wall_us = gpu.clock_us();
+  result.wall_us = gpu.clock_us() - clock0;
   result.timeline = gpu.profiler().timeline();
   if (opts_.capture_trace) result.trace_json = gpu.profiler().chrome_trace_json();
   return result;

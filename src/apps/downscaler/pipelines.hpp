@@ -82,6 +82,15 @@ class SacDownscaler {
   /// functionally; the rest accrue simulated time only.
   CudaResult run_cuda_chain(int frames, int channels, int exec_frames);
 
+  /// The same frame loop on a caller-provided device — the serving
+  /// runtime's fleet path, where one VirtualGpu outlives many jobs.
+  /// Simulated time accrues on that device's cumulative timeline;
+  /// every field of the result (breakdowns, wall_us) is the delta of
+  /// this call. Must not be invoked concurrently on the same
+  /// SacDownscaler or the same device (the fleet scheduler guarantees
+  /// one dispatcher thread per device).
+  CudaResult run_cuda_chain_on(gpu::VirtualGpu& gpu, int frames, int channels, int exec_frames);
+
   /// The paper's Figure 9 scenario: each filter "executed for 300
   /// iterations". With resident_data=true the input is uploaded once
   /// and iterated on the device (a benchmark loop over resident data,
@@ -146,6 +155,11 @@ class GaspardDownscaler {
   };
 
   Result run(int frames, int exec_frames);
+
+  /// The same frame loop on a caller-provided device (see
+  /// SacDownscaler::run_cuda_chain_on): all result fields are deltas of
+  /// this call, so a fleet device can serve many jobs back to back.
+  Result run_on(gpu::VirtualGpu& gpu, int frames, int exec_frames);
 
  private:
   DownscalerConfig cfg_;

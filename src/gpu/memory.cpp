@@ -4,24 +4,39 @@
 
 namespace saclo::gpu {
 
+namespace {
+std::int64_t align_up(std::int64_t bytes, std::int64_t alignment) {
+  return (bytes + alignment - 1) / alignment * alignment;
+}
+}  // namespace
+
 BufferHandle DeviceMemoryPool::allocate(std::int64_t bytes) {
   if (bytes < 0) throw DeviceMemoryError(cat("allocate(", bytes, ") is negative"));
-  if (used_ + bytes > capacity_) {
-    throw DeviceMemoryError(cat("device out of memory: requested ", bytes, " bytes, ",
-                                capacity_ - used_, " of ", capacity_, " available"));
+  const std::int64_t reserved = align_up(bytes, kAlignment);
+  if (used_ + reserved > capacity_) {
+    throw DeviceMemoryError(cat("device out of memory: requested ", bytes, " bytes (", reserved,
+                                " aligned), ", capacity_ - used_, " of ", capacity_,
+                                " available"));
   }
   BufferHandle h{next_id_++, bytes};
-  buffers_.emplace(h.id, std::vector<std::byte>(static_cast<std::size_t>(bytes)));
-  used_ += bytes;
+  buffers_.emplace(h.id, Block{std::vector<std::byte>(static_cast<std::size_t>(bytes)), reserved});
+  used_ += reserved;
+  if (used_ > peak_) peak_ = used_;
   return h;
 }
 
 void DeviceMemoryPool::free(BufferHandle handle) {
   auto it = buffers_.find(handle.id);
   if (it == buffers_.end()) {
-    throw DeviceMemoryError(cat("free of invalid device buffer id ", handle.id));
+    if (handle.id != 0 && handle.id < next_id_) {
+      throw DeviceMemoryError(cat("double free of device buffer id ", handle.id,
+                                  ": the handle was already freed (or recycled by a caching "
+                                  "allocator and returned twice)"));
+    }
+    throw DeviceMemoryError(cat("free of invalid device buffer id ", handle.id,
+                                ": never allocated by this pool"));
   }
-  used_ -= static_cast<std::int64_t>(it->second.size());
+  used_ -= it->second.reserved;
   buffers_.erase(it);
 }
 
@@ -30,7 +45,7 @@ std::span<std::byte> DeviceMemoryPool::bytes(BufferHandle handle) {
   if (it == buffers_.end()) {
     throw DeviceMemoryError(cat("access to invalid device buffer id ", handle.id));
   }
-  return it->second;
+  return it->second.data;
 }
 
 std::span<const std::byte> DeviceMemoryPool::bytes(BufferHandle handle) const {
@@ -38,7 +53,7 @@ std::span<const std::byte> DeviceMemoryPool::bytes(BufferHandle handle) const {
   if (it == buffers_.end()) {
     throw DeviceMemoryError(cat("access to invalid device buffer id ", handle.id));
   }
-  return it->second;
+  return it->second.data;
 }
 
 }  // namespace saclo::gpu

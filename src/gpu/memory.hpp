@@ -17,22 +17,43 @@ class DeviceMemoryError : public Error {
 };
 
 /// Opaque handle to a device allocation (the simulator's cudaMalloc /
-/// clCreateBuffer result).
+/// clCreateBuffer result). `bytes` is the logical (requested) size; the
+/// backing block may be larger (alignment padding, allocator size
+/// classes).
 struct BufferHandle {
   std::uint64_t id = 0;
   std::int64_t bytes = 0;
   bool valid() const { return id != 0; }
 };
 
+/// Anything that can hand out and take back device buffers: the raw
+/// DeviceMemoryPool, or a caching layer on top of it (serve's
+/// CachingDeviceAllocator). RAII owners and the runtime façades
+/// allocate through this interface so a caching layer can be installed
+/// on a device without touching the pipelines.
+class BufferAllocator {
+ public:
+  virtual ~BufferAllocator() = default;
+  virtual BufferHandle allocate(std::int64_t bytes) = 0;
+  virtual void free(BufferHandle handle) = 0;
+};
+
 /// Simulated device global memory: allocations are backed by host
 /// vectors (so kernels can execute functionally) while capacity
 /// accounting enforces the device's memory size.
-class DeviceMemoryPool {
+///
+/// Like cudaMalloc, every allocation is aligned: capacity accounting
+/// rounds the block up to kAlignment bytes (the backing store keeps the
+/// exact requested size so typed views stay tight).
+class DeviceMemoryPool final : public BufferAllocator {
  public:
+  /// cudaMalloc guarantees at least 256-byte alignment on every device.
+  static constexpr std::int64_t kAlignment = 256;
+
   explicit DeviceMemoryPool(std::int64_t capacity_bytes) : capacity_(capacity_bytes) {}
 
-  BufferHandle allocate(std::int64_t bytes);
-  void free(BufferHandle handle);
+  BufferHandle allocate(std::int64_t bytes) override;
+  void free(BufferHandle handle) override;
 
   /// Raw access to a buffer's backing store; throws on stale handles.
   std::span<std::byte> bytes(BufferHandle handle);
@@ -49,23 +70,32 @@ class DeviceMemoryPool {
   }
 
   std::int64_t used_bytes() const { return used_; }
+  /// High-water mark of used_bytes() over the pool's lifetime.
+  std::int64_t peak_bytes() const { return peak_; }
   std::int64_t capacity_bytes() const { return capacity_; }
   std::size_t live_allocations() const { return buffers_.size(); }
 
  private:
+  struct Block {
+    std::vector<std::byte> data;
+    std::int64_t reserved = 0;  ///< aligned size charged against capacity
+  };
+
   std::int64_t capacity_;
   std::int64_t used_ = 0;
+  std::int64_t peak_ = 0;
   std::uint64_t next_id_ = 1;
-  std::map<std::uint64_t, std::vector<std::byte>> buffers_;
+  std::map<std::uint64_t, Block> buffers_;
 };
 
 /// RAII owner of a BufferHandle (Core Guidelines I.11: no raw-handle
-/// ownership across API boundaries).
+/// ownership across API boundaries). Works against any BufferAllocator,
+/// so buffers created through a caching layer are returned to it.
 class DeviceBuffer {
  public:
   DeviceBuffer() = default;
-  DeviceBuffer(DeviceMemoryPool& pool, std::int64_t bytes)
-      : pool_(&pool), handle_(pool.allocate(bytes)) {}
+  DeviceBuffer(BufferAllocator& allocator, std::int64_t bytes)
+      : allocator_(&allocator), handle_(allocator.allocate(bytes)) {}
   ~DeviceBuffer() { reset(); }
 
   DeviceBuffer(const DeviceBuffer&) = delete;
@@ -84,17 +114,17 @@ class DeviceBuffer {
   bool valid() const { return handle_.valid(); }
 
   void reset() {
-    if (pool_ != nullptr && handle_.valid()) pool_->free(handle_);
-    pool_ = nullptr;
+    if (allocator_ != nullptr && handle_.valid()) allocator_->free(handle_);
+    allocator_ = nullptr;
     handle_ = {};
   }
 
  private:
   void swap(DeviceBuffer& other) {
-    std::swap(pool_, other.pool_);
+    std::swap(allocator_, other.allocator_);
     std::swap(handle_, other.handle_);
   }
-  DeviceMemoryPool* pool_ = nullptr;
+  BufferAllocator* allocator_ = nullptr;
   BufferHandle handle_{};
 };
 

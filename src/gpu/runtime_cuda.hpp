@@ -18,7 +18,7 @@ class DeviceArray {
   DeviceArray(VirtualGpu& gpu, Shape shape)
       : gpu_(&gpu),
         shape_(std::move(shape)),
-        buffer_(gpu.memory(), shape_.elements() * static_cast<std::int64_t>(sizeof(T))) {}
+        buffer_(gpu.allocator(), shape_.elements() * static_cast<std::int64_t>(sizeof(T))) {}
 
   const Shape& shape() const { return shape_; }
   bool valid() const { return buffer_.valid(); }

@@ -14,7 +14,7 @@ namespace saclo::gpu::opencl {
 class Buffer {
  public:
   Buffer() = default;
-  Buffer(VirtualGpu& gpu, std::int64_t bytes) : gpu_(&gpu), buffer_(gpu.memory(), bytes) {}
+  Buffer(VirtualGpu& gpu, std::int64_t bytes) : gpu_(&gpu), buffer_(gpu.allocator(), bytes) {}
 
   BufferHandle handle() const { return buffer_.handle(); }
   std::int64_t bytes() const { return buffer_.bytes(); }

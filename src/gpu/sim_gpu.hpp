@@ -56,6 +56,11 @@ class VirtualGpu {
 
   const DeviceSpec& spec() const { return spec_; }
   DeviceMemoryPool& memory() { return memory_; }
+  /// The allocator buffer creation routes through: the raw memory pool
+  /// by default, or an installed caching layer (serve's
+  /// CachingDeviceAllocator). Install with nullptr to restore the pool.
+  BufferAllocator& allocator() { return allocator_ != nullptr ? *allocator_ : memory_; }
+  void set_allocator(BufferAllocator* allocator) { allocator_ = allocator; }
   Profiler& profiler() { return profiler_; }
   const Profiler& profiler() const { return profiler_; }
   ThreadPool& thread_pool() { return pool_; }
@@ -79,8 +84,8 @@ class VirtualGpu {
   /// Device-wide barrier: every stream's tail reaches the makespan.
   void synchronize() { timeline_.synchronize(); }
 
-  BufferHandle alloc(std::int64_t bytes) { return memory_.allocate(bytes); }
-  void free(BufferHandle h) { memory_.free(h); }
+  BufferHandle alloc(std::int64_t bytes) { return allocator().allocate(bytes); }
+  void free(BufferHandle h) { allocator().free(h); }
 
   /// Host-to-device copy. `op` is the profiler row name (e.g. the
   /// CUDA-style "memcpyHtoDasync"). With account=false the copy happens
@@ -118,6 +123,7 @@ class VirtualGpu {
 
   DeviceSpec spec_;
   DeviceMemoryPool memory_;
+  BufferAllocator* allocator_ = nullptr;
   ThreadPool pool_;
   Profiler profiler_;
   Timeline timeline_;

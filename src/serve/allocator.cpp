@@ -1,0 +1,132 @@
+#include "serve/allocator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "core/fmt.hpp"
+
+namespace saclo::serve {
+
+CachingDeviceAllocator::~CachingDeviceAllocator() {
+  // Return cached blocks so the pool's accounting ends clean. Live
+  // blocks are the caller's bug; leave them to the pool's own checks.
+  try {
+    trim();
+  } catch (...) {
+    // Destructor must not throw; a dead pool means nothing to release.
+  }
+}
+
+std::int64_t CachingDeviceAllocator::size_class(std::int64_t bytes) {
+  const std::int64_t min_class = gpu::DeviceMemoryPool::kAlignment;
+  if (bytes <= min_class) return min_class;
+  return static_cast<std::int64_t>(std::bit_ceil(static_cast<std::uint64_t>(bytes)));
+}
+
+gpu::BufferHandle CachingDeviceAllocator::pop_cached(std::int64_t cls) {
+  auto it = free_lists_.find(cls);
+  if (it == free_lists_.end() || it->second.empty()) return {};
+  const std::uint64_t id = it->second.back();
+  it->second.pop_back();
+  cached_ids_.erase(id);
+  return gpu::BufferHandle{id, cls};
+}
+
+gpu::BufferHandle CachingDeviceAllocator::allocate(std::int64_t bytes) {
+  if (bytes < 0) throw gpu::DeviceMemoryError(cat("allocate(", bytes, ") is negative"));
+  const std::int64_t cls = size_class(bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  gpu::BufferHandle block = pop_cached(cls);
+  if (block.valid()) {
+    ++stats_.hits;
+    stats_.cached_blocks -= 1;
+    stats_.cached_bytes -= cls;
+    // Fresh pool blocks are zero-initialised; recycled ones must look
+    // the same or results stop being bit-exact.
+    auto raw = pool_->bytes(block);
+    std::memset(raw.data(), 0, raw.size());
+  } else {
+    try {
+      block = pool_->allocate(cls);
+    } catch (const gpu::DeviceMemoryError&) {
+      // Device OOM with a warm cache: give the parked blocks back and
+      // retry once (CUB does the same before surfacing cudaErrorMemoryAllocation).
+      std::int64_t released = 0;
+      for (auto& [list_cls, ids] : free_lists_) {
+        for (std::uint64_t id : ids) {
+          pool_->free(gpu::BufferHandle{id, list_cls});
+          cached_ids_.erase(id);
+          ++released;
+          stats_.cached_blocks -= 1;
+          stats_.cached_bytes -= list_cls;
+          stats_.trimmed_blocks += 1;
+        }
+        ids.clear();
+      }
+      if (released == 0) throw;
+      block = pool_->allocate(cls);
+    }
+    ++stats_.misses;
+  }
+  live_.emplace(block.id, cls);
+  live_req_.emplace(block.id, bytes);
+  stats_.live_blocks += 1;
+  stats_.live_bytes += cls;
+  stats_.requested_bytes += bytes;
+  stats_.pool_peak_bytes = pool_->peak_bytes();
+  // Hand out the logical size; the backing store keeps the class size.
+  return gpu::BufferHandle{block.id, bytes};
+}
+
+void CachingDeviceAllocator::free(gpu::BufferHandle handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = live_.find(handle.id);
+  if (it == live_.end()) {
+    if (cached_ids_.count(handle.id) != 0) {
+      throw gpu::DeviceMemoryError(
+          cat("double free of device buffer id ", handle.id,
+              ": the handle was already recycled into the caching allocator"));
+    }
+    // Not ours: allocated straight from the pool before this layer was
+    // installed. Forward, so mixed usage stays correct.
+    pool_->free(handle);
+    return;
+  }
+  const std::int64_t cls = it->second;
+  live_.erase(it);
+  auto rit = live_req_.find(handle.id);
+  const std::int64_t requested = rit != live_req_.end() ? rit->second : 0;
+  if (rit != live_req_.end()) live_req_.erase(rit);
+  free_lists_[cls].push_back(handle.id);
+  cached_ids_.insert(handle.id);
+  stats_.frees += 1;
+  stats_.live_blocks -= 1;
+  stats_.live_bytes -= cls;
+  stats_.requested_bytes -= requested;
+  stats_.cached_blocks += 1;
+  stats_.cached_bytes += cls;
+}
+
+void CachingDeviceAllocator::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [cls, ids] : free_lists_) {
+    for (std::uint64_t id : ids) {
+      pool_->free(gpu::BufferHandle{id, cls});
+      cached_ids_.erase(id);
+      stats_.cached_blocks -= 1;
+      stats_.cached_bytes -= cls;
+      stats_.trimmed_blocks += 1;
+    }
+    ids.clear();
+  }
+}
+
+CachingDeviceAllocator::Stats CachingDeviceAllocator::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.pool_peak_bytes = pool_->peak_bytes();
+  return s;
+}
+
+}  // namespace saclo::serve

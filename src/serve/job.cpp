@@ -1,0 +1,115 @@
+#include "serve/job.hpp"
+
+#include "core/fmt.hpp"
+#include "gpu/cost_model.hpp"
+
+namespace saclo::serve {
+
+const char* route_name(Route route) {
+  switch (route) {
+    case Route::SacNongeneric:
+      return "sacng";
+    case Route::SacGeneric:
+      return "sacg";
+    case Route::Gaspard:
+      return "gaspard";
+  }
+  return "?";
+}
+
+Route parse_route(const std::string& name) {
+  if (name == "sacng" || name == "SacNongeneric") return Route::SacNongeneric;
+  if (name == "sacg" || name == "SacGeneric") return Route::SacGeneric;
+  if (name == "gaspard" || name == "Gaspard") return Route::Gaspard;
+  throw ServeError(cat("unknown route '", name, "' (expected sacng, sacg or gaspard)"));
+}
+
+void JobSpec::validate() const {
+  config.validate();
+  if (frames <= 0) throw ServeError(cat("job frames must be positive, got ", frames));
+  if (channels != 1 && channels != 3) {
+    throw ServeError(cat("job channels must be 1 or 3, got ", channels));
+  }
+  if (exec_frames > frames) {
+    throw ServeError(cat("exec_frames ", exec_frames, " exceeds frames ", frames));
+  }
+}
+
+std::string driver_key(Route route, const apps::DownscalerConfig& config) {
+  return cat(route_name(route), ":", config.height, "x", config.width, ":", config.h.in_pattern,
+             "/", config.h.paving, "/", config.h.tile(), ":", config.v.in_pattern, "/",
+             config.v.paving, "/", config.v.tile());
+}
+
+double estimate_job_us(const JobSpec& spec, const gpu::DeviceSpec& device) {
+  const apps::DownscalerConfig& cfg = spec.config;
+  // Per frame-channel: upload the frame, H kernel over the paving
+  // repetition, V kernel (column-strided reads), download the result.
+  const double h2d =
+      gpu::transfer_time_us(device, cfg.frame_shape().elements() * 4, gpu::Dir::HostToDevice);
+  const double d2h =
+      gpu::transfer_time_us(device, cfg.out_shape().elements() * 4, gpu::Dir::DeviceToHost);
+
+  gpu::KernelCost h_cost;
+  h_cost.global_loads_per_thread = static_cast<double>(cfg.h.in_pattern);
+  h_cost.global_stores_per_thread = static_cast<double>(cfg.h.tile());
+  h_cost.flops_per_thread = 2.0 * static_cast<double>(cfg.h.window * cfg.h.tile());
+  h_cost.warp_access_stride = cfg.h.paving;  // pattern-strided row reads
+  const double h_kernel =
+      gpu::kernel_time_us(device, cfg.h_repetition().elements(), h_cost);
+
+  gpu::KernelCost v_cost;
+  v_cost.global_loads_per_thread = static_cast<double>(cfg.v.in_pattern);
+  v_cost.global_stores_per_thread = static_cast<double>(cfg.v.tile());
+  v_cost.flops_per_thread = 2.0 * static_cast<double>(cfg.v.window * cfg.v.tile());
+  v_cost.warp_access_stride = cfg.mid_width();  // column reads
+  const double v_kernel =
+      gpu::kernel_time_us(device, cfg.v_repetition().elements(), v_cost);
+
+  double per_channel = h2d + d2h + h_kernel + v_kernel;
+  if (spec.route == Route::SacGeneric) {
+    // The generic output tiler adds a device->host->device round trip
+    // of the intermediate to the critical path.
+    per_channel += gpu::transfer_time_us(device, cfg.mid_shape().elements() * 4,
+                                         gpu::Dir::DeviceToHost) +
+                   gpu::transfer_time_us(device, cfg.mid_shape().elements() * 4,
+                                         gpu::Dir::HostToDevice);
+  }
+  return per_channel * spec.channels * spec.frames;
+}
+
+JobResult reference_run(const JobSpec& spec, const gpu::DeviceSpec& device, unsigned workers) {
+  spec.validate();
+  JobResult result;
+  result.route = spec.route;
+  result.frames = spec.frames;
+  const int exec = spec.effective_exec_frames();
+  if (spec.route == Route::Gaspard) {
+    apps::GaspardDownscaler::Options opts;
+    opts.device = device;
+    opts.workers = workers;
+    opts.rgb = spec.channels == 3;
+    opts.async_streams = true;
+    apps::GaspardDownscaler driver(spec.config, opts);
+    auto r = driver.run(spec.frames, exec);
+    result.last_output = r.last_output;
+    result.ops += r.h;
+    result.ops += r.v;
+    result.sim_wall_us = r.wall_us;
+  } else {
+    apps::SacDownscaler::Options opts;
+    opts.generic = spec.route == Route::SacGeneric;
+    opts.device = device;
+    opts.workers = workers;
+    opts.async_streams = true;
+    apps::SacDownscaler driver(spec.config, opts);
+    auto r = driver.run_cuda_chain(spec.frames, spec.channels, exec);
+    result.last_output = r.last_output;
+    result.ops += r.h;
+    result.ops += r.v;
+    result.sim_wall_us = r.wall_us;
+  }
+  return result;
+}
+
+}  // namespace saclo::serve

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/downscaler/config.hpp"
+#include "apps/downscaler/pipelines.hpp"
+#include "core/error.hpp"
+#include "gpu/device.hpp"
+
+namespace saclo::serve {
+
+/// Raised on malformed job specs or misuse of the serving runtime.
+class ServeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Which compiled pipeline a job runs — the three routes the paper
+/// compares, now selectable per request.
+enum class Route {
+  SacNongeneric,  ///< SAC-CUDA, non-generic output tilers (fast path)
+  SacGeneric,     ///< SAC-CUDA, generic (for-loop) output tilers
+  Gaspard,        ///< GASPARD2-style OpenCL chain
+};
+
+const char* route_name(Route route);
+/// Parses "sacng" / "sacg" / "gaspard" (also accepts the long names
+/// above, case-sensitive); throws ServeError on anything else.
+Route parse_route(const std::string& name);
+
+/// One serving request: a video of `frames` frames pushed through one
+/// route. exec_frames < 0 (the default) executes every frame
+/// functionally — a real serving job; smaller values validate a prefix
+/// and accrue simulated time for the rest (the benchmark idiom).
+struct JobSpec {
+  Route route = Route::SacNongeneric;
+  apps::DownscalerConfig config = apps::DownscalerConfig::tiny();
+  int frames = 4;
+  int channels = 3;  ///< SaC routes: channels per frame; Gaspard: 3 = RGB model, 1 = mono
+  int exec_frames = -1;
+
+  int effective_exec_frames() const { return exec_frames < 0 ? frames : exec_frames; }
+  void validate() const;
+};
+
+/// What a completed job hands back through its future.
+struct JobResult {
+  std::uint64_t id = 0;
+  int device = -1;  ///< fleet device index that ran the job
+  Route route = Route::SacNongeneric;
+  int frames = 0;
+  IntArray last_output;      ///< last executed frame (bit-exact vs single-device)
+  apps::OpBreakdown ops;     ///< kernel/transfer/host split (simulated us)
+  double sim_wall_us = 0;    ///< simulated device-time advance of this job
+  double queue_wait_us = 0;  ///< real time from accept to dispatch
+  double exec_us = 0;        ///< real time on the dispatcher thread
+  double latency_us = 0;     ///< real end-to-end: submit -> completion
+};
+
+/// Key identifying the compiled artefacts a job needs: dispatchers keep
+/// one driver per (route, geometry) so repeat traffic skips
+/// parse/typecheck/plan.
+std::string driver_key(Route route, const apps::DownscalerConfig& config);
+
+/// Static cost-model estimate of one job's simulated device time — the
+/// load number the least-loaded placement compares. Derived from the
+/// same analytic kernel/transfer models the simulator charges, so
+/// bigger frames, more channels and the generic tiler's round trip all
+/// shift placement.
+double estimate_job_us(const JobSpec& spec, const gpu::DeviceSpec& device);
+
+/// Single-device reference run of the same spec (fresh VirtualGpu, the
+/// pre-fleet code path). Tests assert fleet results bit-exact against
+/// this.
+JobResult reference_run(const JobSpec& spec, const gpu::DeviceSpec& device,
+                        unsigned workers = 1);
+
+}  // namespace saclo::serve

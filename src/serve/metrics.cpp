@@ -1,0 +1,195 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fmt.hpp"
+
+namespace saclo::serve {
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+FleetMetrics::FleetMetrics(int devices) : devices_(static_cast<std::size_t>(devices)) {}
+
+void FleetMetrics::on_submit(int device) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& d = devices_.at(static_cast<std::size_t>(device));
+  ++submitted_;
+  ++d.queue_depth;
+  d.max_queue_depth = std::max(d.max_queue_depth, d.queue_depth);
+}
+
+void FleetMetrics::on_dispatch(int device) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& d = devices_.at(static_cast<std::size_t>(device));
+  --d.queue_depth;
+  d.running = 1;
+}
+
+void FleetMetrics::on_complete(int device, const JobResult& result, double sim_clock_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& d = devices_.at(static_cast<std::size_t>(device));
+  d.running = 0;
+  ++d.jobs;
+  d.frames += result.frames;
+  d.busy_sim_us += result.sim_wall_us;
+  d.sim_clock_us = sim_clock_us;
+  ++completed_;
+  frames_ += result.frames;
+  latencies_us_.push_back(result.latency_us);
+  sim_job_us_.push_back(result.sim_wall_us);
+}
+
+void FleetMetrics::on_failed(int device) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& d = devices_.at(static_cast<std::size_t>(device));
+  d.running = 0;
+  ++failed_;
+}
+
+void FleetMetrics::set_elapsed_real_us(double us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  elapsed_real_us_ = us;
+}
+
+void FleetMetrics::set_allocator_stats(int device, const CachingDeviceAllocator::Stats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& d = devices_.at(static_cast<std::size_t>(device));
+  d.has_allocator = true;
+  d.allocator = stats;
+}
+
+FleetMetrics::Snapshot FleetMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.jobs_submitted = submitted_;
+  s.jobs_completed = completed_;
+  s.jobs_failed = failed_;
+  s.frames_completed = frames_;
+  s.elapsed_real_us = elapsed_real_us_;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const DeviceState& d = devices_[i];
+    DeviceSnapshot ds;
+    ds.device = static_cast<int>(i);
+    ds.jobs = d.jobs;
+    ds.frames = d.frames;
+    ds.queue_depth = d.queue_depth;
+    ds.max_queue_depth = d.max_queue_depth;
+    ds.running = d.running;
+    ds.busy_sim_us = d.busy_sim_us;
+    ds.sim_clock_us = d.sim_clock_us;
+    ds.has_allocator = d.has_allocator;
+    ds.allocator = d.allocator;
+    s.sim_makespan_us = std::max(s.sim_makespan_us, d.sim_clock_us);
+    s.devices.push_back(ds);
+  }
+  for (DeviceSnapshot& ds : s.devices) {
+    ds.utilization = s.sim_makespan_us > 0 ? ds.busy_sim_us / s.sim_makespan_us : 0.0;
+  }
+  if (s.sim_makespan_us > 0) {
+    s.throughput_fps_sim = static_cast<double>(frames_) / (s.sim_makespan_us / 1e6);
+  }
+  if (elapsed_real_us_ > 0) {
+    s.throughput_fps_real = static_cast<double>(frames_) / (elapsed_real_us_ / 1e6);
+  }
+  s.latency_p50_us = percentile(latencies_us_, 0.50);
+  s.latency_p95_us = percentile(latencies_us_, 0.95);
+  s.latency_p99_us = percentile(latencies_us_, 0.99);
+  s.latency_max_us = latencies_us_.empty()
+                         ? 0.0
+                         : *std::max_element(latencies_us_.begin(), latencies_us_.end());
+  if (!latencies_us_.empty()) {
+    double sum = 0;
+    for (double v : latencies_us_) sum += v;
+    s.latency_mean_us = sum / static_cast<double>(latencies_us_.size());
+  }
+  s.sim_job_p50_us = percentile(sim_job_us_, 0.50);
+  s.sim_job_p99_us = percentile(sim_job_us_, 0.99);
+  return s;
+}
+
+std::string FleetMetrics::report() const {
+  const Snapshot s = snapshot();
+  std::string out;
+  out += cat("fleet: ", s.devices.size(), " device(s), ", s.jobs_completed, "/", s.jobs_submitted,
+             " jobs done, ", s.frames_completed, " frames\n");
+  out += cat("throughput: ", fixed(s.throughput_fps_sim, 1), " frames/s simulated, ",
+             fixed(s.throughput_fps_real, 1), " frames/s real\n");
+  out += cat("latency (real): p50 ", fixed(s.latency_p50_us / 1e3, 2), "ms  p95 ",
+             fixed(s.latency_p95_us / 1e3, 2), "ms  p99 ", fixed(s.latency_p99_us / 1e3, 2),
+             "ms  max ", fixed(s.latency_max_us / 1e3, 2), "ms\n");
+  out += cat("sim makespan ", fixed(s.sim_makespan_us / 1e6, 3), "s, sim job p50 ",
+             fixed(s.sim_job_p50_us / 1e3, 2), "ms\n");
+  out += pad_right("device", 8) + pad_left("jobs", 7) + pad_left("frames", 8) +
+         pad_left("util", 7) + pad_left("queue", 7) + pad_left("maxq", 6) +
+         pad_left("hit%", 7) + pad_left("miss", 6) + pad_left("peakMB", 8) + "\n";
+  out += std::string(56, '-') + "\n";
+  for (const DeviceSnapshot& d : s.devices) {
+    out += pad_right(cat("gpu", d.device), 8) + pad_left(std::to_string(d.jobs), 7) +
+           pad_left(std::to_string(d.frames), 8) + pad_left(fixed(100 * d.utilization, 1), 7) +
+           pad_left(std::to_string(d.queue_depth), 7) +
+           pad_left(std::to_string(d.max_queue_depth), 6);
+    if (d.has_allocator) {
+      out += pad_left(fixed(100 * d.allocator.hit_rate(), 1), 7) +
+             pad_left(std::to_string(d.allocator.misses), 6) +
+             pad_left(fixed(static_cast<double>(d.allocator.pool_peak_bytes) / 1e6, 2), 8);
+    } else {
+      out += pad_left("-", 7) + pad_left("-", 6) + pad_left("-", 8);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+std::string device_json(const FleetMetrics::DeviceSnapshot& d) {
+  std::string out = cat("{\"device\":", d.device, ",\"jobs\":", d.jobs, ",\"frames\":", d.frames,
+                        ",\"queue_depth\":", d.queue_depth,
+                        ",\"max_queue_depth\":", d.max_queue_depth,
+                        ",\"busy_sim_us\":", fixed(d.busy_sim_us, 3),
+                        ",\"sim_clock_us\":", fixed(d.sim_clock_us, 3),
+                        ",\"utilization\":", fixed(d.utilization, 4));
+  if (d.has_allocator) {
+    out += cat(",\"allocator\":{\"hits\":", d.allocator.hits, ",\"misses\":", d.allocator.misses,
+               ",\"hit_rate\":", fixed(d.allocator.hit_rate(), 4),
+               ",\"frees\":", d.allocator.frees, ",\"live_blocks\":", d.allocator.live_blocks,
+               ",\"cached_blocks\":", d.allocator.cached_blocks,
+               ",\"cached_bytes\":", d.allocator.cached_bytes,
+               ",\"fragmentation\":", fixed(d.allocator.fragmentation(), 4),
+               ",\"pool_peak_bytes\":", d.allocator.pool_peak_bytes, "}");
+  }
+  return out + "}";
+}
+}  // namespace
+
+std::string FleetMetrics::json() const {
+  const Snapshot s = snapshot();
+  std::string out = cat(
+      "{\"devices\":", s.devices.size(), ",\"jobs_submitted\":", s.jobs_submitted,
+      ",\"jobs_completed\":", s.jobs_completed, ",\"jobs_failed\":", s.jobs_failed,
+      ",\"frames_completed\":", s.frames_completed,
+      ",\"elapsed_real_us\":", fixed(s.elapsed_real_us, 1),
+      ",\"sim_makespan_us\":", fixed(s.sim_makespan_us, 3),
+      ",\"throughput_fps_sim\":", fixed(s.throughput_fps_sim, 3),
+      ",\"throughput_fps_real\":", fixed(s.throughput_fps_real, 3),
+      ",\"latency_real_us\":{\"p50\":", fixed(s.latency_p50_us, 1), ",\"p95\":",
+      fixed(s.latency_p95_us, 1), ",\"p99\":", fixed(s.latency_p99_us, 1), ",\"mean\":",
+      fixed(s.latency_mean_us, 1), ",\"max\":", fixed(s.latency_max_us, 1), "}",
+      ",\"sim_job_us\":{\"p50\":", fixed(s.sim_job_p50_us, 3), ",\"p99\":",
+      fixed(s.sim_job_p99_us, 3), "}", ",\"per_device\":[");
+  for (std::size_t i = 0; i < s.devices.size(); ++i) {
+    if (i > 0) out += ",";
+    out += device_json(s.devices[i]);
+  }
+  return out + "]}";
+}
+
+}  // namespace saclo::serve

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/allocator.hpp"
+#include "serve/job.hpp"
+
+namespace saclo::serve {
+
+/// Thread-safe registry of fleet-wide serving metrics: per-device
+/// utilization and queue depth, job latency percentiles, and
+/// throughput. The scheduler records into it; reporters snapshot it
+/// concurrently and render the text report or the JSON export that
+/// sits alongside the profiler's Chrome trace.
+class FleetMetrics {
+ public:
+  explicit FleetMetrics(int devices);
+
+  // -- recording (called by the scheduler) ------------------------------------
+  void on_submit(int device);
+  void on_dispatch(int device);  ///< job left the queue, runs now
+  /// `sim_clock_us` is the device's cumulative simulated clock after
+  /// the job — the fleet makespan is the max over devices.
+  void on_complete(int device, const JobResult& result, double sim_clock_us);
+  void on_failed(int device);
+  /// Real (wall-clock) microseconds since the runtime started serving;
+  /// updated by the scheduler so snapshots can compute real throughput.
+  void set_elapsed_real_us(double us);
+  /// Attach one device's allocator stats to the next snapshot.
+  void set_allocator_stats(int device, const CachingDeviceAllocator::Stats& stats);
+
+  // -- reading ---------------------------------------------------------------
+  struct DeviceSnapshot {
+    int device = 0;
+    std::int64_t jobs = 0;
+    std::int64_t frames = 0;
+    int queue_depth = 0;      ///< queued, not yet dispatched
+    int max_queue_depth = 0;  ///< high-water mark
+    int running = 0;          ///< 0 or 1 (one dispatcher per device)
+    double busy_sim_us = 0;   ///< sum of per-job simulated wall times
+    double sim_clock_us = 0;  ///< device's cumulative simulated clock
+    /// Share of the fleet's simulated makespan this device was busy:
+    /// busy_sim / max over devices of sim_clock. 1.0 = perfectly
+    /// load-balanced fleet.
+    double utilization = 0;
+    bool has_allocator = false;
+    CachingDeviceAllocator::Stats allocator;
+  };
+
+  struct Snapshot {
+    std::int64_t jobs_submitted = 0;
+    std::int64_t jobs_completed = 0;
+    std::int64_t jobs_failed = 0;
+    std::int64_t frames_completed = 0;
+    double elapsed_real_us = 0;
+    double sim_makespan_us = 0;  ///< max over devices of sim_clock_us
+    /// Aggregate throughput in frames per second of simulated device
+    /// time — the number the device-count sweep scales.
+    double throughput_fps_sim = 0;
+    /// Frames per second of real wall-clock (functional execution +
+    /// scheduling overhead on this host).
+    double throughput_fps_real = 0;
+    // Real end-to-end job latency (submit -> completion), microseconds.
+    double latency_p50_us = 0;
+    double latency_p95_us = 0;
+    double latency_p99_us = 0;
+    double latency_mean_us = 0;
+    double latency_max_us = 0;
+    // Simulated per-job device time.
+    double sim_job_p50_us = 0;
+    double sim_job_p99_us = 0;
+    std::vector<DeviceSnapshot> devices;
+  };
+  Snapshot snapshot() const;
+
+  /// Metrics glossary rendered as a fixed-width text report.
+  std::string report() const;
+  /// Machine-readable export (BENCH_serve.json embeds one of these).
+  std::string json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  struct DeviceState {
+    std::int64_t jobs = 0;
+    std::int64_t frames = 0;
+    int queue_depth = 0;
+    int max_queue_depth = 0;
+    int running = 0;
+    double busy_sim_us = 0;
+    double sim_clock_us = 0;
+    bool has_allocator = false;
+    CachingDeviceAllocator::Stats allocator;
+  };
+  std::vector<DeviceState> devices_;
+  std::int64_t submitted_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t failed_ = 0;
+  std::int64_t frames_ = 0;
+  double elapsed_real_us_ = 0;
+  std::vector<double> latencies_us_;      // real end-to-end, one per job
+  std::vector<double> sim_job_us_;        // simulated device time, one per job
+};
+
+/// Interpolated percentile of an unsorted sample (q in [0, 1]); 0 on an
+/// empty sample. Exposed for the metrics tests.
+double percentile(std::vector<double> values, double q);
+
+}  // namespace saclo::serve

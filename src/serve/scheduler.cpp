@@ -1,0 +1,280 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/fmt.hpp"
+
+namespace saclo::serve {
+
+namespace {
+double us_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+}  // namespace
+
+ServeRuntime::ServeRuntime(const Options& options)
+    : options_(options), metrics_(std::max(1, options.devices)) {
+  if (options_.devices <= 0) {
+    throw ServeError(cat("fleet needs at least one device, got ", options_.devices));
+  }
+  if (options_.queue_capacity == 0) {
+    throw ServeError("queue_capacity must be positive");
+  }
+  paused_ = options_.start_paused;
+  devices_.reserve(static_cast<std::size_t>(options_.devices));
+  for (int i = 0; i < options_.devices; ++i) {
+    auto dev = std::make_unique<Device>();
+    dev->gpu = std::make_unique<gpu::VirtualGpu>(options_.device, options_.workers_per_device);
+    if (options_.cache_buffers) {
+      dev->cache = std::make_unique<CachingDeviceAllocator>(dev->gpu->memory());
+      dev->gpu->set_allocator(dev->cache.get());
+    }
+    devices_.push_back(std::move(dev));
+  }
+  for (int i = 0; i < options_.devices; ++i) {
+    devices_[static_cast<std::size_t>(i)]->dispatcher =
+        std::thread([this, i] { dispatcher_loop(i); });
+  }
+}
+
+ServeRuntime::~ServeRuntime() { shutdown(); }
+
+std::optional<std::future<JobResult>> ServeRuntime::submit_impl(JobSpec spec, bool blocking) {
+  spec.validate();
+  const double estimate = estimate_job_us(spec, options_.device);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (blocking) {
+    space_available_.wait(lock, [&] { return total_inflight_ < options_.queue_capacity || stopping_; });
+  }
+  if (stopping_) {
+    if (!blocking) return std::nullopt;
+    throw ServeError("submit on a shut-down ServeRuntime");
+  }
+  if (total_inflight_ >= options_.queue_capacity) return std::nullopt;  // try_submit only
+
+  // Least-loaded placement: the device with the smallest outstanding
+  // cost-model backlog (queued + running estimates).
+  std::size_t target = 0;
+  for (std::size_t i = 1; i < devices_.size(); ++i) {
+    if (devices_[i]->backlog_estimate_us < devices_[target]->backlog_estimate_us) target = i;
+  }
+
+  Pending pending;
+  pending.id = next_job_id_++;
+  pending.spec = std::move(spec);
+  pending.estimate_us = estimate;
+  pending.submit_time = std::chrono::steady_clock::now();
+  if (!started_serving_) {
+    started_serving_ = true;
+    serve_start_ = pending.submit_time;
+  }
+  std::future<JobResult> future = pending.promise.get_future();
+  devices_[target]->queue.push_back(std::move(pending));
+  devices_[target]->backlog_estimate_us += estimate;
+  ++total_queued_;
+  ++total_inflight_;
+  metrics_.on_submit(static_cast<int>(target));
+  lock.unlock();
+  work_ready_.notify_all();
+  return future;
+}
+
+std::future<JobResult> ServeRuntime::submit(JobSpec spec) {
+  auto future = submit_impl(std::move(spec), /*blocking=*/true);
+  return std::move(*future);
+}
+
+std::optional<std::future<JobResult>> ServeRuntime::try_submit(JobSpec spec) {
+  return submit_impl(std::move(spec), /*blocking=*/false);
+}
+
+void ServeRuntime::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_ready_.notify_all();
+}
+
+void ServeRuntime::drain() {
+  resume();
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return total_inflight_ == 0; });
+}
+
+void ServeRuntime::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Idempotent: a second call only waits for the joins below.
+    }
+    stopping_ = true;
+    paused_ = false;
+  }
+  work_ready_.notify_all();
+  space_available_.notify_all();
+  for (auto& dev : devices_) {
+    if (dev->dispatcher.joinable()) dev->dispatcher.join();
+  }
+}
+
+std::size_t ServeRuntime::queued_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_queued_;
+}
+
+std::size_t ServeRuntime::inflight_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_inflight_;
+}
+
+CachingDeviceAllocator::Stats ServeRuntime::allocator_stats(int device) const {
+  const Device& dev = *devices_.at(static_cast<std::size_t>(device));
+  if (!dev.cache) throw ServeError("fleet was built with cache_buffers=false");
+  return dev.cache->stats();
+}
+
+double ServeRuntime::device_sim_clock_us(int device) const {
+  // The clock is only advanced by the dispatcher; reading a stale value
+  // while a job runs is fine for reporting, but tests call this after
+  // drain(), when the dispatcher is parked.
+  return devices_.at(static_cast<std::size_t>(device))->gpu->clock_us();
+}
+
+std::string ServeRuntime::device_trace_json(int device) const {
+  return devices_.at(static_cast<std::size_t>(device))->gpu->profiler().chrome_trace_json();
+}
+
+void ServeRuntime::refresh_allocator_stats() {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i]->cache) {
+      metrics_.set_allocator_stats(static_cast<int>(i), devices_[i]->cache->stats());
+    }
+  }
+}
+
+std::string ServeRuntime::report() {
+  refresh_allocator_stats();
+  return metrics_.report();
+}
+
+std::string ServeRuntime::metrics_json() {
+  refresh_allocator_stats();
+  return metrics_.json();
+}
+
+JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending) {
+  const auto dispatch_time = std::chrono::steady_clock::now();
+  const JobSpec& spec = pending.spec;
+  JobResult result;
+  result.id = pending.id;
+  result.device = index;
+  result.route = spec.route;
+  result.frames = spec.frames;
+  result.queue_wait_us = us_between(pending.submit_time, dispatch_time);
+
+  // Compiled drivers live for the dispatcher's lifetime, keyed by
+  // (route, geometry): repeat traffic skips parse/typecheck/plan and
+  // goes straight to the frame loop.
+  thread_local std::map<std::string, std::unique_ptr<apps::SacDownscaler>> sac_drivers;
+  thread_local std::map<std::string, std::unique_ptr<apps::GaspardDownscaler>> gaspard_drivers;
+
+  const int exec = spec.effective_exec_frames();
+  if (spec.route == Route::Gaspard) {
+    const std::string key = cat(driver_key(spec.route, spec.config), ":ch", spec.channels);
+    auto it = gaspard_drivers.find(key);
+    if (it == gaspard_drivers.end()) {
+      apps::GaspardDownscaler::Options opts;
+      opts.device = options_.device;
+      opts.workers = options_.workers_per_device;
+      opts.rgb = spec.channels == 3;
+      opts.async_streams = options_.async_streams;
+      it = gaspard_drivers
+               .emplace(key, std::make_unique<apps::GaspardDownscaler>(spec.config, opts))
+               .first;
+    }
+    auto r = it->second->run_on(*dev.gpu, spec.frames, exec);
+    result.last_output = std::move(r.last_output);
+    result.ops += r.h;
+    result.ops += r.v;
+    result.sim_wall_us = r.wall_us;
+  } else {
+    const std::string key = driver_key(spec.route, spec.config);
+    auto it = sac_drivers.find(key);
+    if (it == sac_drivers.end()) {
+      apps::SacDownscaler::Options opts;
+      opts.generic = spec.route == Route::SacGeneric;
+      opts.device = options_.device;
+      opts.host = options_.host;
+      opts.workers = options_.workers_per_device;
+      opts.async_streams = options_.async_streams;
+      it = sac_drivers.emplace(key, std::make_unique<apps::SacDownscaler>(spec.config, opts))
+               .first;
+    }
+    auto r = it->second->run_cuda_chain_on(*dev.gpu, spec.frames, spec.channels, exec);
+    result.last_output = std::move(r.last_output);
+    result.ops += r.h;
+    result.ops += r.v;
+    result.sim_wall_us = r.wall_us;
+  }
+
+  const auto done_time = std::chrono::steady_clock::now();
+  result.exec_us = us_between(dispatch_time, done_time);
+  result.latency_us = us_between(pending.submit_time, done_time);
+  return result;
+}
+
+void ServeRuntime::dispatcher_loop(int index) {
+  Device& dev = *devices_[static_cast<std::size_t>(index)];
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stopping_ || (!paused_ && !dev.queue.empty()); });
+      if (dev.queue.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      if (paused_ && !stopping_) continue;
+      pending = std::move(dev.queue.front());
+      dev.queue.pop_front();
+      --total_queued_;
+      metrics_.on_dispatch(index);
+    }
+    space_available_.notify_all();
+
+    JobResult result;
+    bool failed = false;
+    try {
+      result = run_job(dev, index, pending);
+    } catch (...) {
+      failed = true;
+      pending.promise.set_exception(std::current_exception());
+    }
+    if (!failed) {
+      // Record before handing the result off through the promise.
+      metrics_.on_complete(index, result, dev.gpu->clock_us());
+      if (dev.cache) metrics_.set_allocator_stats(index, dev.cache->stats());
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        metrics_.set_elapsed_real_us(
+            us_between(serve_start_, std::chrono::steady_clock::now()));
+      }
+      pending.promise.set_value(std::move(result));
+    } else {
+      metrics_.on_failed(index);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      dev.backlog_estimate_us -= pending.estimate_us;
+      --total_inflight_;
+      if (total_inflight_ == 0) idle_.notify_all();
+    }
+    space_available_.notify_all();
+  }
+}
+
+}  // namespace saclo::serve

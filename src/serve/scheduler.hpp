@@ -1,0 +1,140 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpu/sim_gpu.hpp"
+#include "serve/allocator.hpp"
+#include "serve/job.hpp"
+#include "serve/metrics.hpp"
+
+namespace saclo::serve {
+
+/// The multi-GPU serving runtime: accepts concurrent downscale jobs
+/// through a bounded, backpressured submission queue and schedules them
+/// across a fleet of simulated devices.
+///
+/// Architecture (the host-side orchestration layer every real
+/// inference/transcoding stack puts above its devices):
+///
+///   submit()/try_submit()  -- any thread, blocks when the fleet-wide
+///        |                    backlog reaches queue_capacity
+///        v  least-loaded placement (cost-model estimate per route)
+///   per-device FIFO  -->  dispatcher thread (one per device)
+///        |                    owns a VirtualGpu + caching allocator +
+///        |                    per-(route, geometry) compiled drivers
+///        v
+///   std::future<JobResult>   per-job results, timing and device id
+///
+/// Each job replays the existing pipelines (PR 1's double-buffered
+/// multi-stream frame loops) on its device, so fleet results are
+/// bit-exact against single-device runs. Devices are only ever touched
+/// by their own dispatcher thread; cross-thread state (queues, metrics,
+/// allocator stats) is mutex-guarded.
+class ServeRuntime {
+ public:
+  struct Options {
+    int devices = 2;
+    /// Fleet-wide bound on accepted-but-unfinished jobs; submit()
+    /// blocks (and try_submit() fails) once the backlog reaches it.
+    std::size_t queue_capacity = 32;
+    gpu::DeviceSpec device = gpu::gtx480();
+    gpu::HostSpec host = gpu::i7_930();
+    unsigned workers_per_device = 1;  ///< thread-pool width for functional kernels
+    bool async_streams = true;        ///< per-job double-buffered stream overlap
+    bool cache_buffers = true;        ///< install the caching device allocator
+    /// Accept jobs but don't dispatch until resume() — deterministic
+    /// placement and queue-depth tests.
+    bool start_paused = false;
+  };
+
+  explicit ServeRuntime(const Options& options);
+  /// Finishes every accepted job, then joins the dispatchers.
+  ~ServeRuntime();
+
+  ServeRuntime(const ServeRuntime&) = delete;
+  ServeRuntime& operator=(const ServeRuntime&) = delete;
+
+  /// Places the job on the least-loaded device and returns its future.
+  /// Blocks while the fleet backlog is at capacity (backpressure);
+  /// throws ServeError after shutdown().
+  std::future<JobResult> submit(JobSpec spec);
+  /// Non-blocking submit: nullopt when the backlog is full (the
+  /// caller's cue to shed load) or the runtime is shut down.
+  std::optional<std::future<JobResult>> try_submit(JobSpec spec);
+
+  /// Starts dispatching when constructed with start_paused.
+  void resume();
+  /// Blocks until every accepted job completed (resumes if paused).
+  void drain();
+  /// Stops accepting new jobs, finishes the accepted ones, joins the
+  /// dispatcher threads. Idempotent; the destructor calls it.
+  void shutdown();
+
+  int device_count() const { return static_cast<int>(devices_.size()); }
+  /// Jobs accepted and not yet dispatched (fleet-wide).
+  std::size_t queued_jobs() const;
+  /// Jobs accepted and not yet completed (fleet-wide).
+  std::size_t inflight_jobs() const;
+
+  const FleetMetrics& metrics() const { return metrics_; }
+  /// The device's caching-allocator counters; throws without
+  /// cache_buffers.
+  CachingDeviceAllocator::Stats allocator_stats(int device) const;
+  /// Cumulative simulated clock of one device.
+  double device_sim_clock_us(int device) const;
+  /// One device's Chrome trace of everything it ran so far.
+  std::string device_trace_json(int device) const;
+
+  /// Text report / JSON export with fresh allocator stats folded in.
+  std::string report();
+  std::string metrics_json();
+
+ private:
+  struct Pending {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    std::promise<JobResult> promise;
+    double estimate_us = 0;
+    std::chrono::steady_clock::time_point submit_time;
+  };
+
+  struct Device {
+    std::unique_ptr<gpu::VirtualGpu> gpu;
+    std::unique_ptr<CachingDeviceAllocator> cache;  // after gpu: destroyed first
+    std::deque<Pending> queue;       // guarded by mutex_
+    double backlog_estimate_us = 0;  // queued + running, guarded by mutex_
+    std::thread dispatcher;
+  };
+
+  void dispatcher_loop(int index);
+  JobResult run_job(Device& dev, int index, Pending& pending);
+  std::optional<std::future<JobResult>> submit_impl(JobSpec spec, bool blocking);
+  void refresh_allocator_stats();
+
+  Options options_;
+  FleetMetrics metrics_;
+  std::vector<std::unique_ptr<Device>> devices_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable space_available_;
+  std::condition_variable idle_;
+  std::size_t total_queued_ = 0;
+  std::size_t total_inflight_ = 0;
+  std::uint64_t next_job_id_ = 1;
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool started_serving_ = false;
+  std::chrono::steady_clock::time_point serve_start_;
+};
+
+}  // namespace saclo::serve

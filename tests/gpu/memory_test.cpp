@@ -6,40 +6,87 @@ namespace saclo::gpu {
 namespace {
 
 TEST(DeviceMemoryPoolTest, AllocatesAndTracksUsage) {
-  DeviceMemoryPool pool(1024);
+  DeviceMemoryPool pool(4096);
   const BufferHandle a = pool.allocate(100);
   EXPECT_TRUE(a.valid());
-  EXPECT_EQ(pool.used_bytes(), 100);
-  const BufferHandle b = pool.allocate(924);
-  EXPECT_EQ(pool.used_bytes(), 1024);
+  EXPECT_EQ(a.bytes, 100);
+  // Capacity accounting rounds to cudaMalloc's 256-byte alignment.
+  EXPECT_EQ(pool.used_bytes(), 256);
+  const BufferHandle b = pool.allocate(3840);
+  EXPECT_EQ(pool.used_bytes(), 4096);
   pool.free(a);
-  EXPECT_EQ(pool.used_bytes(), 924);
+  EXPECT_EQ(pool.used_bytes(), 3840);
   pool.free(b);
   EXPECT_EQ(pool.used_bytes(), 0);
 }
 
+TEST(DeviceMemoryPoolTest, AlignsReservationsTo256Bytes) {
+  DeviceMemoryPool pool(1 << 20);
+  (void)pool.allocate(1);
+  EXPECT_EQ(pool.used_bytes(), 256);
+  (void)pool.allocate(256);
+  EXPECT_EQ(pool.used_bytes(), 512);
+  (void)pool.allocate(257);
+  EXPECT_EQ(pool.used_bytes(), 1024);
+}
+
+TEST(DeviceMemoryPoolTest, TracksPeakBytes) {
+  DeviceMemoryPool pool(4096);
+  const BufferHandle a = pool.allocate(256);
+  const BufferHandle b = pool.allocate(512);
+  EXPECT_EQ(pool.peak_bytes(), 768);
+  pool.free(a);
+  pool.free(b);
+  EXPECT_EQ(pool.used_bytes(), 0);
+  EXPECT_EQ(pool.peak_bytes(), 768);  // high-water mark survives frees
+  (void)pool.allocate(1024);
+  EXPECT_EQ(pool.peak_bytes(), 1024);
+}
+
 TEST(DeviceMemoryPoolTest, OutOfMemoryThrows) {
-  DeviceMemoryPool pool(100);
-  (void)pool.allocate(60);
-  EXPECT_THROW(pool.allocate(50), DeviceMemoryError);
+  DeviceMemoryPool pool(512);
+  (void)pool.allocate(256);
+  EXPECT_THROW(pool.allocate(300), DeviceMemoryError);
+  // Alignment padding counts against capacity: 260 reserves 512.
+  EXPECT_THROW(pool.allocate(260), DeviceMemoryError);
+  (void)pool.allocate(256);
 }
 
 TEST(DeviceMemoryPoolTest, DoubleFreeThrows) {
-  DeviceMemoryPool pool(100);
+  DeviceMemoryPool pool(1024);
   const BufferHandle a = pool.allocate(10);
   pool.free(a);
   EXPECT_THROW(pool.free(a), DeviceMemoryError);
 }
 
+TEST(DeviceMemoryPoolTest, DoubleFreeMessageNamesTheRecycledHandle) {
+  DeviceMemoryPool pool(1024);
+  const BufferHandle a = pool.allocate(10);
+  pool.free(a);
+  try {
+    pool.free(a);
+    FAIL() << "double free did not throw";
+  } catch (const DeviceMemoryError& e) {
+    EXPECT_NE(std::string(e.what()).find("double free"), std::string::npos) << e.what();
+  }
+  // A handle that was never allocated gets the distinct message.
+  try {
+    pool.free(BufferHandle{999, 10});
+    FAIL() << "foreign free did not throw";
+  } catch (const DeviceMemoryError& e) {
+    EXPECT_NE(std::string(e.what()).find("never allocated"), std::string::npos) << e.what();
+  }
+}
+
 TEST(DeviceMemoryPoolTest, StaleHandleAccessThrows) {
-  DeviceMemoryPool pool(100);
+  DeviceMemoryPool pool(1024);
   const BufferHandle a = pool.allocate(10);
   pool.free(a);
   EXPECT_THROW(pool.bytes(a), DeviceMemoryError);
 }
 
 TEST(DeviceMemoryPoolTest, TypedViewChecksElementSize) {
-  DeviceMemoryPool pool(100);
+  DeviceMemoryPool pool(1024);
   const BufferHandle a = pool.allocate(10);  // not a multiple of 8
   EXPECT_THROW(pool.view<std::int64_t>(a), DeviceMemoryError);
   const BufferHandle b = pool.allocate(16);
@@ -48,31 +95,31 @@ TEST(DeviceMemoryPoolTest, TypedViewChecksElementSize) {
 }
 
 TEST(DeviceMemoryPoolTest, BuffersAreZeroInitialised) {
-  DeviceMemoryPool pool(64);
+  DeviceMemoryPool pool(1024);
   auto v = pool.view<std::int64_t>(pool.allocate(64));
   for (std::int64_t x : v) EXPECT_EQ(x, 0);
 }
 
 TEST(DeviceBufferTest, RaiiFreesOnDestruction) {
-  DeviceMemoryPool pool(100);
+  DeviceMemoryPool pool(1024);
   {
     DeviceBuffer buf(pool, 40);
-    EXPECT_EQ(pool.used_bytes(), 40);
+    EXPECT_EQ(pool.used_bytes(), 256);
   }
   EXPECT_EQ(pool.used_bytes(), 0);
   EXPECT_EQ(pool.live_allocations(), 0u);
 }
 
 TEST(DeviceBufferTest, MoveTransfersOwnership) {
-  DeviceMemoryPool pool(100);
+  DeviceMemoryPool pool(1024);
   DeviceBuffer a(pool, 40);
   DeviceBuffer b = std::move(a);
   EXPECT_FALSE(a.valid());
   EXPECT_TRUE(b.valid());
-  EXPECT_EQ(pool.used_bytes(), 40);
+  EXPECT_EQ(pool.used_bytes(), 256);
   DeviceBuffer c(pool, 20);
   c = std::move(b);
-  EXPECT_EQ(pool.used_bytes(), 40);  // the 20-byte buffer was released
+  EXPECT_EQ(pool.used_bytes(), 256);  // the 20-byte buffer was released
 }
 
 }  // namespace

@@ -104,9 +104,9 @@ TEST(OpenClRuntimeTest, EnqueuesBuffersAndKernels) {
 
 TEST(VirtualGpuTest, DeviceMemoryCapacityEnforced) {
   DeviceSpec small = gtx480();
-  small.global_mem_bytes = 1000;
+  small.global_mem_bytes = 1024;
   VirtualGpu gpu(small, 1);
-  (void)gpu.alloc(800);
+  (void)gpu.alloc(768);
   EXPECT_THROW(gpu.alloc(300), DeviceMemoryError);
 }
 

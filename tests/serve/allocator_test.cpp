@@ -1,0 +1,189 @@
+#include "serve/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "gpu/memory.hpp"
+
+namespace saclo::serve {
+namespace {
+
+TEST(CachingAllocatorTest, SizeClassesArePow2WithA256Floor) {
+  EXPECT_EQ(CachingDeviceAllocator::size_class(1), 256);
+  EXPECT_EQ(CachingDeviceAllocator::size_class(255), 256);
+  EXPECT_EQ(CachingDeviceAllocator::size_class(256), 256);
+  EXPECT_EQ(CachingDeviceAllocator::size_class(257), 512);
+  EXPECT_EQ(CachingDeviceAllocator::size_class(1000), 1024);
+  EXPECT_EQ(CachingDeviceAllocator::size_class(4096), 4096);
+  EXPECT_EQ(CachingDeviceAllocator::size_class(4097), 8192);
+}
+
+TEST(CachingAllocatorTest, ReusesAFreedBlockOfTheSameClass) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  CachingDeviceAllocator cache(pool);
+
+  const gpu::BufferHandle a = cache.allocate(100);
+  EXPECT_EQ(a.bytes, 100);  // logical size; backing store is the class
+  EXPECT_EQ(pool.bytes(a).size(), 256u);
+  cache.free(a);
+
+  // Same class (256) -> served from the cache, same pool buffer.
+  const gpu::BufferHandle b = cache.allocate(120);
+  EXPECT_EQ(b.id, a.id);
+
+  const CachingDeviceAllocator::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.frees, 1);
+  EXPECT_EQ(s.live_blocks, 1);
+  EXPECT_EQ(s.cached_blocks, 0);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+}
+
+TEST(CachingAllocatorTest, DifferentClassMissesTheCache) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  CachingDeviceAllocator cache(pool);
+
+  const gpu::BufferHandle a = cache.allocate(100);  // class 256
+  cache.free(a);
+  const gpu::BufferHandle b = cache.allocate(300);  // class 512
+  EXPECT_NE(b.id, a.id);
+
+  const CachingDeviceAllocator::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 0);
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.cached_blocks, 1);  // the 256 block stays parked
+  EXPECT_EQ(s.cached_bytes, 256);
+}
+
+TEST(CachingAllocatorTest, RecycledBlocksComeBackZeroFilled) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  CachingDeviceAllocator cache(pool);
+
+  const gpu::BufferHandle a = cache.allocate(64);
+  for (std::byte& b : pool.bytes(a)) b = std::byte{0xAB};
+  cache.free(a);
+
+  const gpu::BufferHandle b = cache.allocate(64);
+  ASSERT_EQ(b.id, a.id);
+  for (std::byte byte : pool.bytes(b)) EXPECT_EQ(byte, std::byte{0});
+}
+
+TEST(CachingAllocatorTest, DoubleFreeOfARecycledHandleThrows) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  CachingDeviceAllocator cache(pool);
+
+  const gpu::BufferHandle a = cache.allocate(100);
+  cache.free(a);
+  try {
+    cache.free(a);
+    FAIL() << "expected DeviceMemoryError";
+  } catch (const gpu::DeviceMemoryError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("double free"), std::string::npos) << what;
+    EXPECT_NE(what.find("recycled"), std::string::npos) << what;
+  }
+}
+
+TEST(CachingAllocatorTest, ForeignHandlesAreForwardedToThePool) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  const gpu::BufferHandle raw = pool.allocate(64);
+  CachingDeviceAllocator cache(pool);
+  cache.free(raw);  // allocated before the cache was installed
+  EXPECT_EQ(pool.live_allocations(), 0u);
+  EXPECT_EQ(cache.stats().frees, 0);  // not parked, not counted
+}
+
+TEST(CachingAllocatorTest, TrimReleasesParkedBlocksToThePool) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  CachingDeviceAllocator cache(pool);
+
+  cache.free(cache.allocate(100));
+  cache.free(cache.allocate(300));
+  EXPECT_EQ(pool.live_allocations(), 2u);
+
+  cache.trim();
+  EXPECT_EQ(pool.live_allocations(), 0u);
+  const CachingDeviceAllocator::Stats s = cache.stats();
+  EXPECT_EQ(s.cached_blocks, 0);
+  EXPECT_EQ(s.cached_bytes, 0);
+  EXPECT_EQ(s.trimmed_blocks, 2);
+}
+
+TEST(CachingAllocatorTest, DeviceOomTrimsTheCacheAndRetries) {
+  gpu::DeviceMemoryPool pool(1024);
+  CachingDeviceAllocator cache(pool);
+
+  const gpu::BufferHandle a = cache.allocate(512);
+  cache.free(a);  // parked: the pool still charges 512 of 1024
+
+  // Class 1024 doesn't fit next to the parked 512 -> the allocator
+  // releases the cache and retries instead of surfacing the OOM.
+  const gpu::BufferHandle b = cache.allocate(1024);
+  EXPECT_TRUE(b.valid());
+  const CachingDeviceAllocator::Stats s = cache.stats();
+  EXPECT_EQ(s.trimmed_blocks, 1);
+  EXPECT_EQ(s.cached_blocks, 0);
+  cache.free(b);
+}
+
+TEST(CachingAllocatorTest, OomWithEmptyCacheStillThrows) {
+  gpu::DeviceMemoryPool pool(1024);
+  CachingDeviceAllocator cache(pool);
+  EXPECT_THROW(cache.allocate(4096), gpu::DeviceMemoryError);
+}
+
+TEST(CachingAllocatorTest, FragmentationCountsUnrequestedClassBytes) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  CachingDeviceAllocator cache(pool);
+
+  const gpu::BufferHandle a = cache.allocate(300);  // class 512
+  CachingDeviceAllocator::Stats s = cache.stats();
+  EXPECT_EQ(s.live_bytes, 512);
+  EXPECT_EQ(s.requested_bytes, 300);
+  EXPECT_DOUBLE_EQ(s.fragmentation(), (512.0 - 300.0) / 512.0);
+
+  cache.free(a);
+  s = cache.stats();
+  EXPECT_EQ(s.live_bytes, 0);
+  EXPECT_DOUBLE_EQ(s.fragmentation(), 0.0);
+}
+
+TEST(CachingAllocatorTest, SteadyStateLoopStopsMissingAfterWarmup) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  CachingDeviceAllocator cache(pool);
+
+  // A frame loop allocating the same shapes every iteration: one warmup
+  // round of misses, then every allocation is a cache hit and the pool
+  // sees zero new raw allocations.
+  const std::int64_t shapes[] = {1000, 4000, 256};
+  for (std::int64_t bytes : shapes) cache.free(cache.allocate(bytes));
+  const CachingDeviceAllocator::Stats warm = cache.stats();
+  const std::size_t pool_blocks = pool.live_allocations();
+
+  for (int iter = 0; iter < 10; ++iter) {
+    for (std::int64_t bytes : shapes) cache.free(cache.allocate(bytes));
+  }
+  const CachingDeviceAllocator::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, warm.misses);
+  EXPECT_EQ(s.hits, warm.hits + 30);
+  EXPECT_EQ(pool.live_allocations(), pool_blocks);
+  EXPECT_EQ(pool.peak_bytes(), warm.pool_peak_bytes);
+}
+
+TEST(CachingAllocatorTest, DestructorReturnsCachedBlocksToThePool) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  {
+    CachingDeviceAllocator cache(pool);
+    cache.free(cache.allocate(100));
+    cache.free(cache.allocate(5000));
+    EXPECT_EQ(pool.live_allocations(), 2u);
+  }
+  EXPECT_EQ(pool.live_allocations(), 0u);
+  EXPECT_EQ(pool.used_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace saclo::serve

@@ -1,0 +1,129 @@
+#include "serve/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/mini_json.hpp"
+
+namespace saclo::serve {
+namespace {
+
+using saclo::testsupport::Json;
+using saclo::testsupport::parse_json;
+
+TEST(PercentileTest, InterpolatesBetweenSamples) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 50.5);
+  EXPECT_NEAR(percentile(v, 0.99), 99.01, 1e-9);
+}
+
+TEST(PercentileTest, HandlesDegenerateSamples) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0}, 0.5), 2.0);  // sorts internally
+}
+
+JobResult job(int frames, double sim_us, double latency_us) {
+  JobResult r;
+  r.frames = frames;
+  r.sim_wall_us = sim_us;
+  r.latency_us = latency_us;
+  return r;
+}
+
+TEST(FleetMetricsTest, TracksQueueDepthHighWater) {
+  FleetMetrics m(2);
+  m.on_submit(0);
+  m.on_submit(0);
+  m.on_submit(0);
+  m.on_dispatch(0);
+  const FleetMetrics::Snapshot s = m.snapshot();
+  EXPECT_EQ(s.devices[0].queue_depth, 2);
+  EXPECT_EQ(s.devices[0].max_queue_depth, 3);
+  EXPECT_EQ(s.devices[0].running, 1);
+  EXPECT_EQ(s.devices[1].max_queue_depth, 0);
+}
+
+TEST(FleetMetricsTest, ComputesUtilizationAgainstFleetMakespan) {
+  FleetMetrics m(2);
+  // Device 0 runs two jobs to a sim clock of 1000us; device 1 one job
+  // to 500us. Makespan is 1000us, so utilizations are 1.0 and 0.5.
+  m.on_submit(0);
+  m.on_dispatch(0);
+  m.on_complete(0, job(4, 400.0, 900.0), 400.0);
+  m.on_submit(0);
+  m.on_dispatch(0);
+  m.on_complete(0, job(4, 600.0, 1100.0), 1000.0);
+  m.on_submit(1);
+  m.on_dispatch(1);
+  m.on_complete(1, job(4, 500.0, 800.0), 500.0);
+
+  const FleetMetrics::Snapshot s = m.snapshot();
+  EXPECT_EQ(s.jobs_completed, 3);
+  EXPECT_EQ(s.frames_completed, 12);
+  EXPECT_DOUBLE_EQ(s.sim_makespan_us, 1000.0);
+  EXPECT_DOUBLE_EQ(s.devices[0].utilization, 1.0);
+  EXPECT_DOUBLE_EQ(s.devices[1].utilization, 0.5);
+  // 12 frames / 1000us of simulated fleet time = 12000 frames/s.
+  EXPECT_DOUBLE_EQ(s.throughput_fps_sim, 12000.0);
+  EXPECT_DOUBLE_EQ(s.latency_max_us, 1100.0);
+  EXPECT_DOUBLE_EQ(s.latency_p50_us, 900.0);
+}
+
+TEST(FleetMetricsTest, CountsFailedJobsSeparately) {
+  FleetMetrics m(1);
+  m.on_submit(0);
+  m.on_dispatch(0);
+  m.on_failed(0);
+  const FleetMetrics::Snapshot s = m.snapshot();
+  EXPECT_EQ(s.jobs_submitted, 1);
+  EXPECT_EQ(s.jobs_completed, 0);
+  EXPECT_EQ(s.jobs_failed, 1);
+  EXPECT_EQ(s.devices[0].running, 0);
+}
+
+TEST(FleetMetricsTest, JsonExportParsesAndCarriesTheNumbers) {
+  FleetMetrics m(2);
+  m.on_submit(0);
+  m.on_dispatch(0);
+  m.on_complete(0, job(8, 250.0, 470.0), 250.0);
+  m.set_elapsed_real_us(1000.0);
+  CachingDeviceAllocator::Stats alloc;
+  alloc.hits = 9;
+  alloc.misses = 3;
+  alloc.pool_peak_bytes = 4096;
+  m.set_allocator_stats(0, alloc);
+
+  const Json root = parse_json(m.json());
+  ASSERT_TRUE(root.is_object());
+  EXPECT_DOUBLE_EQ(root.at("devices").number, 2.0);
+  EXPECT_DOUBLE_EQ(root.at("jobs_completed").number, 1.0);
+  EXPECT_DOUBLE_EQ(root.at("frames_completed").number, 8.0);
+  EXPECT_DOUBLE_EQ(root.at("sim_makespan_us").number, 250.0);
+  EXPECT_DOUBLE_EQ(root.at("latency_real_us").at("p50").number, 470.0);
+  ASSERT_TRUE(root.at("per_device").is_array());
+  ASSERT_EQ(root.at("per_device").array.size(), 2u);
+  const Json& dev0 = root.at("per_device").array[0];
+  EXPECT_DOUBLE_EQ(dev0.at("jobs").number, 1.0);
+  ASSERT_TRUE(dev0.has("allocator"));
+  EXPECT_DOUBLE_EQ(dev0.at("allocator").at("hits").number, 9.0);
+  EXPECT_DOUBLE_EQ(dev0.at("allocator").at("pool_peak_bytes").number, 4096.0);
+  EXPECT_FALSE(root.at("per_device").array[1].has("allocator"));
+}
+
+TEST(FleetMetricsTest, ReportMentionsEveryDevice) {
+  FleetMetrics m(3);
+  const std::string report = m.report();
+  EXPECT_NE(report.find("gpu0"), std::string::npos);
+  EXPECT_NE(report.find("gpu1"), std::string::npos);
+  EXPECT_NE(report.find("gpu2"), std::string::npos);
+  EXPECT_NE(report.find("throughput"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saclo::serve

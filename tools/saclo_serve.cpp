@@ -1,0 +1,104 @@
+// saclo-serve — drive the multi-GPU serving runtime from the command
+// line: submit a batch of downscale jobs to a simulated device fleet
+// and print the fleet report (or its JSON / a device's Chrome trace).
+//
+// Usage:
+//   saclo-serve [--devices N] [--jobs M] [--route sacng|sacg|gaspard|mixed]
+//               [--frames F] [--exec-frames E] [--height H] [--width W]
+//               [--queue-capacity Q] [--no-cache] [--sync-streams]
+//               [--json] [--trace DEVICE]
+
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+
+using namespace saclo;
+using namespace saclo::serve;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: saclo-serve [--devices N] [--jobs M]\n"
+               "                   [--route sacng|sacg|gaspard|mixed] [--frames F]\n"
+               "                   [--exec-frames E] [--height H] [--width W]\n"
+               "                   [--queue-capacity Q] [--no-cache] [--sync-streams]\n"
+               "                   [--json] [--trace DEVICE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeRuntime::Options opts;
+  apps::DownscalerConfig cfg = apps::DownscalerConfig::paper();
+  std::string route = "mixed";
+  int jobs = 8;
+  int frames = 16;
+  int exec_frames = 1;
+  bool emit_json = false;
+  int trace_device = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--devices" && i + 1 < argc) {
+      opts.devices = std::stoi(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::stoi(argv[++i]);
+    } else if (arg == "--route" && i + 1 < argc) {
+      route = argv[++i];
+    } else if (arg == "--frames" && i + 1 < argc) {
+      frames = std::stoi(argv[++i]);
+    } else if (arg == "--exec-frames" && i + 1 < argc) {
+      exec_frames = std::stoi(argv[++i]);
+    } else if (arg == "--height" && i + 1 < argc) {
+      cfg.height = std::stoll(argv[++i]);
+    } else if (arg == "--width" && i + 1 < argc) {
+      cfg.width = std::stoll(argv[++i]);
+    } else if (arg == "--queue-capacity" && i + 1 < argc) {
+      opts.queue_capacity = static_cast<std::size_t>(std::stoi(argv[++i]));
+    } else if (arg == "--no-cache") {
+      opts.cache_buffers = false;
+    } else if (arg == "--sync-streams") {
+      opts.async_streams = false;
+    } else if (arg == "--json") {
+      emit_json = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_device = std::stoi(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    const Route mix[] = {Route::SacNongeneric, Route::SacGeneric, Route::Gaspard};
+    ServeRuntime runtime(opts);
+    std::vector<std::future<JobResult>> futures;
+    futures.reserve(static_cast<std::size_t>(jobs));
+    for (int i = 0; i < jobs; ++i) {
+      JobSpec spec;
+      spec.route = route == "mixed" ? mix[i % 3] : parse_route(route);
+      spec.config = cfg;
+      spec.frames = frames;
+      spec.exec_frames = exec_frames;
+      futures.push_back(runtime.submit(spec));
+    }
+    for (auto& f : futures) f.get();
+    runtime.drain();
+
+    if (trace_device >= 0) {
+      std::printf("%s\n", runtime.device_trace_json(trace_device).c_str());
+    } else if (emit_json) {
+      std::printf("%s\n", runtime.metrics_json().c_str());
+    } else {
+      std::printf("%s", runtime.report().c_str());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "saclo-serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
