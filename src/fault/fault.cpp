@@ -1,0 +1,167 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "core/fmt.hpp"
+
+namespace saclo::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Kernel:
+      return "kernel";
+    case FaultKind::Transfer:
+      return "transfer";
+    case FaultKind::Any:
+      return "any";
+  }
+  return "?";
+}
+
+void FaultSpec::validate() const {
+  if (device < 0) throw FaultPlanError(cat("fault device must be >= 0, got ", device));
+  int triggers = 0;
+  if (after_ms >= 0) ++triggers;
+  if (after_kernels >= 0) ++triggers;
+  if (after_transfers >= 0) ++triggers;
+  if (triggers != 1) {
+    throw FaultPlanError(
+        cat("fault spec needs exactly one trigger (after_ms, after_kernels or "
+            "after_transfers), got ",
+            triggers, " in '", describe(), "'"));
+  }
+  if (after_kernels >= 0 && kind == FaultKind::Transfer) {
+    throw FaultPlanError("after_kernels fires at a kernel boundary; kind=transfer conflicts");
+  }
+  if (after_transfers >= 0 && kind == FaultKind::Kernel) {
+    throw FaultPlanError("after_transfers fires at a transfer boundary; kind=kernel conflicts");
+  }
+}
+
+std::string FaultSpec::describe() const {
+  std::string out = cat("dev=", device);
+  if (after_ms >= 0) out += cat(",after_ms=", fixed(after_ms, 3));
+  if (after_kernels >= 0) out += cat(",after_kernels=", after_kernels);
+  if (after_transfers >= 0) out += cat(",after_transfers=", after_transfers);
+  out += cat(",kind=", fault_kind_name(kind));
+  if (recurring) out += ",recurring";
+  return out;
+}
+
+namespace {
+std::string trimmed(const std::string& text) {
+  std::size_t begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const std::size_t end = text.find_last_not_of(" \t");
+  return text.substr(begin, end - begin + 1);
+}
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string field = trimmed(text.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    const std::string key = field.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : field.substr(eq + 1);
+    try {
+      if (key == "dev" || key == "device") {
+        spec.device = std::stoi(value);
+      } else if (key == "after_ms") {
+        spec.after_ms = std::stod(value);
+      } else if (key == "after_kernels") {
+        spec.after_kernels = std::stoll(value);
+      } else if (key == "after_transfers") {
+        spec.after_transfers = std::stoll(value);
+      } else if (key == "kind") {
+        if (value == "kernel") {
+          spec.kind = FaultKind::Kernel;
+        } else if (value == "transfer") {
+          spec.kind = FaultKind::Transfer;
+        } else if (value == "any") {
+          spec.kind = FaultKind::Any;
+        } else {
+          throw FaultPlanError(cat("unknown fault kind '", value,
+                                   "' (expected kernel, transfer or any)"));
+        }
+      } else if (key == "recurring" && value.empty()) {
+        spec.recurring = true;
+      } else if (key == "oneshot" && value.empty()) {
+        spec.recurring = false;
+      } else {
+        throw FaultPlanError(cat("unknown fault-spec field '", field, "' in '", text, "'"));
+      }
+    } catch (const std::invalid_argument&) {
+      throw FaultPlanError(cat("malformed value in fault-spec field '", field, "'"));
+    } catch (const std::out_of_range&) {
+      throw FaultPlanError(cat("out-of-range value in fault-spec field '", field, "'"));
+    }
+  }
+  spec.validate();
+  // Count triggers imply their own boundary; fold that into `kind` so
+  // describe() round-trips the canonical form.
+  if (spec.after_kernels >= 0) spec.kind = FaultKind::Kernel;
+  if (spec.after_transfers >= 0) spec.kind = FaultKind::Transfer;
+  return spec;
+}
+
+FaultInjector::FaultInjector(const std::vector<FaultSpec>& specs) {
+  for (const FaultSpec& spec : specs) add(spec);
+}
+
+void FaultInjector::add(const FaultSpec& spec) {
+  spec.validate();
+  Armed armed;
+  armed.spec = spec;
+  if (spec.after_kernels >= 0) armed.next_count = spec.after_kernels;
+  if (spec.after_transfers >= 0) armed.next_count = spec.after_transfers;
+  armed_.push_back(armed);
+}
+
+void FaultInjector::on_kernel(double clock_us) {
+  check(FaultKind::Kernel, kernels_seen_, clock_us);
+  ++kernels_seen_;
+}
+
+void FaultInjector::on_transfer(double clock_us) {
+  check(FaultKind::Transfer, transfers_seen_, clock_us);
+  ++transfers_seen_;
+}
+
+void FaultInjector::check(FaultKind boundary, std::int64_t seen, double clock_us) {
+  for (Armed& armed : armed_) {
+    const FaultSpec& spec = armed.spec;
+    if (armed.fired && !spec.recurring) continue;
+    bool fires = false;
+    if (spec.after_ms >= 0) {
+      fires = (spec.kind == FaultKind::Any || spec.kind == boundary) &&
+              clock_us >= spec.after_ms * 1000.0;
+    } else if (spec.after_kernels >= 0) {
+      fires = boundary == FaultKind::Kernel && seen >= armed.next_count;
+    } else if (spec.after_transfers >= 0) {
+      fires = boundary == FaultKind::Transfer && seen >= armed.next_count;
+    }
+    if (!fires) continue;
+    armed.fired = true;
+    if (spec.recurring && spec.after_ms < 0) {
+      // Periodic count trigger: re-arm after the same number of further
+      // successful ops (at least one, so a 0-count spec doesn't wedge
+      // the arithmetic — it still fails every op).
+      const std::int64_t period =
+          std::max<std::int64_t>(1, spec.after_kernels >= 0 ? spec.after_kernels
+                                                            : spec.after_transfers);
+      armed.next_count = seen + period;
+    }
+    ++fired_;
+    throw DeviceFault(cat("injected device fault at ", fault_kind_name(boundary), " #",
+                          seen + 1, " (sim clock ", fixed(clock_us, 1), "us): ",
+                          spec.describe()));
+  }
+}
+
+}  // namespace saclo::fault

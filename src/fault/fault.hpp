@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace saclo::fault {
+
+/// Raised by a fault-injected simulated device when an armed FaultSpec's
+/// trigger is reached at a kernel-launch or transfer boundary. The
+/// serving scheduler catches exactly this type to drive failover; any
+/// other exception escaping a job still fails the job outright.
+class DeviceFault : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised on malformed fault specs (bad grammar, missing or conflicting
+/// trigger, out-of-range values).
+class FaultPlanError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The operation boundary a fault surfaces at. Count-based triggers
+/// imply their own boundary (after_kernels fires at a kernel launch,
+/// after_transfers at a transfer); `kind` selects the boundary for
+/// time-based triggers, where Any means "the first simulated operation
+/// past the deadline, whatever it is".
+enum class FaultKind { Kernel, Transfer, Any };
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled device failure: fail device `device` after N simulated
+/// milliseconds, after K successful kernel launches, or after M
+/// successful transfers — one-shot (a transient glitch: the device works
+/// again once the fault fired) or recurring (a periodically/permanently
+/// broken device).
+///
+/// Exactly one of the three triggers must be set:
+///  - after_ms >= 0: the first op (of `kind`) issued at device clock
+///    >= after_ms fires the fault. Recurring time faults fire on every
+///    such op — a device that is dead from that point on.
+///  - after_kernels = K >= 0: the first K kernel launches succeed, the
+///    next one fires (K = 0 fails the very first kernel). Recurring
+///    specs re-arm every max(1, K) further successful launches.
+///  - after_transfers = M >= 0: same, counting accounted PCIe transfers.
+struct FaultSpec {
+  int device = 0;
+  double after_ms = -1;
+  std::int64_t after_kernels = -1;
+  std::int64_t after_transfers = -1;
+  FaultKind kind = FaultKind::Any;
+  bool recurring = false;
+
+  /// Throws FaultPlanError unless exactly one trigger is set, values
+  /// are in range, and `kind` is consistent with the trigger.
+  void validate() const;
+  /// Canonical "dev=0,after_kernels=3,kind=kernel" round-trip form.
+  std::string describe() const;
+};
+
+/// Parses one spec from the CLI grammar, e.g.
+///   "dev=2,after_ms=50,kind=kernel"
+///   "dev=0,after_kernels=0,recurring"
+/// Keys: dev, after_ms, after_kernels, after_transfers, kind
+/// (kernel|transfer|any), and the bare flags recurring / oneshot.
+/// Throws FaultPlanError on unknown keys or a malformed trigger.
+FaultSpec parse_fault_spec(const std::string& text);
+
+/// Per-device fault state machine. A VirtualGpu with an injector
+/// installed calls on_kernel()/on_transfer() before each simulated
+/// operation; when an armed spec's trigger is reached the injector
+/// throws DeviceFault and the operation never happens (fail-stop).
+///
+/// Counters count *successful* operations only, so a retried workload
+/// resumes the count where the fault interrupted it. Not thread-safe:
+/// like the VirtualGpu it instruments, an injector belongs to one
+/// dispatcher thread.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const std::vector<FaultSpec>& specs);
+
+  /// Arms one more spec (validates it first).
+  void add(const FaultSpec& spec);
+  bool armed() const { return !armed_.empty(); }
+
+  /// Kernel-launch boundary; `clock_us` is the device's simulated clock
+  /// before the launch. Throws DeviceFault when a spec fires.
+  void on_kernel(double clock_us);
+  /// Transfer boundary (accounted H2D/D2H copies).
+  void on_transfer(double clock_us);
+
+  std::int64_t kernels_seen() const { return kernels_seen_; }
+  std::int64_t transfers_seen() const { return transfers_seen_; }
+  std::int64_t faults_fired() const { return fired_; }
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    bool fired = false;             ///< one-shot specs disarm after firing
+    std::int64_t next_count = 0;    ///< count threshold for the next firing
+  };
+
+  void check(FaultKind boundary, std::int64_t seen, double clock_us);
+
+  std::vector<Armed> armed_;
+  std::int64_t kernels_seen_ = 0;
+  std::int64_t transfers_seen_ = 0;
+  std::int64_t fired_ = 0;
+};
+
+}  // namespace saclo::fault

@@ -1,0 +1,78 @@
+#include "fault/plan.hpp"
+
+#include <random>
+
+namespace saclo::fault {
+
+void FaultPlan::add(const FaultSpec& spec) {
+  spec.validate();
+  specs_.push_back(spec);
+}
+
+std::vector<FaultSpec> FaultPlan::specs_for(int device) const {
+  std::vector<FaultSpec> out;
+  for (const FaultSpec& spec : specs_) {
+    if (spec.device == device) out.push_back(spec);
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t semi = text.find(';', pos);
+    if (semi == std::string::npos) semi = text.size();
+    const std::string spec = text.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (spec.empty()) continue;
+    plan.add(parse_fault_spec(spec));
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int devices, int faults, double max_after_ms,
+                            std::int64_t max_count) {
+  if (devices <= 0) throw FaultPlanError("random fault plan needs at least one device");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> device_dist(0, devices - 1);
+  std::uniform_int_distribution<int> trigger_dist(0, 2);
+  std::uniform_int_distribution<int> kind_dist(0, 2);
+  std::uniform_int_distribution<int> recurring_dist(0, 3);
+  std::uniform_real_distribution<double> ms_dist(0.0, max_after_ms);
+  std::uniform_int_distribution<std::int64_t> count_dist(0, max_count);
+
+  FaultPlan plan;
+  for (int i = 0; i < faults; ++i) {
+    FaultSpec spec;
+    spec.device = device_dist(rng);
+    switch (trigger_dist(rng)) {
+      case 0:
+        spec.after_ms = ms_dist(rng);
+        spec.kind = static_cast<FaultKind>(kind_dist(rng));
+        break;
+      case 1:
+        spec.after_kernels = count_dist(rng);
+        spec.kind = FaultKind::Kernel;
+        break;
+      default:
+        spec.after_transfers = count_dist(rng);
+        spec.kind = FaultKind::Transfer;
+        break;
+    }
+    spec.recurring = recurring_dist(rng) == 0;
+    plan.add(spec);
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (const FaultSpec& spec : specs_) {
+    out += spec.describe();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace saclo::fault

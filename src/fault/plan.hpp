@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace saclo::fault {
+
+/// A fleet-wide fault schedule: the collection of FaultSpecs a serving
+/// runtime installs on its devices at construction. Value-semantic and
+/// cheap to copy, so it travels inside ServeRuntime::Options.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Validates and appends one spec.
+  void add(const FaultSpec& spec);
+  bool empty() const { return specs_.empty(); }
+  std::size_t size() const { return specs_.size(); }
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+  /// The specs targeting one fleet device (what its injector arms).
+  std::vector<FaultSpec> specs_for(int device) const;
+
+  /// Parses a ';'-separated list of CLI specs, e.g.
+  ///   "dev=0,after_kernels=0;dev=2,after_ms=50,kind=kernel"
+  static FaultPlan parse(const std::string& text);
+
+  /// Seeded random plan for stress tests: `faults` specs spread over
+  /// `devices` devices, triggers drawn uniformly (time faults up to
+  /// max_after_ms simulated ms, count faults up to max_count ops),
+  /// ~1 in 4 recurring. The same seed always yields the same plan.
+  static FaultPlan random(std::uint64_t seed, int devices, int faults,
+                          double max_after_ms = 5.0, std::int64_t max_count = 40);
+
+  /// One spec per line, canonical form — stress-test logs and
+  /// reproducibility checks.
+  std::string describe() const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace saclo::fault

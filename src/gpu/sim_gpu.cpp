@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/fmt.hpp"
+#include "fault/fault.hpp"
 
 namespace saclo::gpu {
 
@@ -14,6 +15,9 @@ void VirtualGpu::copy_h2d(BufferHandle dst, std::span<const std::byte> src, cons
     throw DeviceMemoryError(cat("copy_h2d of ", src.size(), " bytes into ", dest.size(),
                                 "-byte device buffer"));
   }
+  // Silent (account=false) copies are device-resident handoffs, not
+  // PCIe traffic — they don't cross a fault boundary.
+  if (fault_ != nullptr && account) fault_->on_transfer(timeline_.makespan_us());
   if (execute) {
     std::memcpy(dest.data(), src.data(), src.size());
   }
@@ -33,6 +37,7 @@ void VirtualGpu::copy_d2h(std::span<std::byte> dst, BufferHandle src, const std:
     throw DeviceMemoryError(cat("copy_d2h of ", dst.size(), " bytes from ", source.size(),
                                 "-byte device buffer"));
   }
+  if (fault_ != nullptr && account) fault_->on_transfer(timeline_.makespan_us());
   if (execute) {
     std::memcpy(dst.data(), source.data(), dst.size());
   }
@@ -47,6 +52,7 @@ void VirtualGpu::copy_d2h(std::span<std::byte> dst, BufferHandle src, const std:
 
 void VirtualGpu::account_transfer(std::int64_t bytes, Dir dir, const std::string& op,
                                   StreamId stream, BufferHandle touched) {
+  if (fault_ != nullptr) fault_->on_transfer(timeline_.makespan_us());
   const double us = transfer_time_us(spec_, bytes, dir);
   const BufferHandle handles[] = {touched};
   const std::span<const BufferHandle> hazard =
@@ -62,6 +68,7 @@ double VirtualGpu::launch(const KernelLaunch& kernel, bool execute, StreamId str
 }
 
 double VirtualGpu::launch_impl(const KernelLaunch& kernel, bool execute, StreamId stream) {
+  if (fault_ != nullptr) fault_->on_kernel(timeline_.makespan_us());
   const double us = kernel_time_us(spec_, kernel.threads, kernel.cost);
   if (execute && kernel.body) {
     pool_.parallel_for(kernel.threads, kernel.body);

@@ -11,6 +11,10 @@
 #include "gpu/profiler.hpp"
 #include "gpu/stream.hpp"
 
+namespace saclo::fault {
+class FaultInjector;
+}  // namespace saclo::fault
+
 namespace saclo::gpu {
 
 /// A kernel ready to launch on the simulator: a name (for profiling), a
@@ -61,6 +65,13 @@ class VirtualGpu {
   /// CachingDeviceAllocator). Install with nullptr to restore the pool.
   BufferAllocator& allocator() { return allocator_ != nullptr ? *allocator_ : memory_; }
   void set_allocator(BufferAllocator* allocator) { allocator_ = allocator; }
+  /// Installs a fault injector the device consults before every kernel
+  /// launch and accounted transfer (fail-stop: a faulted operation does
+  /// not run and accrues no simulated time). nullptr uninstalls —
+  /// that's also the default, so the fault machinery costs nothing when
+  /// unused. The injector must outlive the device or be uninstalled.
+  void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
+  fault::FaultInjector* fault_injector() const { return fault_; }
   Profiler& profiler() { return profiler_; }
   const Profiler& profiler() const { return profiler_; }
   ThreadPool& thread_pool() { return pool_; }
@@ -124,6 +135,7 @@ class VirtualGpu {
   DeviceSpec spec_;
   DeviceMemoryPool memory_;
   BufferAllocator* allocator_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
   ThreadPool pool_;
   Profiler profiler_;
   Timeline timeline_;

@@ -122,6 +122,32 @@ void CachingDeviceAllocator::trim() {
   }
 }
 
+std::int64_t CachingDeviceAllocator::reclaim_live() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t reclaimed = 0;
+  while (!live_.empty()) {
+    const auto it = live_.begin();
+    const std::uint64_t id = it->first;
+    const std::int64_t cls = it->second;
+    live_.erase(it);
+    std::int64_t requested = 0;
+    if (auto rit = live_req_.find(id); rit != live_req_.end()) {
+      requested = rit->second;
+      live_req_.erase(rit);
+    }
+    free_lists_[cls].push_back(id);
+    cached_ids_.insert(id);
+    stats_.live_blocks -= 1;
+    stats_.live_bytes -= cls;
+    stats_.requested_bytes -= requested;
+    stats_.cached_blocks += 1;
+    stats_.cached_bytes += cls;
+    stats_.reclaimed_blocks += 1;
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
 CachingDeviceAllocator::Stats CachingDeviceAllocator::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats s = stats_;

@@ -51,6 +51,14 @@ class CachingDeviceAllocator final : public gpu::BufferAllocator {
   /// little sibling). Live blocks are untouched.
   void trim();
 
+  /// Fault-abort path: forcibly parks every live block on its free list
+  /// as if its owner had freed it, and returns how many were reclaimed.
+  /// The scheduler calls this after a DeviceFault has fully unwound a
+  /// job (RAII owners are gone), so anything still live is a leak from
+  /// the interrupted frame loop. Outstanding handles to reclaimed
+  /// blocks become invalid — freeing one afterwards is a double free.
+  std::int64_t reclaim_live();
+
   /// Rounds up to the allocation size class: 256-byte minimum, then
   /// powers of two.
   static std::int64_t size_class(std::int64_t bytes);
@@ -60,6 +68,7 @@ class CachingDeviceAllocator final : public gpu::BufferAllocator {
     std::int64_t misses = 0;          ///< allocations that hit the raw pool
     std::int64_t frees = 0;           ///< blocks parked for reuse
     std::int64_t trimmed_blocks = 0;  ///< blocks released by trim()
+    std::int64_t reclaimed_blocks = 0;  ///< live blocks swept by reclaim_live()
     std::int64_t live_blocks = 0;     ///< handed out, not yet freed
     std::int64_t cached_blocks = 0;   ///< parked on free lists
     std::int64_t live_bytes = 0;      ///< class bytes of live blocks

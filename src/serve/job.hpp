@@ -47,7 +47,11 @@ struct JobSpec {
 /// What a completed job hands back through its future.
 struct JobResult {
   std::uint64_t id = 0;
-  int device = -1;  ///< fleet device index that ran the job
+  int device = -1;  ///< fleet device index that ran the job (to completion)
+  /// How many injected device faults interrupted this job before it
+  /// completed — 0 on the fault-free path, and never beyond the
+  /// runtime's per-job retry budget.
+  int attempts = 0;
   Route route = Route::SacNongeneric;
   int frames = 0;
   IntArray last_output;      ///< last executed frame (bit-exact vs single-device)

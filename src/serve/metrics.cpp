@@ -52,7 +52,45 @@ void FleetMetrics::on_failed(int device) {
   std::lock_guard<std::mutex> lock(mutex_);
   DeviceState& d = devices_.at(static_cast<std::size_t>(device));
   d.running = 0;
+  ++d.jobs_failed;
   ++failed_;
+}
+
+void FleetMetrics::on_device_fault(int device, std::int64_t reclaimed_blocks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& d = devices_.at(static_cast<std::size_t>(device));
+  d.running = 0;
+  ++d.faults;
+  ++device_faults_;
+  buffers_reclaimed_ += reclaimed_blocks;
+}
+
+void FleetMetrics::on_failover(int from, int to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& target = devices_.at(static_cast<std::size_t>(to));
+  ++retries_;
+  if (from != to) ++failovers_;
+  // The retried job sits in the target's queue until re-dispatched.
+  ++target.queue_depth;
+  target.max_queue_depth = std::max(target.max_queue_depth, target.queue_depth);
+}
+
+void FleetMetrics::on_degraded(int device) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& d = devices_.at(static_cast<std::size_t>(device));
+  if (d.degraded) return;
+  d.degraded = true;
+  d.degraded_since = std::chrono::steady_clock::now();
+}
+
+void FleetMetrics::on_healed(int device) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& d = devices_.at(static_cast<std::size_t>(device));
+  if (!d.degraded) return;
+  d.degraded = false;
+  d.degraded_accum_us += std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - d.degraded_since)
+                             .count();
 }
 
 void FleetMetrics::set_elapsed_real_us(double us) {
@@ -74,13 +112,27 @@ FleetMetrics::Snapshot FleetMetrics::snapshot() const {
   s.jobs_completed = completed_;
   s.jobs_failed = failed_;
   s.frames_completed = frames_;
+  s.device_faults = device_faults_;
+  s.failovers = failovers_;
+  s.retries = retries_;
+  s.buffers_reclaimed = buffers_reclaimed_;
   s.elapsed_real_us = elapsed_real_us_;
+  const auto now = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     const DeviceState& d = devices_[i];
     DeviceSnapshot ds;
     ds.device = static_cast<int>(i);
     ds.jobs = d.jobs;
+    ds.jobs_failed = d.jobs_failed;
+    ds.faults = d.faults;
     ds.frames = d.frames;
+    ds.degraded = d.degraded;
+    ds.degraded_us = d.degraded_accum_us;
+    if (d.degraded) {
+      ds.degraded_us +=
+          std::chrono::duration<double, std::micro>(now - d.degraded_since).count();
+      ++s.degraded_devices;
+    }
     ds.queue_depth = d.queue_depth;
     ds.max_queue_depth = d.max_queue_depth;
     ds.running = d.running;
@@ -128,15 +180,22 @@ std::string FleetMetrics::report() const {
              "ms  max ", fixed(s.latency_max_us / 1e3, 2), "ms\n");
   out += cat("sim makespan ", fixed(s.sim_makespan_us / 1e6, 3), "s, sim job p50 ",
              fixed(s.sim_job_p50_us / 1e3, 2), "ms\n");
-  out += pad_right("device", 8) + pad_left("jobs", 7) + pad_left("frames", 8) +
-         pad_left("util", 7) + pad_left("queue", 7) + pad_left("maxq", 6) +
-         pad_left("hit%", 7) + pad_left("miss", 6) + pad_left("peakMB", 8) + "\n";
-  out += std::string(56, '-') + "\n";
+  out += cat("health: ", s.device_faults, " device fault(s), ", s.failovers, " failover(s), ",
+             s.retries, " retry(s), ", s.jobs_failed, " failed job(s), ", s.degraded_devices,
+             " degraded device(s)\n");
+  out += pad_right("device", 8) + pad_left("jobs", 7) + pad_left("failed", 8) +
+         pad_left("frames", 8) + pad_left("util", 7) + pad_left("queue", 7) +
+         pad_left("maxq", 6) + pad_left("faults", 8) + pad_left("hit%", 7) +
+         pad_left("miss", 6) + pad_left("peakMB", 8) + "\n";
+  out += std::string(72, '-') + "\n";
   for (const DeviceSnapshot& d : s.devices) {
-    out += pad_right(cat("gpu", d.device), 8) + pad_left(std::to_string(d.jobs), 7) +
+    // A trailing '*' marks a currently degraded device.
+    out += pad_right(cat("gpu", d.device, d.degraded ? "*" : ""), 8) +
+           pad_left(std::to_string(d.jobs), 7) + pad_left(std::to_string(d.jobs_failed), 8) +
            pad_left(std::to_string(d.frames), 8) + pad_left(fixed(100 * d.utilization, 1), 7) +
            pad_left(std::to_string(d.queue_depth), 7) +
-           pad_left(std::to_string(d.max_queue_depth), 6);
+           pad_left(std::to_string(d.max_queue_depth), 6) +
+           pad_left(std::to_string(d.faults), 8);
     if (d.has_allocator) {
       out += pad_left(fixed(100 * d.allocator.hit_rate(), 1), 7) +
              pad_left(std::to_string(d.allocator.misses), 6) +
@@ -151,7 +210,10 @@ std::string FleetMetrics::report() const {
 
 namespace {
 std::string device_json(const FleetMetrics::DeviceSnapshot& d) {
-  std::string out = cat("{\"device\":", d.device, ",\"jobs\":", d.jobs, ",\"frames\":", d.frames,
+  std::string out = cat("{\"device\":", d.device, ",\"jobs\":", d.jobs,
+                        ",\"jobs_failed\":", d.jobs_failed, ",\"faults\":", d.faults,
+                        ",\"degraded\":", d.degraded ? "true" : "false",
+                        ",\"degraded_us\":", fixed(d.degraded_us, 1), ",\"frames\":", d.frames,
                         ",\"queue_depth\":", d.queue_depth,
                         ",\"max_queue_depth\":", d.max_queue_depth,
                         ",\"busy_sim_us\":", fixed(d.busy_sim_us, 3),
@@ -176,6 +238,9 @@ std::string FleetMetrics::json() const {
       "{\"devices\":", s.devices.size(), ",\"jobs_submitted\":", s.jobs_submitted,
       ",\"jobs_completed\":", s.jobs_completed, ",\"jobs_failed\":", s.jobs_failed,
       ",\"frames_completed\":", s.frames_completed,
+      ",\"health\":{\"device_faults\":", s.device_faults, ",\"failovers\":", s.failovers,
+      ",\"retries\":", s.retries, ",\"degraded_devices\":", s.degraded_devices,
+      ",\"buffers_reclaimed\":", s.buffers_reclaimed, "}",
       ",\"elapsed_real_us\":", fixed(s.elapsed_real_us, 1),
       ",\"sim_makespan_us\":", fixed(s.sim_makespan_us, 3),
       ",\"throughput_fps_sim\":", fixed(s.throughput_fps_sim, 3),

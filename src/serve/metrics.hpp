@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -26,6 +27,17 @@ class FleetMetrics {
   /// the job — the fleet makespan is the max over devices.
   void on_complete(int device, const JobResult& result, double sim_clock_us);
   void on_failed(int device);
+  /// An injected DeviceFault interrupted a job on `device`;
+  /// `reclaimed_blocks` is what the allocator sweep took back.
+  void on_device_fault(int device, std::int64_t reclaimed_blocks = 0);
+  /// A faulted job was re-enqueued from device `from` onto `to`. Counts
+  /// a retry always and a failover when the devices differ, and moves
+  /// the queue-depth bookkeeping to the new device.
+  void on_failover(int from, int to);
+  /// Device entered / left the degraded state (scheduler-driven);
+  /// degraded wall time accrues between the two.
+  void on_degraded(int device);
+  void on_healed(int device);
   /// Real (wall-clock) microseconds since the runtime started serving;
   /// updated by the scheduler so snapshots can compute real throughput.
   void set_elapsed_real_us(double us);
@@ -36,7 +48,11 @@ class FleetMetrics {
   struct DeviceSnapshot {
     int device = 0;
     std::int64_t jobs = 0;
+    std::int64_t jobs_failed = 0;  ///< jobs whose future carries an exception
+    std::int64_t faults = 0;       ///< injected DeviceFaults observed here
     std::int64_t frames = 0;
+    bool degraded = false;    ///< currently marked unhealthy by the scheduler
+    double degraded_us = 0;   ///< cumulative real time spent degraded
     int queue_depth = 0;      ///< queued, not yet dispatched
     int max_queue_depth = 0;  ///< high-water mark
     int running = 0;          ///< 0 or 1 (one dispatcher per device)
@@ -55,6 +71,12 @@ class FleetMetrics {
     std::int64_t jobs_completed = 0;
     std::int64_t jobs_failed = 0;
     std::int64_t frames_completed = 0;
+    // Fleet health: the failover machinery's counters.
+    std::int64_t device_faults = 0;      ///< injected faults across the fleet
+    std::int64_t failovers = 0;          ///< retries that moved device
+    std::int64_t retries = 0;            ///< faulted jobs re-enqueued (any device)
+    std::int64_t buffers_reclaimed = 0;  ///< allocator blocks swept after faults
+    int degraded_devices = 0;            ///< currently degraded
     double elapsed_real_us = 0;
     double sim_makespan_us = 0;  ///< max over devices of sim_clock_us
     /// Aggregate throughput in frames per second of simulated device
@@ -85,7 +107,12 @@ class FleetMetrics {
   mutable std::mutex mutex_;
   struct DeviceState {
     std::int64_t jobs = 0;
+    std::int64_t jobs_failed = 0;
+    std::int64_t faults = 0;
     std::int64_t frames = 0;
+    bool degraded = false;
+    double degraded_accum_us = 0;
+    std::chrono::steady_clock::time_point degraded_since{};
     int queue_depth = 0;
     int max_queue_depth = 0;
     int running = 0;
@@ -99,6 +126,10 @@ class FleetMetrics {
   std::int64_t completed_ = 0;
   std::int64_t failed_ = 0;
   std::int64_t frames_ = 0;
+  std::int64_t device_faults_ = 0;
+  std::int64_t failovers_ = 0;
+  std::int64_t retries_ = 0;
+  std::int64_t buffers_reclaimed_ = 0;
   double elapsed_real_us_ = 0;
   std::vector<double> latencies_us_;      // real end-to-end, one per job
   std::vector<double> sim_job_us_;        // simulated device time, one per job

@@ -22,6 +22,15 @@ ServeRuntime::ServeRuntime(const Options& options)
   if (options_.queue_capacity == 0) {
     throw ServeError("queue_capacity must be positive");
   }
+  if (options_.max_retries < 0) {
+    throw ServeError(cat("max_retries must be >= 0, got ", options_.max_retries));
+  }
+  for (const fault::FaultSpec& spec : options_.fault_plan.specs()) {
+    if (spec.device >= options_.devices) {
+      throw ServeError(cat("fault plan targets device ", spec.device, " but the fleet has ",
+                           options_.devices, " device(s)"));
+    }
+  }
   paused_ = options_.start_paused;
   devices_.reserve(static_cast<std::size_t>(options_.devices));
   for (int i = 0; i < options_.devices; ++i) {
@@ -30,6 +39,11 @@ ServeRuntime::ServeRuntime(const Options& options)
     if (options_.cache_buffers) {
       dev->cache = std::make_unique<CachingDeviceAllocator>(dev->gpu->memory());
       dev->gpu->set_allocator(dev->cache.get());
+    }
+    const std::vector<fault::FaultSpec> specs = options_.fault_plan.specs_for(i);
+    if (!specs.empty()) {
+      dev->injector = std::make_unique<fault::FaultInjector>(specs);
+      dev->gpu->set_fault_injector(dev->injector.get());
     }
     devices_.push_back(std::move(dev));
   }
@@ -54,18 +68,16 @@ std::optional<std::future<JobResult>> ServeRuntime::submit_impl(JobSpec spec, bo
   }
   if (total_inflight_ >= options_.queue_capacity) return std::nullopt;  // try_submit only
 
-  // Least-loaded placement: the device with the smallest outstanding
-  // cost-model backlog (queued + running estimates).
-  std::size_t target = 0;
-  for (std::size_t i = 1; i < devices_.size(); ++i) {
-    if (devices_[i]->backlog_estimate_us < devices_[target]->backlog_estimate_us) target = i;
-  }
+  // Least-loaded placement over healthy devices: the one with the
+  // smallest outstanding cost-model backlog (queued + running).
+  const std::size_t target = pick_device_locked(/*exclude=*/-1);
 
   Pending pending;
   pending.id = next_job_id_++;
   pending.spec = std::move(spec);
   pending.estimate_us = estimate;
   pending.submit_time = std::chrono::steady_clock::now();
+  pending.ready_time = pending.submit_time;
   if (!started_serving_) {
     started_serving_ = true;
     serve_start_ = pending.submit_time;
@@ -120,6 +132,54 @@ void ServeRuntime::shutdown() {
   }
 }
 
+void ServeRuntime::heal_elapsed_locked() {
+  if (options_.degraded_cooldown_ms < 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    Device& dev = *devices_[i];
+    if (dev.degraded &&
+        us_between(dev.degraded_since, now) >= options_.degraded_cooldown_ms * 1000.0) {
+      dev.degraded = false;
+      metrics_.on_healed(static_cast<int>(i));
+    }
+  }
+}
+
+std::size_t ServeRuntime::pick_device_locked(int exclude) {
+  heal_elapsed_locked();
+  std::optional<std::size_t> best;
+  const auto consider = [&](bool allow_degraded, bool allow_excluded) {
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      if (!allow_degraded && devices_[i]->degraded) continue;
+      if (!allow_excluded && exclude >= 0 && i == static_cast<std::size_t>(exclude)) continue;
+      if (!best || devices_[i]->backlog_estimate_us < devices_[*best]->backlog_estimate_us) {
+        best = i;
+      }
+    }
+  };
+  consider(/*allow_degraded=*/false, /*allow_excluded=*/false);
+  // Whole fleet degraded: still serve — a one-shot fault's device works
+  // again, and a permanently broken one burns the job's retry budget.
+  if (!best) consider(/*allow_degraded=*/true, /*allow_excluded=*/false);
+  if (!best) consider(/*allow_degraded=*/true, /*allow_excluded=*/true);  // 1-device fleet
+  return *best;
+}
+
+bool ServeRuntime::device_degraded(int device) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return devices_.at(static_cast<std::size_t>(device))->degraded;
+}
+
+void ServeRuntime::finish_job(Device& dev, double estimate_us) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dev.backlog_estimate_us -= estimate_us;
+    --total_inflight_;
+    if (total_inflight_ == 0) idle_.notify_all();
+  }
+  space_available_.notify_all();
+}
+
 std::size_t ServeRuntime::queued_jobs() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return total_queued_;
@@ -171,6 +231,7 @@ JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending) {
   JobResult result;
   result.id = pending.id;
   result.device = index;
+  result.attempts = pending.attempts;
   result.route = spec.route;
   result.frames = spec.frames;
   result.queue_wait_us = us_between(pending.submit_time, dispatch_time);
@@ -232,28 +293,56 @@ void ServeRuntime::dispatcher_loop(int index) {
     Pending pending;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&] { return stopping_ || (!paused_ && !dev.queue.empty()); });
-      if (dev.queue.empty()) {
-        if (stopping_) return;
-        continue;
+      for (;;) {
+        if (stopping_ && dev.queue.empty()) return;
+        if (!paused_ || stopping_) {
+          // First queued job whose retry backoff has elapsed (FIFO for
+          // never-faulted jobs, whose gate is their submit time).
+          const auto now = std::chrono::steady_clock::now();
+          auto ready = dev.queue.end();
+          auto soonest = dev.queue.end();
+          for (auto it = dev.queue.begin(); it != dev.queue.end(); ++it) {
+            if (it->ready_time <= now) {
+              ready = it;
+              break;
+            }
+            if (soonest == dev.queue.end() || it->ready_time < soonest->ready_time) {
+              soonest = it;
+            }
+          }
+          if (ready != dev.queue.end()) {
+            pending = std::move(*ready);
+            dev.queue.erase(ready);
+            break;
+          }
+          if (soonest != dev.queue.end()) {
+            // Everything queued is still backing off; sleep to the
+            // earliest gate (or an earlier notify).
+            work_ready_.wait_until(lock, soonest->ready_time);
+            continue;
+          }
+        }
+        work_ready_.wait(lock);
       }
-      if (paused_ && !stopping_) continue;
-      pending = std::move(dev.queue.front());
-      dev.queue.pop_front();
       --total_queued_;
       metrics_.on_dispatch(index);
     }
     space_available_.notify_all();
+    const double estimate = pending.estimate_us;
 
     JobResult result;
-    bool failed = false;
+    std::exception_ptr error;
+    bool device_fault = false;
     try {
       result = run_job(dev, index, pending);
+    } catch (const fault::DeviceFault&) {
+      device_fault = true;
+      error = std::current_exception();
     } catch (...) {
-      failed = true;
-      pending.promise.set_exception(std::current_exception());
+      error = std::current_exception();
     }
-    if (!failed) {
+
+    if (error == nullptr) {
       // Record before handing the result off through the promise.
       metrics_.on_complete(index, result, dev.gpu->clock_us());
       if (dev.cache) metrics_.set_allocator_stats(index, dev.cache->stats());
@@ -263,17 +352,56 @@ void ServeRuntime::dispatcher_loop(int index) {
             us_between(serve_start_, std::chrono::steady_clock::now()));
       }
       pending.promise.set_value(std::move(result));
-    } else {
-      metrics_.on_failed(index);
+      finish_job(dev, estimate);
+      continue;
     }
 
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      dev.backlog_estimate_us -= pending.estimate_us;
-      --total_inflight_;
-      if (total_inflight_ == 0) idle_.notify_all();
+    if (device_fault) {
+      // The frame loop died mid-flight. Its RAII buffer owners unwound
+      // back into the caching allocator already; sweep whatever is
+      // still live so the device starts the next job leak-free.
+      const std::int64_t reclaimed = dev.cache ? dev.cache->reclaim_live() : 0;
+      metrics_.on_device_fault(index, reclaimed);
+      if (dev.cache) metrics_.set_allocator_stats(index, dev.cache->stats());
+
+      bool retried = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!dev.degraded) {
+          dev.degraded = true;
+          dev.degraded_since = std::chrono::steady_clock::now();
+          metrics_.on_degraded(index);
+        }
+        if (pending.attempts < options_.max_retries) {
+          ++pending.attempts;
+          const double backoff_ms =
+              std::min(options_.retry_backoff_base_ms *
+                           static_cast<double>(std::int64_t{1} << (pending.attempts - 1)),
+                       options_.retry_backoff_cap_ms);
+          pending.ready_time =
+              std::chrono::steady_clock::now() +
+              std::chrono::microseconds(static_cast<std::int64_t>(backoff_ms * 1000.0));
+          const std::size_t target = pick_device_locked(/*exclude=*/index);
+          devices_[target]->queue.push_back(std::move(pending));
+          devices_[target]->backlog_estimate_us += estimate;
+          dev.backlog_estimate_us -= estimate;
+          ++total_queued_;
+          metrics_.on_failover(index, static_cast<int>(target));
+          retried = true;
+        }
+      }
+      if (retried) {
+        // The job stays inflight; its new dispatcher takes over.
+        work_ready_.notify_all();
+        continue;
+      }
     }
-    space_available_.notify_all();
+
+    // Permanent failure: retry budget exhausted, or a non-fault error
+    // (bad spec caught late, driver bug) that a retry would only repeat.
+    pending.promise.set_exception(error);
+    metrics_.on_failed(index);
+    finish_job(dev, estimate);
   }
 }
 

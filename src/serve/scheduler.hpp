@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "fault/plan.hpp"
 #include "gpu/sim_gpu.hpp"
 #include "serve/allocator.hpp"
 #include "serve/job.hpp"
@@ -39,6 +41,16 @@ namespace saclo::serve {
 /// bit-exact against single-device runs. Devices are only ever touched
 /// by their own dispatcher thread; cross-thread state (queues, metrics,
 /// allocator stats) is mutex-guarded.
+///
+/// Fault tolerance: with a fault_plan installed, a device may throw
+/// fault::DeviceFault mid-job. The dispatcher then sweeps leaked
+/// buffers back into the caching allocator, marks its device degraded
+/// (placement avoids it until the cooldown elapses), and re-enqueues
+/// the job on the least-loaded healthy device behind a capped
+/// exponential backoff — up to max_retries times, after which the
+/// job's future carries the DeviceFault. A failed attempt executed
+/// nothing externally visible, so the retried job's results stay
+/// bit-exact against a fault-free run.
 class ServeRuntime {
  public:
   struct Options {
@@ -54,6 +66,22 @@ class ServeRuntime {
     /// Accept jobs but don't dispatch until resume() — deterministic
     /// placement and queue-depth tests.
     bool start_paused = false;
+
+    // -- fault tolerance ------------------------------------------------------
+    /// Fault-injection schedule installed on the fleet's devices at
+    /// construction (empty = no injection, zero overhead).
+    fault::FaultPlan fault_plan;
+    /// Per-job failover budget: how many times a DeviceFault-interrupted
+    /// job is re-enqueued before its future carries the fault instead.
+    int max_retries = 3;
+    /// Capped exponential backoff before a retried job may dispatch
+    /// again: min(base * 2^(attempt-1), cap) real milliseconds.
+    double retry_backoff_base_ms = 0.25;
+    double retry_backoff_cap_ms = 4.0;
+    /// Real-time cooldown after which a degraded device becomes
+    /// eligible for placement again; negative keeps it degraded for the
+    /// runtime's lifetime (deterministic tests).
+    double degraded_cooldown_ms = 20.0;
   };
 
   explicit ServeRuntime(const Options& options);
@@ -80,6 +108,9 @@ class ServeRuntime {
   void shutdown();
 
   int device_count() const { return static_cast<int>(devices_.size()); }
+  /// Whether the scheduler currently considers the device unhealthy
+  /// (an injected fault fired and the cooldown has not elapsed).
+  bool device_degraded(int device) const;
   /// Jobs accepted and not yet dispatched (fleet-wide).
   std::size_t queued_jobs() const;
   /// Jobs accepted and not yet completed (fleet-wide).
@@ -104,14 +135,20 @@ class ServeRuntime {
     JobSpec spec;
     std::promise<JobResult> promise;
     double estimate_us = 0;
+    int attempts = 0;  ///< device faults survived so far (failover count)
     std::chrono::steady_clock::time_point submit_time;
+    /// Retry backoff gate: the dispatcher skips the entry until then.
+    std::chrono::steady_clock::time_point ready_time;
   };
 
   struct Device {
     std::unique_ptr<gpu::VirtualGpu> gpu;
     std::unique_ptr<CachingDeviceAllocator> cache;  // after gpu: destroyed first
+    std::unique_ptr<fault::FaultInjector> injector;  // referenced by gpu
     std::deque<Pending> queue;       // guarded by mutex_
     double backlog_estimate_us = 0;  // queued + running, guarded by mutex_
+    bool degraded = false;           // guarded by mutex_
+    std::chrono::steady_clock::time_point degraded_since;  // guarded by mutex_
     std::thread dispatcher;
   };
 
@@ -119,6 +156,14 @@ class ServeRuntime {
   JobResult run_job(Device& dev, int index, Pending& pending);
   std::optional<std::future<JobResult>> submit_impl(JobSpec spec, bool blocking);
   void refresh_allocator_stats();
+  /// Least-loaded healthy device (degraded cooldowns healed lazily
+  /// first); falls back to degraded devices when nothing is healthy,
+  /// and to `exclude` itself only when it is the whole fleet.
+  std::size_t pick_device_locked(int exclude);
+  void heal_elapsed_locked();
+  /// Job left the runtime (completed or failed): release its backlog
+  /// share and wake waiters.
+  void finish_job(Device& dev, double estimate_us);
 
   Options options_;
   FleetMetrics metrics_;

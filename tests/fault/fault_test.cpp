@@ -1,0 +1,154 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+
+namespace saclo::fault {
+namespace {
+
+// -- spec grammar -----------------------------------------------------------
+
+TEST(FaultSpecTest, ParseRoundTripsThroughDescribe) {
+  const std::vector<std::string> canonical = {
+      "dev=0,after_kernels=0,kind=kernel",
+      "dev=2,after_ms=50,kind=kernel",
+      "dev=1,after_transfers=7,kind=transfer,recurring",
+      "dev=3,after_ms=0.5,kind=any",
+  };
+  for (const std::string& text : canonical) {
+    const FaultSpec spec = parse_fault_spec(text);
+    EXPECT_EQ(parse_fault_spec(spec.describe()).describe(), spec.describe()) << text;
+  }
+}
+
+TEST(FaultSpecTest, ParseAcceptsAliasesAndDefaults) {
+  // "device=" is an alias for "dev=", count triggers imply their kind,
+  // and specs are one-shot unless "recurring" appears.
+  const FaultSpec spec = parse_fault_spec("device=1,after_kernels=3");
+  EXPECT_EQ(spec.device, 1);
+  EXPECT_EQ(spec.after_kernels, 3);
+  EXPECT_EQ(spec.kind, FaultKind::Kernel);
+  EXPECT_FALSE(spec.recurring);
+  EXPECT_FALSE(parse_fault_spec("dev=0,after_ms=1,oneshot").recurring);
+}
+
+TEST(FaultSpecTest, MalformedSpecsAreRejected) {
+  // No trigger, two triggers, unknown key, bad number, bad kind,
+  // kind inconsistent with a count trigger, negative values.
+  for (const std::string bad : {
+           "dev=0",
+           "dev=0,after_kernels=1,after_ms=2",
+           "dev=0,after_kernels=1,bogus=3",
+           "dev=0,after_kernels=abc",
+           "dev=0,after_ms=1,kind=sideways",
+           "dev=0,after_kernels=1,kind=transfer",
+           "dev=0,after_transfers=1,kind=kernel",
+           "dev=-1,after_kernels=1",
+           "dev=0,after_kernels=-2",
+           "dev=0,after_ms=-3",
+           "",
+       }) {
+    EXPECT_THROW(parse_fault_spec(bad), FaultPlanError) << "'" << bad << "'";
+  }
+}
+
+// -- injector semantics -----------------------------------------------------
+
+TEST(FaultInjectorTest, AfterKernelsZeroFailsTheVeryFirstKernel) {
+  FaultInjector injector(
+      {parse_fault_spec("dev=0,after_kernels=0")});
+  EXPECT_THROW(injector.on_kernel(0.0), DeviceFault);
+  EXPECT_EQ(injector.kernels_seen(), 0) << "the faulted launch never happened";
+  EXPECT_EQ(injector.faults_fired(), 1);
+  // One-shot: the device works again afterwards.
+  EXPECT_NO_THROW(injector.on_kernel(1.0));
+  EXPECT_EQ(injector.kernels_seen(), 1);
+}
+
+TEST(FaultInjectorTest, CountTriggersCountSuccessfulOpsOfTheirKindOnly) {
+  FaultInjector injector(
+      {parse_fault_spec("dev=0,after_kernels=2")});
+  injector.on_kernel(0.0);
+  injector.on_transfer(0.0);  // transfers don't advance the kernel count
+  injector.on_kernel(1.0);
+  EXPECT_THROW(injector.on_kernel(2.0), DeviceFault);
+  EXPECT_EQ(injector.kernels_seen(), 2);
+  EXPECT_EQ(injector.transfers_seen(), 1);
+}
+
+TEST(FaultInjectorTest, RecurringCountFaultReArms) {
+  // after_kernels=2, recurring: launches 3, 6, 9, ... fail.
+  FaultInjector injector(
+      {parse_fault_spec("dev=0,after_kernels=2,recurring")});
+  injector.on_kernel(0.0);
+  injector.on_kernel(0.0);
+  EXPECT_THROW(injector.on_kernel(0.0), DeviceFault);
+  injector.on_kernel(0.0);
+  injector.on_kernel(0.0);
+  EXPECT_THROW(injector.on_kernel(0.0), DeviceFault);
+  EXPECT_EQ(injector.faults_fired(), 2);
+}
+
+TEST(FaultInjectorTest, TimeTriggerHonoursKindAndClock) {
+  FaultInjector injector(
+      {parse_fault_spec("dev=0,after_ms=1,kind=transfer")});
+  // Before the deadline nothing fires; kernels never fire this spec.
+  injector.on_transfer(999.0);
+  injector.on_kernel(2000.0);
+  EXPECT_THROW(injector.on_transfer(1000.0), DeviceFault);
+  EXPECT_NO_THROW(injector.on_transfer(3000.0)) << "one-shot glitch cleared";
+}
+
+TEST(FaultInjectorTest, RecurringTimeFaultIsAPermanentlyDeadDevice) {
+  FaultInjector injector(
+      {parse_fault_spec("dev=0,after_ms=1,recurring")});
+  injector.on_kernel(0.0);
+  EXPECT_THROW(injector.on_kernel(1000.0), DeviceFault);
+  EXPECT_THROW(injector.on_transfer(5000.0), DeviceFault);
+  EXPECT_THROW(injector.on_kernel(9000.0), DeviceFault);
+}
+
+TEST(FaultInjectorTest, UnarmedInjectorIsTransparent) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.armed());
+  for (int i = 0; i < 100; ++i) {
+    injector.on_kernel(static_cast<double>(i));
+    injector.on_transfer(static_cast<double>(i));
+  }
+  EXPECT_EQ(injector.faults_fired(), 0);
+}
+
+// -- plans ------------------------------------------------------------------
+
+TEST(FaultPlanTest, ParseSplitsOnSemicolonsAndFiltersPerDevice) {
+  const FaultPlan plan =
+      FaultPlan::parse("dev=0,after_kernels=0; dev=2,after_ms=50,kind=kernel");
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.specs_for(0).size(), 1u);
+  EXPECT_TRUE(plan.specs_for(1).empty());
+  EXPECT_EQ(plan.specs_for(2).size(), 1u);
+  // Trailing separators are CLI-friendly noise; broken specs are not.
+  EXPECT_EQ(FaultPlan::parse("dev=0,after_kernels=0;").size(), 1u);
+  EXPECT_THROW(FaultPlan::parse("dev=0,after_kernels=0;dev=1"), FaultPlanError);
+}
+
+TEST(FaultPlanTest, RandomPlansAreSeedDeterministicAndValid) {
+  const FaultPlan a = FaultPlan::random(/*seed=*/42, /*devices=*/4, /*faults=*/12);
+  const FaultPlan b = FaultPlan::random(/*seed=*/42, /*devices=*/4, /*faults=*/12);
+  const FaultPlan c = FaultPlan::random(/*seed=*/43, /*devices=*/4, /*faults=*/12);
+  EXPECT_EQ(a.describe(), b.describe()) << "same seed must replay the same plan";
+  EXPECT_NE(a.describe(), c.describe());
+  ASSERT_EQ(a.size(), 12u);
+  for (const FaultSpec& spec : a.specs()) {
+    EXPECT_NO_THROW(spec.validate());
+    EXPECT_GE(spec.device, 0);
+    EXPECT_LT(spec.device, 4);
+  }
+}
+
+}  // namespace
+}  // namespace saclo::fault

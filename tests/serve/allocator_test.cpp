@@ -173,6 +173,38 @@ TEST(CachingAllocatorTest, SteadyStateLoopStopsMissingAfterWarmup) {
   EXPECT_EQ(pool.peak_bytes(), warm.pool_peak_bytes);
 }
 
+TEST(CachingAllocatorTest, ReclaimLiveSweepsLeakedBlocksBackToTheCache) {
+  // The failover sweep: a job died mid-frame-loop and (hypothetically)
+  // left live blocks behind. reclaim_live() parks them for reuse
+  // instead of leaking them for the device's lifetime.
+  gpu::DeviceMemoryPool pool(1 << 20);
+  CachingDeviceAllocator cache(pool);
+
+  const gpu::BufferHandle a = cache.allocate(100);   // class 256
+  const gpu::BufferHandle b = cache.allocate(3000);  // class 4096
+  EXPECT_EQ(cache.reclaim_live(), 2);
+
+  CachingDeviceAllocator::Stats s = cache.stats();
+  EXPECT_EQ(s.reclaimed_blocks, 2);
+  EXPECT_EQ(s.live_blocks, 0);
+  EXPECT_EQ(s.live_bytes, 0);
+  EXPECT_EQ(s.requested_bytes, 0);
+  EXPECT_EQ(s.cached_blocks, 2);
+  EXPECT_EQ(s.cached_bytes, 256 + 4096);
+
+  // The swept blocks serve the next job from the cache...
+  const gpu::BufferHandle c = cache.allocate(200);
+  EXPECT_EQ(c.id, a.id);
+  // ...zero-filled, so a retried job can't observe the dead job's data.
+  for (std::byte byte : pool.bytes(c)) EXPECT_EQ(byte, std::byte{0});
+  // The stale handle of the reclaimed block is now a double free.
+  EXPECT_THROW(cache.free(b), gpu::DeviceMemoryError);
+
+  // Idempotent when nothing is live.
+  cache.free(c);
+  EXPECT_EQ(cache.reclaim_live(), 0);
+}
+
 TEST(CachingAllocatorTest, DestructorReturnsCachedBlocksToThePool) {
   gpu::DeviceMemoryPool pool(1 << 20);
   {

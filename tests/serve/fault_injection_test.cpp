@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "fault/fault.hpp"
+#include "serve/job.hpp"
+#include "serve/scheduler.hpp"
+#include "support/fault_fixtures.hpp"
+
+namespace saclo::serve {
+namespace {
+
+using testsupport::expect_zero_allocator_leaks;
+using testsupport::FaultPlanBuilder;
+using testsupport::faulty_fleet_options;
+
+/// Where in the job's life the injected fault strikes device 0.
+enum class FaultTiming {
+  FirstKernel,  ///< before any kernel ran
+  MidTransfer,  ///< halfway through the job's PCIe traffic
+  LastFrame,    ///< at the job's final kernel launch
+};
+
+const char* timing_name(FaultTiming timing) {
+  switch (timing) {
+    case FaultTiming::FirstKernel: return "FirstKernel";
+    case FaultTiming::MidTransfer: return "MidTransfer";
+    case FaultTiming::LastFrame: return "LastFrame";
+  }
+  return "?";
+}
+
+JobSpec full_job(Route route) {
+  JobSpec spec;
+  spec.route = route;
+  spec.frames = 3;  // exec_frames = -1: every frame executes functionally
+  return spec;
+}
+
+/// Builds the plan that fails device 0 at the requested point of this
+/// exact job, using the fault-free reference run's operation counts.
+fault::FaultPlan plan_for(FaultTiming timing, const JobResult& reference) {
+  FaultPlanBuilder builder;
+  switch (timing) {
+    case FaultTiming::FirstKernel:
+      builder.fail_after_kernels(0, 0);
+      break;
+    case FaultTiming::MidTransfer: {
+      const std::int64_t transfers = reference.ops.h2d_calls + reference.ops.d2h_calls;
+      EXPECT_GE(transfers, 2) << "job too small to fault mid-transfer";
+      builder.fail_after_transfers(0, transfers / 2);
+      break;
+    }
+    case FaultTiming::LastFrame:
+      EXPECT_GE(reference.ops.kernel_launches, 1);
+      builder.fail_after_kernels(0, reference.ops.kernel_launches - 1);
+      break;
+  }
+  return builder.build();
+}
+
+class FaultFailoverTest
+    : public ::testing::TestWithParam<std::tuple<Route, FaultTiming>> {};
+
+// The tentpole acceptance scenario, over every route x fault timing: a
+// job interrupted mid-frame-loop on device 0 completes on device 1,
+// bit-exact against a fault-free single-device run, with the failover
+// reported and no allocator leak left behind on the faulted device.
+TEST_P(FaultFailoverTest, FaultedJobFailsOverBitExact) {
+  const Route route = std::get<0>(GetParam());
+  const FaultTiming timing = std::get<1>(GetParam());
+  const JobSpec spec = full_job(route);
+
+  ServeRuntime::Options ref_opts;
+  const JobResult reference = reference_run(spec, ref_opts.device);
+  ASSERT_GT(reference.last_output.elements(), 0);
+
+  ServeRuntime runtime(faulty_fleet_options(2, plan_for(timing, reference)));
+  auto future = runtime.submit(spec);  // empty fleet: lands on device 0
+  runtime.resume();
+  const JobResult r = future.get();
+  runtime.drain();
+
+  EXPECT_EQ(r.device, 1) << "job must complete on the healthy device";
+  EXPECT_EQ(r.attempts, 1) << "one injected fault, one failover";
+  EXPECT_EQ(r.last_output, reference.last_output)
+      << "failover must be bit-exact vs the fault-free run";
+
+  const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+  EXPECT_EQ(s.device_faults, 1);
+  EXPECT_GE(s.failovers, 1);
+  EXPECT_EQ(s.jobs_completed, 1);
+  EXPECT_EQ(s.jobs_failed, 0);
+  EXPECT_EQ(s.devices[0].faults, 1);
+
+  EXPECT_TRUE(runtime.device_degraded(0)) << "cooldown < 0 keeps it degraded";
+  EXPECT_FALSE(runtime.device_degraded(1));
+  expect_zero_allocator_leaks(runtime);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRoutes, FaultFailoverTest,
+    ::testing::Combine(::testing::Values(Route::SacNongeneric, Route::SacGeneric,
+                                         Route::Gaspard),
+                       ::testing::Values(FaultTiming::FirstKernel,
+                                         FaultTiming::MidTransfer,
+                                         FaultTiming::LastFrame)),
+    [](const ::testing::TestParamInfo<FaultFailoverTest::ParamType>& info) {
+      return std::string(route_name(std::get<0>(info.param))) + "_" +
+             timing_name(std::get<1>(info.param));
+    });
+
+TEST(FaultFailoverTest, RetryBudgetExhaustionSurfacesTheFault) {
+  // One permanently dead device and nowhere to fail over to: after
+  // max_retries re-enqueues the job's future must carry the DeviceFault
+  // instead of hanging, and the failure must land in the metrics.
+  ServeRuntime::Options opts = faulty_fleet_options(
+      1, FaultPlanBuilder()
+             .fail_after_ms(0, 0.0, fault::FaultKind::Any, /*recurring=*/true)
+             .build());
+  opts.max_retries = 2;
+  ServeRuntime runtime(opts);
+  auto future = runtime.submit(full_job(Route::SacNongeneric));
+  runtime.drain();
+
+  EXPECT_THROW(future.get(), fault::DeviceFault);
+  const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+  EXPECT_EQ(s.jobs_failed, 1);
+  EXPECT_EQ(s.devices[0].jobs_failed, 1);
+  EXPECT_EQ(s.retries, 2) << "exactly the per-job budget";
+  EXPECT_EQ(s.device_faults, 3) << "initial attempt + 2 retries";
+  expect_zero_allocator_leaks(runtime);
+}
+
+TEST(FaultFailoverTest, HealthyDevicesKeepServingAroundADegradedOne) {
+  // Device 0 dies on its first kernel forever; a batch of jobs must
+  // still all complete (on device 1) and placement must stop feeding
+  // the degraded device.
+  ServeRuntime runtime(faulty_fleet_options(
+      2, FaultPlanBuilder().fail_after_kernels(0, 0, /*recurring=*/true).build()));
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(runtime.submit(full_job(Route::SacNongeneric)));
+  runtime.resume();
+  runtime.drain();
+
+  for (auto& f : futures) EXPECT_EQ(f.get().device, 1);
+  const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+  EXPECT_EQ(s.jobs_completed, 6);
+  EXPECT_EQ(s.jobs_failed, 0);
+  EXPECT_EQ(s.degraded_devices, 1);
+  expect_zero_allocator_leaks(runtime);
+}
+
+}  // namespace
+}  // namespace saclo::serve

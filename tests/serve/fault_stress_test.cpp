@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/plan.hpp"
+#include "serve/job.hpp"
+#include "serve/scheduler.hpp"
+#include "support/fault_fixtures.hpp"
+
+namespace saclo::serve {
+namespace {
+
+// Seeded chaos: 200 jobs from 4 producer threads race across a
+// 4-device fleet carrying a random fault plan. The invariants under
+// any schedule (this suite also runs under ThreadSanitizer in CI):
+//   - every future resolves: completed + failed == submitted,
+//   - no completed job was retried past the per-job budget,
+//   - the accounting balances (metrics agree with the futures),
+//   - no device leaks an allocator block, faulted or not.
+TEST(FaultStressTest, RandomFaultPlansPreserveTheInvariants) {
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 50;
+  constexpr int kJobs = kThreads * kJobsPerThread;
+
+  for (const std::uint64_t seed : {19937ULL, 480ULL}) {
+    ServeRuntime::Options opts;
+    opts.devices = 4;
+    opts.queue_capacity = 64;
+    opts.fault_plan = fault::FaultPlan::random(seed, /*devices=*/4, /*faults=*/10);
+    opts.max_retries = 3;
+    opts.retry_backoff_base_ms = 0.1;
+    opts.retry_backoff_cap_ms = 1.0;
+    opts.degraded_cooldown_ms = 2.0;  // degraded devices rejoin mid-storm
+    ServeRuntime runtime(opts);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " plan:\n" +
+                 opts.fault_plan.describe());
+
+    std::vector<std::thread> producers;
+    std::vector<std::vector<std::future<JobResult>>> futures(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      producers.emplace_back([&runtime, &futures, t] {
+        for (int i = 0; i < kJobsPerThread; ++i) {
+          JobSpec spec;
+          spec.frames = 2;
+          spec.exec_frames = 1;
+          futures[static_cast<std::size_t>(t)].push_back(runtime.submit(spec));
+        }
+      });
+    }
+    for (auto& p : producers) p.join();
+    runtime.drain();
+
+    int completed = 0;
+    int failed = 0;
+    for (auto& per_thread : futures) {
+      for (auto& f : per_thread) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+            << "drain() returned with an unresolved future";
+        try {
+          const JobResult r = f.get();
+          ++completed;
+          EXPECT_GE(r.device, 0);
+          EXPECT_LT(r.device, 4);
+          EXPECT_LE(r.attempts, opts.max_retries) << "job retried past its budget";
+        } catch (const fault::DeviceFault&) {
+          ++failed;  // retry budget exhausted: a legal outcome
+        }
+      }
+    }
+    EXPECT_EQ(completed + failed, kJobs);
+
+    const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+    EXPECT_EQ(s.jobs_submitted, kJobs);
+    EXPECT_EQ(s.jobs_completed, completed);
+    EXPECT_EQ(s.jobs_failed, failed);
+    EXPECT_LE(s.retries, static_cast<std::int64_t>(kJobs) * opts.max_retries);
+    EXPECT_GE(s.retries, s.failovers);
+    testsupport::expect_zero_allocator_leaks(runtime);
+  }
+}
+
+}  // namespace
+}  // namespace saclo::serve

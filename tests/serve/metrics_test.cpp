@@ -116,6 +116,71 @@ TEST(FleetMetricsTest, JsonExportParsesAndCarriesTheNumbers) {
   EXPECT_FALSE(root.at("per_device").array[1].has("allocator"));
 }
 
+TEST(FleetMetricsTest, FailedJobsAreAttributedToTheirDevice) {
+  // Regression: on_failed() used to bump only the fleet total, so the
+  // per-device rows could not show where jobs were dying.
+  FleetMetrics m(2);
+  m.on_submit(1);
+  m.on_dispatch(1);
+  m.on_failed(1);
+  const FleetMetrics::Snapshot s = m.snapshot();
+  EXPECT_EQ(s.jobs_failed, 1);
+  EXPECT_EQ(s.devices[0].jobs_failed, 0);
+  EXPECT_EQ(s.devices[1].jobs_failed, 1);
+
+  const Json root = parse_json(m.json());
+  EXPECT_DOUBLE_EQ(root.at("per_device").array[0].at("jobs_failed").number, 0.0);
+  EXPECT_DOUBLE_EQ(root.at("per_device").array[1].at("jobs_failed").number, 1.0);
+  // The text report's device table carries a "failed" column.
+  EXPECT_NE(m.report().find("failed"), std::string::npos);
+}
+
+TEST(FleetMetricsTest, HealthSectionGoldenKeysAndCounters) {
+  // Golden key-set for the JSON health section: a fault on device 1,
+  // one failover onto device 0, a same-device retry, and a degrade /
+  // heal cycle.
+  FleetMetrics m(2);
+  m.on_submit(1);
+  m.on_dispatch(1);
+  m.on_device_fault(1, /*reclaimed_blocks=*/3);
+  m.on_degraded(1);
+  m.on_failover(/*from=*/1, /*to=*/0);   // counts a retry AND a failover
+  m.on_failover(/*from=*/0, /*to=*/0);   // same device: retry only
+  m.on_device_fault(0);
+
+  const Json root = parse_json(m.json());
+  ASSERT_TRUE(root.has("health"));
+  const Json& health = root.at("health");
+  for (const char* key : {"device_faults", "failovers", "retries",
+                          "degraded_devices", "buffers_reclaimed"}) {
+    EXPECT_TRUE(health.has(key)) << "health section lost key " << key;
+  }
+  EXPECT_DOUBLE_EQ(health.at("device_faults").number, 2.0);
+  EXPECT_DOUBLE_EQ(health.at("failovers").number, 1.0);
+  EXPECT_DOUBLE_EQ(health.at("retries").number, 2.0);
+  EXPECT_DOUBLE_EQ(health.at("degraded_devices").number, 1.0);
+  EXPECT_DOUBLE_EQ(health.at("buffers_reclaimed").number, 3.0);
+
+  const Json& dev1 = root.at("per_device").array[1];
+  EXPECT_DOUBLE_EQ(dev1.at("faults").number, 1.0);
+  EXPECT_TRUE(dev1.at("degraded").boolean);
+  EXPECT_GE(dev1.at("degraded_us").number, 0.0);
+  EXPECT_FALSE(root.at("per_device").array[0].at("degraded").boolean);
+
+  // Healing stops the degraded clock and clears the flag.
+  m.on_healed(1);
+  const FleetMetrics::Snapshot healed = m.snapshot();
+  EXPECT_EQ(healed.degraded_devices, 0);
+  EXPECT_FALSE(healed.devices[1].degraded);
+  EXPECT_GE(healed.devices[1].degraded_us, 0.0);
+
+  // The text report surfaces the same counters.
+  const std::string report = m.report();
+  EXPECT_NE(report.find("health:"), std::string::npos);
+  EXPECT_NE(report.find("2 device fault(s)"), std::string::npos);
+  EXPECT_NE(report.find("1 failover(s)"), std::string::npos);
+}
+
 TEST(FleetMetricsTest, ReportMentionsEveryDevice) {
   FleetMetrics m(3);
   const std::string report = m.report();

@@ -1,0 +1,100 @@
+#pragma once
+
+// Shared scaffolding for the fault-injection and failover suites:
+// a fluent FaultPlan builder, canned ServeRuntime options that make
+// failover deterministic, and the leak assertion every faulted run
+// must satisfy.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fault/fault.hpp"
+#include "fault/plan.hpp"
+#include "serve/scheduler.hpp"
+
+namespace saclo::testsupport {
+
+/// Fluent builder over fault::FaultPlan so tests read as the failure
+/// scenario they stage:
+///
+///   FaultPlanBuilder()
+///       .fail_after_kernels(/*device=*/0, /*kernels=*/0)
+///       .fail_after_ms(/*device=*/1, /*ms=*/2.0, fault::FaultKind::Transfer)
+///       .build();
+class FaultPlanBuilder {
+ public:
+  /// Device fails at its (kernels + 1)-th kernel launch; 0 fails the
+  /// very first kernel.
+  FaultPlanBuilder& fail_after_kernels(int device, std::int64_t kernels,
+                                       bool recurring = false) {
+    fault::FaultSpec spec;
+    spec.device = device;
+    spec.after_kernels = kernels;
+    spec.kind = fault::FaultKind::Kernel;
+    spec.recurring = recurring;
+    plan_.add(spec);
+    return *this;
+  }
+
+  /// Device fails at its (transfers + 1)-th accounted PCIe transfer.
+  FaultPlanBuilder& fail_after_transfers(int device, std::int64_t transfers,
+                                         bool recurring = false) {
+    fault::FaultSpec spec;
+    spec.device = device;
+    spec.after_transfers = transfers;
+    spec.kind = fault::FaultKind::Transfer;
+    spec.recurring = recurring;
+    plan_.add(spec);
+    return *this;
+  }
+
+  /// Device fails at the first op of `kind` once its simulated clock
+  /// reaches `ms` milliseconds.
+  FaultPlanBuilder& fail_after_ms(int device, double ms,
+                                  fault::FaultKind kind = fault::FaultKind::Any,
+                                  bool recurring = false) {
+    fault::FaultSpec spec;
+    spec.device = device;
+    spec.after_ms = ms;
+    spec.kind = kind;
+    spec.recurring = recurring;
+    plan_.add(spec);
+    return *this;
+  }
+
+  fault::FaultPlan build() const { return plan_; }
+
+ private:
+  fault::FaultPlan plan_;
+};
+
+/// Fleet options tuned for deterministic failover tests: degraded
+/// devices never heal (so the faulted device provably stays avoided),
+/// backoff is tiny (tests don't wait), and dispatch starts paused so a
+/// test can stage placement before any job runs.
+inline serve::ServeRuntime::Options faulty_fleet_options(int devices,
+                                                         fault::FaultPlan plan) {
+  serve::ServeRuntime::Options opts;
+  opts.devices = devices;
+  opts.queue_capacity = 32;
+  opts.start_paused = true;
+  opts.fault_plan = std::move(plan);
+  opts.degraded_cooldown_ms = -1.0;  // degraded stays degraded: assertable
+  opts.retry_backoff_base_ms = 0.05;
+  opts.retry_backoff_cap_ms = 0.5;
+  return opts;
+}
+
+/// Every fault-injection test's exit criterion: after drain(), no
+/// device — including the one whose job died mid-frame-loop — holds a
+/// live allocator block. Faulted attempts must hand every buffer back.
+inline void expect_zero_allocator_leaks(serve::ServeRuntime& runtime) {
+  for (int d = 0; d < runtime.device_count(); ++d) {
+    const serve::CachingDeviceAllocator::Stats stats = runtime.allocator_stats(d);
+    EXPECT_EQ(stats.live_blocks, 0) << "device " << d << " leaked blocks";
+    EXPECT_EQ(stats.live_bytes, 0) << "device " << d << " leaked bytes";
+  }
+}
+
+}  // namespace saclo::testsupport

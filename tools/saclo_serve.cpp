@@ -6,13 +6,22 @@
 //   saclo-serve [--devices N] [--jobs M] [--route sacng|sacg|gaspard|mixed]
 //               [--frames F] [--exec-frames E] [--height H] [--width W]
 //               [--queue-capacity Q] [--no-cache] [--sync-streams]
+//               [--fault SPEC] [--max-retries R]
 //               [--json] [--trace DEVICE]
+//
+// --fault installs an injected failure, e.g.
+//   saclo-serve --devices 2 --fault "dev=0,after_ms=50,kind=kernel"
+// The flag repeats, and one SPEC may hold several ';'-separated specs;
+// faulted jobs fail over per the runtime's retry policy and the report
+// gains a health section.
 
 #include <cstdio>
 #include <future>
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "fault/plan.hpp"
 #include "serve/scheduler.hpp"
 
 using namespace saclo;
@@ -26,7 +35,19 @@ int usage() {
                "                   [--route sacng|sacg|gaspard|mixed] [--frames F]\n"
                "                   [--exec-frames E] [--height H] [--width W]\n"
                "                   [--queue-capacity Q] [--no-cache] [--sync-streams]\n"
-               "                   [--json] [--trace DEVICE]\n");
+               "                   [--fault SPEC] [--max-retries R]\n"
+               "                   [--json] [--trace DEVICE]\n"
+               "\n"
+               "  --fault SPEC   inject a device failure; repeatable. SPEC is\n"
+               "                 ';'-separated specs of comma-separated fields:\n"
+               "                   dev=D            target fleet device (default 0)\n"
+               "                   after_ms=T       fail once D's sim clock reaches T ms\n"
+               "                   after_kernels=K  fail D's (K+1)-th kernel launch\n"
+               "                   after_transfers=M  fail D's (M+1)-th PCIe transfer\n"
+               "                   kind=kernel|transfer|any  boundary for after_ms\n"
+               "                   recurring        keep failing (default: one-shot)\n"
+               "                 e.g. --fault \"dev=2,after_ms=50,kind=kernel\"\n"
+               "  --max-retries R  per-job failover budget (default 3)\n");
   return 2;
 }
 
@@ -64,6 +85,16 @@ int main(int argc, char** argv) {
       opts.cache_buffers = false;
     } else if (arg == "--sync-streams") {
       opts.async_streams = false;
+    } else if (arg == "--fault" && i + 1 < argc) {
+      try {
+        const fault::FaultPlan parsed = fault::FaultPlan::parse(argv[++i]);
+        for (const fault::FaultSpec& spec : parsed.specs()) opts.fault_plan.add(spec);
+      } catch (const fault::FaultPlanError& e) {
+        std::fprintf(stderr, "saclo-serve: %s\n", e.what());
+        return usage();
+      }
+    } else if (arg == "--max-retries" && i + 1 < argc) {
+      opts.max_retries = std::stoi(argv[++i]);
     } else if (arg == "--json") {
       emit_json = true;
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -86,7 +117,17 @@ int main(int argc, char** argv) {
       spec.exec_frames = exec_frames;
       futures.push_back(runtime.submit(spec));
     }
-    for (auto& f : futures) f.get();
+    int failed = 0;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (const fault::DeviceFault& e) {
+        // Retry budget exhausted on an injected fault: report it and
+        // keep going — a degraded fleet still renders its report.
+        ++failed;
+        std::fprintf(stderr, "saclo-serve: job failed: %s\n", e.what());
+      }
+    }
     runtime.drain();
 
     if (trace_device >= 0) {
@@ -95,6 +136,10 @@ int main(int argc, char** argv) {
       std::printf("%s\n", runtime.metrics_json().c_str());
     } else {
       std::printf("%s", runtime.report().c_str());
+    }
+    if (failed > 0) {
+      std::fprintf(stderr, "saclo-serve: %d job(s) failed permanently\n", failed);
+      return 1;
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "saclo-serve: %s\n", e.what());
