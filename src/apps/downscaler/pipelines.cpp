@@ -104,7 +104,8 @@ SacDownscaler::CudaResult SacDownscaler::run_cuda_chain(int frames, int channels
 }
 
 SacDownscaler::CudaResult SacDownscaler::run_cuda_chain_on(gpu::VirtualGpu& gpu, int frames,
-                                                           int channels, int exec_frames) {
+                                                           int channels, int exec_frames,
+                                                           const FrameCallback& on_frame) {
   gpu::cuda::Runtime rt(gpu);
   gpu::Profiler host_profiler;
   CudaResult result;
@@ -154,6 +155,7 @@ SacDownscaler::CudaResult SacDownscaler::run_cuda_chain_on(gpu::VirtualGpu& gpu,
       ++iter;
       if (exec && ch == 0) result.last_output = out.ints();
     }
+    if (on_frame) on_frame(f);
   }
   gpu.synchronize();
   result.nvprof_table = nvprof_style_table(
@@ -232,7 +234,8 @@ GaspardDownscaler::Result GaspardDownscaler::run(int frames, int exec_frames) {
 }
 
 GaspardDownscaler::Result GaspardDownscaler::run_on(gpu::VirtualGpu& gpu, int frames,
-                                                    int exec_frames) {
+                                                    int exec_frames,
+                                                    const FrameCallback& on_frame) {
   gpu::opencl::CommandQueue queue(gpu);
   const double clock0 = gpu.clock_us();
   // Per-row snapshot so a fleet device's earlier jobs don't leak into
@@ -273,6 +276,7 @@ GaspardDownscaler::Result GaspardDownscaler::run_on(gpu::VirtualGpu& gpu, int fr
       outputs = app_.run(queue, inputs, exec);
     }
     if (exec && !outputs.empty()) result.last_output = outputs.begin()->second;
+    if (on_frame) on_frame(f);
   }
   gpu.synchronize();
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "apps/downscaler/arrayol_model.hpp"
@@ -10,6 +11,13 @@
 #include "sac_cuda/program.hpp"
 
 namespace saclo::apps {
+
+/// Per-frame progress hook of the frame-loop drivers: called after a
+/// frame's operations were issued (async paths: enqueued, not yet
+/// synced) with the frame index. The serving runtime uses it to emit
+/// frame_done events into its structured log; an empty function costs
+/// one branch per frame.
+using FrameCallback = std::function<void(int frame)>;
 
 /// Per-filter timing breakdown (simulated microseconds), the unit of
 /// every figure/table reproduction.
@@ -89,7 +97,8 @@ class SacDownscaler {
   /// this call. Must not be invoked concurrently on the same
   /// SacDownscaler or the same device (the fleet scheduler guarantees
   /// one dispatcher thread per device).
-  CudaResult run_cuda_chain_on(gpu::VirtualGpu& gpu, int frames, int channels, int exec_frames);
+  CudaResult run_cuda_chain_on(gpu::VirtualGpu& gpu, int frames, int channels, int exec_frames,
+                               const FrameCallback& on_frame = {});
 
   /// The paper's Figure 9 scenario: each filter "executed for 300
   /// iterations". With resident_data=true the input is uploaded once
@@ -159,7 +168,8 @@ class GaspardDownscaler {
   /// The same frame loop on a caller-provided device (see
   /// SacDownscaler::run_cuda_chain_on): all result fields are deltas of
   /// this call, so a fleet device can serve many jobs back to back.
-  Result run_on(gpu::VirtualGpu& gpu, int frames, int exec_frames);
+  Result run_on(gpu::VirtualGpu& gpu, int frames, int exec_frames,
+                const FrameCallback& on_frame = {});
 
  private:
   DownscalerConfig cfg_;

@@ -158,6 +158,8 @@ void FaultInjector::check(FaultKind boundary, std::int64_t seen, double clock_us
       armed.next_count = seen + period;
     }
     ++fired_;
+    last_boundary_ = boundary;
+    last_clock_us_ = clock_us;
     throw DeviceFault(cat("injected device fault at ", fault_kind_name(boundary), " #",
                           seen + 1, " (sim clock ", fixed(clock_us, 1), "us): ",
                           spec.describe()));

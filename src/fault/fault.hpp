@@ -98,6 +98,13 @@ class FaultInjector {
   std::int64_t transfers_seen() const { return transfers_seen_; }
   std::int64_t faults_fired() const { return fired_; }
 
+  /// Boundary and simulated device clock of the most recent firing —
+  /// the scheduler copies these into the structured fault event it
+  /// logs, so a degraded run is reconstructable from artifacts alone.
+  /// Meaningful only once faults_fired() > 0.
+  FaultKind last_fault_boundary() const { return last_boundary_; }
+  double last_fault_clock_us() const { return last_clock_us_; }
+
  private:
   struct Armed {
     FaultSpec spec;
@@ -111,6 +118,8 @@ class FaultInjector {
   std::int64_t kernels_seen_ = 0;
   std::int64_t transfers_seen_ = 0;
   std::int64_t fired_ = 0;
+  FaultKind last_boundary_ = FaultKind::Any;
+  double last_clock_us_ = 0.0;
 };
 
 }  // namespace saclo::fault

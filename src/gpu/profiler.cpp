@@ -23,7 +23,7 @@ void Profiler::record(const std::string& name, OpKind kind, std::int64_t calls, 
 void Profiler::record_interval(const std::string& name, OpKind kind, StreamId stream,
                                double start_us, double end_us) {
   record(name, kind, 1, end_us - start_us);
-  intervals_.push_back(Interval{name, kind, stream, start_us, end_us});
+  intervals_.push_back(Interval{name, kind, stream, start_us, end_us, trace_id_, attempt_});
 }
 
 std::vector<Profiler::Row> Profiler::rows() const { return rows_; }
@@ -213,7 +213,13 @@ std::string Profiler::chrome_trace_json() const {
     first = false;
     out += cat("{\"name\":\"", json_escape(i.name), "\",\"cat\":\"", category_of(i.kind),
                "\",\"ph\":\"X\",\"pid\":0,\"tid\":", i.stream, ",\"ts\":", fixed(i.start_us, 3),
-               ",\"dur\":", fixed(i.duration_us(), 3), "}");
+               ",\"dur\":", fixed(i.duration_us(), 3));
+    // Traced intervals (serve jobs) carry their owner, so a device dump
+    // stays attributable even outside the merged fleet trace.
+    if (i.trace_id != 0) {
+      out += cat(",\"args\":{\"job\":", i.trace_id, ",\"attempt\":", i.attempt, "}");
+    }
+    out += "}";
   }
   out += "]}";
   return out;

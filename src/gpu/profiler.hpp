@@ -30,6 +30,17 @@ class Profiler {
   void record_interval(const std::string& name, OpKind kind, StreamId stream, double start_us,
                        double end_us);
 
+  /// Tags every subsequently recorded interval with a job's trace id
+  /// and failover attempt (the serve dispatcher brackets each job run
+  /// with set_trace/clear_trace). Two stores — no allocation, so the
+  /// annotation is free on the dispatch hot path.
+  void set_trace(std::uint64_t trace_id, std::uint32_t attempt) {
+    trace_id_ = trace_id;
+    attempt_ = attempt;
+  }
+  void clear_trace() { set_trace(0, 0); }
+  std::uint64_t current_trace() const { return trace_id_; }
+
   struct Row {
     std::string name;
     OpKind kind = OpKind::Kernel;
@@ -37,13 +48,18 @@ class Profiler {
     double total_us = 0.0;
   };
 
-  /// One scheduled occurrence of an operation on a stream.
+  /// One scheduled occurrence of an operation on a stream. When a
+  /// serving job was active (set_trace) the interval carries the job's
+  /// trace id and failover attempt, so the fleet-merged Chrome trace
+  /// can attribute every kernel/transfer to the request that caused it.
   struct Interval {
     std::string name;
     OpKind kind = OpKind::Kernel;
     StreamId stream = kDefaultStream;
     double start_us = 0.0;
     double end_us = 0.0;
+    std::uint64_t trace_id = 0;  ///< owning job (0 = untraced)
+    std::uint32_t attempt = 0;   ///< the job's failover hop
 
     double duration_us() const { return end_us - start_us; }
   };
@@ -96,6 +112,8 @@ class Profiler {
   std::vector<Row> rows_;
   std::map<std::string, std::size_t> index_;
   std::vector<Interval> intervals_;
+  std::uint64_t trace_id_ = 0;
+  std::uint32_t attempt_ = 0;
 };
 
 }  // namespace saclo::gpu

@@ -1,0 +1,90 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+
+#include "core/fmt.hpp"
+
+namespace saclo::obs {
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::JobAdmitted:
+      return "job_admitted";
+    case EventType::JobPlaced:
+      return "job_placed";
+    case EventType::JobDispatched:
+      return "job_dispatched";
+    case EventType::FrameDone:
+      return "frame_done";
+    case EventType::JobCompleted:
+      return "job_completed";
+    case EventType::DeviceFault:
+      return "device_fault";
+    case EventType::Failover:
+      return "failover";
+    case EventType::RetryExhausted:
+      return "retry_exhausted";
+    case EventType::DeviceDegraded:
+      return "device_degraded";
+    case EventType::DeviceHealed:
+      return "device_healed";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)), slots_(new Slot[capacity_]) {}
+
+bool EventLog::emit(const Event& event) {
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  if (ticket >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Slot& slot = slots_[ticket];
+  slot.event = event;
+  slot.ready.store(true, std::memory_order_release);
+  return true;
+}
+
+std::size_t EventLog::recorded() const {
+  const std::uint64_t claimed = next_.load(std::memory_order_relaxed);
+  std::size_t n = 0;
+  const std::size_t upto = std::min<std::uint64_t>(claimed, capacity_);
+  for (std::size_t i = 0; i < upto; ++i) {
+    if (slots_[i].ready.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::vector<Event> out;
+  const std::uint64_t claimed = next_.load(std::memory_order_relaxed);
+  const std::size_t upto = std::min<std::uint64_t>(claimed, capacity_);
+  out.reserve(upto);
+  for (std::size_t i = 0; i < upto; ++i) {
+    if (slots_[i].ready.load(std::memory_order_acquire)) out.push_back(slots_[i].event);
+  }
+  return out;
+}
+
+std::string event_json(const Event& event) {
+  return cat("{\"event\":\"", event_type_name(event.type), "\",\"t_real_us\":",
+             fixed(event.t_real_us, 1), ",\"t_sim_us\":", fixed(event.t_sim_us, 3),
+             ",\"job\":", event.job, ",\"device\":", event.device,
+             ",\"attempt\":", event.attempt, ",\"arg\":", event.arg, "}");
+}
+
+std::string EventLog::jsonl() const {
+  const std::vector<Event> events = snapshot();
+  std::string out;
+  for (const Event& e : events) {
+    out += event_json(e);
+    out += "\n";
+  }
+  out += cat("{\"event\":\"log_summary\",\"recorded\":", events.size(),
+             ",\"dropped\":", dropped(), ",\"capacity\":", capacity_, "}\n");
+  return out;
+}
+
+}  // namespace saclo::obs

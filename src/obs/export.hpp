@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpu/profiler.hpp"
+#include "obs/events.hpp"
+
+namespace saclo::obs {
+
+/// One device's contribution to the fleet-merged Chrome trace: its
+/// index and the profiler intervals it recorded (each on the device's
+/// own simulated timeline, which starts at 0).
+struct DeviceTrace {
+  int device = 0;
+  std::vector<gpu::Profiler::Interval> intervals;
+};
+
+/// The tid the merged trace parks runtime instant events on (faults,
+/// failovers, degrade/heal) — far above any real stream id, named
+/// "runtime" via thread_name metadata.
+inline constexpr int kRuntimeEventsTid = 999;
+
+/// Renders the fleet-wide merged Chrome `trace_event` JSON: one file
+/// across all devices with pid = device, tid = stream. Emits
+/// process/thread-name metadata, one complete ("X") event per interval
+/// (with {"job", "attempt"} args when traced), instant ("i") events for
+/// faults/failovers/degrade/heal from the structured event log, and a
+/// flow-event pair ("s" -> "f") per failover hop linking the faulted
+/// attempt's last span on the source device to the retried attempt's
+/// first span on the target device. Load in chrome://tracing or
+/// Perfetto; timestamps are each device's simulated microseconds.
+std::string merged_chrome_trace(const std::vector<DeviceTrace>& devices,
+                                const std::vector<Event>& events);
+
+}  // namespace saclo::obs

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace saclo::obs {
+
+/// Identifies one job's causal record across the fleet. The trace id is
+/// the job id the scheduler assigned at admission; every dispatch
+/// attempt (the first one and each failover hop) is its own span, so a
+/// job that died on device 0 and completed on device 1 shows up as two
+/// spans sharing a trace id, linked by a flow arrow in the merged
+/// Chrome trace.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = untraced (no owning job)
+  std::uint32_t attempt = 0;   ///< failover hop: 0 = first dispatch
+
+  bool traced() const { return trace_id != 0; }
+  /// Span id unique per (trace, attempt) — the flow-event id of the
+  /// hop that *produced* this attempt.
+  std::uint64_t span_id() const { return trace_id * 256 + attempt; }
+};
+
+/// Monotonic real-time clock anchored at runtime construction, so every
+/// structured event carries a comparable real timestamp next to the
+/// per-device simulated one (which restarts at 0 on each device).
+class TraceClock {
+ public:
+  TraceClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  /// Real (wall-clock) microseconds since the clock was created.
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace saclo::obs

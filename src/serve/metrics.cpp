@@ -44,8 +44,8 @@ void FleetMetrics::on_complete(int device, const JobResult& result, double sim_c
   d.sim_clock_us = sim_clock_us;
   ++completed_;
   frames_ += result.frames;
-  latencies_us_.push_back(result.latency_us);
-  sim_job_us_.push_back(result.sim_wall_us);
+  latency_hist_.record(result.latency_us);
+  sim_job_hist_.record(result.sim_wall_us);
 }
 
 void FleetMetrics::on_failed(int device) {
@@ -152,19 +152,15 @@ FleetMetrics::Snapshot FleetMetrics::snapshot() const {
   if (elapsed_real_us_ > 0) {
     s.throughput_fps_real = static_cast<double>(frames_) / (elapsed_real_us_ / 1e6);
   }
-  s.latency_p50_us = percentile(latencies_us_, 0.50);
-  s.latency_p95_us = percentile(latencies_us_, 0.95);
-  s.latency_p99_us = percentile(latencies_us_, 0.99);
-  s.latency_max_us = latencies_us_.empty()
-                         ? 0.0
-                         : *std::max_element(latencies_us_.begin(), latencies_us_.end());
-  if (!latencies_us_.empty()) {
-    double sum = 0;
-    for (double v : latencies_us_) sum += v;
-    s.latency_mean_us = sum / static_cast<double>(latencies_us_.size());
-  }
-  s.sim_job_p50_us = percentile(sim_job_us_, 0.50);
-  s.sim_job_p99_us = percentile(sim_job_us_, 0.99);
+  s.latency_p50_us = latency_hist_.percentile(0.50);
+  s.latency_p95_us = latency_hist_.percentile(0.95);
+  s.latency_p99_us = latency_hist_.percentile(0.99);
+  s.latency_max_us = latency_hist_.max();
+  s.latency_mean_us = latency_hist_.mean();
+  s.sim_job_p50_us = sim_job_hist_.percentile(0.50);
+  s.sim_job_p99_us = sim_job_hist_.percentile(0.99);
+  s.latency_hist = latency_hist_;
+  s.sim_job_hist = sim_job_hist_;
   return s;
 }
 
@@ -255,6 +251,62 @@ std::string FleetMetrics::json() const {
     out += device_json(s.devices[i]);
   }
   return out + "]}";
+}
+
+namespace {
+void prom_scalar(std::string& out, const std::string& name, const std::string& type,
+                 const std::string& help, const std::string& value) {
+  out += cat("# HELP ", name, " ", help, "\n# TYPE ", name, " ", type, "\n", name, " ", value,
+             "\n");
+}
+}  // namespace
+
+std::string FleetMetrics::prometheus() const {
+  const Snapshot s = snapshot();
+  std::string out;
+  prom_scalar(out, "saclo_jobs_submitted_total", "counter", "Jobs accepted by the runtime.",
+              std::to_string(s.jobs_submitted));
+  prom_scalar(out, "saclo_jobs_completed_total", "counter", "Jobs whose future resolved.",
+              std::to_string(s.jobs_completed));
+  prom_scalar(out, "saclo_jobs_failed_total", "counter",
+              "Jobs that exhausted retries (future carries an exception).",
+              std::to_string(s.jobs_failed));
+  prom_scalar(out, "saclo_frames_completed_total", "counter", "Frames across completed jobs.",
+              std::to_string(s.frames_completed));
+  prom_scalar(out, "saclo_device_faults_total", "counter",
+              "Injected device faults observed fleet-wide.", std::to_string(s.device_faults));
+  prom_scalar(out, "saclo_failovers_total", "counter", "Retries that moved device.",
+              std::to_string(s.failovers));
+  prom_scalar(out, "saclo_retries_total", "counter", "Faulted jobs re-enqueued.",
+              std::to_string(s.retries));
+  prom_scalar(out, "saclo_buffers_reclaimed_total", "counter",
+              "Allocator blocks swept back after faults.", std::to_string(s.buffers_reclaimed));
+  prom_scalar(out, "saclo_degraded_devices", "gauge", "Devices currently marked degraded.",
+              std::to_string(s.degraded_devices));
+  prom_scalar(out, "saclo_sim_makespan_us", "gauge",
+              "Fleet simulated makespan (max device clock), microseconds.",
+              fixed(s.sim_makespan_us, 3));
+  prom_scalar(out, "saclo_throughput_fps_sim", "gauge",
+              "Frames per second of simulated device time.", fixed(s.throughput_fps_sim, 3));
+  prom_scalar(out, "saclo_throughput_fps_real", "gauge", "Frames per second of real wall clock.",
+              fixed(s.throughput_fps_real, 3));
+  out += "# HELP saclo_device_jobs_total Jobs completed per device.\n";
+  out += "# TYPE saclo_device_jobs_total counter\n";
+  for (const DeviceSnapshot& d : s.devices) {
+    out += cat("saclo_device_jobs_total{device=\"", d.device, "\"} ", d.jobs, "\n");
+  }
+  out += "# HELP saclo_device_utilization Busy share of the fleet makespan per device.\n";
+  out += "# TYPE saclo_device_utilization gauge\n";
+  for (const DeviceSnapshot& d : s.devices) {
+    out += cat("saclo_device_utilization{device=\"", d.device, "\"} ", fixed(d.utilization, 4),
+               "\n");
+  }
+  obs::append_prometheus_histogram(out, "saclo_job_latency_us",
+                                   "Real end-to-end job latency (submit to completion).",
+                                   s.latency_hist);
+  obs::append_prometheus_histogram(out, "saclo_job_sim_us",
+                                   "Simulated device time per completed job.", s.sim_job_hist);
+  return out;
 }
 
 }  // namespace saclo::serve

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "serve/allocator.hpp"
 #include "serve/job.hpp"
 
@@ -86,6 +87,9 @@ class FleetMetrics {
     /// scheduling overhead on this host).
     double throughput_fps_real = 0;
     // Real end-to-end job latency (submit -> completion), microseconds.
+    // Percentiles come from the bounded log-bucketed histogram, so they
+    // sit within one bucket width (~19%) of the exact sample
+    // percentile; mean and max are exact.
     double latency_p50_us = 0;
     double latency_p95_us = 0;
     double latency_p99_us = 0;
@@ -94,6 +98,10 @@ class FleetMetrics {
     // Simulated per-job device time.
     double sim_job_p50_us = 0;
     double sim_job_p99_us = 0;
+    /// The full distributions backing the percentiles above, for the
+    /// Prometheus exposition and offline analysis.
+    obs::LogHistogram latency_hist;
+    obs::LogHistogram sim_job_hist;
     std::vector<DeviceSnapshot> devices;
   };
   Snapshot snapshot() const;
@@ -102,6 +110,9 @@ class FleetMetrics {
   std::string report() const;
   /// Machine-readable export (BENCH_serve.json embeds one of these).
   std::string json() const;
+  /// Prometheus text exposition (counters, gauges and the latency
+  /// histograms) — what `saclo-serve --metrics-out` writes.
+  std::string prometheus() const;
 
  private:
   mutable std::mutex mutex_;
@@ -131,8 +142,11 @@ class FleetMetrics {
   std::int64_t retries_ = 0;
   std::int64_t buffers_reclaimed_ = 0;
   double elapsed_real_us_ = 0;
-  std::vector<double> latencies_us_;      // real end-to-end, one per job
-  std::vector<double> sim_job_us_;        // simulated device time, one per job
+  // Bounded distributions: fixed 128-counter footprint regardless of
+  // how many jobs a long-running fleet serves (the former per-job
+  // sample vectors grew without bound).
+  obs::LogHistogram latency_hist_;   // real end-to-end latency, us
+  obs::LogHistogram sim_job_hist_;   // simulated device time per job, us
 };
 
 /// Interpolated percentile of an unsorted sample (q in [0, 1]); 0 on an

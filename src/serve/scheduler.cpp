@@ -1,9 +1,11 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "core/fmt.hpp"
+#include "obs/export.hpp"
 
 namespace saclo::serve {
 
@@ -32,6 +34,9 @@ ServeRuntime::ServeRuntime(const Options& options)
     }
   }
   paused_ = options_.start_paused;
+  if (options_.event_log_capacity > 0) {
+    event_log_ = std::make_unique<obs::EventLog>(options_.event_log_capacity);
+  }
   devices_.reserve(static_cast<std::size_t>(options_.devices));
   for (int i = 0; i < options_.devices; ++i) {
     auto dev = std::make_unique<Device>();
@@ -54,6 +59,20 @@ ServeRuntime::ServeRuntime(const Options& options)
 }
 
 ServeRuntime::~ServeRuntime() { shutdown(); }
+
+void ServeRuntime::emit(obs::EventType type, std::uint64_t job, int device, int attempt,
+                        std::int64_t arg, double t_sim_us) {
+  if (event_log_ == nullptr) return;
+  obs::Event event;
+  event.type = type;
+  event.job = job;
+  event.device = device;
+  event.attempt = attempt;
+  event.arg = arg;
+  event.t_real_us = trace_clock_.now_us();
+  event.t_sim_us = t_sim_us;
+  event_log_->emit(event);
+}
 
 std::optional<std::future<JobResult>> ServeRuntime::submit_impl(JobSpec spec, bool blocking) {
   spec.validate();
@@ -83,6 +102,13 @@ std::optional<std::future<JobResult>> ServeRuntime::submit_impl(JobSpec spec, bo
     serve_start_ = pending.submit_time;
   }
   std::future<JobResult> future = pending.promise.get_future();
+  // Emit before the queue push (emit is lock-free, so holding mutex_ is
+  // cheap): once the job is visible to a dispatcher, its job_dispatched
+  // could otherwise overtake these in the ring.
+  emit(obs::EventType::JobAdmitted, pending.id, /*device=*/-1, /*attempt=*/0,
+       pending.spec.frames, 0.0);
+  emit(obs::EventType::JobPlaced, pending.id, static_cast<int>(target), /*attempt=*/0,
+       static_cast<std::int64_t>(std::llround(estimate)), 0.0);
   devices_[target]->queue.push_back(std::move(pending));
   devices_[target]->backlog_estimate_us += estimate;
   ++total_queued_;
@@ -141,6 +167,8 @@ void ServeRuntime::heal_elapsed_locked() {
         us_between(dev.degraded_since, now) >= options_.degraded_cooldown_ms * 1000.0) {
       dev.degraded = false;
       metrics_.on_healed(static_cast<int>(i));
+      emit(obs::EventType::DeviceHealed, /*job=*/0, static_cast<int>(i), /*attempt=*/0,
+           /*arg=*/0, dev.gpu->clock_us());
     }
   }
 }
@@ -225,6 +253,28 @@ std::string ServeRuntime::metrics_json() {
   return metrics_.json();
 }
 
+std::string ServeRuntime::metrics_prometheus() {
+  refresh_allocator_stats();
+  return metrics_.prometheus();
+}
+
+std::string ServeRuntime::events_jsonl() const {
+  return event_log_ != nullptr ? event_log_->jsonl() : std::string();
+}
+
+std::string ServeRuntime::merged_trace_json() const {
+  // Tests and the CLI export after drain(), when the dispatchers are
+  // parked; a concurrent export would read a device's intervals racily.
+  std::vector<obs::DeviceTrace> traces;
+  traces.reserve(devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    traces.push_back({static_cast<int>(i), devices_[i]->gpu->profiler().intervals()});
+  }
+  const std::vector<obs::Event> events =
+      event_log_ != nullptr ? event_log_->snapshot() : std::vector<obs::Event>{};
+  return obs::merged_chrome_trace(traces, events);
+}
+
 JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending) {
   const auto dispatch_time = std::chrono::steady_clock::now();
   const JobSpec& spec = pending.spec;
@@ -242,6 +292,20 @@ JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending) {
   thread_local std::map<std::string, std::unique_ptr<apps::SacDownscaler>> sac_drivers;
   thread_local std::map<std::string, std::unique_ptr<apps::GaspardDownscaler>> gaspard_drivers;
 
+  // Per-frame progress events. The std::function (and its capture
+  // allocation) is only materialized when the event log is on; the
+  // disabled path hands the pipelines an empty callback, costing one
+  // branch per frame and zero allocations.
+  apps::FrameCallback on_frame;
+  if (event_log_ != nullptr) {
+    gpu::VirtualGpu* gpu = dev.gpu.get();
+    const std::uint64_t job_id = pending.id;
+    const int attempt = pending.attempts;
+    on_frame = [this, gpu, job_id, attempt, index](int frame) {
+      emit(obs::EventType::FrameDone, job_id, index, attempt, frame, gpu->clock_us());
+    };
+  }
+
   const int exec = spec.effective_exec_frames();
   if (spec.route == Route::Gaspard) {
     const std::string key = cat(driver_key(spec.route, spec.config), ":ch", spec.channels);
@@ -256,7 +320,7 @@ JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending) {
                .emplace(key, std::make_unique<apps::GaspardDownscaler>(spec.config, opts))
                .first;
     }
-    auto r = it->second->run_on(*dev.gpu, spec.frames, exec);
+    auto r = it->second->run_on(*dev.gpu, spec.frames, exec, on_frame);
     result.last_output = std::move(r.last_output);
     result.ops += r.h;
     result.ops += r.v;
@@ -274,7 +338,7 @@ JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending) {
       it = sac_drivers.emplace(key, std::make_unique<apps::SacDownscaler>(spec.config, opts))
                .first;
     }
-    auto r = it->second->run_cuda_chain_on(*dev.gpu, spec.frames, spec.channels, exec);
+    auto r = it->second->run_cuda_chain_on(*dev.gpu, spec.frames, spec.channels, exec, on_frame);
     result.last_output = std::move(r.last_output);
     result.ops += r.h;
     result.ops += r.v;
@@ -329,10 +393,17 @@ void ServeRuntime::dispatcher_loop(int index) {
     }
     space_available_.notify_all();
     const double estimate = pending.estimate_us;
+    emit(obs::EventType::JobDispatched, pending.id, index, pending.attempts, /*arg=*/0,
+         dev.gpu->clock_us());
 
     JobResult result;
     std::exception_ptr error;
     bool device_fault = false;
+    // Bracket the job so every interval the device profiles carries its
+    // trace id + attempt — the key the merged Chrome trace joins on.
+    if (options_.trace_jobs) {
+      dev.gpu->begin_job_trace(pending.id, static_cast<std::uint32_t>(pending.attempts));
+    }
     try {
       result = run_job(dev, index, pending);
     } catch (const fault::DeviceFault&) {
@@ -341,6 +412,7 @@ void ServeRuntime::dispatcher_loop(int index) {
     } catch (...) {
       error = std::current_exception();
     }
+    if (options_.trace_jobs) dev.gpu->end_job_trace();
 
     if (error == nullptr) {
       // Record before handing the result off through the promise.
@@ -351,6 +423,8 @@ void ServeRuntime::dispatcher_loop(int index) {
         metrics_.set_elapsed_real_us(
             us_between(serve_start_, std::chrono::steady_clock::now()));
       }
+      emit(obs::EventType::JobCompleted, pending.id, index, pending.attempts,
+           pending.spec.frames, dev.gpu->clock_us());
       pending.promise.set_value(std::move(result));
       finish_job(dev, estimate);
       continue;
@@ -363,6 +437,14 @@ void ServeRuntime::dispatcher_loop(int index) {
       const std::int64_t reclaimed = dev.cache ? dev.cache->reclaim_live() : 0;
       metrics_.on_device_fault(index, reclaimed);
       if (dev.cache) metrics_.set_allocator_stats(index, dev.cache->stats());
+      // The injector's record of where it fired beats the device clock:
+      // the faulted operation never ran, so the clock is the time of
+      // the last *successful* op.
+      const double fault_sim_us = dev.injector != nullptr
+                                      ? dev.injector->last_fault_clock_us()
+                                      : dev.gpu->clock_us();
+      emit(obs::EventType::DeviceFault, pending.id, index, pending.attempts, reclaimed,
+           fault_sim_us);
 
       bool retried = false;
       {
@@ -371,6 +453,8 @@ void ServeRuntime::dispatcher_loop(int index) {
           dev.degraded = true;
           dev.degraded_since = std::chrono::steady_clock::now();
           metrics_.on_degraded(index);
+          emit(obs::EventType::DeviceDegraded, pending.id, index, pending.attempts, /*arg=*/0,
+               dev.gpu->clock_us());
         }
         if (pending.attempts < options_.max_retries) {
           ++pending.attempts;
@@ -382,6 +466,11 @@ void ServeRuntime::dispatcher_loop(int index) {
               std::chrono::steady_clock::now() +
               std::chrono::microseconds(static_cast<std::int64_t>(backoff_ms * 1000.0));
           const std::size_t target = pick_device_locked(/*exclude=*/index);
+          // `device` is the faulted source; `attempt` is the hop the
+          // retry will run as — together with arg (the target device)
+          // this is exactly the flow arrow of the merged trace.
+          emit(obs::EventType::Failover, pending.id, index, pending.attempts,
+               static_cast<std::int64_t>(target), dev.gpu->clock_us());
           devices_[target]->queue.push_back(std::move(pending));
           devices_[target]->backlog_estimate_us += estimate;
           dev.backlog_estimate_us -= estimate;
@@ -399,6 +488,8 @@ void ServeRuntime::dispatcher_loop(int index) {
 
     // Permanent failure: retry budget exhausted, or a non-fault error
     // (bad spec caught late, driver bug) that a retry would only repeat.
+    emit(obs::EventType::RetryExhausted, pending.id, index, pending.attempts,
+         /*arg=*/pending.attempts + 1, dev.gpu->clock_us());
     pending.promise.set_exception(error);
     metrics_.on_failed(index);
     finish_job(dev, estimate);

@@ -14,6 +14,8 @@
 #include "fault/fault.hpp"
 #include "fault/plan.hpp"
 #include "gpu/sim_gpu.hpp"
+#include "obs/events.hpp"
+#include "obs/trace.hpp"
 #include "serve/allocator.hpp"
 #include "serve/job.hpp"
 #include "serve/metrics.hpp"
@@ -82,6 +84,17 @@ class ServeRuntime {
     /// eligible for placement again; negative keeps it degraded for the
     /// runtime's lifetime (deterministic tests).
     double degraded_cooldown_ms = 20.0;
+
+    // -- observability --------------------------------------------------------
+    /// Capacity of the structured event log (job_admitted, frame_done,
+    /// fault, failover, ... as JSONL). 0 disables it entirely: the
+    /// dispatch hot path then performs no event work and no allocation.
+    std::size_t event_log_capacity = 0;
+    /// Stamp every profiled interval with the owning job's trace id and
+    /// failover attempt, which is what the fleet-merged Chrome trace
+    /// keys its spans and flow arrows on. Two plain stores per job —
+    /// kept switchable for the zero-overhead baseline.
+    bool trace_jobs = true;
   };
 
   explicit ServeRuntime(const Options& options);
@@ -128,6 +141,17 @@ class ServeRuntime {
   /// Text report / JSON export with fresh allocator stats folded in.
   std::string report();
   std::string metrics_json();
+  /// Prometheus text exposition with fresh allocator stats folded in.
+  std::string metrics_prometheus();
+
+  /// The structured event log, nullptr unless event_log_capacity > 0.
+  const obs::EventLog* event_log() const { return event_log_.get(); }
+  /// JSONL export of the event log ("" when disabled).
+  std::string events_jsonl() const;
+  /// Fleet-wide merged Chrome trace: every device's spans in one file
+  /// (pid = device, tid = stream), instant events from the event log,
+  /// and flow arrows linking failover hops across devices.
+  std::string merged_trace_json() const;
 
  private:
   struct Pending {
@@ -164,9 +188,15 @@ class ServeRuntime {
   /// Job left the runtime (completed or failed): release its backlog
   /// share and wake waiters.
   void finish_job(Device& dev, double estimate_us);
+  /// Records one structured event; a no-op returning immediately (no
+  /// lock, no allocation) when the event log is disabled.
+  void emit(obs::EventType type, std::uint64_t job, int device, int attempt, std::int64_t arg,
+            double t_sim_us);
 
   Options options_;
   FleetMetrics metrics_;
+  obs::TraceClock trace_clock_;
+  std::unique_ptr<obs::EventLog> event_log_;
   std::vector<std::unique_ptr<Device>> devices_;
 
   mutable std::mutex mutex_;

@@ -1,0 +1,143 @@
+#include "obs/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/mini_json.hpp"
+
+namespace saclo::obs {
+namespace {
+
+using saclo::testsupport::Json;
+using saclo::testsupport::parse_json;
+
+Event make_event(EventType type, std::uint64_t job, int device, int attempt,
+                 std::int64_t arg) {
+  Event e;
+  e.type = type;
+  e.job = job;
+  e.device = device;
+  e.attempt = attempt;
+  e.arg = arg;
+  e.t_real_us = 12.5;
+  e.t_sim_us = 340.75;
+  return e;
+}
+
+TEST(EventLogTest, WireNamesAreStable) {
+  // The JSONL schema names tools grep for; renaming one is a breaking
+  // change to every downstream consumer.
+  EXPECT_STREQ(event_type_name(EventType::JobAdmitted), "job_admitted");
+  EXPECT_STREQ(event_type_name(EventType::JobPlaced), "job_placed");
+  EXPECT_STREQ(event_type_name(EventType::JobDispatched), "job_dispatched");
+  EXPECT_STREQ(event_type_name(EventType::FrameDone), "frame_done");
+  EXPECT_STREQ(event_type_name(EventType::JobCompleted), "job_completed");
+  EXPECT_STREQ(event_type_name(EventType::DeviceFault), "device_fault");
+  EXPECT_STREQ(event_type_name(EventType::Failover), "failover");
+  EXPECT_STREQ(event_type_name(EventType::RetryExhausted), "retry_exhausted");
+  EXPECT_STREQ(event_type_name(EventType::DeviceDegraded), "device_degraded");
+  EXPECT_STREQ(event_type_name(EventType::DeviceHealed), "device_healed");
+}
+
+TEST(EventLogTest, EventJsonRoundTripsEveryField) {
+  const Event e = make_event(EventType::Failover, 7, 1, 2, 3);
+  const Json root = parse_json(event_json(e));
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.at("event").string, "failover");
+  EXPECT_DOUBLE_EQ(root.at("job").number, 7.0);
+  EXPECT_DOUBLE_EQ(root.at("device").number, 1.0);
+  EXPECT_DOUBLE_EQ(root.at("attempt").number, 2.0);
+  EXPECT_DOUBLE_EQ(root.at("arg").number, 3.0);
+  EXPECT_NEAR(root.at("t_real_us").number, 12.5, 0.1);
+  EXPECT_NEAR(root.at("t_sim_us").number, 340.75, 0.01);
+}
+
+TEST(EventLogTest, RecordsInOrderUpToCapacity) {
+  EventLog log(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(log.emit(make_event(EventType::FrameDone, 1, 0, 0, i)));
+  }
+  const std::vector<Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(events[static_cast<std::size_t>(i)].arg, i);
+  EXPECT_EQ(log.recorded(), 4u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLogTest, KeepsEarliestEventsAndCountsDrops) {
+  EventLog log(3);
+  for (int i = 0; i < 10; ++i) {
+    const bool accepted = log.emit(make_event(EventType::FrameDone, 1, 0, 0, i));
+    EXPECT_EQ(accepted, i < 3);
+  }
+  EXPECT_EQ(log.recorded(), 3u);
+  EXPECT_EQ(log.dropped(), 7u);
+  const std::vector<Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].arg, 0);
+  EXPECT_EQ(events[2].arg, 2);
+}
+
+TEST(EventLogTest, JsonlLinesParseAndEndWithAnHonestSummary) {
+  EventLog log(2);
+  log.emit(make_event(EventType::JobAdmitted, 1, -1, 0, 4));
+  log.emit(make_event(EventType::JobCompleted, 1, 0, 0, 4));
+  log.emit(make_event(EventType::FrameDone, 2, 0, 0, 0));  // dropped
+
+  const std::string jsonl = log.jsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::vector<Json> parsed;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) parsed.push_back(parse_json(line));
+  }
+  ASSERT_EQ(parsed.size(), 3u);  // 2 events + the log_summary trailer
+  EXPECT_EQ(parsed[0].at("event").string, "job_admitted");
+  EXPECT_EQ(parsed[1].at("event").string, "job_completed");
+  const Json& summary = parsed[2];
+  EXPECT_EQ(summary.at("event").string, "log_summary");
+  EXPECT_DOUBLE_EQ(summary.at("recorded").number, 2.0);
+  EXPECT_DOUBLE_EQ(summary.at("dropped").number, 1.0);
+  EXPECT_DOUBLE_EQ(summary.at("capacity").number, 2.0);
+}
+
+TEST(EventLogTest, ConcurrentEmittersNeverLoseAccounting) {
+  // Writers race for slots with one fetch_add each; whatever interleaving
+  // the scheduler produces, recorded + dropped must equal the number of
+  // emit() calls and every recorded slot must be a complete event (this
+  // test also runs under ThreadSanitizer in CI).
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  EventLog log(256);
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&log, &accepted, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (log.emit(make_event(EventType::FrameDone, static_cast<std::uint64_t>(t + 1), t,
+                                0, i))) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  EXPECT_EQ(log.recorded(), 256u);
+  EXPECT_EQ(accepted.load(), 256);
+  EXPECT_EQ(log.dropped(), static_cast<std::uint64_t>(kThreads * kPerThread - 256));
+  const std::vector<Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 256u);
+  for (const Event& e : events) {
+    EXPECT_GE(e.job, 1u);
+    EXPECT_LE(e.job, static_cast<std::uint64_t>(kThreads));
+  }
+}
+
+}  // namespace
+}  // namespace saclo::obs

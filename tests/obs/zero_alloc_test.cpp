@@ -1,0 +1,115 @@
+// Asserts the observability additions cost zero heap allocations on the
+// dispatch hot path: recording a histogram sample, emitting a ring
+// event, folding a completed job into the metrics registry, and the
+// trace bracketing around a job are all allocation-free. This file
+// replaces the global operator new with a counting wrapper, so it links
+// into its own test binary (obs_alloc_tests) and nothing else.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "gpu/profiler.hpp"
+#include "obs/events.hpp"
+#include "obs/histogram.hpp"
+#include "serve/metrics.hpp"
+
+namespace {
+thread_local std::uint64_t g_allocations = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace saclo {
+namespace {
+
+/// Allocations performed by `fn` on this thread.
+template <typename Fn>
+std::uint64_t allocations_of(Fn&& fn) {
+  const std::uint64_t before = g_allocations;
+  fn();
+  return g_allocations - before;
+}
+
+TEST(ZeroAllocTest, HistogramRecordDoesNotAllocate) {
+  obs::LogHistogram hist;
+  hist.record(1.0);  // warm nothing — the histogram is a flat array
+  EXPECT_EQ(allocations_of([&] {
+              for (int i = 0; i < 1000; ++i) hist.record(static_cast<double>(i) * 3.7);
+            }),
+            0u);
+}
+
+TEST(ZeroAllocTest, EventLogEmitDoesNotAllocate) {
+  obs::EventLog log(1024);  // the ring preallocates here, before counting
+  obs::Event e;
+  e.type = obs::EventType::FrameDone;
+  e.job = 1;
+  EXPECT_EQ(allocations_of([&] {
+              for (int i = 0; i < 512; ++i) {
+                e.arg = i;
+                log.emit(e);
+              }
+            }),
+            0u);
+  // Overflow drops are free too — the whole point of the bounded ring.
+  EXPECT_EQ(allocations_of([&] {
+              for (int i = 0; i < 1024; ++i) log.emit(e);
+            }),
+            0u);
+}
+
+TEST(ZeroAllocTest, MetricsRecordingDoesNotAllocate) {
+  // The former per-job latency vectors re-allocated as they grew; the
+  // histogram-backed registry must not allocate per completed job.
+  serve::FleetMetrics metrics(2);
+  serve::JobResult result;
+  result.frames = 4;
+  result.sim_wall_us = 1000.0;
+  result.latency_us = 2000.0;
+  metrics.on_submit(0);
+  metrics.on_dispatch(0);
+  metrics.on_complete(0, result, 1000.0);  // warm any lazy lock state
+  EXPECT_EQ(allocations_of([&] {
+              for (int i = 0; i < 200; ++i) {
+                metrics.on_submit(0);
+                metrics.on_dispatch(0);
+                metrics.on_complete(0, result, 1000.0 * i);
+              }
+            }),
+            0u);
+}
+
+TEST(ZeroAllocTest, TraceBracketingDoesNotAllocate) {
+  // What the dispatcher adds around every job when tracing is on — and
+  // the entirety of the observability cost when the event log is off.
+  gpu::Profiler profiler;
+  EXPECT_EQ(allocations_of([&] {
+              for (int i = 0; i < 1000; ++i) {
+                profiler.set_trace(static_cast<std::uint64_t>(i + 1), 0);
+                profiler.clear_trace();
+              }
+            }),
+            0u);
+}
+
+}  // namespace
+}  // namespace saclo

@@ -1,13 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "fault/fault.hpp"
 #include "fault/plan.hpp"
+#include "obs/events.hpp"
 #include "serve/job.hpp"
 #include "serve/scheduler.hpp"
 #include "support/fault_fixtures.hpp"
@@ -21,7 +24,10 @@ namespace {
 //   - every future resolves: completed + failed == submitted,
 //   - no completed job was retried past the per-job budget,
 //   - the accounting balances (metrics agree with the futures),
-//   - no device leaks an allocator block, faulted or not.
+//   - no device leaks an allocator block, faulted or not,
+//   - a deliberately tiny event ring drops honestly: it fills to
+//     capacity, counts every rejected emit, and exports exactly what
+//     it kept.
 TEST(FaultStressTest, RandomFaultPlansPreserveTheInvariants) {
   constexpr int kThreads = 4;
   constexpr int kJobsPerThread = 50;
@@ -36,6 +42,7 @@ TEST(FaultStressTest, RandomFaultPlansPreserveTheInvariants) {
     opts.retry_backoff_base_ms = 0.1;
     opts.retry_backoff_cap_ms = 1.0;
     opts.degraded_cooldown_ms = 2.0;  // degraded devices rejoin mid-storm
+    opts.event_log_capacity = 64;     // far too small for 200 jobs: forces drops
     ServeRuntime runtime(opts);
     SCOPED_TRACE("seed " + std::to_string(seed) + " plan:\n" +
                  opts.fault_plan.describe());
@@ -81,6 +88,19 @@ TEST(FaultStressTest, RandomFaultPlansPreserveTheInvariants) {
     EXPECT_LE(s.retries, static_cast<std::int64_t>(kJobs) * opts.max_retries);
     EXPECT_GE(s.retries, s.failovers);
     testsupport::expect_zero_allocator_leaks(runtime);
+
+    // 200 jobs emit >= 4 lifecycle events each, so the 64-slot ring
+    // overflowed; its drop accounting must stay exact under the race.
+    const obs::EventLog* log = runtime.event_log();
+    ASSERT_NE(log, nullptr);
+    EXPECT_EQ(log->recorded(), opts.event_log_capacity);
+    EXPECT_GT(log->dropped(), 0u);
+    EXPECT_EQ(log->snapshot().size(), opts.event_log_capacity);
+    const std::string jsonl = runtime.events_jsonl();
+    const std::size_t lines =
+        static_cast<std::size_t>(std::count(jsonl.begin(), jsonl.end(), '\n'));
+    EXPECT_EQ(lines, opts.event_log_capacity + 1)  // events + log_summary
+        << "JSONL export disagrees with the ring contents";
   }
 }
 

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json artifacts and flag slowdowns.
+
+The repo's benches emit deterministic simulated timings into
+BENCH_<name>.json files ({"bench": ..., "variants": [{"name", "us",
+...}]}); the committed copies at the repo root are the baselines. This
+tool diffs a candidate run against them and exits non-zero when any
+variant slowed down by more than the threshold — the CI perf gate.
+
+Usage:
+  bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+  bench_diff.py --baseline-dir DIR --candidate-dir DIR [--threshold 0.10]
+
+Directory mode pairs files by name (BENCH_foo.json <-> BENCH_foo.json).
+A candidate with no matching baseline is reported but does not fail the
+gate (new benches land with their first baseline); a baseline with no
+candidate fails it (a bench silently stopped producing its artifact).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_bench(path):
+    with open(path) as f:
+        data = json.load(f)
+    if "variants" not in data or not isinstance(data["variants"], list):
+        raise ValueError(f"{path}: not a BENCH artifact (no 'variants' list)")
+    return data
+
+
+def variant_times(data):
+    times = {}
+    for v in data["variants"]:
+        name = v.get("name")
+        us = v.get("us")
+        if name is None or not isinstance(us, (int, float)):
+            continue
+        times[name] = float(us)
+    return times
+
+
+def diff_pair(baseline_path, candidate_path, threshold):
+    """Returns (lines, regressions) for one baseline/candidate pair."""
+    base = load_bench(baseline_path)
+    cand = load_bench(candidate_path)
+    base_times = variant_times(base)
+    cand_times = variant_times(cand)
+    bench = base.get("bench", os.path.basename(baseline_path))
+
+    lines = [f"== {bench} ({os.path.basename(candidate_path)} vs "
+             f"{os.path.basename(baseline_path)})"]
+    regressions = []
+    width = max((len(n) for n in base_times), default=4)
+    for name in sorted(set(base_times) | set(cand_times)):
+        if name not in base_times:
+            lines.append(f"  {name:<{width}}  (new variant, no baseline)")
+            continue
+        if name not in cand_times:
+            lines.append(f"  {name:<{width}}  MISSING from candidate")
+            regressions.append(f"{bench}/{name}: missing from candidate")
+            continue
+        b, c = base_times[name], cand_times[name]
+        ratio = c / b if b > 0 else float("inf") if c > 0 else 1.0
+        delta = 100.0 * (ratio - 1.0)
+        flag = ""
+        if ratio > 1.0 + threshold:
+            flag = f"  REGRESSION (> {100 * threshold:.0f}%)"
+            regressions.append(f"{bench}/{name}: {b:.1f}us -> {c:.1f}us "
+                               f"({delta:+.1f}%)")
+        elif ratio < 1.0 - threshold:
+            flag = "  improvement"
+        lines.append(f"  {name:<{width}}  {b:>14.1f}us -> {c:>14.1f}us "
+                     f"{delta:+7.1f}%{flag}")
+    return lines, regressions
+
+
+def bench_files(directory):
+    return {
+        name: os.path.join(directory, name)
+        for name in sorted(os.listdir(directory))
+        if name.startswith("BENCH_") and name.endswith(".json")
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_*.json artifacts; non-zero exit on slowdowns.")
+    parser.add_argument("files", nargs="*", metavar="JSON",
+                        help="BASELINE CANDIDATE (pair mode)")
+    parser.add_argument("--baseline-dir", help="directory of baseline BENCH_*.json")
+    parser.add_argument("--candidate-dir", help="directory of candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="slowdown ratio that fails the gate (default 0.10)")
+    args = parser.parse_args()
+
+    pairs = []
+    if args.baseline_dir or args.candidate_dir:
+        if not (args.baseline_dir and args.candidate_dir) or args.files:
+            parser.error("directory mode takes --baseline-dir and --candidate-dir, "
+                         "no positional files")
+        baselines = bench_files(args.baseline_dir)
+        candidates = bench_files(args.candidate_dir)
+        if not baselines:
+            parser.error(f"no BENCH_*.json in {args.baseline_dir}")
+        missing = sorted(set(baselines) - set(candidates))
+        for name in sorted(set(baselines) & set(candidates)):
+            pairs.append((baselines[name], candidates[name]))
+        for name in sorted(set(candidates) - set(baselines)):
+            print(f"note: {name} has no committed baseline (new bench?)")
+        if missing:
+            for name in missing:
+                print(f"error: baseline {name} has no candidate artifact")
+            return 1
+    else:
+        if len(args.files) != 2:
+            parser.error("pair mode takes exactly BASELINE and CANDIDATE")
+        pairs.append((args.files[0], args.files[1]))
+
+    all_regressions = []
+    for baseline, candidate in pairs:
+        lines, regressions = diff_pair(baseline, candidate, args.threshold)
+        print("\n".join(lines))
+        all_regressions.extend(regressions)
+
+    if all_regressions:
+        print(f"\n{len(all_regressions)} regression(s) beyond "
+              f"{100 * args.threshold:.0f}%:")
+        for r in all_regressions:
+            print(f"  {r}")
+        return 1
+    print("\nno regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

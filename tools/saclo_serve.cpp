@@ -8,14 +8,24 @@
 //               [--queue-capacity Q] [--no-cache] [--sync-streams]
 //               [--fault SPEC] [--max-retries R]
 //               [--json] [--trace DEVICE]
+//               [--trace-out FILE] [--events-out FILE] [--metrics-out FILE]
+//               [--events-capacity N]
 //
 // --fault installs an injected failure, e.g.
 //   saclo-serve --devices 2 --fault "dev=0,after_ms=50,kind=kernel"
 // The flag repeats, and one SPEC may hold several ';'-separated specs;
 // faulted jobs fail over per the runtime's retry policy and the report
 // gains a health section.
+//
+// The observability sinks write after drain():
+//   --trace-out    fleet-merged Chrome trace (pid = device, tid = stream,
+//                  flow arrows across failover hops)
+//   --events-out   structured JSONL event log (job_admitted, frame_done,
+//                  device_fault, failover, ...)
+//   --metrics-out  Prometheus text exposition of the fleet metrics
 
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <string>
 #include <vector>
@@ -47,8 +57,22 @@ int usage() {
                "                   kind=kernel|transfer|any  boundary for after_ms\n"
                "                   recurring        keep failing (default: one-shot)\n"
                "                 e.g. --fault \"dev=2,after_ms=50,kind=kernel\"\n"
-               "  --max-retries R  per-job failover budget (default 3)\n");
+               "  --max-retries R  per-job failover budget (default 3)\n"
+               "  --trace-out FILE    write the fleet-merged Chrome trace\n"
+               "  --events-out FILE   write the structured JSONL event log\n"
+               "  --metrics-out FILE  write the Prometheus metrics exposition\n"
+               "  --events-capacity N bound of the event ring (default 65536)\n");
   return 2;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "saclo-serve: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << contents;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -62,6 +86,10 @@ int main(int argc, char** argv) {
   int exec_frames = 1;
   bool emit_json = false;
   int trace_device = -1;
+  std::string trace_out;
+  std::string events_out;
+  std::string metrics_out;
+  std::size_t events_capacity = 65536;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,10 +127,22 @@ int main(int argc, char** argv) {
       emit_json = true;
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_device = std::stoi(argv[++i]);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--events-out" && i + 1 < argc) {
+      events_out = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--events-capacity" && i + 1 < argc) {
+      events_capacity = static_cast<std::size_t>(std::stoll(argv[++i]));
     } else {
       return usage();
     }
   }
+  // Any observability sink implies the structured event log (the merged
+  // trace wants its instant events too); plain runs keep it off so the
+  // dispatch hot path stays allocation-free.
+  if (!events_out.empty() || !trace_out.empty()) opts.event_log_capacity = events_capacity;
 
   try {
     const Route mix[] = {Route::SacNongeneric, Route::SacGeneric, Route::Gaspard};
@@ -137,6 +177,17 @@ int main(int argc, char** argv) {
     } else {
       std::printf("%s", runtime.report().c_str());
     }
+    bool sink_error = false;
+    if (!trace_out.empty() && !write_file(trace_out, runtime.merged_trace_json())) {
+      sink_error = true;
+    }
+    if (!events_out.empty() && !write_file(events_out, runtime.events_jsonl())) {
+      sink_error = true;
+    }
+    if (!metrics_out.empty() && !write_file(metrics_out, runtime.metrics_prometheus())) {
+      sink_error = true;
+    }
+    if (sink_error) return 1;
     if (failed > 0) {
       std::fprintf(stderr, "saclo-serve: %d job(s) failed permanently\n", failed);
       return 1;
