@@ -1,10 +1,14 @@
 // Fleet scaling sweep for the multi-GPU serving runtime: the same job
-// mix pushed through 1..8 simulated devices. Throughput is measured in
-// frames per second of *simulated* fleet time (the makespan over
-// devices), so the curve is deterministic: with a balanced mix it
-// scales nearly linearly until per-device warmup (driver compilation,
-// allocator cache fill) stops amortizing. The BENCH_serve.json export
-// is the artifact CI archives.
+// mix pushed through 1..8 devices, once per execution backend. With
+// the `sim` backend throughput is measured in frames per second of
+// *simulated* fleet time (the makespan over devices), so the curve is
+// deterministic: with a balanced mix it scales nearly linearly until
+// per-device warmup (driver compilation, allocator cache fill) stops
+// amortizing. The `host` backend runs the same sweep with wall-clock
+// op timing. CI archives one BENCH_serve_<backend>.json per backend
+// and diffs the pair as a variant-parity sanity gate (timings
+// legitimately differ across backends; the variant set and job counts
+// must not).
 
 #include <benchmark/benchmark.h>
 
@@ -46,10 +50,11 @@ struct SweepPoint {
   double alloc_hit_rate = 0;
 };
 
-SweepPoint run_fleet(int devices) {
+SweepPoint run_fleet(int devices, gpu::BackendKind backend) {
   ServeRuntime::Options opts;
   opts.devices = devices;
   opts.queue_capacity = kJobs;
+  opts.backend = backend;
   ServeRuntime runtime(opts);
   std::vector<std::future<JobResult>> futures;
   futures.reserve(kJobs);
@@ -77,16 +82,17 @@ SweepPoint run_fleet(int devices) {
   return p;
 }
 
-void device_sweep() {
-  print_header(cat("Serving fleet sweep — ", kJobs, " mixed jobs x ", kFramesPerJob,
-                   " frames, 1..8 devices"));
+void device_sweep(gpu::BackendKind backend) {
+  const char* name = gpu::backend_kind_name(backend);
+  print_header(cat("Serving fleet sweep [", name, " backend] — ", kJobs, " mixed jobs x ",
+                   kFramesPerJob, " frames, 1..8 devices"));
   std::printf("%8s %14s %14s %12s %10s %8s\n", "devices", "sim fps", "makespan(s)", "p99(ms)",
               "min util", "hit%");
 
-  BenchJson out("serve");
+  BenchJson out(cat("serve_", name));
   std::vector<SweepPoint> points;
   for (int devices = 1; devices <= 8; devices *= 2) {
-    const SweepPoint p = run_fleet(devices);
+    const SweepPoint p = run_fleet(devices, backend);
     points.push_back(p);
     std::printf("%8d %14.1f %14.3f %12.2f %9.2f %7.1f\n", p.devices, p.fps_sim,
                 p.makespan_us / 1e6, p.latency_p99_us / 1e3, p.min_utilization,
@@ -130,7 +136,9 @@ BENCHMARK(BM_FleetSmall)->Arg(1)->Arg(2)->Arg(4);
 }  // namespace
 
 int main(int argc, char** argv) {
-  device_sweep();
+  for (gpu::BackendKind backend : {gpu::BackendKind::Sim, gpu::BackendKind::Host}) {
+    device_sweep(backend);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

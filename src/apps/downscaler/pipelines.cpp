@@ -99,7 +99,7 @@ SacDownscaler::SacDownscaler(const DownscalerConfig& config, const Options& opti
 
 SacDownscaler::CudaResult SacDownscaler::run_cuda_chain(int frames, int channels,
                                                         int exec_frames) {
-  gpu::VirtualGpu gpu(opts_.device, opts_.workers);
+  gpu::VirtualGpu gpu(opts_.device, opts_.workers, opts_.backend);
   return run_cuda_chain_on(gpu, frames, channels, exec_frames);
 }
 
@@ -174,7 +174,7 @@ SacDownscaler::CudaResult SacDownscaler::run_cuda_chain_on(gpu::VirtualGpu& gpu,
 SacDownscaler::FilterResult SacDownscaler::run_cuda_filter(bool horizontal, int iterations,
                                                            int exec_iterations,
                                                            bool resident_data) {
-  gpu::VirtualGpu gpu(opts_.device, opts_.workers);
+  gpu::VirtualGpu gpu(opts_.device, opts_.workers, opts_.backend);
   gpu::cuda::Runtime rt(gpu);
   gpu::Profiler host_profiler;
   sac_cuda::CudaProgram& prog = horizontal ? h_prog_ : v_prog_;
@@ -229,7 +229,7 @@ GaspardDownscaler::GaspardDownscaler(const DownscalerConfig& config, const Optio
                                                          : build_single_channel_model(config))) {}
 
 GaspardDownscaler::Result GaspardDownscaler::run(int frames, int exec_frames) {
-  gpu::VirtualGpu gpu(opts_.device, opts_.workers);
+  gpu::VirtualGpu gpu(opts_.device, opts_.workers, opts_.backend);
   return run_on(gpu, frames, exec_frames);
 }
 

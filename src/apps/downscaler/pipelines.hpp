@@ -7,6 +7,7 @@
 #include "apps/downscaler/config.hpp"
 #include "apps/downscaler/sac_source.hpp"
 #include "gaspard/chain.hpp"
+#include "gpu/backend_kind.hpp"
 #include "sac_cuda/codegen_text.hpp"
 #include "sac_cuda/program.hpp"
 
@@ -52,6 +53,10 @@ class SacDownscaler {
     gpu::DeviceSpec device = gpu::gtx480();
     gpu::HostSpec host = gpu::i7_930();
     unsigned workers = 0;  ///< thread-pool width for functional kernel execution
+    /// Execution backend of the internally constructed VirtualGpu (the
+    /// standalone run_* entry points; run_*_on uses the caller's
+    /// device). Results are bit-exact across backends.
+    gpu::BackendKind backend = gpu::BackendKind::Sim;
     /// Issue the frame loop asynchronously on CUDA streams: the upload
     /// of frame k+1 and the download of frame k-1 overlap frame k's
     /// kernels, double-buffered (an upload waits until the frame buffer
@@ -139,6 +144,9 @@ class GaspardDownscaler {
   struct Options {
     gpu::DeviceSpec device = gpu::gtx480();
     unsigned workers = 0;
+    /// Execution backend of the internally constructed VirtualGpu (see
+    /// SacDownscaler::Options::backend).
+    gpu::BackendKind backend = gpu::BackendKind::Sim;
     bool rgb = true;  ///< full 3-channel model (the paper's Figure 3)
     /// Run each frame over three OpenCL command queues (upload /
     /// compute / download) so neighbouring frames' transfers overlap

@@ -294,11 +294,12 @@ std::map<std::string, IntArray> OpenClApplication::run(
     for (const TiledPort& out : task.outputs) {
       launch.writes.push_back(buffers.at(out.port.name).handle());
     }
-    launch.body = [ins, outs, op, rep_dims, rep_rank, in_total, out_total](std::int64_t tid) {
-      thread_local std::vector<std::int64_t> in_buf;
-      thread_local std::vector<std::int64_t> out_buf;
-      if (in_buf.size() < static_cast<std::size_t>(in_total)) in_buf.resize(in_total);
-      if (out_buf.size() < static_cast<std::size_t>(out_total)) out_buf.resize(out_total);
+    // One work-item's gather/compute/scatter against caller-provided
+    // pattern buffers; shared between the per-id body (thread_local
+    // scratch) and the range body (per-chunk scratch).
+    auto run_one = [ins, outs, op, rep_dims, rep_rank, in_total, out_total](
+                       std::int64_t tid, std::vector<std::int64_t>& in_buf,
+                       std::vector<std::int64_t>& out_buf) {
       // Work-item decode, dimension 0 fastest.
       std::array<std::int64_t, kMaxRank> rep{};
       std::int64_t rest = tid;
@@ -352,6 +353,20 @@ std::map<std::string, IntArray> OpenClApplication::run(
               static_cast<std::int32_t>(out_buf[pos++]);
         }
       }
+    };
+    launch.body = [run_one, in_total, out_total](std::int64_t tid) {
+      thread_local std::vector<std::int64_t> in_buf;
+      thread_local std::vector<std::int64_t> out_buf;
+      if (in_buf.size() < static_cast<std::size_t>(in_total)) in_buf.resize(in_total);
+      if (out_buf.size() < static_cast<std::size_t>(out_total)) out_buf.resize(out_total);
+      run_one(tid, in_buf, out_buf);
+    };
+    // Range form: pattern buffers are sized once per chunk, leaving the
+    // tiler's gather/compute/scatter as the inner loop.
+    launch.range_body = [run_one, in_total, out_total](std::int64_t begin, std::int64_t end) {
+      std::vector<std::int64_t> in_buf(static_cast<std::size_t>(in_total));
+      std::vector<std::int64_t> out_buf(static_cast<std::size_t>(out_total));
+      for (std::int64_t tid = begin; tid < end; ++tid) run_one(tid, in_buf, out_buf);
     };
     compute.enqueue_ndrange(launch, execute);
   }

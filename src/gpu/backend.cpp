@@ -1,0 +1,139 @@
+#include "gpu/backend.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "gpu/executor.hpp"
+
+namespace saclo::gpu {
+
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+void copy_bytes(std::span<std::byte> dst, std::span<const std::byte> src) {
+  if (!dst.empty() && !src.empty()) {
+    std::memcpy(dst.data(), src.data(), std::min(dst.size(), src.size()));
+  }
+}
+
+/// The analytic simulator: durations come from the calibrated cost
+/// model, functional execution from the thread pool — the original
+/// VirtualGpu behaviour, now one implementation among several.
+class SimBackend : public ExecutionBackend {
+ public:
+  SimBackend(const DeviceSpec& spec, ThreadPool& pool) : spec_(spec), pool_(pool) {}
+
+  BackendKind kind() const override { return BackendKind::Sim; }
+
+  double launch_kernel(const KernelLaunch& kernel, bool execute) override {
+    notify_kernel(kernel);
+    if (execute) {
+      if (kernel.body) {
+        pool_.parallel_for(kernel.threads, kernel.body);
+      } else if (kernel.range_body) {
+        pool_.parallel_for_ranges(kernel.threads, kernel.range_body);
+      }
+    }
+    return kernel_time_us(spec_, kernel.threads, kernel.cost);
+  }
+
+  double transfer(Dir dir, std::span<std::byte> dst, std::span<const std::byte> src,
+                  std::int64_t bytes, bool execute) override {
+    notify_transfer(dir, bytes);
+    if (execute) copy_bytes(dst, src);
+    return transfer_time_us(spec_, bytes, dir);
+  }
+
+ private:
+  DeviceSpec spec_;
+  ThreadPool& pool_;
+};
+
+/// The host-parallel backend: the same frame loops run for real on the
+/// CPU. Kernel bodies execute through the thread pool — preferring the
+/// SIMD-friendly range form, which hoists per-chunk scratch out of the
+/// id loop and leaves a vectorisable gather/compute/scatter inner loop
+/// — and executed operations are timed with the wall clock, so the
+/// device timeline carries what the CPU actually did. Accounting-only
+/// repetitions (execute=false) have no real work to measure and charge
+/// the analytic model, exactly like the simulator; results stay
+/// bit-exact against `sim` because the bodies and the copies are the
+/// same computations in the same issue order.
+class HostParallelBackend : public ExecutionBackend {
+ public:
+  HostParallelBackend(const DeviceSpec& spec, ThreadPool& pool) : spec_(spec), pool_(pool) {}
+
+  BackendKind kind() const override { return BackendKind::Host; }
+
+  double launch_kernel(const KernelLaunch& kernel, bool execute) override {
+    notify_kernel(kernel);
+    if (!execute || (!kernel.range_body && !kernel.body)) {
+      return kernel_time_us(spec_, kernel.threads, kernel.cost);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    if (kernel.range_body) {
+      pool_.parallel_for_ranges(kernel.threads, kernel.range_body);
+    } else {
+      pool_.parallel_for(kernel.threads, kernel.body);
+    }
+    return elapsed_us(t0);
+  }
+
+  double transfer(Dir dir, std::span<std::byte> dst, std::span<const std::byte> src,
+                  std::int64_t bytes, bool execute) override {
+    notify_transfer(dir, bytes);
+    if (!execute || dst.empty()) {
+      return transfer_time_us(spec_, bytes, dir);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    copy_bytes(dst, src);
+    return elapsed_us(t0);
+  }
+
+ private:
+  DeviceSpec spec_;
+  ThreadPool& pool_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind, const DeviceSpec& spec,
+                                               ThreadPool& pool) {
+  switch (kind) {
+    case BackendKind::Sim:
+      return std::make_unique<SimBackend>(spec, pool);
+    case BackendKind::Host:
+      return std::make_unique<HostParallelBackend>(spec, pool);
+    case BackendKind::OpenCl:
+#ifdef SACLO_BACKEND_OPENCL
+      return make_opencl_backend(spec, pool);
+#else
+      throw BackendError(
+          "this build has no OpenCL backend (configure with -DSACLO_BACKEND_OPENCL=ON)");
+#endif
+    case BackendKind::Hc:
+#ifdef SACLO_BACKEND_HC
+      return make_hc_backend(spec, pool);
+#else
+      throw BackendError("this build has no HC backend (configure with -DSACLO_BACKEND_HC=ON)");
+#endif
+  }
+  throw BackendError("unknown BackendKind");
+}
+
+std::vector<BackendKind> available_backends() {
+  std::vector<BackendKind> kinds{BackendKind::Sim, BackendKind::Host};
+#ifdef SACLO_BACKEND_OPENCL
+  kinds.push_back(BackendKind::OpenCl);
+#endif
+#ifdef SACLO_BACKEND_HC
+  kinds.push_back(BackendKind::Hc);
+#endif
+  return kinds;
+}
+
+}  // namespace saclo::gpu

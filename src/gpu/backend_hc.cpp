@@ -1,0 +1,59 @@
+// Stub HC (ROCm hc/parallel_for_each) execution backend, compiled only
+// with -DSACLO_BACKEND_HC=ON. Mirrors the kazuki saxpy harness shape:
+// the same kernel body the other backends run, expressed where
+// hc::parallel_for_each over an extent<1> would go. Functional
+// execution and timing delegate to the portable path so the stub builds
+// without a ROCm toolchain; a real driver replaces the marked bodies
+// with hc::array_view bindings and a completion_future wait.
+
+#include <cstring>
+
+#include "gpu/backend.hpp"
+#include "gpu/executor.hpp"
+
+namespace saclo::gpu {
+
+namespace {
+
+class HcStubBackend : public ExecutionBackend {
+ public:
+  HcStubBackend(const DeviceSpec& spec, ThreadPool& pool) : spec_(spec), pool_(pool) {}
+
+  BackendKind kind() const override { return BackendKind::Hc; }
+
+  double launch_kernel(const KernelLaunch& kernel, bool execute) override {
+    notify_kernel(kernel);
+    // Real driver: hc::parallel_for_each(hc::extent<1>(threads),
+    // [=](hc::index<1> i) restrict(amp) { body(i[0]); }).wait().
+    if (execute) {
+      if (kernel.body) {
+        pool_.parallel_for(kernel.threads, kernel.body);
+      } else if (kernel.range_body) {
+        pool_.parallel_for_ranges(kernel.threads, kernel.range_body);
+      }
+    }
+    return kernel_time_us(spec_, kernel.threads, kernel.cost);
+  }
+
+  double transfer(Dir dir, std::span<std::byte> dst, std::span<const std::byte> src,
+                  std::int64_t bytes, bool execute) override {
+    notify_transfer(dir, bytes);
+    // Real driver: hc::copy / array_view synchronize() in `dir`.
+    if (execute && !dst.empty() && !src.empty()) {
+      std::memcpy(dst.data(), src.data(), std::min(dst.size(), src.size()));
+    }
+    return transfer_time_us(spec_, bytes, dir);
+  }
+
+ private:
+  DeviceSpec spec_;
+  ThreadPool& pool_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionBackend> make_hc_backend(const DeviceSpec& spec, ThreadPool& pool) {
+  return std::make_unique<HcStubBackend>(spec, pool);
+}
+
+}  // namespace saclo::gpu

@@ -1,0 +1,67 @@
+// Stub OpenCL execution backend, compiled only with
+// -DSACLO_BACKEND_OPENCL=ON. No OpenCL toolchain is assumed: every
+// entry point is mapped onto the name of the clEnqueue* call a real
+// driver would issue, with the functional execution and timing
+// delegated to the portable path so the stub stays buildable and
+// testable anywhere. Dropping in a real driver means replacing the
+// bodies of launch_kernel/transfer/on_stream_created with
+// clEnqueueNDRangeKernel / clEnqueueWriteBuffer / clCreateCommandQueue
+// against the handles this class already threads through.
+
+#include <cstring>
+
+#include "gpu/backend.hpp"
+#include "gpu/executor.hpp"
+
+namespace saclo::gpu {
+
+namespace {
+
+class OpenClStubBackend : public ExecutionBackend {
+ public:
+  OpenClStubBackend(const DeviceSpec& spec, ThreadPool& pool) : spec_(spec), pool_(pool) {}
+
+  BackendKind kind() const override { return BackendKind::OpenCl; }
+
+  double launch_kernel(const KernelLaunch& kernel, bool execute) override {
+    notify_kernel(kernel);
+    // Real driver: clSetKernelArg per bound buffer, then
+    // clEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global, ...).
+    if (execute) {
+      if (kernel.body) {
+        pool_.parallel_for(kernel.threads, kernel.body);
+      } else if (kernel.range_body) {
+        pool_.parallel_for_ranges(kernel.threads, kernel.range_body);
+      }
+    }
+    return kernel_time_us(spec_, kernel.threads, kernel.cost);
+  }
+
+  double transfer(Dir dir, std::span<std::byte> dst, std::span<const std::byte> src,
+                  std::int64_t bytes, bool execute) override {
+    notify_transfer(dir, bytes);
+    // Real driver: clEnqueueWriteBuffer (H2D) / clEnqueueReadBuffer
+    // (D2H) with blocking=CL_FALSE on the queue bound to the stream.
+    if (execute && !dst.empty() && !src.empty()) {
+      std::memcpy(dst.data(), src.data(), std::min(dst.size(), src.size()));
+    }
+    return transfer_time_us(spec_, bytes, dir);
+  }
+
+  void on_stream_created(StreamId stream) override {
+    // Real driver: clCreateCommandQueueWithProperties, keyed by stream.
+    (void)stream;
+  }
+
+ private:
+  DeviceSpec spec_;
+  ThreadPool& pool_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionBackend> make_opencl_backend(const DeviceSpec& spec, ThreadPool& pool) {
+  return std::make_unique<OpenClStubBackend>(spec, pool);
+}
+
+}  // namespace saclo::gpu

@@ -34,7 +34,7 @@ void ThreadPool::worker_loop() {
       pending_.pop_back();
     }
     try {
-      for (std::int64_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
+      (*task.fn)(task.begin, task.end);
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (!error_) error_ = std::current_exception();
@@ -48,14 +48,24 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+  // The per-id form is the range form with a trivial inner loop.
+  const std::function<void(std::int64_t, std::int64_t)> range =
+      [&fn](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) fn(i);
+      };
+  parallel_for_ranges(n, range);
+}
+
+void ThreadPool::parallel_for_ranges(std::int64_t n,
+                                     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   if (n <= 0) return;
   const std::int64_t workers = static_cast<std::int64_t>(worker_count());
   if (workers == 1 || n < 2 * workers) {
-    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    fn(0, n);
     return;
   }
   const std::int64_t chunk = (n + workers - 1) / workers;
-  std::int64_t submitted_end = chunk;  // the caller runs the first chunk itself
+  const std::int64_t caller_end = std::min(chunk, n);  // the caller runs the first chunk itself
   {
     std::lock_guard lock(mutex_);
     for (std::int64_t begin = chunk; begin < n; begin += chunk) {
@@ -67,7 +77,7 @@ void ThreadPool::parallel_for(std::int64_t n, const std::function<void(std::int6
   // The caller's own chunk must not unwind past the wait below: pending
   // tasks hold a pointer to `fn`, so leaving early would dangle it.
   try {
-    for (std::int64_t i = 0; i < submitted_end && i < n; ++i) fn(i);
+    fn(0, caller_end);
   } catch (...) {
     std::lock_guard lock(mutex_);
     if (!error_) error_ = std::current_exception();

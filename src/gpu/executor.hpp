@@ -33,11 +33,19 @@ class ThreadPool {
   /// to the caller (first one wins).
   void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn);
 
+  /// Range form: each worker receives one contiguous chunk [begin, end)
+  /// and fn is invoked once per chunk. The host-parallel backend's
+  /// entry point for SIMD-friendly kernel bodies — per-chunk scratch is
+  /// set up once and the id loop inside fn is the compiler's to
+  /// vectorise. Same blocking and exception semantics as parallel_for.
+  void parallel_for_ranges(std::int64_t n,
+                           const std::function<void(std::int64_t, std::int64_t)>& fn);
+
  private:
   struct Task {
     std::int64_t begin = 0;
     std::int64_t end = 0;
-    const std::function<void(std::int64_t)>* fn = nullptr;
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
   };
 
   void worker_loop();

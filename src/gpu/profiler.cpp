@@ -217,7 +217,9 @@ std::string Profiler::chrome_trace_json() const {
     // Traced intervals (serve jobs) carry their owner, so a device dump
     // stays attributable even outside the merged fleet trace.
     if (i.trace_id != 0) {
-      out += cat(",\"args\":{\"job\":", i.trace_id, ",\"attempt\":", i.attempt, "}");
+      out += cat(",\"args\":{\"job\":", i.trace_id, ",\"attempt\":", i.attempt);
+      if (!backend_name_.empty()) out += cat(",\"backend\":\"", backend_name_, "\"");
+      out += "}";
     }
     out += "}";
   }

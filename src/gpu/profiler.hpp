@@ -41,6 +41,13 @@ class Profiler {
   void clear_trace() { set_trace(0, 0); }
   std::uint64_t current_trace() const { return trace_id_; }
 
+  /// The execution backend this profiler's device runs on ("sim",
+  /// "host", ...). VirtualGpu sets it at construction; traced intervals
+  /// in the Chrome export carry it so a merged fleet trace shows which
+  /// backend produced each span. Empty (the default) adds nothing.
+  void set_backend_name(std::string name) { backend_name_ = std::move(name); }
+  const std::string& backend_name() const { return backend_name_; }
+
   struct Row {
     std::string name;
     OpKind kind = OpKind::Kernel;
@@ -114,6 +121,7 @@ class Profiler {
   std::vector<Interval> intervals_;
   std::uint64_t trace_id_ = 0;
   std::uint32_t attempt_ = 0;
+  std::string backend_name_;
 };
 
 }  // namespace saclo::gpu

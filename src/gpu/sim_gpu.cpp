@@ -8,6 +8,28 @@
 
 namespace saclo::gpu {
 
+VirtualGpu::VirtualGpu(DeviceSpec spec, unsigned workers, BackendKind backend)
+    : spec_(std::move(spec)),
+      memory_(static_cast<std::int64_t>(spec_.global_mem_bytes)),
+      pool_(workers),
+      backend_(make_backend(backend, spec_, pool_)) {
+  backend_->set_boundary_observer(this);
+  profiler_.set_backend_name(backend_->name());
+}
+
+VirtualGpu::~VirtualGpu() = default;
+
+void VirtualGpu::on_kernel_boundary(const KernelLaunch& kernel) {
+  (void)kernel;
+  if (fault_ != nullptr) fault_->on_kernel(timeline_.makespan_us());
+}
+
+void VirtualGpu::on_transfer_boundary(Dir dir, std::int64_t bytes) {
+  (void)dir;
+  (void)bytes;
+  if (fault_ != nullptr) fault_->on_transfer(timeline_.makespan_us());
+}
+
 void VirtualGpu::copy_h2d(BufferHandle dst, std::span<const std::byte> src, const std::string& op,
                           bool execute, bool account, StreamId stream) {
   auto dest = memory_.bytes(dst);
@@ -16,18 +38,17 @@ void VirtualGpu::copy_h2d(BufferHandle dst, std::span<const std::byte> src, cons
                                 "-byte device buffer"));
   }
   // Silent (account=false) copies are device-resident handoffs, not
-  // PCIe traffic — they don't cross a fault boundary.
-  if (fault_ != nullptr && account) fault_->on_transfer(timeline_.makespan_us());
-  if (execute) {
-    std::memcpy(dest.data(), src.data(), src.size());
+  // PCIe traffic — they never reach the backend, so they cross no fault
+  // boundary and accrue no time.
+  if (!account) {
+    if (execute) std::memcpy(dest.data(), src.data(), src.size());
+    return;
   }
-  if (account) {
-    const double us =
-        transfer_time_us(spec_, static_cast<std::int64_t>(src.size()), Dir::HostToDevice);
-    const BufferHandle writes[] = {dst};
-    const auto iv = timeline_.schedule(stream, us, {}, writes);
-    profiler_.record_interval(op, OpKind::MemcpyHtoD, stream, iv.start_us, iv.end_us);
-  }
+  const double us = backend_->transfer(Dir::HostToDevice, dest.first(src.size()), src,
+                                       static_cast<std::int64_t>(src.size()), execute);
+  const BufferHandle writes[] = {dst};
+  const auto iv = timeline_.schedule(stream, us, {}, writes);
+  profiler_.record_interval(op, OpKind::MemcpyHtoD, stream, iv.start_us, iv.end_us);
 }
 
 void VirtualGpu::copy_d2h(std::span<std::byte> dst, BufferHandle src, const std::string& op,
@@ -37,23 +58,20 @@ void VirtualGpu::copy_d2h(std::span<std::byte> dst, BufferHandle src, const std:
     throw DeviceMemoryError(cat("copy_d2h of ", dst.size(), " bytes from ", source.size(),
                                 "-byte device buffer"));
   }
-  if (fault_ != nullptr && account) fault_->on_transfer(timeline_.makespan_us());
-  if (execute) {
-    std::memcpy(dst.data(), source.data(), dst.size());
+  if (!account) {
+    if (execute) std::memcpy(dst.data(), source.data(), dst.size());
+    return;
   }
-  if (account) {
-    const double us =
-        transfer_time_us(spec_, static_cast<std::int64_t>(dst.size()), Dir::DeviceToHost);
-    const BufferHandle reads[] = {src};
-    const auto iv = timeline_.schedule(stream, us, reads, {});
-    profiler_.record_interval(op, OpKind::MemcpyDtoH, stream, iv.start_us, iv.end_us);
-  }
+  const double us = backend_->transfer(Dir::DeviceToHost, dst, source.first(dst.size()),
+                                       static_cast<std::int64_t>(dst.size()), execute);
+  const BufferHandle reads[] = {src};
+  const auto iv = timeline_.schedule(stream, us, reads, {});
+  profiler_.record_interval(op, OpKind::MemcpyDtoH, stream, iv.start_us, iv.end_us);
 }
 
 void VirtualGpu::account_transfer(std::int64_t bytes, Dir dir, const std::string& op,
                                   StreamId stream, BufferHandle touched) {
-  if (fault_ != nullptr) fault_->on_transfer(timeline_.makespan_us());
-  const double us = transfer_time_us(spec_, bytes, dir);
+  const double us = backend_->transfer(dir, {}, {}, bytes, false);
   const BufferHandle handles[] = {touched};
   const std::span<const BufferHandle> hazard =
       touched.valid() ? std::span<const BufferHandle>(handles) : std::span<const BufferHandle>();
@@ -68,18 +86,14 @@ double VirtualGpu::launch(const KernelLaunch& kernel, bool execute, StreamId str
 }
 
 double VirtualGpu::launch_impl(const KernelLaunch& kernel, bool execute, StreamId stream) {
-  if (fault_ != nullptr) fault_->on_kernel(timeline_.makespan_us());
-  const double us = kernel_time_us(spec_, kernel.threads, kernel.cost);
-  if (execute && kernel.body) {
-    pool_.parallel_for(kernel.threads, kernel.body);
-  }
+  const double us = backend_->launch_kernel(kernel, execute);
   const auto iv = timeline_.schedule(stream, us, kernel.reads, kernel.writes);
   profiler_.record_interval(kernel.name, OpKind::Kernel, stream, iv.start_us, iv.end_us);
   return us;
 }
 
 double VirtualGpu::run_host(const std::string& op, double us, StreamId stream) {
-  const auto iv = timeline_.schedule(stream, us);
+  const auto iv = timeline_.schedule(stream, backend_->host_stage(us));
   profiler_.record_interval(op, OpKind::Host, stream, iv.start_us, iv.end_us);
   return iv.end_us;
 }

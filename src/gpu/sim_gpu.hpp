@@ -1,9 +1,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "gpu/backend.hpp"
 #include "gpu/cost_model.hpp"
 #include "gpu/device.hpp"
 #include "gpu/executor.hpp"
@@ -17,59 +19,58 @@ class FaultInjector;
 
 namespace saclo::gpu {
 
-/// A kernel ready to launch on the simulator: a name (for profiling), a
-/// 1-D thread count (grids are linearised by the code generators, which
-/// matches how both generated-code styles compute a global id), a
-/// static cost descriptor, and the functional body.
-struct KernelLaunch {
-  std::string name;
-  std::int64_t threads = 0;
-  KernelCost cost;
-  /// The body receives the global thread id. It must be safe to call
-  /// concurrently for distinct ids (single-assignment output, as both
-  /// source languages guarantee).
-  std::function<void(std::int64_t)> body;
-  /// Device buffers the kernel reads/writes — the data hazards that
-  /// order it against operations on other streams. Empty lists mean no
-  /// cross-stream constraints (single-stream issue stays correct via
-  /// stream order alone).
-  std::vector<BufferHandle> reads;
-  std::vector<BufferHandle> writes;
-};
-
-/// The simulated GPU: device memory + functional executor + analytic
-/// multi-stream clock + profiler.
+/// The virtual GPU: device memory + a pluggable execution backend + the
+/// analytic multi-stream clock + profiler.
+///
+/// The backend (see gpu/backend.hpp) owns what an operation *does* and
+/// what it costs: `sim` (the default) runs kernel bodies functionally
+/// and charges the calibrated cost model; `host` runs the same bodies
+/// and charges measured wall time. VirtualGpu keeps everything
+/// backend-independent — memory pool, stream timeline, profiling, fault
+/// boundaries — so results are bit-exact across backends by
+/// construction.
 ///
 /// Every operation takes an `execute` flag: with execute=true the data
 /// movement / kernel body really runs (bit-exact results); with
-/// execute=false only simulated time is accrued. Pipelines use this to
-/// validate a few frames functionally and then account the remaining
-/// repetitions of an identical-cost operation without re-running them.
+/// execute=false only time is accrued. Pipelines use this to validate a
+/// few frames functionally and then account the remaining repetitions
+/// of an identical-cost operation without re-running them.
 ///
 /// Operations land on a stream (default: stream 0). Functional
 /// execution always happens immediately in issue order — only the
 /// simulated timeline overlaps — so results are bit-exact regardless of
 /// the stream assignment, provided the issue order itself respects data
 /// dependences (it is the program order of the pipeline).
-class VirtualGpu {
+class VirtualGpu : private OpBoundaryObserver {
  public:
-  explicit VirtualGpu(DeviceSpec spec, unsigned workers = 0)
-      : spec_(std::move(spec)),
-        memory_(static_cast<std::int64_t>(spec_.global_mem_bytes)),
-        pool_(workers) {}
+  explicit VirtualGpu(DeviceSpec spec, unsigned workers = 0,
+                      BackendKind backend = BackendKind::Sim);
+  ~VirtualGpu() override;
 
   const DeviceSpec& spec() const { return spec_; }
   DeviceMemoryPool& memory() { return memory_; }
-  /// The allocator buffer creation routes through: the raw memory pool
-  /// by default, or an installed caching layer (serve's
-  /// CachingDeviceAllocator). Install with nullptr to restore the pool.
-  BufferAllocator& allocator() { return allocator_ != nullptr ? *allocator_ : memory_; }
+  /// The execution backend every kernel launch and accounted transfer
+  /// routes through.
+  ExecutionBackend& backend() { return *backend_; }
+  BackendKind backend_kind() const { return backend_->kind(); }
+  const char* backend_name() const { return backend_->name(); }
+  /// The allocator buffer creation routes through: an installed caching
+  /// layer (serve's CachingDeviceAllocator) first, then the backend's
+  /// own device storage if it has one, then the host-backed memory
+  /// pool. Install with nullptr to restore the default chain.
+  BufferAllocator& allocator() {
+    if (allocator_ != nullptr) return *allocator_;
+    if (BufferAllocator* dev = backend_->device_allocator(); dev != nullptr) return *dev;
+    return memory_;
+  }
   void set_allocator(BufferAllocator* allocator) { allocator_ = allocator; }
   /// Installs a fault injector the device consults before every kernel
   /// launch and accounted transfer (fail-stop: a faulted operation does
   /// not run and accrues no simulated time). nullptr uninstalls —
   /// that's also the default, so the fault machinery costs nothing when
   /// unused. The injector must outlive the device or be uninstalled.
+  /// Faults fire from the backend's op-boundary callbacks, so the
+  /// boundaries are identical on every backend.
   void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
   fault::FaultInjector* fault_injector() const { return fault_; }
   Profiler& profiler() { return profiler_; }
@@ -94,7 +95,11 @@ class VirtualGpu {
   double stream_tail_us(StreamId stream) const { return timeline_.tail_us(stream); }
 
   /// Creates a new stream (cudaStreamCreate / clCreateCommandQueue).
-  StreamId create_stream() { return timeline_.create_stream(); }
+  StreamId create_stream() {
+    const StreamId s = timeline_.create_stream();
+    backend_->on_stream_created(s);
+    return s;
+  }
   /// Captures the tail of `stream` as an event (cudaEventRecord).
   EventId record_event(StreamId stream) { return timeline_.record_event(stream); }
   /// Orders `stream` after `event` (cudaStreamWaitEvent).
@@ -124,7 +129,7 @@ class VirtualGpu {
   void account_transfer(std::int64_t bytes, Dir dir, const std::string& op,
                         StreamId stream = kDefaultStream, BufferHandle touched = {});
 
-  /// Launches a kernel; returns its simulated duration in microseconds.
+  /// Launches a kernel; returns its duration in microseconds.
   double launch(const KernelLaunch& kernel, bool execute, StreamId stream = kDefaultStream);
 
   /// Accrues the time of a kernel launch without running the body.
@@ -141,11 +146,20 @@ class VirtualGpu {
  private:
   double launch_impl(const KernelLaunch& kernel, bool execute, StreamId stream);
 
+  // The backend's op-boundary callbacks, fired exactly once before each
+  // kernel launch / accounted transfer — where the fault injector hooks
+  // in, on every backend alike.
+  void on_kernel_boundary(const KernelLaunch& kernel) override;
+  void on_transfer_boundary(Dir dir, std::int64_t bytes) override;
+
   DeviceSpec spec_;
   DeviceMemoryPool memory_;
   BufferAllocator* allocator_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
   ThreadPool pool_;
+  // Declared after pool_: the backend holds a reference to the pool and
+  // must be destroyed first.
+  std::unique_ptr<ExecutionBackend> backend_;
   Profiler profiler_;
   Timeline timeline_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/fmt.hpp"
+#include "gpu/backend_kind.hpp"
 
 namespace saclo::obs {
 
@@ -69,10 +70,12 @@ std::vector<Event> EventLog::snapshot() const {
 }
 
 std::string event_json(const Event& event) {
-  return cat("{\"event\":\"", event_type_name(event.type), "\",\"t_real_us\":",
-             fixed(event.t_real_us, 1), ",\"t_sim_us\":", fixed(event.t_sim_us, 3),
-             ",\"job\":", event.job, ",\"device\":", event.device,
-             ",\"attempt\":", event.attempt, ",\"arg\":", event.arg, "}");
+  return cat("{\"event\":\"", event_type_name(event.type), "\",\"backend\":\"",
+             gpu::backend_kind_name(static_cast<gpu::BackendKind>(event.backend)),
+             "\",\"t_real_us\":", fixed(event.t_real_us, 1),
+             ",\"t_sim_us\":", fixed(event.t_sim_us, 3), ",\"job\":", event.job,
+             ",\"device\":", event.device, ",\"attempt\":", event.attempt,
+             ",\"arg\":", event.arg, "}");
 }
 
 std::string EventLog::jsonl() const {

@@ -32,6 +32,7 @@ const char* event_type_name(EventType type);
 /// is a struct copy into a preallocated slot, never an allocation.
 struct Event {
   EventType type = EventType::JobAdmitted;
+  std::uint8_t backend = 0;   ///< gpu::BackendKind of the fleet's devices
   std::uint64_t job = 0;      ///< trace id (0 = fleet-level event)
   std::int32_t device = -1;   ///< fleet device index (-1 = none yet)
   std::int32_t attempt = 0;   ///< failover hop of the owning job

@@ -112,8 +112,10 @@ std::string merged_chrome_trace(const std::vector<DeviceTrace>& devices,
   }
 
   for (const DeviceTrace& dev : devices) {
+    std::string proc = cat("gpu", dev.device);
+    if (!dev.backend.empty()) proc += cat(" (", dev.backend, ")");
     emit(cat("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":", dev.device,
-             ",\"args\":{\"name\":\"gpu", dev.device, "\"}}"));
+             ",\"args\":{\"name\":\"", json_escape(proc), "\"}}"));
     std::set<gpu::StreamId> streams;
     for (const auto& iv : dev.intervals) streams.insert(iv.stream);
     for (gpu::StreamId s : streams) {
@@ -133,7 +135,9 @@ std::string merged_chrome_trace(const std::vector<DeviceTrace>& devices,
                            ",\"tid\":", iv.stream, ",\"ts\":", fixed(iv.start_us, 3),
                            ",\"dur\":", fixed(iv.duration_us(), 3));
       if (iv.trace_id != 0) {
-        ev += cat(",\"args\":{\"job\":", iv.trace_id, ",\"attempt\":", iv.attempt, "}");
+        ev += cat(",\"args\":{\"job\":", iv.trace_id, ",\"attempt\":", iv.attempt);
+        if (!dev.backend.empty()) ev += cat(",\"backend\":\"", json_escape(dev.backend), "\"");
+        ev += "}";
       }
       emit(ev + "}");
     }

@@ -14,6 +14,11 @@ namespace saclo::obs {
 struct DeviceTrace {
   int device = 0;
   std::vector<gpu::Profiler::Interval> intervals;
+  /// Execution backend the device ran on ("sim", "host", ...). Empty
+  /// (the default) keeps the bare "gpuN" process name; when set, the
+  /// process name reads "gpuN (backend)" and traced spans carry a
+  /// "backend" arg.
+  std::string backend;
 };
 
 /// The tid the merged trace parks runtime instant events on (faults,

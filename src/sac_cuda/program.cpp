@@ -543,6 +543,9 @@ sac::Value CudaProgram::run(gpu::cuda::Runtime& rt, const std::vector<sac::Value
         copy.body = [src_span, out_span](std::int64_t tid) {
           out_span[static_cast<std::size_t>(tid)] = src_span[static_cast<std::size_t>(tid)];
         };
+        copy.range_body = [src_span, out_span](std::int64_t begin, std::int64_t end) {
+          std::copy(src_span.begin() + begin, src_span.begin() + end, out_span.begin() + begin);
+        };
         rt.launch(copy, execute, ss.compute);
       }
       if (group.needs_default_fill) {
@@ -555,6 +558,9 @@ sac::Value CudaProgram::run(gpu::cuda::Runtime& rt, const std::vector<sac::Value
         const std::int32_t dv = static_cast<std::int32_t>(group.default_value);
         fill.body = [out_span, dv](std::int64_t tid) {
           out_span[static_cast<std::size_t>(tid)] = dv;
+        };
+        fill.range_body = [out_span, dv](std::int64_t begin, std::int64_t end) {
+          std::fill(out_span.begin() + begin, out_span.begin() + end, dv);
         };
         rt.launch(fill, execute, ss.compute);
       }
@@ -605,6 +611,31 @@ sac::Value CudaProgram::run(gpu::cuda::Runtime& rt, const std::vector<sac::Value
           for (std::size_t c = 0; c < tape->result_slots.size(); ++c) {
             out_span[static_cast<std::size_t>(out_base + static_cast<std::int64_t>(c))] =
                 static_cast<std::int32_t>(slots[static_cast<std::size_t>(tape->result_slots[c])]);
+          }
+        };
+        // Range form for backends that execute for real: the slot
+        // scratch is sized once per chunk instead of checked per id,
+        // leaving a tight decode/run/store loop.
+        launch.range_body = [tape, arrays, lat, full_strides, rank, slot_count,
+                             out_span](std::int64_t begin, std::int64_t end) {
+          std::vector<std::int64_t> slots(static_cast<std::size_t>(slot_count));
+          for (std::int64_t tid = begin; tid < end; ++tid) {
+            std::int64_t rest = tid;
+            std::int64_t out_base = 0;
+            for (std::size_t d = 0; d < rank; ++d) {
+              const auto& dim = lat.dims[d];
+              const std::int64_t t = rest % dim.extent;
+              rest /= dim.extent;
+              const std::int64_t iv = dim.lb + dim.step * t;
+              slots[static_cast<std::size_t>(tape->index_slots[d])] = iv;
+              out_base += iv * full_strides[d];
+            }
+            tape->run(slots, arrays);
+            for (std::size_t c = 0; c < tape->result_slots.size(); ++c) {
+              out_span[static_cast<std::size_t>(out_base + static_cast<std::int64_t>(c))] =
+                  static_cast<std::int32_t>(
+                      slots[static_cast<std::size_t>(tape->result_slots[c])]);
+            }
           }
         };
         rt.launch(launch, execute, ss.compute);

@@ -78,7 +78,8 @@ double estimate_job_us(const JobSpec& spec, const gpu::DeviceSpec& device) {
   return per_channel * spec.channels * spec.frames;
 }
 
-JobResult reference_run(const JobSpec& spec, const gpu::DeviceSpec& device, unsigned workers) {
+JobResult reference_run(const JobSpec& spec, const gpu::DeviceSpec& device, unsigned workers,
+                        gpu::BackendKind backend) {
   spec.validate();
   JobResult result;
   result.route = spec.route;
@@ -88,6 +89,7 @@ JobResult reference_run(const JobSpec& spec, const gpu::DeviceSpec& device, unsi
     apps::GaspardDownscaler::Options opts;
     opts.device = device;
     opts.workers = workers;
+    opts.backend = backend;
     opts.rgb = spec.channels == 3;
     opts.async_streams = true;
     apps::GaspardDownscaler driver(spec.config, opts);
@@ -101,6 +103,7 @@ JobResult reference_run(const JobSpec& spec, const gpu::DeviceSpec& device, unsi
     opts.generic = spec.route == Route::SacGeneric;
     opts.device = device;
     opts.workers = workers;
+    opts.backend = backend;
     opts.async_streams = true;
     apps::SacDownscaler driver(spec.config, opts);
     auto r = driver.run_cuda_chain(spec.frames, spec.channels, exec);

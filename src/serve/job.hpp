@@ -6,6 +6,7 @@
 #include "apps/downscaler/config.hpp"
 #include "apps/downscaler/pipelines.hpp"
 #include "core/error.hpp"
+#include "gpu/backend_kind.hpp"
 #include "gpu/device.hpp"
 
 namespace saclo::serve {
@@ -75,9 +76,9 @@ std::string driver_key(Route route, const apps::DownscalerConfig& config);
 double estimate_job_us(const JobSpec& spec, const gpu::DeviceSpec& device);
 
 /// Single-device reference run of the same spec (fresh VirtualGpu, the
-/// pre-fleet code path). Tests assert fleet results bit-exact against
-/// this.
-JobResult reference_run(const JobSpec& spec, const gpu::DeviceSpec& device,
-                        unsigned workers = 1);
+/// pre-fleet code path) on the given execution backend. Tests assert
+/// fleet results bit-exact against this — and across backends.
+JobResult reference_run(const JobSpec& spec, const gpu::DeviceSpec& device, unsigned workers = 1,
+                        gpu::BackendKind backend = gpu::BackendKind::Sim);
 
 }  // namespace saclo::serve

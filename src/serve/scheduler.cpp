@@ -40,7 +40,8 @@ ServeRuntime::ServeRuntime(const Options& options)
   devices_.reserve(static_cast<std::size_t>(options_.devices));
   for (int i = 0; i < options_.devices; ++i) {
     auto dev = std::make_unique<Device>();
-    dev->gpu = std::make_unique<gpu::VirtualGpu>(options_.device, options_.workers_per_device);
+    dev->gpu = std::make_unique<gpu::VirtualGpu>(options_.device, options_.workers_per_device,
+                                                 options_.backend);
     if (options_.cache_buffers) {
       dev->cache = std::make_unique<CachingDeviceAllocator>(dev->gpu->memory());
       dev->gpu->set_allocator(dev->cache.get());
@@ -65,6 +66,7 @@ void ServeRuntime::emit(obs::EventType type, std::uint64_t job, int device, int 
   if (event_log_ == nullptr) return;
   obs::Event event;
   event.type = type;
+  event.backend = static_cast<std::uint8_t>(options_.backend);
   event.job = job;
   event.device = device;
   event.attempt = attempt;
@@ -268,7 +270,8 @@ std::string ServeRuntime::merged_trace_json() const {
   std::vector<obs::DeviceTrace> traces;
   traces.reserve(devices_.size());
   for (std::size_t i = 0; i < devices_.size(); ++i) {
-    traces.push_back({static_cast<int>(i), devices_[i]->gpu->profiler().intervals()});
+    traces.push_back({static_cast<int>(i), devices_[i]->gpu->profiler().intervals(),
+                      devices_[i]->gpu->backend_name()});
   }
   const std::vector<obs::Event> events =
       event_log_ != nullptr ? event_log_->snapshot() : std::vector<obs::Event>{};

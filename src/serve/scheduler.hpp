@@ -63,6 +63,10 @@ class ServeRuntime {
     gpu::DeviceSpec device = gpu::gtx480();
     gpu::HostSpec host = gpu::i7_930();
     unsigned workers_per_device = 1;  ///< thread-pool width for functional kernels
+    /// Execution backend every fleet device delegates to (see
+    /// gpu/backend.hpp). Results are bit-exact across backends; only
+    /// how op durations are produced differs.
+    gpu::BackendKind backend = gpu::BackendKind::Sim;
     bool async_streams = true;        ///< per-job double-buffered stream overlap
     bool cache_buffers = true;        ///< install the caching device allocator
     /// Accept jobs but don't dispatch until resume() — deterministic

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "gpu/backend_kind.hpp"
 #include "support/mini_json.hpp"
 
 namespace saclo::obs {
@@ -49,12 +50,22 @@ TEST(EventLogTest, EventJsonRoundTripsEveryField) {
   const Json root = parse_json(event_json(e));
   ASSERT_TRUE(root.is_object());
   EXPECT_EQ(root.at("event").string, "failover");
+  EXPECT_EQ(root.at("backend").string, "sim") << "default backend tag";
   EXPECT_DOUBLE_EQ(root.at("job").number, 7.0);
   EXPECT_DOUBLE_EQ(root.at("device").number, 1.0);
   EXPECT_DOUBLE_EQ(root.at("attempt").number, 2.0);
   EXPECT_DOUBLE_EQ(root.at("arg").number, 3.0);
   EXPECT_NEAR(root.at("t_real_us").number, 12.5, 0.1);
   EXPECT_NEAR(root.at("t_sim_us").number, 340.75, 0.01);
+}
+
+TEST(EventLogTest, EventJsonCarriesTheFleetBackend) {
+  // Events from a host-backed fleet say so: offline analysis of an
+  // events JSONL must be able to tell which backend produced it.
+  Event e = make_event(EventType::JobCompleted, 1, 0, 0, 2);
+  e.backend = static_cast<std::uint8_t>(gpu::BackendKind::Host);
+  const Json root = parse_json(event_json(e));
+  EXPECT_EQ(root.at("backend").string, "host");
 }
 
 TEST(EventLogTest, RecordsInOrderUpToCapacity) {

@@ -150,6 +150,31 @@ TEST(MergedTraceTest, RuntimeInstantEventsLandOnTheRuntimeTrack) {
   EXPECT_TRUE(named_runtime_tid);
 }
 
+TEST(MergedTraceTest, BackendTagAnnotatesProcessNamesAndTracedSpans) {
+  // A fleet that reports its execution backend gets it into the merged
+  // trace twice: the process name reads "gpuN (backend)" and every
+  // traced span's args carry it. Untagged traces (the goldens above)
+  // keep the bare "gpuN" form.
+  std::vector<DeviceTrace> fleet = staged_fleet();
+  for (DeviceTrace& dev : fleet) dev.backend = "host";
+  const Json root = parse_json(merged_chrome_trace(fleet, staged_events()));
+  const Json& events = root.at("traceEvents");
+
+  std::vector<std::string> process_names;
+  for (const Json& e : events.array) {
+    if (e.at("ph").string == "M" && e.at("name").string == "process_name") {
+      process_names.push_back(e.at("args").at("name").string);
+    }
+  }
+  EXPECT_EQ(process_names, (std::vector<std::string>{"gpu0 (host)", "gpu1 (host)"}));
+
+  for (const Json& e : events.array) {
+    if (e.at("ph").string != "X" || e.at("name").string == "warmup") continue;
+    ASSERT_TRUE(e.has("args")) << e.at("name").string;
+    EXPECT_EQ(e.at("args").at("backend").string, "host") << e.at("name").string;
+  }
+}
+
 TEST(MergedTraceTest, EmptyFleetStillRendersValidJson) {
   const Json root = parse_json(merged_chrome_trace({}, {}));
   ASSERT_TRUE(root.is_object());

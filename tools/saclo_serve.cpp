@@ -4,12 +4,20 @@
 //
 // Usage:
 //   saclo-serve [--devices N] [--jobs M] [--route sacng|sacg|gaspard|mixed]
+//               [--backend sim|host|opencl|hc]
 //               [--frames F] [--exec-frames E] [--height H] [--width W]
 //               [--queue-capacity Q] [--no-cache] [--sync-streams]
 //               [--fault SPEC] [--max-retries R]
-//               [--json] [--trace DEVICE]
+//               [--json] [--trace DEVICE] [--checksum]
 //               [--trace-out FILE] [--events-out FILE] [--metrics-out FILE]
 //               [--events-capacity N]
+//
+// --backend selects the execution backend of every fleet device; job
+// results are bit-exact across backends, so
+//   saclo-serve ... --backend sim --checksum
+//   saclo-serve ... --backend host --checksum
+// must print the same checksum line (the backend-differential CI job
+// gates on exactly this, including under injected faults).
 //
 // --fault installs an injected failure, e.g.
 //   saclo-serve --devices 2 --fault "dev=0,after_ms=50,kind=kernel"
@@ -24,6 +32,7 @@
 //                  device_fault, failover, ...)
 //   --metrics-out  Prometheus text exposition of the fleet metrics
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -32,6 +41,7 @@
 
 #include "fault/fault.hpp"
 #include "fault/plan.hpp"
+#include "gpu/backend_kind.hpp"
 #include "serve/scheduler.hpp"
 
 using namespace saclo;
@@ -43,11 +53,16 @@ int usage() {
   std::fprintf(stderr,
                "usage: saclo-serve [--devices N] [--jobs M]\n"
                "                   [--route sacng|sacg|gaspard|mixed] [--frames F]\n"
+               "                   [--backend sim|host|opencl|hc]\n"
                "                   [--exec-frames E] [--height H] [--width W]\n"
                "                   [--queue-capacity Q] [--no-cache] [--sync-streams]\n"
                "                   [--fault SPEC] [--max-retries R]\n"
-               "                   [--json] [--trace DEVICE]\n"
+               "                   [--json] [--trace DEVICE] [--checksum]\n"
                "\n"
+               "  --backend B    execution backend of every fleet device\n"
+               "                 (default sim; results are bit-exact across backends)\n"
+               "  --checksum     print \"checksum <hex>\" over every job's output\n"
+               "                 (submission order) -- for cross-backend comparison\n"
                "  --fault SPEC   inject a device failure; repeatable. SPEC is\n"
                "                 ';'-separated specs of comma-separated fields:\n"
                "                   dev=D            target fleet device (default 0)\n"
@@ -63,6 +78,16 @@ int usage() {
                "  --metrics-out FILE  write the Prometheus metrics exposition\n"
                "  --events-capacity N bound of the event ring (default 65536)\n");
   return 2;
+}
+
+/// FNV-1a over a job's identity and full output pixels — deterministic
+/// for a given job mix, independent of which devices ran what or how
+/// many failover hops occurred.
+void fnv1a(std::uint64_t& h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffu;
+    h *= 1099511628211ull;
+  }
 }
 
 bool write_file(const std::string& path, const std::string& contents) {
@@ -85,6 +110,7 @@ int main(int argc, char** argv) {
   int frames = 16;
   int exec_frames = 1;
   bool emit_json = false;
+  bool emit_checksum = false;
   int trace_device = -1;
   std::string trace_out;
   std::string events_out;
@@ -99,6 +125,13 @@ int main(int argc, char** argv) {
       jobs = std::stoi(argv[++i]);
     } else if (arg == "--route" && i + 1 < argc) {
       route = argv[++i];
+    } else if (arg == "--backend" && i + 1 < argc) {
+      try {
+        opts.backend = gpu::parse_backend_kind(argv[++i]);
+      } catch (const gpu::BackendError& e) {
+        std::fprintf(stderr, "saclo-serve: %s\n", e.what());
+        return usage();
+      }
     } else if (arg == "--frames" && i + 1 < argc) {
       frames = std::stoi(argv[++i]);
     } else if (arg == "--exec-frames" && i + 1 < argc) {
@@ -125,6 +158,8 @@ int main(int argc, char** argv) {
       opts.max_retries = std::stoi(argv[++i]);
     } else if (arg == "--json") {
       emit_json = true;
+    } else if (arg == "--checksum") {
+      emit_checksum = true;
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_device = std::stoi(argv[++i]);
     } else if (arg == "--trace-out" && i + 1 < argc) {
@@ -158,9 +193,22 @@ int main(int argc, char** argv) {
       futures.push_back(runtime.submit(spec));
     }
     int failed = 0;
+    std::uint64_t checksum = 1469598103934665603ull;  // FNV-1a offset basis
     for (auto& f : futures) {
       try {
-        f.get();
+        JobResult r = f.get();
+        if (emit_checksum) {
+          // Submission order, not completion order: the digest is a
+          // function of the job mix alone, so two runs of the same mix
+          // on different backends (or fault plans) must agree.
+          fnv1a(checksum, static_cast<std::uint64_t>(r.route));
+          fnv1a(checksum, static_cast<std::uint64_t>(r.frames));
+          fnv1a(checksum, static_cast<std::uint64_t>(r.last_output.elements()));
+          for (std::int64_t i = 0; i < r.last_output.elements(); ++i) {
+            fnv1a(checksum, static_cast<std::uint64_t>(
+                                static_cast<std::int64_t>(r.last_output[i])));
+          }
+        }
       } catch (const fault::DeviceFault& e) {
         // Retry budget exhausted on an injected fault: report it and
         // keep going — a degraded fleet still renders its report.
@@ -169,6 +217,7 @@ int main(int argc, char** argv) {
       }
     }
     runtime.drain();
+    if (emit_checksum) std::printf("checksum %016llx\n", static_cast<unsigned long long>(checksum));
 
     if (trace_device >= 0) {
       std::printf("%s\n", runtime.device_trace_json(trace_device).c_str());
