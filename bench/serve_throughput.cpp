@@ -82,6 +82,71 @@ SweepPoint run_fleet(int devices, gpu::BackendKind backend) {
   return p;
 }
 
+/// Dynamic-batching point: a uniform gaspard-only backlog (every job
+/// shares one batch_key) accepted while paused, then released at once —
+/// the dispatchers coalesce deterministic batches of `batch_max`.
+struct BatchPoint {
+  double makespan_us = 0;
+  std::int64_t batches_formed = 0;
+  std::int64_t jobs_batched = 0;
+};
+
+BatchPoint run_batched_fleet(int devices, int batch_max, gpu::BackendKind backend) {
+  ServeRuntime::Options opts;
+  opts.devices = devices;
+  opts.queue_capacity = kJobs;
+  opts.backend = backend;
+  opts.batch_max = batch_max;
+  opts.start_paused = true;
+  ServeRuntime runtime(opts);
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    JobSpec spec;
+    spec.route = Route::Gaspard;
+    spec.frames = kFramesPerJob;
+    spec.exec_frames = 1;
+    futures.push_back(runtime.submit(spec));
+  }
+  runtime.resume();
+  for (auto& f : futures) f.get();
+  runtime.drain();
+
+  const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+  return {s.sim_makespan_us, s.batches_formed, s.jobs_batched};
+}
+
+/// batch=1 vs batch=N on the same uniform backlog, emitted as paired
+/// variants (`batch_1`, `batch_4`) for bench_diff.py's pair mode. The
+/// gate this encodes is makespan *parity*: the hazard-driven stream
+/// timeline is work-conserving across jobs, so coalescing (which elides
+/// the inter-member barrier and amortizes per-job dispatch overhead in
+/// real time) must leave the simulated makespan unchanged — a batching
+/// bug that delays or reorders device work shows up as a variant
+/// regression here.
+void batching_sweep(gpu::BackendKind backend, BenchJson& out) {
+  print_header(cat("Dynamic batching [", gpu::backend_kind_name(backend), " backend] — ", kJobs,
+                   " gaspard jobs x ", kFramesPerJob, " frames, 2 devices"));
+  std::printf("%10s %14s %10s %14s\n", "batch max", "makespan(s)", "batches", "jobs batched");
+  double unbatched_us = 0;
+  double batched_us = 0;
+  for (int batch_max : {1, 4}) {
+    const BatchPoint p = run_batched_fleet(2, batch_max, backend);
+    (batch_max == 1 ? unbatched_us : batched_us) = p.makespan_us;
+    std::printf("%10d %14.3f %10lld %14lld\n", batch_max, p.makespan_us / 1e6,
+                static_cast<long long>(p.batches_formed),
+                static_cast<long long>(p.jobs_batched));
+    out.variant(cat("batch_", batch_max), p.makespan_us,
+                {{"batches_formed", static_cast<double>(p.batches_formed)},
+                 {"jobs_batched", static_cast<double>(p.jobs_batched)}});
+  }
+  if (unbatched_us > 0) {
+    std::printf("\nbatched makespan vs unbatched: %+.2f%% (parity expected: the simulated\n"
+                "timeline is work-conserving; batching amortizes real dispatch overhead)\n",
+                100.0 * (batched_us / unbatched_us - 1.0));
+  }
+}
+
 void device_sweep(gpu::BackendKind backend) {
   const char* name = gpu::backend_kind_name(backend);
   print_header(cat("Serving fleet sweep [", name, " backend] — ", kJobs, " mixed jobs x ",
@@ -112,6 +177,7 @@ void device_sweep(gpu::BackendKind backend) {
   out.scalar("speedup_8_devices", scaling_8x);
   std::printf("\nscaling vs 1 device: 4 devices %.2fx, 8 devices %.2fx\n", scaling_4x,
               scaling_8x);
+  batching_sweep(backend, out);
   out.write();
 }
 

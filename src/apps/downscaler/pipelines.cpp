@@ -105,7 +105,8 @@ SacDownscaler::CudaResult SacDownscaler::run_cuda_chain(int frames, int channels
 
 SacDownscaler::CudaResult SacDownscaler::run_cuda_chain_on(gpu::VirtualGpu& gpu, int frames,
                                                            int channels, int exec_frames,
-                                                           const FrameCallback& on_frame) {
+                                                           const FrameCallback& on_frame,
+                                                           bool flush) {
   gpu::cuda::Runtime rt(gpu);
   gpu::Profiler host_profiler;
   CudaResult result;
@@ -157,7 +158,7 @@ SacDownscaler::CudaResult SacDownscaler::run_cuda_chain_on(gpu::VirtualGpu& gpu,
     }
     if (on_frame) on_frame(f);
   }
-  gpu.synchronize();
+  if (flush) gpu.synchronize();
   result.nvprof_table = nvprof_style_table(
       cat("H. Filter (", h_prog_.kernel_count(), " kernels)"), result.h,
       cat("V. Filter (", v_prog_.kernel_count(), " kernels)"), result.v);
@@ -222,11 +223,26 @@ SacDownscaler::SeqResult SacDownscaler::run_seq(int iterations, int exec_iterati
 
 // --- GASPARD2 pipeline ----------------------------------------------------------------
 
+namespace {
+gaspard::OpenClApplication build_optimized_app(const DownscalerConfig& config,
+                                               const GaspardDownscaler::Options& options,
+                                               std::vector<opt::AppliedRewrite>& rewrites) {
+  aol::Model model =
+      options.rgb ? build_downscaler_model(config) : build_single_channel_model(config);
+  if (options.opt_level > 0) {
+    opt::SearchOptions search;
+    search.level = options.opt_level;
+    search.device = options.device;
+    opt::OptResult optimized = opt::optimize(model, search);
+    rewrites = std::move(optimized.rewrites);
+    model = std::move(optimized.model);
+  }
+  return gaspard::OpenClApplication::build(std::move(model));
+}
+}  // namespace
+
 GaspardDownscaler::GaspardDownscaler(const DownscalerConfig& config, const Options& options)
-    : cfg_(config),
-      opts_(options),
-      app_(gaspard::OpenClApplication::build(options.rgb ? build_downscaler_model(config)
-                                                         : build_single_channel_model(config))) {}
+    : cfg_(config), opts_(options), app_(build_optimized_app(config, options, rewrites_)) {}
 
 GaspardDownscaler::Result GaspardDownscaler::run(int frames, int exec_frames) {
   gpu::VirtualGpu gpu(opts_.device, opts_.workers, opts_.backend);
@@ -235,7 +251,7 @@ GaspardDownscaler::Result GaspardDownscaler::run(int frames, int exec_frames) {
 
 GaspardDownscaler::Result GaspardDownscaler::run_on(gpu::VirtualGpu& gpu, int frames,
                                                     int exec_frames,
-                                                    const FrameCallback& on_frame) {
+                                                    const FrameCallback& on_frame, bool flush) {
   gpu::opencl::CommandQueue queue(gpu);
   const double clock0 = gpu.clock_us();
   // Per-row snapshot so a fleet device's earlier jobs don't leak into
@@ -278,7 +294,7 @@ GaspardDownscaler::Result GaspardDownscaler::run_on(gpu::VirtualGpu& gpu, int fr
     if (exec && !outputs.empty()) result.last_output = outputs.begin()->second;
     if (on_frame) on_frame(f);
   }
-  gpu.synchronize();
+  if (flush) gpu.synchronize();
 
   // Split the kernel rows between the horizontal and vertical filters;
   // attribute uploads to H (they feed it) and downloads to V. Only this

@@ -8,6 +8,7 @@
 #include "apps/downscaler/sac_source.hpp"
 #include "gaspard/chain.hpp"
 #include "gpu/backend_kind.hpp"
+#include "opt/search.hpp"
 #include "sac_cuda/codegen_text.hpp"
 #include "sac_cuda/program.hpp"
 
@@ -101,9 +102,10 @@ class SacDownscaler {
   /// every field of the result (breakdowns, wall_us) is the delta of
   /// this call. Must not be invoked concurrently on the same
   /// SacDownscaler or the same device (the fleet scheduler guarantees
-  /// one dispatcher thread per device).
+  /// one dispatcher thread per device). flush=false elides the trailing
+  /// synchronize (see GaspardDownscaler::run_on) for batched jobs.
   CudaResult run_cuda_chain_on(gpu::VirtualGpu& gpu, int frames, int channels, int exec_frames,
-                               const FrameCallback& on_frame = {});
+                               const FrameCallback& on_frame = {}, bool flush = true);
 
   /// The paper's Figure 9 scenario: each filter "executed for 300
   /// iterations". With resident_data=true the input is uploaded once
@@ -154,11 +156,21 @@ class GaspardDownscaler {
     /// single-queue path.
     bool async_streams = false;
     bool capture_trace = false;  ///< fill Result::trace_json
+    /// Transformation-optimizer level applied to the ArrayOL model
+    /// before code generation (see opt/search.hpp): 0 = the paper's
+    /// unfused chain, 1 = fusion (+ enabling paving changes), 2 = also
+    /// merge independent channels. Every level is bit-exact vs level 0.
+    int opt_level = 0;
   };
 
   GaspardDownscaler(const DownscalerConfig& config, const Options& options);
 
   const gaspard::OpenClApplication& application() const { return app_; }
+  /// Rewrites the optimizer applied at construction (empty at opt_level
+  /// 0 or when nothing was profitable).
+  const std::vector<opt::AppliedRewrite>& rewrites() const { return rewrites_; }
+  /// Kernels launched per frame after optimization.
+  int kernel_count() const { return static_cast<int>(app_.kernels().size()); }
 
   struct Result {
     OpBreakdown h;  ///< all *hf kernels
@@ -176,12 +188,18 @@ class GaspardDownscaler {
   /// The same frame loop on a caller-provided device (see
   /// SacDownscaler::run_cuda_chain_on): all result fields are deltas of
   /// this call, so a fleet device can serve many jobs back to back.
+  /// flush=false elides the trailing device-wide synchronize between
+  /// members of a coalesced batch — functional results are already
+  /// complete (execution is immediate in issue order), and the
+  /// simulated timeline is unchanged either way (ordering across calls
+  /// is carried by buffer hazards, not the barrier).
   Result run_on(gpu::VirtualGpu& gpu, int frames, int exec_frames,
-                const FrameCallback& on_frame = {});
+                const FrameCallback& on_frame = {}, bool flush = true);
 
  private:
   DownscalerConfig cfg_;
   Options opts_;
+  std::vector<opt::AppliedRewrite> rewrites_;  // before app_: ctor fills it while building
   gaspard::OpenClApplication app_;
 };
 

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "core/fmt.hpp"
+#include "opt/cost.hpp"
 
 namespace saclo::gaspard {
 
@@ -57,17 +58,6 @@ PortAddressing make_addressing(const TiledPort& tp, const Shape& array_shape,
   return pa;
 }
 
-/// Warp-adjacent address stride of a port: work item r0+1 moves the
-/// reference element by the first paving column.
-std::int64_t port_stride(const TiledPort& tp, const Shape& array_shape) {
-  const Index strides = array_shape.strides();
-  std::int64_t delta = 0;
-  for (std::size_t d = 0; d < array_shape.rank(); ++d) {
-    delta += tp.tiler.paving.at(d, 0) * strides[d];
-  }
-  return std::llabs(delta);
-}
-
 }  // namespace
 
 std::string emit_tiler_code(const RepetitiveTask& task, const TiledPort& port, bool is_input,
@@ -89,9 +79,24 @@ std::string emit_tiler_code(const RepetitiveTask& task, const TiledPort& port, b
     }
     s += line + ";\n";
   }
-  // Pattern filling based on the fitting matrix.
+  // Pattern filling based on the fitting matrix. Rank-1 patterns keep
+  // the paper's single-counter loop; higher ranks (produced by the
+  // optimizer's paving changes and fusions) decode a linear counter
+  // into per-dimension coordinates, last dimension fastest — the same
+  // order the host reference gathers in.
   const std::int64_t pattern_elems = port.pattern.elements();
-  s += cat("  for(tl[0]=0; tl[0] < ", pattern_elems, "; tl[0]++) {\n");
+  const std::string buf_idx = port.pattern.rank() > 1 ? "tl_lin" : "tl[0]";
+  if (port.pattern.rank() > 1) {
+    s += cat("  for(uint tl_lin=0; tl_lin < ", pattern_elems, "; tl_lin++) {\n");
+    s += "    uint tl_rem = tl_lin;\n";
+    for (std::size_t p = port.pattern.rank(); p-- > 1;) {
+      s += cat("    tl[", p, "] = tl_rem % ", port.pattern[p], "; tl_rem /= ", port.pattern[p],
+               ";\n");
+    }
+    s += "    tl[0] = tl_rem;\n";
+  } else {
+    s += cat("  for(tl[0]=0; tl[0] < ", pattern_elems, "; tl[0]++) {\n");
+  }
   for (std::size_t d = 0; d < rank; ++d) {
     std::string line = cat("    index[", d, "]= (ref[", d, "]");
     for (std::size_t p = 0; p < port.pattern.rank(); ++p) {
@@ -105,9 +110,11 @@ std::string emit_tiler_code(const RepetitiveTask& task, const TiledPort& port, b
     addr += cat(d ? " + " : "", "index[", d, "] * ", strides[d]);
   }
   if (is_input) {
-    s += cat("    in_", port.port.name, "[tl[0]] = ", port.port.name, "_g[", addr, "];\n");
+    s += cat("    in_", port.port.name, "[", buf_idx, "] = ", port.port.name, "_g[", addr,
+             "];\n");
   } else {
-    s += cat("    ", port.port.name, "_g[", addr, "] = out_", port.port.name, "[tl[0]];\n");
+    s += cat("    ", port.port.name, "_g[", addr, "] = out_", port.port.name, "[", buf_idx,
+             "];\n");
   }
   s += "  } //end for\n";
   s += "} // end block\n";
@@ -191,23 +198,9 @@ OpenClApplication OpenClApplication::build(Model model) {
     k.task = t;
     k.name = "KRN_" + task.name;
     k.work_items = task.repetition.elements();
-    double loads = 0;
-    double stores = 0;
-    std::int64_t stride = 1;
-    for (const TiledPort& in : task.inputs) {
-      loads += static_cast<double>(in.pattern.elements());
-      stride = std::max(stride, port_stride(in, model.array_shape(in.port.name)));
-    }
-    for (const TiledPort& out : task.outputs) {
-      stores += static_cast<double>(out.pattern.elements());
-      stride = std::max(stride, port_stride(out, model.array_shape(out.port.name)));
-    }
-    k.cost.global_loads_per_thread = loads;
-    k.cost.global_stores_per_thread = stores;
-    // Index arithmetic: ~4 ops per addressed element, plus the IP.
-    k.cost.flops_per_thread = 4.0 * (loads + stores) + task.op.flops_per_invocation;
-    k.cost.warp_access_stride = stride;
-    k.cost.bytes_per_access = 4;
+    // The optimizer predicts makespans with the same derivation, so the
+    // search's cost gate and the simulated timings cannot drift apart.
+    k.cost = opt::derive_task_cost(model, task);
     k.opencl_source = emit_kernel_source_text(model, task, k.name);
     app.kernels_.push_back(std::move(k));
   }

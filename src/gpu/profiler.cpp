@@ -23,7 +23,7 @@ void Profiler::record(const std::string& name, OpKind kind, std::int64_t calls, 
 void Profiler::record_interval(const std::string& name, OpKind kind, StreamId stream,
                                double start_us, double end_us) {
   record(name, kind, 1, end_us - start_us);
-  intervals_.push_back(Interval{name, kind, stream, start_us, end_us, trace_id_, attempt_});
+  intervals_.push_back(Interval{name, kind, stream, start_us, end_us, trace_id_, attempt_, batch_});
 }
 
 std::vector<Profiler::Row> Profiler::rows() const { return rows_; }
@@ -218,6 +218,7 @@ std::string Profiler::chrome_trace_json() const {
     // stays attributable even outside the merged fleet trace.
     if (i.trace_id != 0) {
       out += cat(",\"args\":{\"job\":", i.trace_id, ",\"attempt\":", i.attempt);
+      if (i.batch != 0) out += cat(",\"batch\":", i.batch);
       if (!backend_name_.empty()) out += cat(",\"backend\":\"", backend_name_, "\"");
       out += "}";
     }

@@ -32,11 +32,14 @@ class Profiler {
 
   /// Tags every subsequently recorded interval with a job's trace id
   /// and failover attempt (the serve dispatcher brackets each job run
-  /// with set_trace/clear_trace). Two stores — no allocation, so the
-  /// annotation is free on the dispatch hot path.
-  void set_trace(std::uint64_t trace_id, std::uint32_t attempt) {
+  /// with set_trace/clear_trace). `batch` is the coalesced-batch id the
+  /// job ran in (the first member's job id), 0 when unbatched. Three
+  /// stores — no allocation, so the annotation is free on the dispatch
+  /// hot path.
+  void set_trace(std::uint64_t trace_id, std::uint32_t attempt, std::uint64_t batch = 0) {
     trace_id_ = trace_id;
     attempt_ = attempt;
+    batch_ = batch;
   }
   void clear_trace() { set_trace(0, 0); }
   std::uint64_t current_trace() const { return trace_id_; }
@@ -67,6 +70,7 @@ class Profiler {
     double end_us = 0.0;
     std::uint64_t trace_id = 0;  ///< owning job (0 = untraced)
     std::uint32_t attempt = 0;   ///< the job's failover hop
+    std::uint64_t batch = 0;     ///< coalesced batch the job ran in (0 = unbatched)
 
     double duration_us() const { return end_us - start_us; }
   };
@@ -121,6 +125,7 @@ class Profiler {
   std::vector<Interval> intervals_;
   std::uint64_t trace_id_ = 0;
   std::uint32_t attempt_ = 0;
+  std::uint64_t batch_ = 0;
   std::string backend_name_;
 };
 

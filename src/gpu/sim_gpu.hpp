@@ -77,11 +77,12 @@ class VirtualGpu : private OpBoundaryObserver {
   const Profiler& profiler() const { return profiler_; }
   /// Brackets one serving job's execution on this device: every kernel,
   /// transfer and host block profiled in between carries the job's
-  /// trace id and failover attempt, which is what lets the fleet-merged
-  /// Chrome trace reconstruct a request across devices. Two stores —
-  /// zero allocations, so an untraced dispatch path pays nothing.
-  void begin_job_trace(std::uint64_t trace_id, std::uint32_t attempt) {
-    profiler_.set_trace(trace_id, attempt);
+  /// trace id, failover attempt and (when coalesced) batch id, which is
+  /// what lets the fleet-merged Chrome trace reconstruct a request
+  /// across devices. Plain stores — zero allocations, so an untraced
+  /// dispatch path pays nothing.
+  void begin_job_trace(std::uint64_t trace_id, std::uint32_t attempt, std::uint64_t batch = 0) {
+    profiler_.set_trace(trace_id, attempt, batch);
   }
   void end_job_trace() { profiler_.clear_trace(); }
   ThreadPool& thread_pool() { return pool_; }

@@ -29,6 +29,8 @@ const char* event_type_name(EventType type) {
       return "device_degraded";
     case EventType::DeviceHealed:
       return "device_healed";
+    case EventType::BatchFormed:
+      return "batch_formed";
   }
   return "unknown";
 }

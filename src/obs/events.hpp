@@ -22,6 +22,8 @@ enum class EventType : std::uint8_t {
   RetryExhausted,  ///< future carries the failure; arg = attempts used
   DeviceDegraded,  ///< device marked unhealthy (job = 0: fleet-level)
   DeviceHealed,    ///< degraded cooldown elapsed (job = 0: fleet-level)
+  BatchFormed,     ///< dispatcher coalesced queued jobs; job = batch id
+                   ///< (first member's job id), arg = batch size
 };
 
 /// Stable wire name ("job_admitted", "device_fault", ...) used by the

@@ -51,6 +51,7 @@ bool is_instant(EventType type) {
     case EventType::RetryExhausted:
     case EventType::DeviceDegraded:
     case EventType::DeviceHealed:
+    case EventType::BatchFormed:
       return true;
     default:
       return false;
@@ -136,6 +137,7 @@ std::string merged_chrome_trace(const std::vector<DeviceTrace>& devices,
                            ",\"dur\":", fixed(iv.duration_us(), 3));
       if (iv.trace_id != 0) {
         ev += cat(",\"args\":{\"job\":", iv.trace_id, ",\"attempt\":", iv.attempt);
+        if (iv.batch != 0) ev += cat(",\"batch\":", iv.batch);
         if (!dev.backend.empty()) ev += cat(",\"backend\":\"", json_escape(dev.backend), "\"");
         ev += "}";
       }

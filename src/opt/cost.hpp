@@ -1,0 +1,33 @@
+#pragma once
+
+#include "arrayol/model.hpp"
+#include "gpu/cost_model.hpp"
+#include "gpu/device.hpp"
+
+namespace saclo::opt {
+
+/// Derives the static per-thread cost descriptor of a repetitive task,
+/// exactly as the GASPARD OpenCL generator attaches it to the emitted
+/// kernel: loads/stores are the gathered/scattered pattern elements,
+/// the warp stride is the worst port's address distance between
+/// adjacent work items, and index arithmetic adds ~4 ops per addressed
+/// element on top of the IP's own flops. `src/gaspard/chain.cpp` calls
+/// this for its kernels, so the optimizer's predictions and the
+/// simulator's timings come from one formula by construction.
+gpu::KernelCost derive_task_cost(const aol::Model& model, const aol::RepetitiveTask& task);
+
+/// Predicted single-run cost of a whole model on one device: the sum of
+/// per-task kernel times (launch overhead included — the quantity
+/// fusion attacks) plus input upload and output download transfers.
+struct ModelCost {
+  double kernel_us = 0;
+  double h2d_us = 0;
+  double d2h_us = 0;
+  std::size_t kernels = 0;
+
+  double total_us() const { return kernel_us + h2d_us + d2h_us; }
+};
+
+ModelCost predict_model_cost(const aol::Model& model, const gpu::DeviceSpec& device);
+
+}  // namespace saclo::opt

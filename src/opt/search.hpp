@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "opt/cost.hpp"
+#include "opt/transform.hpp"
+
+namespace saclo::opt {
+
+/// Knobs of the cost-driven transformation search.
+struct SearchOptions {
+  /// 0 = no rewrites; 1 = producer/consumer fusion (with enabling
+  /// paving changes); 2 = additionally merge independent same-shape
+  /// tasks into one kernel.
+  int level = 1;
+  /// Device whose cost model scores candidate schedules.
+  gpu::DeviceSpec device = gpu::gtx480();
+  /// Largest repetition split tried when searching for an enabling
+  /// paving change.
+  std::int64_t max_paving_factor = 16;
+};
+
+/// One adopted rewrite, for reporting and tests.
+struct AppliedRewrite {
+  std::string kind;    ///< "fuse", "paving_change", "merge"
+  std::string detail;  ///< human-readable description
+};
+
+struct OptResult {
+  aol::Model model;
+  std::vector<AppliedRewrite> rewrites;
+  ModelCost before;
+  ModelCost after;
+};
+
+/// Greedy cost-gated search over the elementary transformations: every
+/// candidate must pass its legality check *and* strictly lower the
+/// predicted makespan on `options.device` to be adopted; the loop runs
+/// to a fixpoint. Deterministic — arrays and task pairs are visited in
+/// a fixed order, and the first improving candidate wins.
+OptResult optimize(const aol::Model& model, const SearchOptions& options = {});
+
+}  // namespace saclo::opt

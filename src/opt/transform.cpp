@@ -1,0 +1,673 @@
+#include "opt/transform.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/fmt.hpp"
+
+namespace saclo::opt {
+
+namespace {
+
+using aol::Model;
+using aol::RepetitiveTask;
+using aol::TiledPort;
+
+std::optional<std::size_t> find_task(const Model& m, const std::string& name) {
+  for (std::size_t i = 0; i < m.tasks().size(); ++i) {
+    if (m.tasks()[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+/// Rebuilds a model with some tasks/arrays removed and replacement
+/// tasks appended. Model has no removal API on purpose (it is a
+/// validated value), so every rewrite reconstructs and re-validates.
+Model rebuild(const Model& m, const std::vector<std::size_t>& drop_tasks,
+              const std::vector<std::string>& drop_arrays,
+              std::vector<RepetitiveTask> replacements) {
+  Model out(m.name());
+  auto dropped = [&](const std::string& a) {
+    return std::find(drop_arrays.begin(), drop_arrays.end(), a) != drop_arrays.end();
+  };
+  for (const auto& [name, shape] : m.arrays()) {
+    if (!dropped(name)) out.add_array(name, shape);
+  }
+  for (const std::string& in : m.inputs()) out.mark_input(in);
+  for (const std::string& o : m.outputs()) out.mark_output(o);
+  for (std::size_t i = 0; i < m.tasks().size(); ++i) {
+    if (std::find(drop_tasks.begin(), drop_tasks.end(), i) != drop_tasks.end()) continue;
+    out.add_task(m.tasks()[i]);
+  }
+  for (RepetitiveTask& t : replacements) out.add_task(std::move(t));
+  return out;
+}
+
+/// A rewrite that passed its legality check must yield a valid,
+/// schedulable model — anything else is a bug in the rewrite itself.
+RewriteResult accept(Model rewritten, const char* kind, bool revalidate = true) {
+  try {
+    if (revalidate) rewritten.validate();
+    rewritten.schedule();
+  } catch (const Error& e) {
+    throw OptError(cat(kind, " produced an invalid model: ", e.what()));
+  }
+  RewriteResult r;
+  r.legality = Legality::yes();
+  r.model = std::move(rewritten);
+  return r;
+}
+
+RewriteResult reject(std::string why) {
+  RewriteResult r;
+  r.legality = Legality::no(std::move(why));
+  return r;
+}
+
+constexpr std::size_t kMaxRank = 8;
+
+/// Allocation-free tiler addressing for the fusion analysis hot loops
+/// (the inverse map and the exhaustive verification touch every element
+/// of the intermediate array, often several times per candidate).
+struct FastTiler {
+  std::size_t array_rank = 0;
+  std::size_t rep_rank = 0;
+  std::array<std::int64_t, kMaxRank> origin{};
+  std::array<std::int64_t, kMaxRank> dims{};
+  std::array<std::int64_t, kMaxRank> strides{};
+  std::array<std::int64_t, kMaxRank * kMaxRank> paving{};  // [d * kMaxRank + r]
+  /// Per pattern element (enumeration order): the F·i offset vector.
+  std::vector<std::array<std::int64_t, kMaxRank>> fit;
+};
+
+FastTiler make_fast(const TiledPort& tp, const Shape& array_shape, const Shape& repetition) {
+  FastTiler ft;
+  ft.array_rank = array_shape.rank();
+  ft.rep_rank = repetition.rank();
+  const Index strides = array_shape.strides();
+  for (std::size_t d = 0; d < ft.array_rank; ++d) {
+    ft.origin[d] = tp.tiler.origin[d];
+    ft.dims[d] = array_shape[d];
+    ft.strides[d] = strides[d];
+    for (std::size_t r = 0; r < ft.rep_rank; ++r) {
+      ft.paving[d * kMaxRank + r] = tp.tiler.paving.at(d, r);
+    }
+  }
+  for_each_index(tp.pattern, [&](const Index& pat) {
+    const Index f = tp.tiler.fitting.mv(pat);
+    std::array<std::int64_t, kMaxRank> off{};
+    for (std::size_t d = 0; d < ft.array_rank; ++d) off[d] = f[d];
+    ft.fit.push_back(off);
+  });
+  return ft;
+}
+
+/// Advances a row-major multi-index (last dimension fastest), matching
+/// for_each_index / Shape::linearize enumeration order.
+void advance(std::array<std::int64_t, kMaxRank>& idx, const Shape& shape) {
+  for (std::size_t d = shape.rank(); d-- > 0;) {
+    if (++idx[d] < shape[d]) return;
+    idx[d] = 0;
+  }
+}
+
+IntMat matmul(const IntMat& a, const IntMat& b) {
+  IntMat c(a.rows(), b.cols(), 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      std::int64_t acc = 0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a.at(i, k) * b.at(k, j);
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+std::string int_list(const std::vector<std::int64_t>& v) {
+  std::vector<std::string> parts;
+  parts.reserve(v.size());
+  for (std::int64_t x : v) parts.push_back(cat(x));
+  return join(parts, ", ");
+}
+
+}  // namespace
+
+RewriteResult try_change_paving(const Model& model, const std::string& task_name,
+                                std::size_t dim, std::int64_t factor, bool revalidate) {
+  const auto ti = find_task(model, task_name);
+  if (!ti) return reject(cat("paving change: no task named '", task_name, "'"));
+  const RepetitiveTask& task = model.tasks()[*ti];
+  if (dim >= task.repetition.rank()) {
+    return reject(cat("paving change on ", task_name, ": repetition ",
+                      task.repetition.to_string(), " has no dimension ", dim));
+  }
+  if (factor < 2) {
+    return reject(cat("paving change on ", task_name, ": factor ", factor,
+                      " must be at least 2"));
+  }
+  if (task.repetition[dim] % factor != 0) {
+    return reject(cat("paving change on ", task_name, ": factor ", factor,
+                      " does not divide repetition extent ", task.repetition[dim],
+                      " of dimension ", dim));
+  }
+
+  RepetitiveTask nt;
+  nt.name = task.name;
+  Index rep_dims = task.repetition.dims();
+  rep_dims[dim] /= factor;
+  nt.repetition = Shape(std::move(rep_dims));
+
+  // Every port grows a leading pattern dimension of extent `factor`
+  // whose fitting column is the old paving column `dim`; the remaining
+  // paving column is scaled by `factor`. The map (r, i) -> (r', (s, i))
+  // with r[dim] = factor*r'[dim] + s is a bijection on index pairs that
+  // addresses exactly the same array element, so coverage (and the
+  // exact-partition property of output tilers) is preserved verbatim.
+  auto rewrite_port = [&](const TiledPort& tp) {
+    TiledPort np = tp;
+    np.pattern = Shape({factor}).concat(tp.pattern);
+    const std::size_t ar = tp.tiler.paving.rows();
+    IntMat split_col(ar, 1, 0);
+    for (std::size_t d = 0; d < ar; ++d) split_col.at(d, 0) = tp.tiler.paving.at(d, dim);
+    np.tiler.fitting = split_col.hcat(tp.tiler.fitting);
+    for (std::size_t d = 0; d < ar; ++d) np.tiler.paving.at(d, dim) *= factor;
+    return np;
+  };
+  std::vector<std::int64_t> in_sizes;
+  std::vector<std::int64_t> out_sizes;
+  std::int64_t in_total = 0;
+  std::int64_t out_total = 0;
+  for (const TiledPort& p : task.inputs) {
+    nt.inputs.push_back(rewrite_port(p));
+    in_sizes.push_back(p.pattern.elements());
+    in_total += p.pattern.elements();
+  }
+  for (const TiledPort& p : task.outputs) {
+    nt.outputs.push_back(rewrite_port(p));
+    out_sizes.push_back(p.pattern.elements());
+    out_total += p.pattern.elements();
+  }
+
+  // The wrapped op runs the original body once per split instance; the
+  // leading pattern dimension makes each instance's slice contiguous
+  // (offset s * |pattern| within each port's block).
+  const auto inner = task.op.compute;
+  nt.op.name = cat(task.op.name, "_split", factor);
+  nt.op.flops_per_invocation = task.op.flops_per_invocation * static_cast<double>(factor);
+  nt.op.compute = [inner, factor, in_sizes, out_sizes, in_total, out_total](
+                      std::span<const std::int64_t> in, std::span<std::int64_t> out) {
+    thread_local std::vector<std::int64_t> ibuf;
+    thread_local std::vector<std::int64_t> obuf;
+    if (ibuf.size() < static_cast<std::size_t>(in_total)) ibuf.resize(in_total);
+    if (obuf.size() < static_cast<std::size_t>(out_total)) obuf.resize(out_total);
+    for (std::int64_t s = 0; s < factor; ++s) {
+      std::int64_t dst = 0;
+      std::int64_t base = 0;
+      for (std::int64_t sz : in_sizes) {
+        std::copy_n(in.begin() + base + s * sz, sz, ibuf.begin() + dst);
+        dst += sz;
+        base += factor * sz;
+      }
+      inner(std::span<const std::int64_t>(ibuf.data(), static_cast<std::size_t>(in_total)),
+            std::span<std::int64_t>(obuf.data(), static_cast<std::size_t>(out_total)));
+      std::int64_t src = 0;
+      base = 0;
+      for (std::int64_t sz : out_sizes) {
+        std::copy_n(obuf.begin() + src, sz, out.begin() + base + s * sz);
+        src += sz;
+        base += factor * sz;
+      }
+    }
+  };
+  if (task.inputs.size() == 1 && task.outputs.size() == 1) {
+    nt.op.c_body = cat("{ // paving change: ", factor, " x ", task.op.name,
+                       "\n    const int* split_in = in; int* split_out = out;\n    for (int s_ "
+                       "= 0; s_ < ",
+                       factor, "; ++s_) {\n      const int* in = split_in + s_ * ", in_sizes[0],
+                       "; int* out = split_out + s_ * ", out_sizes[0], ";\n      ",
+                       task.op.c_body, "\n    }\n    }");
+  } else {
+    nt.op.c_body =
+        cat("/* paving-change wrapper (x", factor, ") around ", task.op.name, " */");
+  }
+
+  return accept(rebuild(model, {*ti}, {}, {std::move(nt)}), "paving change", revalidate);
+}
+
+RewriteResult try_fuse(const Model& model, const std::string& mid_array) {
+  if (!model.arrays().count(mid_array)) {
+    return reject(cat("fuse: no array named '", mid_array, "'"));
+  }
+  if (std::find(model.outputs().begin(), model.outputs().end(), mid_array) !=
+      model.outputs().end()) {
+    return reject(cat("fuse: '", mid_array, "' is a model output and cannot be eliminated"));
+  }
+  const auto prod = model.producer_of(mid_array);
+  if (!prod) {
+    return reject(cat("fuse: '", mid_array, "' is a model input, not an intermediate"));
+  }
+  const RepetitiveTask& a = model.tasks()[*prod];
+  if (a.outputs.size() != 1) {
+    return reject(cat("fuse: producer '", a.name, "' has ", a.outputs.size(),
+                      " output ports; only single-output producers can be inlined"));
+  }
+  std::size_t consumer = 0;
+  std::size_t mid_port = 0;
+  std::size_t consumer_ports = 0;
+  for (std::size_t t = 0; t < model.tasks().size(); ++t) {
+    for (std::size_t p = 0; p < model.tasks()[t].inputs.size(); ++p) {
+      if (model.tasks()[t].inputs[p].port.name == mid_array) {
+        ++consumer_ports;
+        consumer = t;
+        mid_port = p;
+      }
+    }
+  }
+  if (consumer_ports == 0) {
+    return reject(cat("fuse: '", mid_array, "' has no consumer — dead intermediate"));
+  }
+  if (consumer_ports > 1) {
+    return reject(cat("fuse: '", mid_array, "' is consumed through ", consumer_ports,
+                      " ports; inlining would recompute the producer per consumer"));
+  }
+  if (consumer == *prod) {
+    return reject(cat("fuse: '", mid_array, "' is produced and consumed by the same task"));
+  }
+  const RepetitiveTask& b = model.tasks()[consumer];
+
+  const Shape& mid_shape = model.array_shape(mid_array);
+  const TiledPort& a_out = a.outputs[0];
+  const TiledPort& b_mid = b.inputs[mid_port];
+  const std::int64_t pa = a_out.pattern.elements();
+  const std::int64_t pm = b_mid.pattern.elements();
+  if (mid_shape.rank() > kMaxRank || a.repetition.rank() > kMaxRank ||
+      b.repetition.rank() > kMaxRank) {
+    return reject(cat("fuse: ranks above ", kMaxRank, " are not supported"));
+  }
+
+  // Invert the producer's output tiler over the whole intermediate:
+  // every element has exactly one (repetition, pattern) origin because
+  // output tilers are exact partitions (validated single assignment).
+  std::vector<std::int64_t> inv_rep(static_cast<std::size_t>(mid_shape.elements()));
+  std::vector<std::int64_t> inv_pat(static_cast<std::size_t>(mid_shape.elements()));
+  {
+    const FastTiler fa = make_fast(a_out, mid_shape, a.repetition);
+    std::array<std::int64_t, kMaxRank> rep{};
+    const std::int64_t reps = a.repetition.elements();
+    for (std::int64_t r_lin = 0; r_lin < reps; ++r_lin, advance(rep, a.repetition)) {
+      std::array<std::int64_t, kMaxRank> base{};
+      for (std::size_t d = 0; d < fa.array_rank; ++d) {
+        std::int64_t v = fa.origin[d];
+        for (std::size_t r = 0; r < fa.rep_rank; ++r) v += fa.paving[d * kMaxRank + r] * rep[r];
+        base[d] = v;
+      }
+      for (std::size_t i_lin = 0; i_lin < fa.fit.size(); ++i_lin) {
+        std::int64_t e = 0;
+        for (std::size_t d = 0; d < fa.array_rank; ++d) {
+          std::int64_t idx = (base[d] + fa.fit[i_lin][d]) % fa.dims[d];
+          if (idx < 0) idx += fa.dims[d];
+          e += idx * fa.strides[d];
+        }
+        inv_rep[static_cast<std::size_t>(e)] = r_lin;
+        inv_pat[static_cast<std::size_t>(e)] = static_cast<std::int64_t>(i_lin);
+      }
+    }
+  }
+
+  const std::size_t ra = a.repetition.rank();
+  const std::size_t rb = b.repetition.rank();
+  const std::size_t pmr = b_mid.pattern.rank();
+  // rho(r_B, i_B) = which producer instance wrote the element the
+  // consumer reads there; iota = which slot of that instance's pattern.
+  auto rho = [&](const Index& rep_b, const Index& pat_b) {
+    const std::int64_t e = mid_shape.linearize(b_mid.tiler.element_index(mid_shape, rep_b, pat_b));
+    return std::pair<Index, std::int64_t>(
+        a.repetition.delinearize(inv_rep[static_cast<std::size_t>(e)]),
+        inv_pat[static_cast<std::size_t>(e)]);
+  };
+  const Index zero_r(rb, 0);
+  const Index zero_p(pmr, 0);
+  const Index rho00 = rho(zero_r, zero_p).first;
+
+  // Probe the affine form rho = M*r_B + G*i_B + rho00 from unit steps,
+  // then verify it exhaustively — the legality proof is the check over
+  // the full index space, not the probe.
+  IntMat M(ra, rb, 0);
+  IntMat G(ra, pmr, 0);
+  for (std::size_t j = 0; j < rb; ++j) {
+    if (b.repetition[j] < 2) continue;
+    Index r = zero_r;
+    r[j] = 1;
+    const Index rj = rho(r, zero_p).first;
+    for (std::size_t d = 0; d < ra; ++d) M.at(d, j) = rj[d] - rho00[d];
+  }
+  for (std::size_t j = 0; j < pmr; ++j) {
+    if (b_mid.pattern[j] < 2) continue;
+    Index p = zero_p;
+    p[j] = 1;
+    const Index gj = rho(zero_r, p).first;
+    for (std::size_t d = 0; d < ra; ++d) G.at(d, j) = gj[d] - rho00[d];
+  }
+  std::vector<std::int64_t> iota0(static_cast<std::size_t>(pm));
+  {
+    std::int64_t i_lin = 0;
+    for_each_index(b_mid.pattern, [&](const Index& pat) {
+      iota0[static_cast<std::size_t>(i_lin++)] = rho(zero_r, pat).second;
+    });
+  }
+  // ArrayOL arrays are toroidal (tilers wrap with floor_mod), so the
+  // instance index only needs to match the affine form modulo the
+  // producer's repetition extents. Dimensions that actually wrap are
+  // recorded: for those, the producer's input pavings must be periodic
+  // over the wrap so the fused tiler's own final mod lands on the same
+  // elements.
+  std::vector<bool> wraps(ra, false);
+  {
+    // Per consumer-pattern element: the G·i contribution (precomputed),
+    // so the inner loop is pure integer arithmetic.
+    std::vector<std::array<std::int64_t, kMaxRank>> gsum(static_cast<std::size_t>(pm));
+    {
+      std::int64_t i_lin = 0;
+      for_each_index(b_mid.pattern, [&](const Index& pat) {
+        const Index g = G.mv(pat);
+        for (std::size_t d = 0; d < ra; ++d) gsum[static_cast<std::size_t>(i_lin)][d] = g[d];
+        ++i_lin;
+      });
+    }
+    const FastTiler fb = make_fast(b_mid, mid_shape, b.repetition);
+    const Index a_rep_strides = a.repetition.strides();
+    std::array<std::int64_t, kMaxRank> rep{};
+    const std::int64_t reps = b.repetition.elements();
+    for (std::int64_t r_lin = 0; r_lin < reps; ++r_lin, advance(rep, b.repetition)) {
+      std::array<std::int64_t, kMaxRank> base{};
+      for (std::size_t d = 0; d < fb.array_rank; ++d) {
+        std::int64_t v = fb.origin[d];
+        for (std::size_t r = 0; r < fb.rep_rank; ++r) v += fb.paving[d * kMaxRank + r] * rep[r];
+        base[d] = v;
+      }
+      std::array<std::int64_t, kMaxRank> mr{};
+      for (std::size_t d = 0; d < ra; ++d) {
+        std::int64_t v = rho00[d];
+        for (std::size_t j = 0; j < rb; ++j) v += M.at(d, j) * rep[j];
+        mr[d] = v;
+      }
+      for (std::size_t i_lin = 0; i_lin < fb.fit.size(); ++i_lin) {
+        std::int64_t e = 0;
+        for (std::size_t d = 0; d < fb.array_rank; ++d) {
+          std::int64_t idx = (base[d] + fb.fit[i_lin][d]) % fb.dims[d];
+          if (idx < 0) idx += fb.dims[d];
+          e += idx * fb.strides[d];
+        }
+        std::int64_t rv_lin = inv_rep[static_cast<std::size_t>(e)];
+        for (std::size_t d = 0; d < ra; ++d) {
+          const std::int64_t rv = rv_lin / a_rep_strides[d];
+          rv_lin %= a_rep_strides[d];
+          const std::int64_t diff = rv - (mr[d] + gsum[i_lin][d]);
+          if (diff == 0) continue;
+          if (floor_mod(diff, a.repetition[d]) == 0) {
+            wraps[d] = true;
+            continue;
+          }
+          return reject(cat("fuse ", a.name, " -> ", b.name, " over '", mid_array,
+                            "': incompatible paving/fitting — producer instance index is not "
+                            "affine at repetition ",
+                            bracketed(b.repetition.delinearize(r_lin)), ", pattern ",
+                            bracketed(b_mid.pattern.delinearize(
+                                static_cast<std::int64_t>(i_lin)))));
+        }
+        if (inv_pat[static_cast<std::size_t>(e)] != iota0[i_lin]) {
+          return reject(cat("fuse ", a.name, " -> ", b.name, " over '", mid_array,
+                            "': incompatible paving/fitting — pattern slot depends on the "
+                            "repetition index at ",
+                            bracketed(b.repetition.delinearize(r_lin)), ", pattern ",
+                            bracketed(b_mid.pattern.delinearize(
+                                static_cast<std::int64_t>(i_lin)))));
+        }
+      }
+    }
+  }
+  for (std::size_t d = 0; d < ra; ++d) {
+    if (!wraps[d]) continue;
+    for (const TiledPort& x : a.inputs) {
+      const Shape& xs = model.array_shape(x.port.name);
+      for (std::size_t ad = 0; ad < xs.rank(); ++ad) {
+        if (floor_mod(a.repetition[d] * x.tiler.paving.at(ad, d), xs[ad]) != 0) {
+          return reject(cat("fuse ", a.name, " -> ", b.name, " over '", mid_array,
+                            "': consumer read wraps around repetition dim ", d,
+                            " but producer input '", x.port.name,
+                            "' is not paved periodically there"));
+        }
+      }
+    }
+  }
+
+  // Pattern dimensions the producer index actually depends on. The
+  // fused task recomputes one producer instance per point of this
+  // reduced grid, per consumer repetition point.
+  std::vector<std::size_t> red;
+  for (std::size_t j = 0; j < pmr; ++j) {
+    for (std::size_t d = 0; d < ra; ++d) {
+      if (G.at(d, j) != 0) {
+        red.push_back(j);
+        break;
+      }
+    }
+  }
+  Index red_ext;
+  for (std::size_t j : red) red_ext.push_back(b_mid.pattern[j]);
+  const Shape red_pattern{Index(red_ext)};
+  const std::int64_t n_a = red_pattern.elements();
+  {
+    std::set<Index> images;
+    for_each_index(red_pattern, [&](const Index& av) {
+      Index full(pmr, 0);
+      for (std::size_t k = 0; k < red.size(); ++k) full[red[k]] = av[k];
+      images.insert(G.mv(full));
+    });
+    if (static_cast<std::int64_t>(images.size()) != n_a) {
+      return reject(cat("fuse ", a.name, " -> ", b.name, " over '", mid_array,
+                        "': consumer re-reads the same producer instance along multiple "
+                        "pattern dimensions"));
+    }
+  }
+  IntMat g_red(ra, red.size(), 0);
+  for (std::size_t k = 0; k < red.size(); ++k) {
+    for (std::size_t d = 0; d < ra; ++d) g_red.at(d, k) = G.at(d, red[k]);
+  }
+  // Per consumer-pattern slot: which reduced-grid instance, which slot
+  // of the producer pattern.
+  std::vector<std::int64_t> a_of(static_cast<std::size_t>(pm));
+  {
+    const Index red_strides = red_pattern.strides();
+    std::int64_t i_lin = 0;
+    for_each_index(b_mid.pattern, [&](const Index& pat) {
+      std::int64_t al = 0;
+      for (std::size_t k = 0; k < red.size(); ++k) al += pat[red[k]] * red_strides[k];
+      a_of[static_cast<std::size_t>(i_lin++)] = al;
+    });
+  }
+
+  RepetitiveTask f;
+  f.name = a.name + "_" + b.name;
+  f.repetition = b.repetition;
+  // Producer inputs re-tiled against the consumer repetition space:
+  //   element = (o_X + P_X*rho00) + (P_X*M)*r_B + [P_X*G_red | F_X]*(a ++ i_X).
+  for (const TiledPort& x : a.inputs) {
+    TiledPort np = x;
+    np.pattern = red_pattern.concat(x.pattern);
+    np.tiler.paving = matmul(x.tiler.paving, M);
+    np.tiler.fitting = matmul(x.tiler.paving, g_red).hcat(x.tiler.fitting);
+    const Index shift = x.tiler.paving.mv(rho00);
+    for (std::size_t d = 0; d < np.tiler.origin.size(); ++d) np.tiler.origin[d] += shift[d];
+    f.inputs.push_back(std::move(np));
+  }
+  for (std::size_t p = 0; p < b.inputs.size(); ++p) {
+    if (p != mid_port) f.inputs.push_back(b.inputs[p]);
+  }
+  f.outputs = b.outputs;
+
+  std::vector<std::int64_t> a_in_sizes;
+  std::int64_t a_in_total = 0;
+  for (const TiledPort& p : a.inputs) {
+    a_in_sizes.push_back(p.pattern.elements());
+    a_in_total += p.pattern.elements();
+  }
+  std::vector<std::int64_t> b_in_sizes;
+  std::int64_t b_in_total = 0;
+  for (const TiledPort& p : b.inputs) {
+    b_in_sizes.push_back(p.pattern.elements());
+    b_in_total += p.pattern.elements();
+  }
+  const auto a_comp = a.op.compute;
+  const auto b_comp = b.op.compute;
+  f.op.name = a.op.name + "+" + b.op.name;
+  f.op.flops_per_invocation =
+      static_cast<double>(n_a) * a.op.flops_per_invocation + b.op.flops_per_invocation;
+  f.op.compute = [a_comp, b_comp, n_a, pa, pm, a_in_sizes, a_in_total, b_in_sizes, b_in_total,
+                  a_of, iota0, mid_port](std::span<const std::int64_t> in,
+                                         std::span<std::int64_t> out) {
+    thread_local std::vector<std::int64_t> mid_vals;
+    thread_local std::vector<std::int64_t> abuf;
+    thread_local std::vector<std::int64_t> bbuf;
+    if (mid_vals.size() < static_cast<std::size_t>(n_a * pa)) mid_vals.resize(n_a * pa);
+    if (abuf.size() < static_cast<std::size_t>(a_in_total)) abuf.resize(a_in_total);
+    if (bbuf.size() < static_cast<std::size_t>(b_in_total)) bbuf.resize(b_in_total);
+    for (std::int64_t ai = 0; ai < n_a; ++ai) {
+      std::int64_t dst = 0;
+      std::int64_t base = 0;
+      for (std::int64_t sz : a_in_sizes) {
+        std::copy_n(in.begin() + base + ai * sz, sz, abuf.begin() + dst);
+        dst += sz;
+        base += n_a * sz;
+      }
+      a_comp(std::span<const std::int64_t>(abuf.data(), static_cast<std::size_t>(a_in_total)),
+             std::span<std::int64_t>(mid_vals.data() + ai * pa, static_cast<std::size_t>(pa)));
+    }
+    std::int64_t dst = 0;
+    std::int64_t src = n_a * a_in_total;
+    for (std::size_t p = 0; p < b_in_sizes.size(); ++p) {
+      if (p == mid_port) {
+        for (std::int64_t t = 0; t < pm; ++t) {
+          bbuf[static_cast<std::size_t>(dst++)] =
+              mid_vals[static_cast<std::size_t>(a_of[static_cast<std::size_t>(t)] * pa +
+                                                iota0[static_cast<std::size_t>(t)])];
+        }
+      } else {
+        std::copy_n(in.begin() + src, b_in_sizes[p], bbuf.begin() + dst);
+        dst += b_in_sizes[p];
+        src += b_in_sizes[p];
+      }
+    }
+    b_comp(std::span<const std::int64_t>(bbuf.data(), static_cast<std::size_t>(b_in_total)),
+           out);
+  };
+  if (a.inputs.size() == 1 && b.inputs.size() == 1 && b.outputs.size() == 1) {
+    std::vector<std::int64_t> iota_tbl(iota0.begin(), iota0.end());
+    f.op.c_body = cat(
+        "{ // fused ", a.op.name, " + ", b.op.name, "\n    int mid_vals[", n_a * pa,
+        "];\n    const int a_of_[", pm, "] = {", int_list(a_of), "};\n    const int i_of_[", pm,
+        "] = {", int_list(iota_tbl), "};\n    const int* fused_in = in; int* fused_out = out;\n",
+        "    for (int a_ = 0; a_ < ", n_a, "; ++a_) {\n      const int* in = fused_in + a_ * ",
+        a_in_sizes[0], "; int* out = mid_vals + a_ * ", pa, ";\n      ", a.op.c_body,
+        "\n    }\n    int b_in_[", pm, "];\n    for (int t_ = 0; t_ < ", pm,
+        "; ++t_) b_in_[t_] = mid_vals[a_of_[t_] * ", pa,
+        " + i_of_[t_]];\n    { const int* in = b_in_; int* out = fused_out;\n      ", b.op.c_body,
+        "\n    }\n    }");
+  } else {
+    f.op.c_body = cat("/* fused ", a.op.name, " + ", b.op.name, " */");
+  }
+
+  return accept(rebuild(model, {*prod, consumer}, {mid_array}, {std::move(f)}), "fusion");
+}
+
+RewriteResult try_merge(const Model& model, const std::string& task_a,
+                        const std::string& task_b) {
+  const auto ia = find_task(model, task_a);
+  const auto ib = find_task(model, task_b);
+  if (!ia) return reject(cat("merge: no task named '", task_a, "'"));
+  if (!ib) return reject(cat("merge: no task named '", task_b, "'"));
+  if (*ia == *ib) return reject(cat("merge: '", task_a, "' with itself"));
+  const RepetitiveTask& a = model.tasks()[*ia];
+  const RepetitiveTask& b = model.tasks()[*ib];
+  if (!(a.repetition == b.repetition)) {
+    return reject(cat("merge ", a.name, " + ", b.name, ": repetition spaces differ (",
+                      a.repetition.to_string(), " vs ", b.repetition.to_string(), ")"));
+  }
+  // Transitive dependence in either direction forbids a horizontal
+  // merge: edges go producer -> consumer through shared arrays.
+  const auto reaches = [&](std::size_t from, std::size_t to) {
+    std::vector<std::size_t> stack{from};
+    std::vector<bool> seen(model.tasks().size(), false);
+    seen[from] = true;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      if (u == to) return true;
+      for (const TiledPort& out : model.tasks()[u].outputs) {
+        for (std::size_t v = 0; v < model.tasks().size(); ++v) {
+          if (seen[v]) continue;
+          for (const TiledPort& in : model.tasks()[v].inputs) {
+            if (in.port.name == out.port.name) {
+              seen[v] = true;
+              stack.push_back(v);
+              break;
+            }
+          }
+        }
+      }
+    }
+    return false;
+  };
+  if (reaches(*ia, *ib)) {
+    return reject(cat("merge ", a.name, " + ", b.name, ": '", b.name, "' depends on '", a.name,
+                      "'"));
+  }
+  if (reaches(*ib, *ia)) {
+    return reject(cat("merge ", a.name, " + ", b.name, ": '", a.name, "' depends on '", b.name,
+                      "'"));
+  }
+
+  RepetitiveTask f;
+  f.name = a.name + "_" + b.name;
+  f.repetition = a.repetition;
+  f.inputs = a.inputs;
+  f.inputs.insert(f.inputs.end(), b.inputs.begin(), b.inputs.end());
+  f.outputs = a.outputs;
+  f.outputs.insert(f.outputs.end(), b.outputs.begin(), b.outputs.end());
+  std::int64_t a_in = 0;
+  std::int64_t a_out = 0;
+  for (const TiledPort& p : a.inputs) a_in += p.pattern.elements();
+  for (const TiledPort& p : a.outputs) a_out += p.pattern.elements();
+  const auto ca = a.op.compute;
+  const auto cb = b.op.compute;
+  f.op.name = a.op.name + "+" + b.op.name;
+  f.op.flops_per_invocation = a.op.flops_per_invocation + b.op.flops_per_invocation;
+  f.op.compute = [ca, cb, a_in, a_out](std::span<const std::int64_t> in,
+                                       std::span<std::int64_t> out) {
+    ca(in.subspan(0, static_cast<std::size_t>(a_in)),
+       out.subspan(0, static_cast<std::size_t>(a_out)));
+    cb(in.subspan(static_cast<std::size_t>(a_in)),
+       out.subspan(static_cast<std::size_t>(a_out)));
+  };
+  if (a.inputs.size() == 1 && a.outputs.size() == 1 && b.inputs.size() == 1 &&
+      b.outputs.size() == 1) {
+    // The generated kernel gathers each port into its own private
+    // buffer (in_<port>/out_<port>), so the merged body re-binds the
+    // in/out aliases per sub-op.
+    f.op.c_body =
+        cat("{ // merged ", a.op.name, "\n      const int* in = in_", a.inputs[0].port.name,
+            "; int* out = out_", a.outputs[0].port.name, ";\n      ", a.op.c_body,
+            "\n    }\n    { // merged ", b.op.name, "\n      const int* in = in_",
+            b.inputs[0].port.name, "; int* out = out_", b.outputs[0].port.name, ";\n      ",
+            b.op.c_body, "\n    }");
+  } else {
+    f.op.c_body = cat("/* merged ", a.op.name, " ; ", b.op.name, " */");
+  }
+
+  return accept(rebuild(model, {*ia, *ib}, {}, {std::move(f)}), "task merge");
+}
+
+}  // namespace saclo::opt

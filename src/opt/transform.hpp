@@ -1,0 +1,74 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "arrayol/model.hpp"
+
+namespace saclo::opt {
+
+/// Raised when the optimizer is driven with malformed arguments or an
+/// accepted rewrite produces a model that fails validation (which would
+/// be a bug in the rewrite, not in the caller's model).
+class OptError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The verdict of a legality check: either the rewrite is provably
+/// semantics-preserving, or `reason` says which precondition failed.
+/// Rejections are diagnoses, not errors — the search layer enumerates
+/// candidates and expects most of them to be refused.
+struct Legality {
+  bool ok = false;
+  std::string reason;
+
+  static Legality yes() { return Legality{true, {}}; }
+  static Legality no(std::string why) { return Legality{false, std::move(why)}; }
+};
+
+/// Outcome of attempting one elementary transformation: the legality
+/// verdict, plus the rewritten (already re-validated) model when legal.
+struct RewriteResult {
+  Legality legality;
+  std::optional<aol::Model> model;
+};
+
+/// Paving change (Boulet & Feautrier): split factor `factor` off
+/// repetition dimension `dim` of `task_name`, moving it into the
+/// patterns. The task body is wrapped so it invokes the original op
+/// `factor` times per (smaller) repetition point; every port pattern
+/// gains a leading dimension of extent `factor` whose fitting column is
+/// the old paving column `dim`. Legal whenever `factor` divides the
+/// repetition extent — the rewrite is a bijection on (repetition,
+/// pattern) index pairs, so the set of addressed elements and the
+/// values written are unchanged.
+/// `revalidate` controls whether the rewritten model goes through the
+/// full Model::validate() (which re-proves the exact-partition property
+/// element by element — O(array size)). The search disables it for
+/// *enabling* paving changes whose fusion result is validated anyway;
+/// standalone callers should keep the default.
+RewriteResult try_change_paving(const aol::Model& model, const std::string& task_name,
+                                std::size_t dim, std::int64_t factor, bool revalidate = true);
+
+/// Fusion (producer/consumer): eliminate intermediate array
+/// `mid_array` by inlining its producer task into its (single)
+/// consumer. Legal only when the consumer's read footprint of the
+/// intermediate is, per consumer repetition point, a rectangular set of
+/// whole producer instances whose index is an affine function of the
+/// consumer's repetition and pattern indices — this is checked
+/// exhaustively against the actual tilers, not assumed. The fused task
+/// re-tiles the producer's inputs directly against the consumer's
+/// repetition space and re-computes the needed producer instances in
+/// registers (the paper's on-chip-reuse argument for fewer, larger
+/// kernels).
+RewriteResult try_fuse(const aol::Model& model, const std::string& mid_array);
+
+/// Task merge (horizontal): combine two independent tasks with
+/// identical repetition spaces into one kernel-sized task. Legal when
+/// neither task (transitively) depends on the other; ports are
+/// concatenated and the ops run back to back per repetition point.
+RewriteResult try_merge(const aol::Model& model, const std::string& task_a,
+                        const std::string& task_b);
+
+}  // namespace saclo::opt

@@ -33,12 +33,19 @@ void JobSpec::validate() const {
   if (exec_frames > frames) {
     throw ServeError(cat("exec_frames ", exec_frames, " exceeds frames ", frames));
   }
+  if (opt_level < 0 || opt_level > 2) {
+    throw ServeError(cat("opt_level must be 0, 1 or 2, got ", opt_level));
+  }
 }
 
 std::string driver_key(Route route, const apps::DownscalerConfig& config) {
   return cat(route_name(route), ":", config.height, "x", config.width, ":", config.h.in_pattern,
              "/", config.h.paving, "/", config.h.tile(), ":", config.v.in_pattern, "/",
              config.v.paving, "/", config.v.tile());
+}
+
+std::string batch_key(const JobSpec& spec) {
+  return cat(driver_key(spec.route, spec.config), ":o", spec.opt_level, ":ch", spec.channels);
 }
 
 double estimate_job_us(const JobSpec& spec, const gpu::DeviceSpec& device) {
@@ -92,6 +99,7 @@ JobResult reference_run(const JobSpec& spec, const gpu::DeviceSpec& device, unsi
     opts.backend = backend;
     opts.rgb = spec.channels == 3;
     opts.async_streams = true;
+    opts.opt_level = spec.opt_level;
     apps::GaspardDownscaler driver(spec.config, opts);
     auto r = driver.run(spec.frames, exec);
     result.last_output = r.last_output;

@@ -40,6 +40,10 @@ struct JobSpec {
   int frames = 4;
   int channels = 3;  ///< SaC routes: channels per frame; Gaspard: 3 = RGB model, 1 = mono
   int exec_frames = -1;
+  /// Transformation-optimizer level for the Gaspard route (see
+  /// opt/search.hpp): 0 = unfused, 1 = fusion, 2 = fusion + channel
+  /// merge. Bit-exact across levels; ignored by the SaC routes.
+  int opt_level = 0;
 
   int effective_exec_frames() const { return exec_frames < 0 ? frames : exec_frames; }
   void validate() const;
@@ -67,6 +71,11 @@ struct JobResult {
 /// one driver per (route, geometry) so repeat traffic skips
 /// parse/typecheck/plan.
 std::string driver_key(Route route, const apps::DownscalerConfig& config);
+
+/// Coalescing key of the dynamic batcher: jobs agree on it exactly when
+/// they can share one fused frame loop on a device — same compiled
+/// driver (route + geometry), same optimizer level, same channel count.
+std::string batch_key(const JobSpec& spec);
 
 /// Static cost-model estimate of one job's simulated device time — the
 /// load number the least-loaded placement compares. Derived from the

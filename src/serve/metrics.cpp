@@ -93,6 +93,14 @@ void FleetMetrics::on_healed(int device) {
                              .count();
 }
 
+void FleetMetrics::on_batch(int device, int size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  (void)devices_.at(static_cast<std::size_t>(device));  // bounds check only
+  ++batches_;
+  jobs_batched_ += size;
+  batch_size_hist_.record(static_cast<double>(size));
+}
+
 void FleetMetrics::set_elapsed_real_us(double us) {
   std::lock_guard<std::mutex> lock(mutex_);
   elapsed_real_us_ = us;
@@ -116,6 +124,8 @@ FleetMetrics::Snapshot FleetMetrics::snapshot() const {
   s.failovers = failovers_;
   s.retries = retries_;
   s.buffers_reclaimed = buffers_reclaimed_;
+  s.batches_formed = batches_;
+  s.jobs_batched = jobs_batched_;
   s.elapsed_real_us = elapsed_real_us_;
   const auto now = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < devices_.size(); ++i) {
@@ -161,6 +171,7 @@ FleetMetrics::Snapshot FleetMetrics::snapshot() const {
   s.sim_job_p99_us = sim_job_hist_.percentile(0.99);
   s.latency_hist = latency_hist_;
   s.sim_job_hist = sim_job_hist_;
+  s.batch_size_hist = batch_size_hist_;
   return s;
 }
 
@@ -179,6 +190,11 @@ std::string FleetMetrics::report() const {
   out += cat("health: ", s.device_faults, " device fault(s), ", s.failovers, " failover(s), ",
              s.retries, " retry(s), ", s.jobs_failed, " failed job(s), ", s.degraded_devices,
              " degraded device(s)\n");
+  if (s.batches_formed > 0) {
+    out += cat("batching: ", s.batches_formed, " batch(es), ", s.jobs_batched,
+               " jobs coalesced, max size ",
+               static_cast<std::int64_t>(s.batch_size_hist.max()), "\n");
+  }
   out += pad_right("device", 8) + pad_left("jobs", 7) + pad_left("failed", 8) +
          pad_left("frames", 8) + pad_left("util", 7) + pad_left("queue", 7) +
          pad_left("maxq", 6) + pad_left("faults", 8) + pad_left("hit%", 7) +
@@ -237,6 +253,9 @@ std::string FleetMetrics::json() const {
       ",\"health\":{\"device_faults\":", s.device_faults, ",\"failovers\":", s.failovers,
       ",\"retries\":", s.retries, ",\"degraded_devices\":", s.degraded_devices,
       ",\"buffers_reclaimed\":", s.buffers_reclaimed, "}",
+      ",\"batching\":{\"batches_formed\":", s.batches_formed,
+      ",\"jobs_batched\":", s.jobs_batched,
+      ",\"max_batch_size\":", static_cast<std::int64_t>(s.batch_size_hist.max()), "}",
       ",\"elapsed_real_us\":", fixed(s.elapsed_real_us, 1),
       ",\"sim_makespan_us\":", fixed(s.sim_makespan_us, 3),
       ",\"throughput_fps_sim\":", fixed(s.throughput_fps_sim, 3),
@@ -283,6 +302,10 @@ std::string FleetMetrics::prometheus() const {
               "Allocator blocks swept back after faults.", std::to_string(s.buffers_reclaimed));
   prom_scalar(out, "saclo_degraded_devices", "gauge", "Devices currently marked degraded.",
               std::to_string(s.degraded_devices));
+  prom_scalar(out, "saclo_batches_formed_total", "counter",
+              "Dispatches that coalesced two or more jobs.", std::to_string(s.batches_formed));
+  prom_scalar(out, "saclo_jobs_batched_total", "counter",
+              "Jobs that rode in a coalesced batch.", std::to_string(s.jobs_batched));
   prom_scalar(out, "saclo_sim_makespan_us", "gauge",
               "Fleet simulated makespan (max device clock), microseconds.",
               fixed(s.sim_makespan_us, 3));
@@ -306,6 +329,8 @@ std::string FleetMetrics::prometheus() const {
                                    s.latency_hist);
   obs::append_prometheus_histogram(out, "saclo_job_sim_us",
                                    "Simulated device time per completed job.", s.sim_job_hist);
+  obs::append_prometheus_histogram(out, "saclo_batch_size",
+                                   "Sizes of coalesced batches (>= 2).", s.batch_size_hist);
   return out;
 }
 

@@ -39,6 +39,10 @@ class FleetMetrics {
   /// degraded wall time accrues between the two.
   void on_degraded(int device);
   void on_healed(int device);
+  /// The dispatcher coalesced `size` same-key jobs into one fused frame
+  /// loop on `device` (only called with size >= 2 — a batch of one is
+  /// just a dispatch).
+  void on_batch(int device, int size);
   /// Real (wall-clock) microseconds since the runtime started serving;
   /// updated by the scheduler so snapshots can compute real throughput.
   void set_elapsed_real_us(double us);
@@ -78,6 +82,10 @@ class FleetMetrics {
     std::int64_t retries = 0;            ///< faulted jobs re-enqueued (any device)
     std::int64_t buffers_reclaimed = 0;  ///< allocator blocks swept after faults
     int degraded_devices = 0;            ///< currently degraded
+    // Dynamic batching: coalesced dispatches and how many jobs rode in
+    // them (jobs dispatched alone count in neither).
+    std::int64_t batches_formed = 0;
+    std::int64_t jobs_batched = 0;
     double elapsed_real_us = 0;
     double sim_makespan_us = 0;  ///< max over devices of sim_clock_us
     /// Aggregate throughput in frames per second of simulated device
@@ -102,6 +110,7 @@ class FleetMetrics {
     /// Prometheus exposition and offline analysis.
     obs::LogHistogram latency_hist;
     obs::LogHistogram sim_job_hist;
+    obs::LogHistogram batch_size_hist;  ///< sizes of coalesced batches (>= 2)
     std::vector<DeviceSnapshot> devices;
   };
   Snapshot snapshot() const;
@@ -145,8 +154,11 @@ class FleetMetrics {
   // Bounded distributions: fixed 128-counter footprint regardless of
   // how many jobs a long-running fleet serves (the former per-job
   // sample vectors grew without bound).
-  obs::LogHistogram latency_hist_;   // real end-to-end latency, us
-  obs::LogHistogram sim_job_hist_;   // simulated device time per job, us
+  std::int64_t batches_ = 0;
+  std::int64_t jobs_batched_ = 0;
+  obs::LogHistogram latency_hist_;     // real end-to-end latency, us
+  obs::LogHistogram sim_job_hist_;     // simulated device time per job, us
+  obs::LogHistogram batch_size_hist_;  // coalesced batch sizes
 };
 
 /// Interpolated percentile of an unsorted sample (q in [0, 1]); 0 on an

@@ -27,6 +27,12 @@ ServeRuntime::ServeRuntime(const Options& options)
   if (options_.max_retries < 0) {
     throw ServeError(cat("max_retries must be >= 0, got ", options_.max_retries));
   }
+  if (options_.batch_max < 1) {
+    throw ServeError(cat("batch_max must be >= 1, got ", options_.batch_max));
+  }
+  if (options_.batch_wait_ms < 0) {
+    throw ServeError(cat("batch_wait_ms must be >= 0, got ", options_.batch_wait_ms));
+  }
   for (const fault::FaultSpec& spec : options_.fault_plan.specs()) {
     if (spec.device >= options_.devices) {
       throw ServeError(cat("fault plan targets device ", spec.device, " but the fleet has ",
@@ -278,7 +284,7 @@ std::string ServeRuntime::merged_trace_json() const {
   return obs::merged_chrome_trace(traces, events);
 }
 
-JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending) {
+JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending, bool flush) {
   const auto dispatch_time = std::chrono::steady_clock::now();
   const JobSpec& spec = pending.spec;
   JobResult result;
@@ -311,7 +317,9 @@ JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending) {
 
   const int exec = spec.effective_exec_frames();
   if (spec.route == Route::Gaspard) {
-    const std::string key = cat(driver_key(spec.route, spec.config), ":ch", spec.channels);
+    // The cache key is the batch key: it folds in the optimizer level,
+    // so opt-level-0 and fused drivers of the same geometry coexist.
+    const std::string key = batch_key(spec);
     auto it = gaspard_drivers.find(key);
     if (it == gaspard_drivers.end()) {
       apps::GaspardDownscaler::Options opts;
@@ -319,11 +327,12 @@ JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending) {
       opts.workers = options_.workers_per_device;
       opts.rgb = spec.channels == 3;
       opts.async_streams = options_.async_streams;
+      opts.opt_level = spec.opt_level;
       it = gaspard_drivers
                .emplace(key, std::make_unique<apps::GaspardDownscaler>(spec.config, opts))
                .first;
     }
-    auto r = it->second->run_on(*dev.gpu, spec.frames, exec, on_frame);
+    auto r = it->second->run_on(*dev.gpu, spec.frames, exec, on_frame, flush);
     result.last_output = std::move(r.last_output);
     result.ops += r.h;
     result.ops += r.v;
@@ -341,7 +350,8 @@ JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending) {
       it = sac_drivers.emplace(key, std::make_unique<apps::SacDownscaler>(spec.config, opts))
                .first;
     }
-    auto r = it->second->run_cuda_chain_on(*dev.gpu, spec.frames, spec.channels, exec, on_frame);
+    auto r = it->second->run_cuda_chain_on(*dev.gpu, spec.frames, spec.channels, exec, on_frame,
+                                           flush);
     result.last_output = std::move(r.last_output);
     result.ops += r.h;
     result.ops += r.v;
@@ -357,7 +367,9 @@ JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending) {
 void ServeRuntime::dispatcher_loop(int index) {
   Device& dev = *devices_[static_cast<std::size_t>(index)];
   for (;;) {
-    Pending pending;
+    // The batch: a leader plus (with batch_max > 1) every same-key job
+    // that was ready behind it, up to batch_max members.
+    std::vector<Pending> batch;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       for (;;) {
@@ -378,7 +390,7 @@ void ServeRuntime::dispatcher_loop(int index) {
             }
           }
           if (ready != dev.queue.end()) {
-            pending = std::move(*ready);
+            batch.push_back(std::move(*ready));
             dev.queue.erase(ready);
             break;
           }
@@ -391,111 +403,171 @@ void ServeRuntime::dispatcher_loop(int index) {
         }
         work_ready_.wait(lock);
       }
-      --total_queued_;
+      if (options_.batch_max > 1) {
+        // Coalesce: sweep ready same-key jobs behind the leader, and
+        // optionally hold the underfull batch open for late arrivals.
+        // Members leave dev.queue but stay counted in total_queued_
+        // (and the queue-depth gauge) until they actually dispatch.
+        const std::string key = batch_key(batch.front().spec);
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(
+                static_cast<std::int64_t>(options_.batch_wait_ms * 1000.0));
+        for (;;) {
+          const auto now = std::chrono::steady_clock::now();
+          for (auto it = dev.queue.begin();
+               it != dev.queue.end() &&
+               batch.size() < static_cast<std::size_t>(options_.batch_max);) {
+            if (it->ready_time <= now && batch_key(it->spec) == key) {
+              batch.push_back(std::move(*it));
+              it = dev.queue.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          if (batch.size() >= static_cast<std::size_t>(options_.batch_max) || stopping_ ||
+              options_.batch_wait_ms <= 0 || now >= deadline) {
+            break;
+          }
+          work_ready_.wait_until(lock, deadline);
+        }
+      }
+      --total_queued_;  // the leader; followers decrement when they run
       metrics_.on_dispatch(index);
     }
     space_available_.notify_all();
-    const double estimate = pending.estimate_us;
-    emit(obs::EventType::JobDispatched, pending.id, index, pending.attempts, /*arg=*/0,
-         dev.gpu->clock_us());
 
-    JobResult result;
-    std::exception_ptr error;
-    bool device_fault = false;
-    // Bracket the job so every interval the device profiles carries its
-    // trace id + attempt — the key the merged Chrome trace joins on.
-    if (options_.trace_jobs) {
-      dev.gpu->begin_job_trace(pending.id, static_cast<std::uint32_t>(pending.attempts));
-    }
-    try {
-      result = run_job(dev, index, pending);
-    } catch (const fault::DeviceFault&) {
-      device_fault = true;
-      error = std::current_exception();
-    } catch (...) {
-      error = std::current_exception();
-    }
-    if (options_.trace_jobs) dev.gpu->end_job_trace();
-
-    if (error == nullptr) {
-      // Record before handing the result off through the promise.
-      metrics_.on_complete(index, result, dev.gpu->clock_us());
-      if (dev.cache) metrics_.set_allocator_stats(index, dev.cache->stats());
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        metrics_.set_elapsed_real_us(
-            us_between(serve_start_, std::chrono::steady_clock::now()));
-      }
-      emit(obs::EventType::JobCompleted, pending.id, index, pending.attempts,
-           pending.spec.frames, dev.gpu->clock_us());
-      pending.promise.set_value(std::move(result));
-      finish_job(dev, estimate);
-      continue;
+    const bool coalesced = batch.size() >= 2;
+    const std::uint64_t batch_id = coalesced ? batch.front().id : 0;
+    if (coalesced) {
+      metrics_.on_batch(index, static_cast<int>(batch.size()));
+      emit(obs::EventType::BatchFormed, batch.front().id, index, /*attempt=*/0,
+           static_cast<std::int64_t>(batch.size()), dev.gpu->clock_us());
     }
 
-    if (device_fault) {
-      // The frame loop died mid-flight. Its RAII buffer owners unwound
-      // back into the caching allocator already; sweep whatever is
-      // still live so the device starts the next job leak-free.
-      const std::int64_t reclaimed = dev.cache ? dev.cache->reclaim_live() : 0;
-      metrics_.on_device_fault(index, reclaimed);
-      if (dev.cache) metrics_.set_allocator_stats(index, dev.cache->stats());
-      // The injector's record of where it fired beats the device clock:
-      // the faulted operation never ran, so the clock is the time of
-      // the last *successful* op.
-      const double fault_sim_us = dev.injector != nullptr
-                                      ? dev.injector->last_fault_clock_us()
-                                      : dev.gpu->clock_us();
-      emit(obs::EventType::DeviceFault, pending.id, index, pending.attempts, reclaimed,
-           fault_sim_us);
-
-      bool retried = false;
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!dev.degraded) {
-          dev.degraded = true;
-          dev.degraded_since = std::chrono::steady_clock::now();
-          metrics_.on_degraded(index);
-          emit(obs::EventType::DeviceDegraded, pending.id, index, pending.attempts, /*arg=*/0,
-               dev.gpu->clock_us());
+    for (std::size_t member = 0; member < batch.size(); ++member) {
+      Pending& pending = batch[member];
+      const bool last = member + 1 == batch.size();
+      if (member > 0) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          --total_queued_;
         }
-        if (pending.attempts < options_.max_retries) {
-          ++pending.attempts;
-          const double backoff_ms =
-              std::min(options_.retry_backoff_base_ms *
-                           static_cast<double>(std::int64_t{1} << (pending.attempts - 1)),
-                       options_.retry_backoff_cap_ms);
-          pending.ready_time =
-              std::chrono::steady_clock::now() +
-              std::chrono::microseconds(static_cast<std::int64_t>(backoff_ms * 1000.0));
-          const std::size_t target = pick_device_locked(/*exclude=*/index);
-          // `device` is the faulted source; `attempt` is the hop the
-          // retry will run as — together with arg (the target device)
-          // this is exactly the flow arrow of the merged trace.
-          emit(obs::EventType::Failover, pending.id, index, pending.attempts,
-               static_cast<std::int64_t>(target), dev.gpu->clock_us());
-          devices_[target]->queue.push_back(std::move(pending));
-          devices_[target]->backlog_estimate_us += estimate;
-          dev.backlog_estimate_us -= estimate;
-          ++total_queued_;
-          metrics_.on_failover(index, static_cast<int>(target));
-          retried = true;
-        }
+        metrics_.on_dispatch(index);
+        space_available_.notify_all();
       }
-      if (retried) {
-        // The job stays inflight; its new dispatcher takes over.
-        work_ready_.notify_all();
+      const double estimate = pending.estimate_us;
+      emit(obs::EventType::JobDispatched, pending.id, index, pending.attempts, /*arg=*/0,
+           dev.gpu->clock_us());
+
+      JobResult result;
+      std::exception_ptr error;
+      bool device_fault = false;
+      // Bracket the job so every interval the device profiles carries
+      // its trace id + attempt (+ batch id when coalesced) — the key
+      // the merged Chrome trace joins on.
+      if (options_.trace_jobs) {
+        dev.gpu->begin_job_trace(pending.id, static_cast<std::uint32_t>(pending.attempts),
+                                 batch_id);
+      }
+      try {
+        // Only the last member flushes the device: earlier members'
+        // functional results are complete at enqueue, and the timeline
+        // is ordered by buffer hazards either way — the whole batch is
+        // one dispatch round on a warm driver, one barrier at the end.
+        result = run_job(dev, index, pending, /*flush=*/last);
+      } catch (const fault::DeviceFault&) {
+        device_fault = true;
+        error = std::current_exception();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      if (options_.trace_jobs) dev.gpu->end_job_trace();
+
+      if (error == nullptr) {
+        // Record before handing the result off through the promise.
+        metrics_.on_complete(index, result, dev.gpu->clock_us());
+        if (dev.cache) metrics_.set_allocator_stats(index, dev.cache->stats());
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          metrics_.set_elapsed_real_us(
+              us_between(serve_start_, std::chrono::steady_clock::now()));
+        }
+        emit(obs::EventType::JobCompleted, pending.id, index, pending.attempts,
+             pending.spec.frames, dev.gpu->clock_us());
+        pending.promise.set_value(std::move(result));
+        finish_job(dev, estimate);
         continue;
       }
-    }
 
-    // Permanent failure: retry budget exhausted, or a non-fault error
-    // (bad spec caught late, driver bug) that a retry would only repeat.
-    emit(obs::EventType::RetryExhausted, pending.id, index, pending.attempts,
-         /*arg=*/pending.attempts + 1, dev.gpu->clock_us());
-    pending.promise.set_exception(error);
-    metrics_.on_failed(index);
-    finish_job(dev, estimate);
+      if (device_fault) {
+        // The frame loop died mid-flight. Its RAII buffer owners unwound
+        // back into the caching allocator already; sweep whatever is
+        // still live so the device starts the next job leak-free. The
+        // remaining batch members never ran (members execute strictly in
+        // order), so they simply dispatch next — on this device, like
+        // any job already committed to its queue.
+        const std::int64_t reclaimed = dev.cache ? dev.cache->reclaim_live() : 0;
+        metrics_.on_device_fault(index, reclaimed);
+        if (dev.cache) metrics_.set_allocator_stats(index, dev.cache->stats());
+        // The injector's record of where it fired beats the device
+        // clock: the faulted operation never ran, so the clock is the
+        // time of the last *successful* op.
+        const double fault_sim_us = dev.injector != nullptr
+                                        ? dev.injector->last_fault_clock_us()
+                                        : dev.gpu->clock_us();
+        emit(obs::EventType::DeviceFault, pending.id, index, pending.attempts, reclaimed,
+             fault_sim_us);
+
+        bool retried = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (!dev.degraded) {
+            dev.degraded = true;
+            dev.degraded_since = std::chrono::steady_clock::now();
+            metrics_.on_degraded(index);
+            emit(obs::EventType::DeviceDegraded, pending.id, index, pending.attempts,
+                 /*arg=*/0, dev.gpu->clock_us());
+          }
+          if (pending.attempts < options_.max_retries) {
+            ++pending.attempts;
+            const double backoff_ms =
+                std::min(options_.retry_backoff_base_ms *
+                             static_cast<double>(std::int64_t{1} << (pending.attempts - 1)),
+                         options_.retry_backoff_cap_ms);
+            pending.ready_time =
+                std::chrono::steady_clock::now() +
+                std::chrono::microseconds(static_cast<std::int64_t>(backoff_ms * 1000.0));
+            const std::size_t target = pick_device_locked(/*exclude=*/index);
+            // `device` is the faulted source; `attempt` is the hop the
+            // retry will run as — together with arg (the target device)
+            // this is exactly the flow arrow of the merged trace.
+            emit(obs::EventType::Failover, pending.id, index, pending.attempts,
+                 static_cast<std::int64_t>(target), dev.gpu->clock_us());
+            devices_[target]->queue.push_back(std::move(pending));
+            devices_[target]->backlog_estimate_us += estimate;
+            dev.backlog_estimate_us -= estimate;
+            ++total_queued_;
+            metrics_.on_failover(index, static_cast<int>(target));
+            retried = true;
+          }
+        }
+        if (retried) {
+          // The job stays inflight; its new dispatcher takes over.
+          work_ready_.notify_all();
+          continue;
+        }
+      }
+
+      // Permanent failure: retry budget exhausted, or a non-fault error
+      // (bad spec caught late, driver bug) that a retry would only
+      // repeat.
+      emit(obs::EventType::RetryExhausted, pending.id, index, pending.attempts,
+           /*arg=*/pending.attempts + 1, dev.gpu->clock_us());
+      pending.promise.set_exception(error);
+      metrics_.on_failed(index);
+      finish_job(dev, estimate);
+    }
   }
 }
 

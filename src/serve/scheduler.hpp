@@ -73,6 +73,22 @@ class ServeRuntime {
     /// placement and queue-depth tests.
     bool start_paused = false;
 
+    // -- dynamic batching -----------------------------------------------------
+    /// Maximum jobs a dispatcher coalesces into one fused frame loop.
+    /// Members must agree on batch_key() (route, geometry, opt level,
+    /// channels); they run back to back on the device in one dispatch
+    /// round with the inter-member stream barrier elided — one driver
+    /// lookup and one queue sweep serve the whole batch, amortizing the
+    /// per-job host-side dispatch overhead. Bit-exact vs unbatched, and
+    /// makespan-neutral on the simulated timeline (the hazard-driven
+    /// stream model is already work-conserving across jobs — a parity
+    /// the serve bench gates on). 1 (the default) disables batching.
+    int batch_max = 1;
+    /// How long a dispatcher holds an underfull batch open waiting for
+    /// more same-key arrivals (real milliseconds). 0 coalesces only
+    /// what is already queued — no added latency.
+    double batch_wait_ms = 0.0;
+
     // -- fault tolerance ------------------------------------------------------
     /// Fault-injection schedule installed on the fleet's devices at
     /// construction (empty = no injection, zero overhead).
@@ -181,7 +197,10 @@ class ServeRuntime {
   };
 
   void dispatcher_loop(int index);
-  JobResult run_job(Device& dev, int index, Pending& pending);
+  /// flush=false skips the member's trailing device synchronize so the
+  /// next batch member may overlap it (always true for the last member
+  /// of a batch and for unbatched jobs).
+  JobResult run_job(Device& dev, int index, Pending& pending, bool flush);
   std::optional<std::future<JobResult>> submit_impl(JobSpec spec, bool blocking);
   void refresh_allocator_stats();
   /// Least-loaded healthy device (degraded cooldowns healed lazily

@@ -1,0 +1,139 @@
+// Property tests for the transformation optimizer over randomized
+// Array-OL geometries: every *accepted* rewrite (paving change, fusion,
+// full cost-gated search) must preserve the ODT mapping — identical
+// model outputs element for element — and every *rejected* candidate
+// must carry a diagnostic naming the violated precondition.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "apps/downscaler/arrayol_model.hpp"
+#include "apps/downscaler/config.hpp"
+#include "core/fmt.hpp"
+#include "opt/search.hpp"
+#include "opt/transform.hpp"
+
+namespace saclo::opt {
+namespace {
+
+using apps::DownscalerConfig;
+
+std::map<std::string, IntArray> random_inputs(const aol::Model& model, std::mt19937& rng) {
+  std::uniform_int_distribution<std::int64_t> pixel(0, 255);
+  std::map<std::string, IntArray> inputs;
+  for (const std::string& in : model.inputs()) {
+    inputs.emplace(in, IntArray::generate(model.array_shape(in),
+                                          [&](const Index&) { return pixel(rng); }));
+  }
+  return inputs;
+}
+
+void expect_same_outputs(const aol::Model& before, const aol::Model& after, std::mt19937& rng,
+                         const std::string& what) {
+  const auto inputs = random_inputs(before, rng);
+  const auto ref = aol::evaluate(before, inputs);
+  const auto got = aol::evaluate(after, inputs);
+  ASSERT_EQ(before.outputs(), after.outputs()) << what;
+  for (const std::string& out : before.outputs()) {
+    EXPECT_EQ(ref.at(out), got.at(out)) << what << ": output '" << out << "' diverged";
+  }
+}
+
+/// A random valid downscaler geometry: the width must be a multiple of
+/// the horizontal paving (8) and the height of the vertical paving (9).
+DownscalerConfig random_config(std::mt19937& rng) {
+  DownscalerConfig cfg = DownscalerConfig::tiny();
+  std::uniform_int_distribution<std::int64_t> h_mult(1, 4);
+  std::uniform_int_distribution<std::int64_t> w_mult(1, 5);
+  cfg.height = cfg.v.paving * 2 * h_mult(rng);  // 18..72
+  cfg.width = cfg.h.paving * 2 * w_mult(rng);   // 16..80
+  cfg.validate();
+  return cfg;
+}
+
+std::vector<std::int64_t> dividing_factors(std::int64_t extent) {
+  std::vector<std::int64_t> factors;
+  for (std::int64_t k = 2; k <= extent; ++k) {
+    if (extent % k == 0) factors.push_back(k);
+  }
+  return factors;
+}
+
+TEST(OptProperty, AcceptedPavingChangesPreserveOdtMappingOnRandomGeometries) {
+  std::mt19937 rng(20110516);  // the paper's conference date
+  for (int trial = 0; trial < 12; ++trial) {
+    const DownscalerConfig cfg = random_config(rng);
+    const aol::Model model = apps::build_single_channel_model(cfg);
+    const std::string task = trial % 2 == 0 ? "yhf" : "yvf";
+    const Shape rep = task == "yhf" ? cfg.h_repetition() : cfg.v_repetition();
+    const std::size_t dim = std::uniform_int_distribution<std::size_t>(0, rep.rank() - 1)(rng);
+    const std::vector<std::int64_t> factors = dividing_factors(rep[dim]);
+    if (factors.empty()) continue;
+    const std::int64_t factor =
+        factors[std::uniform_int_distribution<std::size_t>(0, factors.size() - 1)(rng)];
+
+    const std::string what = cat(cfg.height, "x", cfg.width, " ", task, " dim ", dim,
+                                 " factor ", factor);
+    const RewriteResult r = try_change_paving(model, task, dim, factor);
+    ASSERT_TRUE(r.legality.ok) << what << ": " << r.legality.reason;
+    expect_same_outputs(model, *r.model, rng, what);
+  }
+}
+
+TEST(OptProperty, IllegalPavingChangesAreRejectedWithDiagnostics) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    const DownscalerConfig cfg = random_config(rng);
+    const aol::Model model = apps::build_single_channel_model(cfg);
+    const Shape rep = cfg.h_repetition();
+    const std::size_t dim = std::uniform_int_distribution<std::size_t>(0, rep.rank() - 1)(rng);
+    // A factor beyond the extent can never divide it.
+    const std::int64_t bad = rep[dim] + 1;
+    const RewriteResult r = try_change_paving(model, "yhf", dim, bad);
+    EXPECT_FALSE(r.legality.ok);
+    EXPECT_FALSE(r.legality.reason.empty()) << "rejection must carry a diagnostic";
+    EXPECT_FALSE(r.model.has_value());
+  }
+}
+
+TEST(OptProperty, FusionRejectionsCarryDiagnostics) {
+  const aol::Model model = apps::build_single_channel_model(DownscalerConfig::tiny());
+  // Not an intermediate: model inputs/outputs and unknown names all
+  // name a reason instead of silently failing.
+  for (const std::string arr : {"frame_y", "out_y", "nonexistent"}) {
+    const RewriteResult r = try_fuse(model, arr);
+    EXPECT_FALSE(r.legality.ok) << arr;
+    EXPECT_FALSE(r.legality.reason.empty()) << arr << ": rejection must carry a diagnostic";
+    EXPECT_FALSE(r.model.has_value()) << arr;
+  }
+}
+
+TEST(OptProperty, CostGatedSearchPreservesOdtMappingOnRandomGeometries) {
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 6; ++trial) {
+    const DownscalerConfig cfg = random_config(rng);
+    const aol::Model model = trial % 2 == 0 ? apps::build_single_channel_model(cfg)
+                                            : apps::build_downscaler_model(cfg);
+    for (int level : {1, 2}) {
+      SearchOptions options;
+      options.level = level;
+      const OptResult result = optimize(model, options);
+      const std::string what =
+          cat(cfg.height, "x", cfg.width, " O", level, " (", result.rewrites.size(),
+              " rewrites)");
+      // The cost gate may adopt nothing on a small geometry; whatever
+      // it adopted, the optimized model must still compute the same
+      // function — and never with *more* tasks.
+      EXPECT_LE(result.model.tasks().size(), model.tasks().size()) << what;
+      expect_same_outputs(model, result.model, rng, what);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saclo::opt

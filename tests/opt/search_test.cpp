@@ -1,0 +1,109 @@
+#include "opt/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/downscaler/arrayol_model.hpp"
+#include "apps/downscaler/config.hpp"
+
+namespace saclo::opt {
+namespace {
+
+using apps::DownscalerConfig;
+
+std::map<std::string, IntArray> inputs_for(const aol::Model& model) {
+  std::map<std::string, IntArray> inputs;
+  for (const std::string& in : model.inputs()) {
+    inputs.emplace(in, IntArray::generate(model.array_shape(in), [&](const Index& idx) {
+      std::int64_t v = 7;
+      for (std::int64_t d : idx) v = v * 131 + d;
+      return v % 255;
+    }));
+  }
+  return inputs;
+}
+
+void expect_same_outputs(const aol::Model& before, const aol::Model& after) {
+  const auto inputs = inputs_for(before);
+  const auto ref = aol::evaluate(before, inputs);
+  const auto got = aol::evaluate(after, inputs);
+  for (const std::string& out : before.outputs()) {
+    ASSERT_EQ(ref.at(out), got.at(out)) << "output '" << out << "' diverged";
+  }
+}
+
+TEST(Search, LevelZeroIsIdentity) {
+  const aol::Model model = apps::build_single_channel_model(DownscalerConfig::small());
+  SearchOptions opts;
+  opts.level = 0;
+  const OptResult r = optimize(model, opts);
+  EXPECT_TRUE(r.rewrites.empty());
+  EXPECT_EQ(r.model.tasks().size(), model.tasks().size());
+  EXPECT_DOUBLE_EQ(r.before.total_us(), r.after.total_us());
+}
+
+TEST(Search, FusesSingleChannelDownscalerToOneKernel) {
+  const aol::Model model = apps::build_single_channel_model(DownscalerConfig::small());
+  SearchOptions opts;
+  opts.level = 1;
+  const OptResult r = optimize(model, opts);
+  ASSERT_EQ(r.model.tasks().size(), 1u);
+  EXPECT_LT(r.after.total_us(), r.before.total_us());
+  EXPECT_EQ(r.after.kernels, 1u);
+  EXPECT_EQ(r.before.kernels, 2u);
+  // The enabling paving change and the fusion are both reported.
+  ASSERT_EQ(r.rewrites.size(), 2u);
+  EXPECT_EQ(r.rewrites[0].kind, "paving_change");
+  EXPECT_EQ(r.rewrites[1].kind, "fuse");
+  expect_same_outputs(model, r.model);
+}
+
+TEST(Search, NeverAdoptsACostRegression) {
+  // On the tiny geometry every kernel is dominated by the occupancy
+  // floor, so fusing concentrates the memory traffic without saving
+  // anything: the gate must keep the unfused schedule.
+  const aol::Model model = apps::build_single_channel_model(DownscalerConfig::tiny());
+  SearchOptions opts;
+  opts.level = 2;
+  const OptResult r = optimize(model, opts);
+  EXPECT_LE(r.after.total_us(), r.before.total_us());
+  expect_same_outputs(model, r.model);
+}
+
+TEST(Search, LevelTwoMergesRgbChannelsIntoOneKernel) {
+  const aol::Model model = apps::build_downscaler_model(DownscalerConfig::small());
+  SearchOptions opts;
+  opts.level = 2;
+  const OptResult r = optimize(model, opts);
+  // 6 kernels -> 3 fused (one per channel) -> 1 merged kernel.
+  ASSERT_EQ(r.model.tasks().size(), 1u);
+  EXPECT_EQ(r.before.kernels, 6u);
+  EXPECT_EQ(r.after.kernels, 1u);
+  EXPECT_LT(r.after.total_us(), r.before.total_us());
+  expect_same_outputs(model, r.model);
+}
+
+TEST(Search, LevelOneKeepsChannelsSeparate) {
+  const aol::Model model = apps::build_downscaler_model(DownscalerConfig::small());
+  SearchOptions opts;
+  opts.level = 1;
+  const OptResult r = optimize(model, opts);
+  EXPECT_EQ(r.model.tasks().size(), 3u);
+  expect_same_outputs(model, r.model);
+}
+
+TEST(Search, DeterministicAcrossRuns) {
+  const aol::Model model = apps::build_downscaler_model(DownscalerConfig::small());
+  SearchOptions opts;
+  opts.level = 2;
+  const OptResult a = optimize(model, opts);
+  const OptResult b = optimize(model, opts);
+  ASSERT_EQ(a.rewrites.size(), b.rewrites.size());
+  for (std::size_t i = 0; i < a.rewrites.size(); ++i) {
+    EXPECT_EQ(a.rewrites[i].kind, b.rewrites[i].kind);
+    EXPECT_EQ(a.rewrites[i].detail, b.rewrites[i].detail);
+  }
+  EXPECT_DOUBLE_EQ(a.after.total_us(), b.after.total_us());
+}
+
+}  // namespace
+}  // namespace saclo::opt

@@ -149,5 +149,80 @@ INSTANTIATE_TEST_SUITE_P(AllRoutes, BackendFaultDifferentialTest,
                            return route_name(info.param);
                          });
 
+// --- Fused-vs-unfused differential -------------------------------------------
+//
+// The Array-OL optimizer rewrites the gaspard model (kernel fusion,
+// paving changes, channel merges) before code generation. The rewritten
+// schedule must be bit-identical to the unfused one on every backend —
+// the optimizer is a scheduling change, never a semantic one.
+
+/// A geometry large enough that the cost model actually adopts the
+/// fusion rewrites (tiny() is refused by the occupancy floor).
+apps::DownscalerConfig fusing_config() {
+  apps::DownscalerConfig cfg = apps::DownscalerConfig::tiny();
+  cfg.height = 180;
+  cfg.width = 256;
+  return cfg;
+}
+
+class OptLevelDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptLevelDifferentialTest, FusedScheduleIsBitExactOnEveryBackend) {
+  JobSpec spec;
+  spec.route = Route::Gaspard;
+  spec.config = fusing_config();
+  spec.frames = 2;
+  ServeRuntime::Options defaults;
+  const JobResult unfused = reference_run(spec, defaults.device);
+  ASSERT_GT(unfused.last_output.elements(), 0);
+
+  spec.opt_level = GetParam();
+  for (gpu::BackendKind backend : {gpu::BackendKind::Sim, gpu::BackendKind::Host}) {
+    const char* name = gpu::backend_kind_name(backend);
+    const JobResult fused = reference_run(spec, defaults.device, 1, backend);
+    EXPECT_EQ(fused.last_output, unfused.last_output)
+        << name << ": opt_level " << spec.opt_level << " diverged from unfused";
+    // The whole point of the rewrite: fewer, larger kernels per frame.
+    EXPECT_LT(fused.ops.kernel_launches, unfused.ops.kernel_launches)
+        << name << ": opt_level " << spec.opt_level << " did not reduce launches";
+  }
+}
+
+TEST_P(OptLevelDifferentialTest, FusedFaultedFailoverMatchesUnfusedReference) {
+  JobSpec spec;
+  spec.route = Route::Gaspard;
+  spec.config = fusing_config();
+  spec.frames = 2;
+  ServeRuntime::Options defaults;
+  const JobResult unfused = reference_run(spec, defaults.device);
+
+  spec.opt_level = GetParam();
+  const JobResult fused_ref = reference_run(spec, defaults.device);
+  ASSERT_GE(fused_ref.ops.kernel_launches, 2);
+  for (gpu::BackendKind backend : {gpu::BackendKind::Sim, gpu::BackendKind::Host}) {
+    ServeRuntime::Options opts = faulty_fleet_options(
+        2, FaultPlanBuilder()
+               .fail_after_kernels(0, fused_ref.ops.kernel_launches / 2)
+               .build());
+    opts.backend = backend;
+    ServeRuntime runtime(opts);
+    auto future = runtime.submit(spec);
+    runtime.resume();
+    const JobResult r = future.get();
+    runtime.drain();
+
+    const char* name = gpu::backend_kind_name(backend);
+    EXPECT_EQ(r.attempts, 1) << name;
+    EXPECT_EQ(r.last_output, unfused.last_output)
+        << name << ": fused faulted failover diverged from the unfused fault-free run";
+    expect_zero_allocator_leaks(runtime);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FusionLevels, OptLevelDifferentialTest, ::testing::Values(1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "O" + std::to_string(info.param);
+                         });
+
 }  // namespace
 }  // namespace saclo::serve

@@ -7,10 +7,18 @@
 //               [--backend sim|host|opencl|hc]
 //               [--frames F] [--exec-frames E] [--height H] [--width W]
 //               [--queue-capacity Q] [--no-cache] [--sync-streams]
+//               [--opt-level L] [--batch-max N] [--batch-wait-ms T]
 //               [--fault SPEC] [--max-retries R]
 //               [--json] [--trace DEVICE] [--checksum]
 //               [--trace-out FILE] [--events-out FILE] [--metrics-out FILE]
 //               [--events-capacity N]
+//
+// --opt-level runs the Array-OL transformation optimizer on the gaspard
+// route's model before code generation (0 = the paper's unfused chain,
+// 1 = fusion, 2 = fusion + channel merge); --batch-max lets a
+// dispatcher coalesce queued same-(route, geometry, opt-level, channels)
+// jobs into one fused frame loop. Both are bit-exact: the checksum line
+// must not change with either flag.
 //
 // --backend selects the execution backend of every fleet device; job
 // results are bit-exact across backends, so
@@ -56,9 +64,17 @@ int usage() {
                "                   [--backend sim|host|opencl|hc]\n"
                "                   [--exec-frames E] [--height H] [--width W]\n"
                "                   [--queue-capacity Q] [--no-cache] [--sync-streams]\n"
+               "                   [--opt-level L] [--batch-max N] [--batch-wait-ms T]\n"
                "                   [--fault SPEC] [--max-retries R]\n"
                "                   [--json] [--trace DEVICE] [--checksum]\n"
                "\n"
+               "  --opt-level L  Array-OL optimizer level for gaspard jobs:\n"
+               "                 0 unfused (default), 1 fusion, 2 fusion+merge;\n"
+               "                 bit-exact across levels, fewer kernels per frame\n"
+               "  --batch-max N  coalesce up to N queued same-key jobs into one\n"
+               "                 fused frame loop per dispatch (default 1 = off)\n"
+               "  --batch-wait-ms T  hold an underfull batch open up to T ms\n"
+               "                 waiting for more same-key arrivals (default 0)\n"
                "  --backend B    execution backend of every fleet device\n"
                "                 (default sim; results are bit-exact across backends)\n"
                "  --checksum     print \"checksum <hex>\" over every job's output\n"
@@ -109,6 +125,7 @@ int main(int argc, char** argv) {
   int jobs = 8;
   int frames = 16;
   int exec_frames = 1;
+  int opt_level = 0;
   bool emit_json = false;
   bool emit_checksum = false;
   int trace_device = -1;
@@ -146,6 +163,12 @@ int main(int argc, char** argv) {
       opts.cache_buffers = false;
     } else if (arg == "--sync-streams") {
       opts.async_streams = false;
+    } else if (arg == "--opt-level" && i + 1 < argc) {
+      opt_level = std::stoi(argv[++i]);
+    } else if (arg == "--batch-max" && i + 1 < argc) {
+      opts.batch_max = std::stoi(argv[++i]);
+    } else if (arg == "--batch-wait-ms" && i + 1 < argc) {
+      opts.batch_wait_ms = std::stod(argv[++i]);
     } else if (arg == "--fault" && i + 1 < argc) {
       try {
         const fault::FaultPlan parsed = fault::FaultPlan::parse(argv[++i]);
@@ -190,6 +213,7 @@ int main(int argc, char** argv) {
       spec.config = cfg;
       spec.frames = frames;
       spec.exec_frames = exec_frames;
+      spec.opt_level = opt_level;
       futures.push_back(runtime.submit(spec));
     }
     int failed = 0;
