@@ -147,6 +147,150 @@ void batching_sweep(gpu::BackendKind backend, BenchJson& out) {
   }
 }
 
+/// SLO policy sweep: the same two-tenant overload burst (a paying
+/// "gold" tenant submitting high-priority deadline jobs interleaved
+/// with a best-effort "free" tenant at 2x the fleet's capacity) drained
+/// under each scheduling policy. The variant metric is the simulated
+/// makespan — deterministic, and expected at parity across policies
+/// (scheduling reorders work, it must not create or destroy any) — so
+/// bench_diff.py can gate it; the SLO attainments ride along as extra
+/// fields, and CI asserts priority/edf beat fifo on the gold class.
+/// Scheduling must also be bit-exact: the sweep checksums every job
+/// output in submission order and fails loudly on any cross-policy
+/// divergence.
+constexpr int kSloJobs = 32;
+
+void slo_fnv1a(std::uint64_t& h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+}
+
+struct SloPoint {
+  double makespan_us = 0;
+  double gold_attainment = 1.0;
+  double free_attainment = 1.0;
+  double gold_p50_ms = 0;
+  std::int64_t deadline_misses = 0;
+  std::uint64_t checksum = 1469598103934665603ull;  // FNV-1a offset basis
+};
+
+SloPoint run_slo_fleet(SchedPolicy policy, double deadline_ms) {
+  ServeRuntime::Options opts;
+  opts.devices = 2;
+  opts.queue_capacity = kSloJobs;
+  opts.policy = policy;
+  ServeRuntime runtime(opts);
+  // Warm every dispatcher's driver cache first (two same-route jobs
+  // split across the two devices, for each distinct route): the policy
+  // comparison below measures scheduling, not first-job driver
+  // compilation — cold drivers would put a constant floor under the
+  // gold phase and compress the fifo-vs-priority latency split.
+  {
+    std::vector<std::future<JobResult>> warm;
+    for (Route route : {Route::SacNongeneric, Route::SacGeneric, Route::Gaspard}) {
+      for (int d = 0; d < 2; ++d) {
+        JobSpec spec;
+        spec.route = route;
+        spec.frames = 2;
+        spec.exec_frames = 1;
+        warm.push_back(runtime.submit(spec));
+      }
+    }
+    for (auto& f : warm) f.get();
+  }
+  // The burst: submitted back to back, orders of magnitude faster than
+  // a single job executes, so the queues are effectively staged and the
+  // policy picks over the whole backlog.
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(kSloJobs);
+  for (int i = 0; i < kSloJobs; ++i) {
+    JobSpec spec = job_for(i);
+    // Groups of four share a route and split 2 gold / 2 free: the
+    // classes carry equal work AND the pairwise least-loaded placement
+    // lands both classes on both devices (a strict gold/free alternation
+    // would tie-break every gold job onto device 0 and every free job
+    // onto device 1, leaving each queue single-class and the policy
+    // nothing to reorder). The latency split is purely the scheduler's.
+    const Route routes[] = {Route::SacNongeneric, Route::SacNongeneric, Route::SacGeneric,
+                            Route::Gaspard};
+    spec.route = routes[(i / 4) % 4];
+    if (i % 4 < 2) {
+      spec.tenant = "gold";
+      spec.priority = Priority::High;
+      spec.deadline_ms = deadline_ms;
+    } else {
+      spec.tenant = "free";
+      spec.priority = Priority::Low;
+    }
+    futures.push_back(runtime.submit(spec));
+  }
+
+  SloPoint p;
+  std::vector<double> gold_latencies;
+  for (int i = 0; i < kSloJobs; ++i) {
+    const JobResult r = futures[static_cast<std::size_t>(i)].get();
+    if (i % 4 < 2) gold_latencies.push_back(r.latency_us);
+    slo_fnv1a(p.checksum, static_cast<std::uint64_t>(r.route));
+    slo_fnv1a(p.checksum, static_cast<std::uint64_t>(r.last_output.elements()));
+    for (std::int64_t e = 0; e < r.last_output.elements(); ++e) {
+      slo_fnv1a(p.checksum, static_cast<std::uint64_t>(r.last_output[e]));
+    }
+  }
+  runtime.drain();
+
+  const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+  p.makespan_us = s.sim_makespan_us;
+  p.deadline_misses = s.deadline_misses;
+  for (const FleetMetrics::Snapshot::TenantSnapshot& t : s.tenants) {
+    if (t.tenant == "gold") p.gold_attainment = t.slo_attainment();
+    if (t.tenant == "free") p.free_attainment = t.slo_attainment();
+  }
+  p.gold_p50_ms = serve::percentile(std::move(gold_latencies), 0.5) / 1e3;
+  return p;
+}
+
+bool slo_sweep() {
+  print_header(cat("SLO policy sweep — ", kSloJobs,
+                   " jobs (gold/high + free/low alternating), 2 devices, staged burst"));
+  // Calibrate the deadline off a fifo run with no SLOs: tight enough
+  // that fifo misses it for the gold tail stuck behind free jobs, slack
+  // enough that a class-ordered drain meets it.
+  const SloPoint cal = run_slo_fleet(SchedPolicy::Fifo, 0.0);
+  const double deadline_ms = 0.6 * cal.gold_p50_ms;
+  std::printf("calibration: gold p50 under fifo %.2f ms -> deadline %.2f ms\n", cal.gold_p50_ms,
+              deadline_ms);
+  std::printf("%10s %14s %12s %12s %10s\n", "policy", "makespan(s)", "gold slo%", "free slo%",
+              "misses");
+
+  BenchJson out("serve_slo");
+  out.scalar("jobs", kSloJobs);
+  out.scalar("frames_per_job", kFramesPerJob);
+  out.scalar("deadline_frac_of_fifo_p50", 0.6);
+  bool ok = true;
+  for (SchedPolicy policy : {SchedPolicy::Fifo, SchedPolicy::Priority, SchedPolicy::Edf}) {
+    const SloPoint p = run_slo_fleet(policy, deadline_ms);
+    if (p.checksum != cal.checksum) {
+      std::fprintf(stderr,
+                   "slo_sweep: policy %s diverged from the fifo reference checksum "
+                   "(%016llx != %016llx) — scheduling must be bit-exact\n",
+                   sched_policy_name(policy), static_cast<unsigned long long>(p.checksum),
+                   static_cast<unsigned long long>(cal.checksum));
+      ok = false;
+    }
+    std::printf("%10s %14.3f %11.1f%% %11.1f%% %10lld\n", sched_policy_name(policy),
+                p.makespan_us / 1e6, 100 * p.gold_attainment, 100 * p.free_attainment,
+                static_cast<long long>(p.deadline_misses));
+    out.variant(sched_policy_name(policy), p.makespan_us,
+                {{"gold_slo_attainment", p.gold_attainment},
+                 {"free_slo_attainment", p.free_attainment},
+                 {"deadline_misses", static_cast<double>(p.deadline_misses)}});
+  }
+  out.write();
+  return ok;
+}
+
 void device_sweep(gpu::BackendKind backend) {
   const char* name = gpu::backend_kind_name(backend);
   print_header(cat("Serving fleet sweep [", name, " backend] — ", kJobs, " mixed jobs x ",
@@ -205,7 +349,8 @@ int main(int argc, char** argv) {
   for (gpu::BackendKind backend : {gpu::BackendKind::Sim, gpu::BackendKind::Host}) {
     device_sweep(backend);
   }
+  const bool slo_ok = slo_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return slo_ok ? 0 : 1;
 }

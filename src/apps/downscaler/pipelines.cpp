@@ -106,7 +106,8 @@ SacDownscaler::CudaResult SacDownscaler::run_cuda_chain(int frames, int channels
 SacDownscaler::CudaResult SacDownscaler::run_cuda_chain_on(gpu::VirtualGpu& gpu, int frames,
                                                            int channels, int exec_frames,
                                                            const FrameCallback& on_frame,
-                                                           bool flush) {
+                                                           bool flush, int first_frame,
+                                                           const FrameGate& gate) {
   gpu::cuda::Runtime rt(gpu);
   gpu::Profiler host_profiler;
   CudaResult result;
@@ -128,7 +129,14 @@ SacDownscaler::CudaResult SacDownscaler::run_cuda_chain_on(gpu::VirtualGpu& gpu,
   std::vector<gpu::EventId> iter_done;
   int iter = 0;
 
-  for (int f = 0; f < frames; ++f) {
+  result.next_frame = frames;
+  for (int f = first_frame; f < frames; ++f) {
+    // Preemption point: the first frame of a call always runs (every
+    // dispatch makes progress); later frames yield to the gate.
+    if (gate && f > first_frame && !gate(f)) {
+      result.next_frame = f;
+      break;
+    }
     const bool exec = f < exec_frames;
     for (int ch = 0; ch < channels; ++ch) {
       if (streams && iter >= 2) gpu.wait_event(streams->h2d, iter_done[iter - 2]);
@@ -251,7 +259,8 @@ GaspardDownscaler::Result GaspardDownscaler::run(int frames, int exec_frames) {
 
 GaspardDownscaler::Result GaspardDownscaler::run_on(gpu::VirtualGpu& gpu, int frames,
                                                     int exec_frames,
-                                                    const FrameCallback& on_frame, bool flush) {
+                                                    const FrameCallback& on_frame, bool flush,
+                                                    int first_frame, const FrameGate& gate) {
   gpu::opencl::CommandQueue queue(gpu);
   const double clock0 = gpu.clock_us();
   // Per-row snapshot so a fleet device's earlier jobs don't leak into
@@ -274,7 +283,13 @@ GaspardDownscaler::Result GaspardDownscaler::run_on(gpu::VirtualGpu& gpu, int fr
   // kernels finished (its input buffers are being reused).
   std::vector<gpu::EventId> frame_done;
 
-  for (int f = 0; f < frames; ++f) {
+  result.next_frame = frames;
+  for (int f = first_frame; f < frames; ++f) {
+    // Preemption point (see SacDownscaler::run_cuda_chain_on).
+    if (gate && f > first_frame && !gate(f)) {
+      result.next_frame = f;
+      break;
+    }
     const bool exec = f < exec_frames;
     std::map<std::string, IntArray> inputs;
     if (exec) {
@@ -285,7 +300,10 @@ GaspardDownscaler::Result GaspardDownscaler::run_on(gpu::VirtualGpu& gpu, int fr
     }
     std::map<std::string, IntArray> outputs;
     if (opts_.async_streams) {
-      if (f >= 2) upload->enqueue_wait(frame_done[f - 2]);
+      // Index relative to this call's first frame: frame_done only
+      // holds markers this call pushed (a resumed chunk starts fresh).
+      const int it = f - first_frame;
+      if (it >= 2) upload->enqueue_wait(frame_done[static_cast<std::size_t>(it - 2)]);
       outputs = app_.run(*upload, *compute, *download, inputs, exec);
       frame_done.push_back(compute->enqueue_marker());
     } else {

@@ -21,6 +21,15 @@ namespace saclo::apps {
 /// one branch per frame.
 using FrameCallback = std::function<void(int frame)>;
 
+/// Cooperative preemption check of the frame-loop drivers: consulted
+/// before issuing each frame beyond the first of the call. Returning
+/// false stops the loop at that frame boundary — the result's
+/// next_frame then names the first frame not issued, and a later call
+/// with first_frame = next_frame resumes bit-exactly (frames are pure
+/// functions of their index). The first frame of a call always runs,
+/// so every dispatch makes progress. An empty function never stops.
+using FrameGate = std::function<bool(int next_frame)>;
+
 /// Per-filter timing breakdown (simulated microseconds), the unit of
 /// every figure/table reproduction.
 struct OpBreakdown {
@@ -87,6 +96,9 @@ class SacDownscaler {
     double wall_us = 0;
     std::string timeline;    ///< per-stream busy/overlap report
     std::string trace_json;  ///< Chrome trace (only with capture_trace)
+    /// First frame not issued by this call: `frames` when the loop ran
+    /// to the end, the gate's stop point otherwise (resume from here).
+    int next_frame = 0;
     double total_us() const { return h.total_us() + v.total_us(); }
   };
 
@@ -104,8 +116,12 @@ class SacDownscaler {
   /// SacDownscaler or the same device (the fleet scheduler guarantees
   /// one dispatcher thread per device). flush=false elides the trailing
   /// synchronize (see GaspardDownscaler::run_on) for batched jobs.
+  /// `first_frame`/`gate` are the scheduler's preemption points: the
+  /// loop covers [first_frame, frames) and may stop early at a frame
+  /// boundary when the gate says so (see FrameGate).
   CudaResult run_cuda_chain_on(gpu::VirtualGpu& gpu, int frames, int channels, int exec_frames,
-                               const FrameCallback& on_frame = {}, bool flush = true);
+                               const FrameCallback& on_frame = {}, bool flush = true,
+                               int first_frame = 0, const FrameGate& gate = {});
 
   /// The paper's Figure 9 scenario: each filter "executed for 300
   /// iterations". With resident_data=true the input is uploaded once
@@ -180,6 +196,9 @@ class GaspardDownscaler {
     double wall_us = 0;      ///< stream-timeline makespan of the frame loop
     std::string timeline;    ///< per-stream busy/overlap report
     std::string trace_json;  ///< Chrome trace (only with capture_trace)
+    /// First frame not issued by this call (see
+    /// SacDownscaler::CudaResult::next_frame).
+    int next_frame = 0;
     double total_us() const { return h.total_us() + v.total_us(); }
   };
 
@@ -193,8 +212,12 @@ class GaspardDownscaler {
   /// complete (execution is immediate in issue order), and the
   /// simulated timeline is unchanged either way (ordering across calls
   /// is carried by buffer hazards, not the barrier).
+  /// `first_frame`/`gate` are the scheduler's preemption points (see
+  /// FrameGate): the loop covers [first_frame, frames) and may stop at
+  /// a frame boundary.
   Result run_on(gpu::VirtualGpu& gpu, int frames, int exec_frames,
-                const FrameCallback& on_frame = {}, bool flush = true);
+                const FrameCallback& on_frame = {}, bool flush = true, int first_frame = 0,
+                const FrameGate& gate = {});
 
  private:
   DownscalerConfig cfg_;

@@ -31,6 +31,14 @@ const char* event_type_name(EventType type) {
       return "device_healed";
     case EventType::BatchFormed:
       return "batch_formed";
+    case EventType::JobShed:
+      return "job_shed";
+    case EventType::JobPreempted:
+      return "job_preempted";
+    case EventType::JobStolen:
+      return "job_stolen";
+    case EventType::DeadlineMiss:
+      return "deadline_miss";
   }
   return "unknown";
 }

@@ -24,6 +24,13 @@ enum class EventType : std::uint8_t {
   DeviceHealed,    ///< degraded cooldown elapsed (job = 0: fleet-level)
   BatchFormed,     ///< dispatcher coalesced queued jobs; job = batch id
                    ///< (first member's job id), arg = batch size
+  JobShed,         ///< admission refused the job; arg = ShedReason
+  JobPreempted,    ///< in-flight job displaced at a frame boundary;
+                   ///< device = where it ran, arg = first frame not done
+  JobStolen,       ///< idle dispatcher took a queued job; device =
+                   ///< thief, arg = victim device
+  DeadlineMiss,    ///< job completed past its SLO deadline; arg =
+                   ///< overshoot in real microseconds
 };
 
 /// Stable wire name ("job_admitted", "device_fault", ...) used by the

@@ -52,6 +52,9 @@ bool is_instant(EventType type) {
     case EventType::DeviceDegraded:
     case EventType::DeviceHealed:
     case EventType::BatchFormed:
+    case EventType::JobPreempted:
+    case EventType::JobStolen:
+    case EventType::DeadlineMiss:
       return true;
     default:
       return false;

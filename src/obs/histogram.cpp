@@ -82,7 +82,9 @@ void LogHistogram::merge(const LogHistogram& other) {
 }
 
 void append_prometheus_histogram(std::string& out, const std::string& name,
-                                 const std::string& help, const LogHistogram& hist) {
+                                 const std::string& help, const LogHistogram& hist,
+                                 const std::string& labels) {
+  const std::string prefix = labels.empty() ? std::string() : labels + ",";
   out += cat("# HELP ", name, " ", help, "\n");
   out += cat("# TYPE ", name, " histogram\n");
   // Emit finite bounds up to the last non-empty bucket (a subset of
@@ -95,11 +97,17 @@ void append_prometheus_histogram(std::string& out, const std::string& name,
   std::int64_t cum = 0;
   for (std::size_t i = 0; i <= last; ++i) {
     cum += hist.buckets()[i];
-    out += cat(name, "_bucket{le=\"", fixed(LogHistogram::upper_bound(i), 3), "\"} ", cum, "\n");
+    out += cat(name, "_bucket{", prefix, "le=\"", fixed(LogHistogram::upper_bound(i), 3),
+               "\"} ", cum, "\n");
   }
-  out += cat(name, "_bucket{le=\"+Inf\"} ", hist.count(), "\n");
-  out += cat(name, "_sum ", fixed(hist.sum(), 3), "\n");
-  out += cat(name, "_count ", hist.count(), "\n");
+  out += cat(name, "_bucket{", prefix, "le=\"+Inf\"} ", hist.count(), "\n");
+  if (labels.empty()) {
+    out += cat(name, "_sum ", fixed(hist.sum(), 3), "\n");
+    out += cat(name, "_count ", hist.count(), "\n");
+  } else {
+    out += cat(name, "_sum{", labels, "} ", fixed(hist.sum(), 3), "\n");
+    out += cat(name, "_count{", labels, "} ", hist.count(), "\n");
+  }
 }
 
 }  // namespace saclo::obs

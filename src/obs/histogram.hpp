@@ -66,8 +66,12 @@ class LogHistogram {
 /// cumulative `_bucket{le="..."}` lines (finite bounds with any
 /// observations below them, then `+Inf`), `_sum` and `_count`. `name`
 /// must already carry the unit suffix convention (e.g.
-/// "saclo_job_latency_us").
+/// "saclo_job_latency_us"). `labels` is an optional pre-rendered label
+/// list (e.g. `class="high"`) joined into every sample line — how one
+/// metric family exposes per-class series; HELP/TYPE headers are still
+/// emitted per call, so group same-family calls or accept repeats.
 void append_prometheus_histogram(std::string& out, const std::string& name,
-                                 const std::string& help, const LogHistogram& hist);
+                                 const std::string& help, const LogHistogram& hist,
+                                 const std::string& labels = std::string());
 
 }  // namespace saclo::obs

@@ -1,0 +1,54 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "core/fmt.hpp"
+
+namespace saclo::serve {
+
+const char* shed_reason_name(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::RateLimited:
+      return "rate_limited";
+    case ShedReason::QueueFull:
+      return "queue_full";
+  }
+  return "?";
+}
+
+ShedError::ShedError(ShedReason reason, const std::string& tenant)
+    : ServeError(cat("job shed (", shed_reason_name(reason), ") for tenant '", tenant, "'")),
+      reason_(reason),
+      tenant_(tenant) {}
+
+TokenBucket::TokenBucket(double rate_per_s, double burst)
+    : rate_per_s_(rate_per_s), burst_(std::max(1.0, burst)), tokens_(burst_) {}
+
+bool TokenBucket::try_take(std::chrono::steady_clock::time_point now) {
+  if (!primed_) {
+    primed_ = true;
+    last_ = now;
+  }
+  const double elapsed_s = std::chrono::duration<double>(now - last_).count();
+  if (elapsed_s > 0) {
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_per_s_);
+    last_ = now;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+AdmissionController::AdmissionController(double rate_per_s, double burst)
+    : rate_per_s_(rate_per_s), burst_(burst) {}
+
+bool AdmissionController::admit(const std::string& tenant,
+                                std::chrono::steady_clock::time_point now) {
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    it = buckets_.emplace(tenant, TokenBucket(rate_per_s_, burst_)).first;
+  }
+  return it->second.try_take(now);
+}
+
+}  // namespace saclo::serve

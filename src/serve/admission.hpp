@@ -1,0 +1,71 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "serve/job.hpp"
+
+namespace saclo::serve {
+
+/// Why the runtime shed a submission instead of queueing it.
+enum class ShedReason : std::uint8_t {
+  RateLimited,  ///< the tenant's token bucket was empty
+  QueueFull,    ///< shed_on_full and the fleet backlog was at capacity
+};
+
+const char* shed_reason_name(ShedReason reason);
+
+/// The typed status a shed job's future carries: shedding is an
+/// explicit, attributable outcome — the future resolves immediately
+/// with this exception, it never hangs and never aliases a device
+/// failure.
+class ShedError : public ServeError {
+ public:
+  ShedError(ShedReason reason, const std::string& tenant);
+  ShedReason reason() const { return reason_; }
+  const std::string& tenant() const { return tenant_; }
+
+ private:
+  ShedReason reason_;
+  std::string tenant_;
+};
+
+/// Classic token bucket: `rate` tokens per second accrue continuously
+/// up to `burst`; each admitted job takes one. The bucket starts full,
+/// so a tenant's first `burst` jobs always pass. Not thread-safe — the
+/// scheduler calls it under its own mutex.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_s, double burst);
+
+  /// Takes one token if available at `now`; false = shed.
+  bool try_take(std::chrono::steady_clock::time_point now);
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_per_s_;
+  double burst_;
+  double tokens_;
+  bool primed_ = false;
+  std::chrono::steady_clock::time_point last_{};
+};
+
+/// Per-tenant admission control: one token bucket per tenant id,
+/// created on first sight with the fleet-wide rate/burst configuration.
+/// Not thread-safe for the same reason as TokenBucket.
+class AdmissionController {
+ public:
+  AdmissionController(double rate_per_s, double burst);
+
+  /// Whether `tenant` may submit one job at `now`.
+  bool admit(const std::string& tenant, std::chrono::steady_clock::time_point now);
+
+ private:
+  double rate_per_s_;
+  double burst_;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace saclo::serve

@@ -36,6 +36,10 @@ void JobSpec::validate() const {
   if (opt_level < 0 || opt_level > 2) {
     throw ServeError(cat("opt_level must be 0, 1 or 2, got ", opt_level));
   }
+  if (tenant.empty()) throw ServeError("job tenant must not be empty");
+  if (deadline_ms < 0) {
+    throw ServeError(cat("deadline_ms must be >= 0, got ", deadline_ms));
+  }
 }
 
 std::string driver_key(Route route, const apps::DownscalerConfig& config) {

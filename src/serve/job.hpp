@@ -8,6 +8,7 @@
 #include "core/error.hpp"
 #include "gpu/backend_kind.hpp"
 #include "gpu/device.hpp"
+#include "serve/policy.hpp"
 
 namespace saclo::serve {
 
@@ -45,6 +46,17 @@ struct JobSpec {
   /// merge. Bit-exact across levels; ignored by the SaC routes.
   int opt_level = 0;
 
+  // -- multi-tenant SLO scheduling --------------------------------------------
+  /// Tenant the job bills to: admission control rate-limits per tenant,
+  /// and FleetMetrics reports SLO attainment per tenant.
+  std::string tenant = "default";
+  /// Priority class the policy-aware dispatchers order by.
+  Priority priority = Priority::Normal;
+  /// Relative SLO deadline in real milliseconds from submission; the
+  /// job's result records whether it was met, and the edf policy orders
+  /// same-class jobs by it. 0 (the default) = no deadline.
+  double deadline_ms = 0;
+
   int effective_exec_frames() const { return exec_frames < 0 ? frames : exec_frames; }
   void validate() const;
 };
@@ -63,8 +75,18 @@ struct JobResult {
   apps::OpBreakdown ops;     ///< kernel/transfer/host split (simulated us)
   double sim_wall_us = 0;    ///< simulated device-time advance of this job
   double queue_wait_us = 0;  ///< real time from accept to dispatch
-  double exec_us = 0;        ///< real time on the dispatcher thread
+  double exec_us = 0;        ///< real dispatcher-thread time (all chunks)
   double latency_us = 0;     ///< real end-to-end: submit -> completion
+  // -- multi-tenant SLO scheduling --------------------------------------------
+  std::string tenant;                    ///< the spec's tenant id
+  Priority priority = Priority::Normal;  ///< the spec's priority class
+  double deadline_us = 0;                ///< SLO budget (spec.deadline_ms * 1000); 0 = none
+  /// Whether latency_us stayed within deadline_us (true without one).
+  bool slo_met = true;
+  /// Frame-boundary displacements by higher-priority work this job
+  /// survived before completing — each one cost at most the re-queue
+  /// wait, never recomputation (completed frames are kept).
+  int preemptions = 0;
 };
 
 /// Key identifying the compiled artefacts a job needs: dispatchers keep

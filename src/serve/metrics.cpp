@@ -19,10 +19,11 @@ double percentile(std::vector<double> values, double q) {
 
 FleetMetrics::FleetMetrics(int devices) : devices_(static_cast<std::size_t>(devices)) {}
 
-void FleetMetrics::on_submit(int device) {
+void FleetMetrics::on_submit(int device, const std::string& tenant) {
   std::lock_guard<std::mutex> lock(mutex_);
   DeviceState& d = devices_.at(static_cast<std::size_t>(device));
   ++submitted_;
+  ++tenants_[tenant].submitted;
   ++d.queue_depth;
   d.max_queue_depth = std::max(d.max_queue_depth, d.queue_depth);
 }
@@ -46,6 +47,19 @@ void FleetMetrics::on_complete(int device, const JobResult& result, double sim_c
   frames_ += result.frames;
   latency_hist_.record(result.latency_us);
   sim_job_hist_.record(result.sim_wall_us);
+  const std::size_t cls = std::min<std::size_t>(static_cast<std::size_t>(result.priority),
+                                                class_latency_hist_.size() - 1);
+  class_latency_hist_[cls].record(result.latency_us);
+  TenantState& t = tenants_[result.tenant.empty() ? "default" : result.tenant];
+  ++t.completed;
+  if (result.deadline_us > 0) {
+    ++t.slo_jobs;
+    if (result.slo_met) {
+      ++t.slo_met;
+    } else {
+      ++deadline_misses_;
+    }
+  }
 }
 
 void FleetMetrics::on_failed(int device) {
@@ -93,6 +107,37 @@ void FleetMetrics::on_healed(int device) {
                              .count();
 }
 
+void FleetMetrics::on_shed(const std::string& tenant, ShedReason reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  (void)reason;  // the event log attributes reasons; counters stay coarse
+  ++submitted_;
+  ++shed_;
+  TenantState& t = tenants_[tenant.empty() ? "default" : tenant];
+  ++t.submitted;
+  ++t.shed;
+}
+
+void FleetMetrics::on_preempted(int from, int to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& source = devices_.at(static_cast<std::size_t>(from));
+  DeviceState& target = devices_.at(static_cast<std::size_t>(to));
+  ++preemptions_;
+  source.running = 0;
+  // The displaced job sits in the target's queue until re-dispatched.
+  ++target.queue_depth;
+  target.max_queue_depth = std::max(target.max_queue_depth, target.queue_depth);
+}
+
+void FleetMetrics::on_steal(int from, int to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& source = devices_.at(static_cast<std::size_t>(from));
+  DeviceState& target = devices_.at(static_cast<std::size_t>(to));
+  ++steals_;
+  --source.queue_depth;
+  ++target.queue_depth;
+  target.max_queue_depth = std::max(target.max_queue_depth, target.queue_depth);
+}
+
 void FleetMetrics::on_batch(int device, int size) {
   std::lock_guard<std::mutex> lock(mutex_);
   (void)devices_.at(static_cast<std::size_t>(device));  // bounds check only
@@ -126,7 +171,21 @@ FleetMetrics::Snapshot FleetMetrics::snapshot() const {
   s.buffers_reclaimed = buffers_reclaimed_;
   s.batches_formed = batches_;
   s.jobs_batched = jobs_batched_;
+  s.jobs_shed = shed_;
+  s.preemptions = preemptions_;
+  s.steals = steals_;
+  s.deadline_misses = deadline_misses_;
   s.elapsed_real_us = elapsed_real_us_;
+  for (const auto& [tenant, t] : tenants_) {
+    Snapshot::TenantSnapshot ts;
+    ts.tenant = tenant;
+    ts.submitted = t.submitted;
+    ts.completed = t.completed;
+    ts.shed = t.shed;
+    ts.slo_jobs = t.slo_jobs;
+    ts.slo_met = t.slo_met;
+    s.tenants.push_back(ts);
+  }
   const auto now = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     const DeviceState& d = devices_[i];
@@ -172,6 +231,7 @@ FleetMetrics::Snapshot FleetMetrics::snapshot() const {
   s.latency_hist = latency_hist_;
   s.sim_job_hist = sim_job_hist_;
   s.batch_size_hist = batch_size_hist_;
+  s.class_latency_hist = class_latency_hist_;
   return s;
 }
 
@@ -190,6 +250,16 @@ std::string FleetMetrics::report() const {
   out += cat("health: ", s.device_faults, " device fault(s), ", s.failovers, " failover(s), ",
              s.retries, " retry(s), ", s.jobs_failed, " failed job(s), ", s.degraded_devices,
              " degraded device(s)\n");
+  out += cat("scheduling: ", s.jobs_shed, " shed, ", s.preemptions, " preemption(s), ",
+             s.steals, " steal(s), ", s.deadline_misses, " deadline miss(es)\n");
+  if (!s.tenants.empty()) {
+    out += "tenants:\n";
+    for (const Snapshot::TenantSnapshot& t : s.tenants) {
+      out += cat("  ", pad_right(t.tenant, 12), pad_left(std::to_string(t.completed), 7), "/",
+                 t.submitted, " done, ", t.shed, " shed, slo ", t.slo_met, "/", t.slo_jobs,
+                 " (", fixed(100 * t.slo_attainment(), 1), "%)\n");
+    }
+  }
   if (s.batches_formed > 0) {
     out += cat("batching: ", s.batches_formed, " batch(es), ", s.jobs_batched,
                " jobs coalesced, max size ",
@@ -256,6 +326,8 @@ std::string FleetMetrics::json() const {
       ",\"batching\":{\"batches_formed\":", s.batches_formed,
       ",\"jobs_batched\":", s.jobs_batched,
       ",\"max_batch_size\":", static_cast<std::int64_t>(s.batch_size_hist.max()), "}",
+      ",\"scheduling\":{\"jobs_shed\":", s.jobs_shed, ",\"preemptions\":", s.preemptions,
+      ",\"steals\":", s.steals, ",\"deadline_misses\":", s.deadline_misses, "}",
       ",\"elapsed_real_us\":", fixed(s.elapsed_real_us, 1),
       ",\"sim_makespan_us\":", fixed(s.sim_makespan_us, 3),
       ",\"throughput_fps_sim\":", fixed(s.throughput_fps_sim, 3),
@@ -264,7 +336,24 @@ std::string FleetMetrics::json() const {
       fixed(s.latency_p95_us, 1), ",\"p99\":", fixed(s.latency_p99_us, 1), ",\"mean\":",
       fixed(s.latency_mean_us, 1), ",\"max\":", fixed(s.latency_max_us, 1), "}",
       ",\"sim_job_us\":{\"p50\":", fixed(s.sim_job_p50_us, 3), ",\"p99\":",
-      fixed(s.sim_job_p99_us, 3), "}", ",\"per_device\":[");
+      fixed(s.sim_job_p99_us, 3), "}", ",\"tenants\":[");
+  for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+    const Snapshot::TenantSnapshot& t = s.tenants[i];
+    if (i > 0) out += ",";
+    out += cat("{\"tenant\":\"", t.tenant, "\",\"submitted\":", t.submitted,
+               ",\"completed\":", t.completed, ",\"shed\":", t.shed,
+               ",\"slo_jobs\":", t.slo_jobs, ",\"slo_met\":", t.slo_met,
+               ",\"slo_attainment\":", fixed(t.slo_attainment(), 4), "}");
+  }
+  out += "],\"latency_by_class\":{";
+  for (std::size_t cls = 0; cls < s.class_latency_hist.size(); ++cls) {
+    const obs::LogHistogram& h = s.class_latency_hist[cls];
+    if (cls > 0) out += ",";
+    out += cat("\"", priority_name(static_cast<Priority>(cls)), "\":{\"count\":", h.count(),
+               ",\"p50\":", fixed(h.percentile(0.50), 1), ",\"p99\":",
+               fixed(h.percentile(0.99), 1), ",\"max\":", fixed(h.max(), 1), "}");
+  }
+  out += "},\"per_device\":[";
   for (std::size_t i = 0; i < s.devices.size(); ++i) {
     if (i > 0) out += ",";
     out += device_json(s.devices[i]);
@@ -306,6 +395,15 @@ std::string FleetMetrics::prometheus() const {
               "Dispatches that coalesced two or more jobs.", std::to_string(s.batches_formed));
   prom_scalar(out, "saclo_jobs_batched_total", "counter",
               "Jobs that rode in a coalesced batch.", std::to_string(s.jobs_batched));
+  prom_scalar(out, "saclo_jobs_shed_total", "counter",
+              "Submissions refused by admission control or load shedding.",
+              std::to_string(s.jobs_shed));
+  prom_scalar(out, "saclo_preemptions_total", "counter",
+              "In-flight jobs displaced at a frame boundary.", std::to_string(s.preemptions));
+  prom_scalar(out, "saclo_steals_total", "counter",
+              "Queued jobs moved to an idle dispatcher.", std::to_string(s.steals));
+  prom_scalar(out, "saclo_deadline_misses_total", "counter",
+              "Jobs completed past their SLO deadline.", std::to_string(s.deadline_misses));
   prom_scalar(out, "saclo_sim_makespan_us", "gauge",
               "Fleet simulated makespan (max device clock), microseconds.",
               fixed(s.sim_makespan_us, 3));
@@ -324,6 +422,20 @@ std::string FleetMetrics::prometheus() const {
     out += cat("saclo_device_utilization{device=\"", d.device, "\"} ", fixed(d.utilization, 4),
                "\n");
   }
+  if (!s.tenants.empty()) {
+    out += "# HELP saclo_tenant_slo_attainment Share of a tenant's deadline jobs completed "
+           "within their SLO.\n";
+    out += "# TYPE saclo_tenant_slo_attainment gauge\n";
+    for (const Snapshot::TenantSnapshot& t : s.tenants) {
+      out += cat("saclo_tenant_slo_attainment{tenant=\"", t.tenant, "\"} ",
+                 fixed(t.slo_attainment(), 4), "\n");
+    }
+    out += "# HELP saclo_tenant_jobs_shed_total Submissions shed per tenant.\n";
+    out += "# TYPE saclo_tenant_jobs_shed_total counter\n";
+    for (const Snapshot::TenantSnapshot& t : s.tenants) {
+      out += cat("saclo_tenant_jobs_shed_total{tenant=\"", t.tenant, "\"} ", t.shed, "\n");
+    }
+  }
   obs::append_prometheus_histogram(out, "saclo_job_latency_us",
                                    "Real end-to-end job latency (submit to completion).",
                                    s.latency_hist);
@@ -331,6 +443,12 @@ std::string FleetMetrics::prometheus() const {
                                    "Simulated device time per completed job.", s.sim_job_hist);
   obs::append_prometheus_histogram(out, "saclo_batch_size",
                                    "Sizes of coalesced batches (>= 2).", s.batch_size_hist);
+  for (std::size_t cls = 0; cls < s.class_latency_hist.size(); ++cls) {
+    obs::append_prometheus_histogram(
+        out, "saclo_class_latency_us",
+        "Real end-to-end job latency split by priority class.", s.class_latency_hist[cls],
+        cat("class=\"", priority_name(static_cast<Priority>(cls)), "\""));
+  }
   return out;
 }
 

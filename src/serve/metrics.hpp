@@ -1,12 +1,15 @@
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/histogram.hpp"
+#include "serve/admission.hpp"
 #include "serve/allocator.hpp"
 #include "serve/job.hpp"
 
@@ -22,7 +25,9 @@ class FleetMetrics {
   explicit FleetMetrics(int devices);
 
   // -- recording (called by the scheduler) ------------------------------------
-  void on_submit(int device);
+  /// Job accepted and placed on `device`, billed to `tenant` (defaults
+  /// to the JobSpec default so pre-SLO callers keep working).
+  void on_submit(int device, const std::string& tenant = "default");
   void on_dispatch(int device);  ///< job left the queue, runs now
   /// `sim_clock_us` is the device's cumulative simulated clock after
   /// the job — the fleet makespan is the max over devices.
@@ -43,6 +48,17 @@ class FleetMetrics {
   /// loop on `device` (only called with size >= 2 — a batch of one is
   /// just a dispatch).
   void on_batch(int device, int size);
+  /// Admission shed a submission from `tenant` before it entered any
+  /// queue. Counts as a submission (the honest accounting identity is
+  /// completed + failed + shed == submitted) and as a shed, globally
+  /// and per tenant.
+  void on_shed(const std::string& tenant, ShedReason reason);
+  /// An in-flight job was displaced at a frame boundary on `from` and
+  /// re-enqueued on `to` (possibly the same device) — moves the
+  /// queue-depth bookkeeping like on_failover.
+  void on_preempted(int from, int to);
+  /// Idle dispatcher `to` stole a queued job from `from`'s queue.
+  void on_steal(int from, int to);
   /// Real (wall-clock) microseconds since the runtime started serving;
   /// updated by the scheduler so snapshots can compute real throughput.
   void set_elapsed_real_us(double us);
@@ -86,6 +102,11 @@ class FleetMetrics {
     // them (jobs dispatched alone count in neither).
     std::int64_t batches_formed = 0;
     std::int64_t jobs_batched = 0;
+    // Multi-tenant SLO scheduling.
+    std::int64_t jobs_shed = 0;        ///< submissions refused by admission
+    std::int64_t preemptions = 0;      ///< frame-boundary displacements
+    std::int64_t steals = 0;           ///< queued jobs moved to an idle dispatcher
+    std::int64_t deadline_misses = 0;  ///< completions past their SLO deadline
     double elapsed_real_us = 0;
     double sim_makespan_us = 0;  ///< max over devices of sim_clock_us
     /// Aggregate throughput in frames per second of simulated device
@@ -111,6 +132,24 @@ class FleetMetrics {
     obs::LogHistogram latency_hist;
     obs::LogHistogram sim_job_hist;
     obs::LogHistogram batch_size_hist;  ///< sizes of coalesced batches (>= 2)
+    /// Real end-to-end latency split by priority class (index =
+    /// static_cast<int>(Priority)) — how a policy's protection of the
+    /// high class shows up in the exposition.
+    std::array<obs::LogHistogram, 3> class_latency_hist;
+    /// Per-tenant accounting, sorted by tenant id.
+    struct TenantSnapshot {
+      std::string tenant;
+      std::int64_t submitted = 0;  ///< accepted + shed
+      std::int64_t completed = 0;
+      std::int64_t shed = 0;
+      std::int64_t slo_jobs = 0;  ///< completed jobs that carried a deadline
+      std::int64_t slo_met = 0;   ///< of those, completed within it
+      /// slo_met / slo_jobs; 1.0 when the tenant never set a deadline.
+      double slo_attainment() const {
+        return slo_jobs > 0 ? static_cast<double>(slo_met) / static_cast<double>(slo_jobs) : 1.0;
+      }
+    };
+    std::vector<TenantSnapshot> tenants;
     std::vector<DeviceSnapshot> devices;
   };
   Snapshot snapshot() const;
@@ -156,9 +195,22 @@ class FleetMetrics {
   // sample vectors grew without bound).
   std::int64_t batches_ = 0;
   std::int64_t jobs_batched_ = 0;
+  std::int64_t shed_ = 0;
+  std::int64_t preemptions_ = 0;
+  std::int64_t steals_ = 0;
+  std::int64_t deadline_misses_ = 0;
   obs::LogHistogram latency_hist_;     // real end-to-end latency, us
   obs::LogHistogram sim_job_hist_;     // simulated device time per job, us
   obs::LogHistogram batch_size_hist_;  // coalesced batch sizes
+  std::array<obs::LogHistogram, 3> class_latency_hist_;  // by Priority
+  struct TenantState {
+    std::int64_t submitted = 0;
+    std::int64_t completed = 0;
+    std::int64_t shed = 0;
+    std::int64_t slo_jobs = 0;
+    std::int64_t slo_met = 0;
+  };
+  std::map<std::string, TenantState> tenants_;
 };
 
 /// Interpolated percentile of an unsorted sample (q in [0, 1]); 0 on an

@@ -1,0 +1,59 @@
+#include "serve/policy.hpp"
+
+#include "core/fmt.hpp"
+#include "serve/job.hpp"
+
+namespace saclo::serve {
+
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::High:
+      return "high";
+    case Priority::Normal:
+      return "normal";
+    case Priority::Low:
+      return "low";
+  }
+  return "?";
+}
+
+Priority parse_priority(const std::string& name) {
+  if (name == "high") return Priority::High;
+  if (name == "normal") return Priority::Normal;
+  if (name == "low") return Priority::Low;
+  throw ServeError(cat("unknown priority '", name, "' (expected high, normal or low)"));
+}
+
+const char* sched_policy_name(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::Fifo:
+      return "fifo";
+    case SchedPolicy::Priority:
+      return "priority";
+    case SchedPolicy::Edf:
+      return "edf";
+  }
+  return "?";
+}
+
+SchedPolicy parse_sched_policy(const std::string& name) {
+  if (name == "fifo") return SchedPolicy::Fifo;
+  if (name == "priority") return SchedPolicy::Priority;
+  if (name == "edf") return SchedPolicy::Edf;
+  throw ServeError(cat("unknown policy '", name, "' (expected fifo, priority or edf)"));
+}
+
+bool schedules_before(SchedPolicy policy, const SchedKey& a, const SchedKey& b) {
+  if (policy != SchedPolicy::Fifo && a.priority != b.priority) {
+    return static_cast<int>(a.priority) < static_cast<int>(b.priority);
+  }
+  if (policy == SchedPolicy::Edf) {
+    const bool a_dl = a.deadline_us > 0;
+    const bool b_dl = b.deadline_us > 0;
+    if (a_dl != b_dl) return a_dl;  // deadline jobs before best-effort peers
+    if (a_dl && a.deadline_us != b.deadline_us) return a.deadline_us < b.deadline_us;
+  }
+  return a.seq < b.seq;
+}
+
+}  // namespace saclo::serve

@@ -14,6 +14,10 @@ double us_between(std::chrono::steady_clock::time_point from,
                   std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
+
+double us_since_epoch(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double, std::micro>(t.time_since_epoch()).count();
+}
 }  // namespace
 
 ServeRuntime::ServeRuntime(const Options& options)
@@ -33,6 +37,14 @@ ServeRuntime::ServeRuntime(const Options& options)
   if (options_.batch_wait_ms < 0) {
     throw ServeError(cat("batch_wait_ms must be >= 0, got ", options_.batch_wait_ms));
   }
+  if (options_.tenant_rate_limit < 0) {
+    throw ServeError(cat("tenant_rate_limit must be >= 0, got ", options_.tenant_rate_limit));
+  }
+  if (options_.tenant_rate_limit > 0 && options_.tenant_rate_burst < 1) {
+    throw ServeError(
+        cat("tenant_rate_burst must be >= 1 when rate limiting, got ",
+            options_.tenant_rate_burst));
+  }
   for (const fault::FaultSpec& spec : options_.fault_plan.specs()) {
     if (spec.device >= options_.devices) {
       throw ServeError(cat("fault plan targets device ", spec.device, " but the fleet has ",
@@ -42,6 +54,10 @@ ServeRuntime::ServeRuntime(const Options& options)
   paused_ = options_.start_paused;
   if (options_.event_log_capacity > 0) {
     event_log_ = std::make_unique<obs::EventLog>(options_.event_log_capacity);
+  }
+  if (options_.tenant_rate_limit > 0) {
+    admission_ = std::make_unique<AdmissionController>(options_.tenant_rate_limit,
+                                                       options_.tenant_rate_burst);
   }
   devices_.reserve(static_cast<std::size_t>(options_.devices));
   for (int i = 0; i < options_.devices; ++i) {
@@ -82,10 +98,39 @@ void ServeRuntime::emit(obs::EventType type, std::uint64_t job, int device, int 
   event_log_->emit(event);
 }
 
+std::future<JobResult> ServeRuntime::shed_locked(JobSpec&& spec, ShedReason reason) {
+  const std::uint64_t id = next_job_id_++;
+  metrics_.on_shed(spec.tenant, reason);
+  emit(obs::EventType::JobShed, id, /*device=*/-1, /*attempt=*/0,
+       static_cast<std::int64_t>(reason), 0.0);
+  // The typed Shed status: the future resolves right here — a shed
+  // submission can never hang a caller waiting on it.
+  std::promise<JobResult> promise;
+  std::future<JobResult> future = promise.get_future();
+  promise.set_exception(std::make_exception_ptr(ShedError(reason, spec.tenant)));
+  return future;
+}
+
 std::optional<std::future<JobResult>> ServeRuntime::submit_impl(JobSpec spec, bool blocking) {
   spec.validate();
+  if (options_.batch_max > 1 && spec.deadline_ms > 0 &&
+      spec.deadline_ms <= options_.batch_wait_ms) {
+    // The batcher may hold the job open for a full batch window — a
+    // deadline inside it could expire before dispatch even starts.
+    throw ServeError(cat("deadline_ms ", spec.deadline_ms, " is within one batch window (",
+                         "batch_wait_ms ", options_.batch_wait_ms,
+                         "): the job could expire while coalescing — lower batch_wait_ms or "
+                         "raise the deadline"));
+  }
   const double estimate = estimate_job_us(spec, options_.device);
   std::unique_lock<std::mutex> lock(mutex_);
+  if (!stopping_ && admission_ != nullptr &&
+      !admission_->admit(spec.tenant, std::chrono::steady_clock::now())) {
+    return shed_locked(std::move(spec), ShedReason::RateLimited);
+  }
+  if (!stopping_ && options_.shed_on_full && total_inflight_ >= options_.queue_capacity) {
+    return shed_locked(std::move(spec), ShedReason::QueueFull);
+  }
   if (blocking) {
     space_available_.wait(lock, [&] { return total_inflight_ < options_.queue_capacity || stopping_; });
   }
@@ -105,6 +150,10 @@ std::optional<std::future<JobResult>> ServeRuntime::submit_impl(JobSpec spec, bo
   pending.estimate_us = estimate;
   pending.submit_time = std::chrono::steady_clock::now();
   pending.ready_time = pending.submit_time;
+  if (pending.spec.deadline_ms > 0) {
+    pending.deadline_abs_us =
+        us_since_epoch(pending.submit_time) + pending.spec.deadline_ms * 1000.0;
+  }
   if (!started_serving_) {
     started_serving_ = true;
     serve_start_ = pending.submit_time;
@@ -117,11 +166,13 @@ std::optional<std::future<JobResult>> ServeRuntime::submit_impl(JobSpec spec, bo
        pending.spec.frames, 0.0);
   emit(obs::EventType::JobPlaced, pending.id, static_cast<int>(target), /*attempt=*/0,
        static_cast<std::int64_t>(std::llround(estimate)), 0.0);
+  const Priority priority = pending.spec.priority;
+  metrics_.on_submit(static_cast<int>(target), pending.spec.tenant);
   devices_[target]->queue.push_back(std::move(pending));
   devices_[target]->backlog_estimate_us += estimate;
   ++total_queued_;
   ++total_inflight_;
-  metrics_.on_submit(static_cast<int>(target));
+  signal_preempt_locked(target, priority);
   lock.unlock();
   work_ready_.notify_all();
   return future;
@@ -199,6 +250,65 @@ std::size_t ServeRuntime::pick_device_locked(int exclude) {
   if (!best) consider(/*allow_degraded=*/true, /*allow_excluded=*/false);
   if (!best) consider(/*allow_degraded=*/true, /*allow_excluded=*/true);  // 1-device fleet
   return *best;
+}
+
+SchedKey ServeRuntime::sched_key(const Pending& pending) const {
+  SchedKey key;
+  key.priority = pending.spec.priority;
+  key.deadline_us = pending.deadline_abs_us;
+  key.seq = pending.id;
+  return key;
+}
+
+void ServeRuntime::signal_preempt_locked(std::size_t device, Priority priority) {
+  if (options_.policy == SchedPolicy::Fifo || !options_.preemption) return;
+  Device& dev = *devices_[device];
+  if (static_cast<int>(priority) < dev.running_class.load(std::memory_order_relaxed)) {
+    dev.preempt_flag.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool ServeRuntime::steal_into_locked(int thief) {
+  // Victim: the peer with the deepest queue. The thief's own queue is
+  // empty — that's why it steals. Backing-off (retried) entries are
+  // stealable too: they keep their ready_time, and the thief's normal
+  // soonest-wait honors it — an idle thief parked in work_ready_ would
+  // otherwise never wake when a victim-side backoff elapses.
+  int victim = -1;
+  std::size_t victim_depth = 0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (static_cast<int>(i) == thief) continue;
+    const std::size_t n = devices_[i]->queue.size();
+    if (n > victim_depth) {
+      victim = static_cast<int>(i);
+      victim_depth = n;
+    }
+  }
+  if (victim < 0) return false;
+  Device& self = *devices_[static_cast<std::size_t>(thief)];
+  Device& from = *devices_[static_cast<std::size_t>(victim)];
+  // Take the policy-worst half (at least one): the victim keeps the
+  // jobs it would run first, so stealing never inverts its priorities.
+  const std::size_t take = std::max<std::size_t>(1, victim_depth / 2);
+  for (std::size_t k = 0; k < take; ++k) {
+    auto worst = from.queue.end();
+    for (auto it = from.queue.begin(); it != from.queue.end(); ++it) {
+      if (worst == from.queue.end() ||
+          schedules_before(options_.policy, sched_key(*worst), sched_key(*it))) {
+        worst = it;
+      }
+    }
+    if (worst == from.queue.end()) break;
+    Pending stolen = std::move(*worst);
+    from.queue.erase(worst);
+    from.backlog_estimate_us -= stolen.estimate_us;
+    self.backlog_estimate_us += stolen.estimate_us;
+    metrics_.on_steal(victim, thief);
+    emit(obs::EventType::JobStolen, stolen.id, thief, stolen.attempts,
+         static_cast<std::int64_t>(victim), self.gpu->clock_us());
+    self.queue.push_back(std::move(stolen));
+  }
+  return true;
 }
 
 bool ServeRuntime::device_degraded(int device) const {
@@ -284,7 +394,8 @@ std::string ServeRuntime::merged_trace_json() const {
   return obs::merged_chrome_trace(traces, events);
 }
 
-JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending, bool flush) {
+JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending, bool flush,
+                                const apps::FrameGate& gate) {
   const auto dispatch_time = std::chrono::steady_clock::now();
   const JobSpec& spec = pending.spec;
   JobResult result;
@@ -294,6 +405,10 @@ JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending, bool f
   result.route = spec.route;
   result.frames = spec.frames;
   result.queue_wait_us = us_between(pending.submit_time, dispatch_time);
+  result.tenant = spec.tenant;
+  result.priority = spec.priority;
+  result.deadline_us = spec.deadline_ms * 1000.0;
+  const int first_frame = pending.next_frame;
 
   // Compiled drivers live for the dispatcher's lifetime, keyed by
   // (route, geometry): repeat traffic skips parse/typecheck/plan and
@@ -332,11 +447,16 @@ JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending, bool f
                .emplace(key, std::make_unique<apps::GaspardDownscaler>(spec.config, opts))
                .first;
     }
-    auto r = it->second->run_on(*dev.gpu, spec.frames, exec, on_frame, flush);
-    result.last_output = std::move(r.last_output);
-    result.ops += r.h;
-    result.ops += r.v;
-    result.sim_wall_us = r.wall_us;
+    auto r = it->second->run_on(*dev.gpu, spec.frames, exec, on_frame, flush, first_frame, gate);
+    pending.ops_done += r.h;
+    pending.ops_done += r.v;
+    pending.sim_wall_done_us += r.wall_us;
+    // Keep the newest executed frame across chunks (a resumed chunk
+    // past exec_frames runs simulated-only and produces no output).
+    if (first_frame < std::min(r.next_frame, exec)) {
+      pending.partial_output = std::move(r.last_output);
+    }
+    pending.next_frame = r.next_frame;
   } else {
     const std::string key = driver_key(spec.route, spec.config);
     auto it = sac_drivers.find(key);
@@ -351,16 +471,29 @@ JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending, bool f
                .first;
     }
     auto r = it->second->run_cuda_chain_on(*dev.gpu, spec.frames, spec.channels, exec, on_frame,
-                                           flush);
-    result.last_output = std::move(r.last_output);
-    result.ops += r.h;
-    result.ops += r.v;
-    result.sim_wall_us = r.wall_us;
+                                           flush, first_frame, gate);
+    pending.ops_done += r.h;
+    pending.ops_done += r.v;
+    pending.sim_wall_done_us += r.wall_us;
+    if (first_frame < std::min(r.next_frame, exec)) {
+      pending.partial_output = std::move(r.last_output);
+    }
+    pending.next_frame = r.next_frame;
   }
 
+  // The result always reports the whole job so far — every completed
+  // chunk of a preempted job, not just this dispatch.
   const auto done_time = std::chrono::steady_clock::now();
-  result.exec_us = us_between(dispatch_time, done_time);
+  pending.exec_done_us += us_between(dispatch_time, done_time);
+  result.ops = pending.ops_done;
+  result.sim_wall_us = pending.sim_wall_done_us;
+  result.exec_us = pending.exec_done_us;
   result.latency_us = us_between(pending.submit_time, done_time);
+  result.preemptions = pending.preemptions;
+  result.slo_met = result.deadline_us <= 0 || result.latency_us <= result.deadline_us;
+  if (pending.next_frame >= spec.frames) {
+    result.last_output = std::move(pending.partial_output);
+  }
   return result;
 }
 
@@ -375,21 +508,32 @@ void ServeRuntime::dispatcher_loop(int index) {
       for (;;) {
         if (stopping_ && dev.queue.empty()) return;
         if (!paused_ || stopping_) {
-          // First queued job whose retry backoff has elapsed (FIFO for
-          // never-faulted jobs, whose gate is their submit time).
+          // The best queued job whose retry backoff has elapsed: under
+          // Fifo, the first in queue order (exactly the pre-SLO
+          // behavior); under priority/edf, the policy-best of the whole
+          // ready set.
           const auto now = std::chrono::steady_clock::now();
           auto ready = dev.queue.end();
           auto soonest = dev.queue.end();
           for (auto it = dev.queue.begin(); it != dev.queue.end(); ++it) {
             if (it->ready_time <= now) {
-              ready = it;
-              break;
-            }
-            if (soonest == dev.queue.end() || it->ready_time < soonest->ready_time) {
+              if (ready == dev.queue.end() ||
+                  schedules_before(options_.policy, sched_key(*it), sched_key(*ready))) {
+                ready = it;
+              }
+              if (options_.policy == SchedPolicy::Fifo) break;
+            } else if (soonest == dev.queue.end() || it->ready_time < soonest->ready_time) {
               soonest = it;
             }
           }
           if (ready != dev.queue.end()) {
+            // Selection commits the running class and clears any stale
+            // preempt request — the selected job is the policy-best, so
+            // nothing still queued outranks it; later arrivals re-raise
+            // the flag under this same mutex.
+            dev.running_class.store(static_cast<int>(ready->spec.priority),
+                                    std::memory_order_relaxed);
+            dev.preempt_flag.store(false, std::memory_order_relaxed);
             batch.push_back(std::move(*ready));
             dev.queue.erase(ready);
             break;
@@ -399,6 +543,9 @@ void ServeRuntime::dispatcher_loop(int index) {
             // earliest gate (or an earlier notify).
             work_ready_.wait_until(lock, soonest->ready_time);
             continue;
+          }
+          if (options_.work_stealing && !stopping_ && !paused_ && steal_into_locked(index)) {
+            continue;  // re-run selection over the stolen work
           }
         }
         work_ready_.wait(lock);
@@ -436,6 +583,18 @@ void ServeRuntime::dispatcher_loop(int index) {
       metrics_.on_dispatch(index);
     }
     space_available_.notify_all();
+
+    // Frame-boundary preemption: the gate polls the preempt flag that
+    // submit/failover/steal raise (under mutex_) when a strictly
+    // higher-class job lands on this device. The pipelines only consult
+    // it for frames past the chunk's first, so every dispatch makes at
+    // least one frame of progress — no livelock, and a low job delays a
+    // high one by at most one frame. Coalesced batches are never
+    // preempted: their members share one fused dispatch round.
+    apps::FrameGate gate;
+    if (options_.preemption && options_.policy != SchedPolicy::Fifo && batch.size() == 1) {
+      gate = [&dev](int) { return !dev.preempt_flag.load(std::memory_order_relaxed); };
+    }
 
     const bool coalesced = batch.size() >= 2;
     const std::uint64_t batch_id = coalesced ? batch.front().id : 0;
@@ -475,7 +634,7 @@ void ServeRuntime::dispatcher_loop(int index) {
         // functional results are complete at enqueue, and the timeline
         // is ordered by buffer hazards either way — the whole batch is
         // one dispatch round on a warm driver, one barrier at the end.
-        result = run_job(dev, index, pending, /*flush=*/last);
+        result = run_job(dev, index, pending, /*flush=*/last, gate);
       } catch (const fault::DeviceFault&) {
         device_fault = true;
         error = std::current_exception();
@@ -483,6 +642,33 @@ void ServeRuntime::dispatcher_loop(int index) {
         error = std::current_exception();
       }
       if (options_.trace_jobs) dev.gpu->end_job_trace();
+
+      if (error == nullptr && pending.next_frame < pending.spec.frames) {
+        // Preempted at a frame boundary: the chunk flushed, so the
+        // device is clean and the partial state in Pending (next_frame,
+        // accumulated ops and partial output) resumes bit-exactly on
+        // whichever device the re-enqueue lands on — the same motion as
+        // a failover, minus the fault.
+        ++pending.preemptions;
+        emit(obs::EventType::JobPreempted, pending.id, index, pending.attempts,
+             pending.next_frame, dev.gpu->clock_us());
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          const Priority prio = pending.spec.priority;
+          pending.ready_time = std::chrono::steady_clock::now();
+          const std::size_t target = pick_device_locked(/*exclude=*/-1);
+          dev.backlog_estimate_us -= estimate;
+          devices_[target]->backlog_estimate_us += estimate;
+          metrics_.on_preempted(index, static_cast<int>(target));
+          devices_[target]->queue.push_back(std::move(pending));
+          ++total_queued_;
+          signal_preempt_locked(target, prio);
+        }
+        // The job stays inflight; the displacing high-class job is
+        // already queued here and wins the next selection.
+        work_ready_.notify_all();
+        continue;
+      }
 
       if (error == nullptr) {
         // Record before handing the result off through the promise.
@@ -492,6 +678,12 @@ void ServeRuntime::dispatcher_loop(int index) {
           std::lock_guard<std::mutex> lock(mutex_);
           metrics_.set_elapsed_real_us(
               us_between(serve_start_, std::chrono::steady_clock::now()));
+        }
+        if (!result.slo_met) {
+          emit(obs::EventType::DeadlineMiss, pending.id, index, pending.attempts,
+               static_cast<std::int64_t>(
+                   std::llround(result.latency_us - result.deadline_us)),
+               dev.gpu->clock_us());
         }
         emit(obs::EventType::JobCompleted, pending.id, index, pending.attempts,
              pending.spec.frames, dev.gpu->clock_us());
@@ -544,11 +736,13 @@ void ServeRuntime::dispatcher_loop(int index) {
             // this is exactly the flow arrow of the merged trace.
             emit(obs::EventType::Failover, pending.id, index, pending.attempts,
                  static_cast<std::int64_t>(target), dev.gpu->clock_us());
+            const Priority prio = pending.spec.priority;
             devices_[target]->queue.push_back(std::move(pending));
             devices_[target]->backlog_estimate_us += estimate;
             dev.backlog_estimate_us -= estimate;
             ++total_queued_;
             metrics_.on_failover(index, static_cast<int>(target));
+            signal_preempt_locked(target, prio);
             retried = true;
           }
         }
@@ -568,6 +762,8 @@ void ServeRuntime::dispatcher_loop(int index) {
       metrics_.on_failed(index);
       finish_job(dev, estimate);
     }
+    // Park: an idle device never needs a preempt request.
+    dev.running_class.store(kIdleClass, std::memory_order_relaxed);
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -16,9 +17,11 @@
 #include "gpu/sim_gpu.hpp"
 #include "obs/events.hpp"
 #include "obs/trace.hpp"
+#include "serve/admission.hpp"
 #include "serve/allocator.hpp"
 #include "serve/job.hpp"
 #include "serve/metrics.hpp"
+#include "serve/policy.hpp"
 
 namespace saclo::serve {
 
@@ -88,6 +91,34 @@ class ServeRuntime {
     /// more same-key arrivals (real milliseconds). 0 coalesces only
     /// what is already queued — no added latency.
     double batch_wait_ms = 0.0;
+
+    // -- multi-tenant SLO scheduling ------------------------------------------
+    /// Queue-draining order of the dispatchers (see policy.hpp). Fifo,
+    /// the default, is exactly the pre-SLO behavior; priority/edf scan
+    /// the whole queue for the best ready job.
+    SchedPolicy policy = SchedPolicy::Fifo;
+    /// With a non-Fifo policy: let a queued strictly-higher-priority
+    /// job displace the running one at the next frame boundary. The
+    /// displaced job keeps its completed frames and re-enqueues
+    /// least-loaded (the failover re-enqueue path), so results stay
+    /// bit-exact and priority inversion is bounded by one frame.
+    bool preemption = true;
+    /// Let an idle dispatcher pull the policy-worst tail of the busiest
+    /// peer queue — the safety net for cost-model estimates that turn
+    /// out wrong. Off by default: stealing trades the placement
+    /// determinism several tests (and the batching heuristics) rely on.
+    bool work_stealing = false;
+    /// Per-tenant token-bucket admission: sustained jobs per second per
+    /// tenant (burst below). 0 (the default) disables rate limiting.
+    /// Over-limit submissions are shed: their future resolves
+    /// immediately with a typed ShedError — it never hangs.
+    double tenant_rate_limit = 0.0;
+    /// Bucket depth of the per-tenant limiter (>= 1 when limiting).
+    double tenant_rate_burst = 4.0;
+    /// Shed (typed ShedError, jobs_shed metric) instead of blocking
+    /// when the fleet backlog is at queue_capacity — overload sheds
+    /// honestly instead of stalling the caller.
+    bool shed_on_full = false;
 
     // -- fault tolerance ------------------------------------------------------
     /// Fault-injection schedule installed on the fleet's devices at
@@ -183,6 +214,18 @@ class ServeRuntime {
     std::chrono::steady_clock::time_point submit_time;
     /// Retry backoff gate: the dispatcher skips the entry until then.
     std::chrono::steady_clock::time_point ready_time;
+    /// Absolute deadline on the steady_clock axis in microseconds
+    /// (submit + spec.deadline_ms), 0 when the job carries no SLO —
+    /// what the edf comparator orders by.
+    double deadline_abs_us = 0;
+    // Preemption bookkeeping: a displaced job carries its progress with
+    // it, so a resumed chunk never recomputes completed frames.
+    int next_frame = 0;    ///< first frame the next dispatch issues
+    int preemptions = 0;   ///< frame-boundary displacements so far
+    apps::OpBreakdown ops_done;   ///< accumulated over completed chunks
+    double sim_wall_done_us = 0;  ///< accumulated simulated wall time
+    double exec_done_us = 0;      ///< accumulated dispatcher-thread time
+    IntArray partial_output;      ///< latest executed frame across chunks
   };
 
   struct Device {
@@ -193,16 +236,41 @@ class ServeRuntime {
     double backlog_estimate_us = 0;  // queued + running, guarded by mutex_
     bool degraded = false;           // guarded by mutex_
     std::chrono::steady_clock::time_point degraded_since;  // guarded by mutex_
+    /// Priority class of the job the dispatcher is running (kIdleClass
+    /// when parked). Written under mutex_ at selection; read by
+    /// submitters (under mutex_) to decide whether an arrival should
+    /// raise the preempt flag.
+    std::atomic<int> running_class{kIdleClass};
+    /// Raised (under mutex_) when a strictly-higher-priority job waits
+    /// on this device; polled lock-free by the frame loop's gate.
+    std::atomic<bool> preempt_flag{false};
     std::thread dispatcher;
   };
+  static constexpr int kIdleClass = 1 << 20;
 
   void dispatcher_loop(int index);
   /// flush=false skips the member's trailing device synchronize so the
   /// next batch member may overlap it (always true for the last member
-  /// of a batch and for unbatched jobs).
-  JobResult run_job(Device& dev, int index, Pending& pending, bool flush);
+  /// of a batch and for unbatched jobs). `gate` is the frame-boundary
+  /// preemption check handed to the frame loop (empty = ungated). The
+  /// result covers the whole job (all chunks) when it ran to
+  /// completion; pending.next_frame < spec.frames afterwards means the
+  /// gate stopped the chunk and the job must re-enqueue.
+  JobResult run_job(Device& dev, int index, Pending& pending, bool flush,
+                    const apps::FrameGate& gate);
   std::optional<std::future<JobResult>> submit_impl(JobSpec spec, bool blocking);
   void refresh_allocator_stats();
+  /// The policy comparator's view of a queued job.
+  SchedKey sched_key(const Pending& pending) const;
+  /// Raise `device`'s preempt flag when `priority` outranks the class
+  /// it is running (no-op for Fifo or preemption off).
+  void signal_preempt_locked(std::size_t device, Priority priority);
+  /// Move the policy-worst ready tail of the fullest peer queue onto
+  /// `thief`'s queue; false when nothing was stealable.
+  bool steal_into_locked(int thief);
+  /// A shed submission: resolve the future immediately with the typed
+  /// ShedError and count it honestly.
+  std::future<JobResult> shed_locked(JobSpec&& spec, ShedReason reason);
   /// Least-loaded healthy device (degraded cooldowns healed lazily
   /// first); falls back to degraded devices when nothing is healthy,
   /// and to `exclude` itself only when it is the whole fleet.
@@ -220,6 +288,7 @@ class ServeRuntime {
   FleetMetrics metrics_;
   obs::TraceClock trace_clock_;
   std::unique_ptr<obs::EventLog> event_log_;
+  std::unique_ptr<AdmissionController> admission_;  // guarded by mutex_
   std::vector<std::unique_ptr<Device>> devices_;
 
   mutable std::mutex mutex_;

@@ -43,6 +43,10 @@ TEST(EventLogTest, WireNamesAreStable) {
   EXPECT_STREQ(event_type_name(EventType::RetryExhausted), "retry_exhausted");
   EXPECT_STREQ(event_type_name(EventType::DeviceDegraded), "device_degraded");
   EXPECT_STREQ(event_type_name(EventType::DeviceHealed), "device_healed");
+  EXPECT_STREQ(event_type_name(EventType::JobShed), "job_shed");
+  EXPECT_STREQ(event_type_name(EventType::JobPreempted), "job_preempted");
+  EXPECT_STREQ(event_type_name(EventType::JobStolen), "job_stolen");
+  EXPECT_STREQ(event_type_name(EventType::DeadlineMiss), "deadline_miss");
 }
 
 TEST(EventLogTest, EventJsonRoundTripsEveryField) {

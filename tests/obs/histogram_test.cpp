@@ -137,5 +137,25 @@ TEST(LogHistogramTest, PrometheusExpositionIsCumulativeAndComplete) {
   EXPECT_EQ(prev, 4);  // the +Inf line covers every observation
 }
 
+TEST(LogHistogramTest, PrometheusExpositionCarriesExtraLabels) {
+  // The per-class latency series rides on this: caller-provided labels
+  // join the le label on every bucket line and stand alone on sum and
+  // count — and an empty label string stays byte-identical to the
+  // unlabeled form (no stray commas or empty braces).
+  LogHistogram h;
+  h.record(10.0);
+  std::string labeled;
+  append_prometheus_histogram(labeled, "test_us", "A test histogram.", h, "class=\"high\"");
+  EXPECT_NE(labeled.find("test_us_bucket{class=\"high\",le=\"+Inf\"} 1\n"), std::string::npos);
+  EXPECT_NE(labeled.find("test_us_sum{class=\"high\"} 10"), std::string::npos);
+  EXPECT_NE(labeled.find("test_us_count{class=\"high\"} 1\n"), std::string::npos);
+
+  std::string plain;
+  append_prometheus_histogram(plain, "test_us", "A test histogram.", h, "");
+  EXPECT_NE(plain.find("test_us_bucket{le=\"+Inf\"} 1\n"), std::string::npos);
+  EXPECT_NE(plain.find("test_us_count 1\n"), std::string::npos);
+  EXPECT_EQ(plain.find("{}"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace saclo::obs

@@ -187,6 +187,103 @@ TEST(FleetMetricsTest, HealthSectionGoldenKeysAndCounters) {
   EXPECT_NE(report.find("1 failover(s)"), std::string::npos);
 }
 
+TEST(FleetMetricsTest, SchedulingAndTenantSectionsGolden) {
+  // Golden key-set for the multi-tenant SLO surfaces: two gold-tenant
+  // jobs (one meets its deadline, one misses), a rate-limited shed for
+  // the free tenant, one preemption and one steal.
+  FleetMetrics m(2);
+
+  m.on_submit(0, "gold");
+  m.on_dispatch(0);
+  JobResult hit = job(2, 500.0, 900.0);
+  hit.tenant = "gold";
+  hit.priority = Priority::High;
+  hit.deadline_us = 1000.0;
+  hit.slo_met = true;
+  m.on_complete(0, hit, 500.0);
+
+  m.on_submit(0, "gold");
+  m.on_dispatch(0);
+  m.on_preempted(/*from=*/0, /*to=*/1);  // displaced to device 1's queue
+  m.on_steal(/*from=*/1, /*to=*/0);      // ... and stolen right back
+  m.on_dispatch(0);
+  JobResult miss = job(2, 500.0, 2500.0);
+  miss.tenant = "gold";
+  miss.priority = Priority::High;
+  miss.deadline_us = 1000.0;
+  miss.slo_met = false;
+  m.on_complete(0, miss, 1000.0);
+
+  m.on_shed("free", ShedReason::RateLimited);
+
+  const FleetMetrics::Snapshot s = m.snapshot();
+  EXPECT_EQ(s.jobs_shed, 1);
+  EXPECT_EQ(s.preemptions, 1);
+  EXPECT_EQ(s.steals, 1);
+  EXPECT_EQ(s.deadline_misses, 1);
+  EXPECT_EQ(s.class_latency_hist[static_cast<std::size_t>(Priority::High)].count(), 2);
+
+  // JSON: the scheduling section, the per-tenant ledger and the
+  // per-class latency split must all survive renames.
+  const Json root = parse_json(m.json());
+  ASSERT_TRUE(root.has("scheduling"));
+  const Json& sched = root.at("scheduling");
+  for (const char* key : {"jobs_shed", "preemptions", "steals", "deadline_misses"}) {
+    EXPECT_TRUE(sched.has(key)) << "scheduling section lost key " << key;
+  }
+  EXPECT_DOUBLE_EQ(sched.at("jobs_shed").number, 1.0);
+  EXPECT_DOUBLE_EQ(sched.at("deadline_misses").number, 1.0);
+
+  ASSERT_TRUE(root.has("tenants"));
+  bool saw_gold = false;
+  bool saw_free = false;
+  for (const Json& t : root.at("tenants").array) {
+    for (const char* key :
+         {"tenant", "submitted", "completed", "shed", "slo_jobs", "slo_met", "slo_attainment"}) {
+      EXPECT_TRUE(t.has(key)) << "tenant entry lost key " << key;
+    }
+    if (t.at("tenant").string == "gold") {
+      saw_gold = true;
+      EXPECT_DOUBLE_EQ(t.at("slo_jobs").number, 2.0);
+      EXPECT_DOUBLE_EQ(t.at("slo_met").number, 1.0);
+      EXPECT_DOUBLE_EQ(t.at("slo_attainment").number, 0.5);
+    }
+    if (t.at("tenant").string == "free") {
+      saw_free = true;
+      EXPECT_DOUBLE_EQ(t.at("shed").number, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_gold);
+  EXPECT_TRUE(saw_free);
+
+  ASSERT_TRUE(root.has("latency_by_class"));
+  const Json& by_class = root.at("latency_by_class");
+  for (const char* cls : {"high", "normal", "low"}) {
+    EXPECT_TRUE(by_class.has(cls)) << "latency_by_class lost class " << cls;
+  }
+  EXPECT_DOUBLE_EQ(by_class.at("high").at("count").number, 2.0);
+
+  // Text report: the scheduling line and the tenant table.
+  const std::string report = m.report();
+  EXPECT_NE(report.find("scheduling:"), std::string::npos);
+  EXPECT_NE(report.find("1 shed, 1 preemption(s), 1 steal(s), 1 deadline miss(es)"),
+            std::string::npos);
+  EXPECT_NE(report.find("tenants:"), std::string::npos);
+  EXPECT_NE(report.find("gold"), std::string::npos);
+  EXPECT_NE(report.find("(50.0%)"), std::string::npos);
+
+  // Prometheus: counters, the per-tenant gauge and the labeled
+  // per-class histogram series.
+  const std::string prom = m.prometheus();
+  for (const char* needle :
+       {"saclo_jobs_shed_total 1", "saclo_preemptions_total 1", "saclo_steals_total 1",
+        "saclo_deadline_misses_total 1", "saclo_tenant_slo_attainment{tenant=\"gold\"}",
+        "saclo_tenant_jobs_shed_total{tenant=\"free\"} 1",
+        "saclo_class_latency_us_count{class=\"high\"} 2"}) {
+    EXPECT_NE(prom.find(needle), std::string::npos) << "prometheus lost " << needle;
+  }
+}
+
 TEST(FleetMetricsTest, ReportMentionsEveryDevice) {
   FleetMetrics m(3);
   const std::string report = m.report();

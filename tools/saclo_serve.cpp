@@ -8,10 +8,30 @@
 //               [--frames F] [--exec-frames E] [--height H] [--width W]
 //               [--queue-capacity Q] [--no-cache] [--sync-streams]
 //               [--opt-level L] [--batch-max N] [--batch-wait-ms T]
+//               [--policy fifo|priority|edf] [--no-preemption]
+//               [--work-stealing] [--shed-on-full]
+//               [--tenant NAME]... [--priority high|normal|low]...
+//               [--deadline-ms D]... [--rate-limit R] [--rate-burst B]
 //               [--fault SPEC] [--max-retries R]
 //               [--json] [--trace DEVICE] [--checksum]
 //               [--trace-out FILE] [--events-out FILE] [--metrics-out FILE]
 //               [--events-capacity N]
+//
+// --policy selects the queue-draining order of the dispatchers (fifo is
+// the pre-SLO behavior); --tenant / --priority / --deadline-ms repeat
+// and round-robin across the submitted jobs, so one invocation builds a
+// multi-class mix:
+//   saclo-serve --jobs 32 --policy edf \
+//     --tenant gold --tenant free --priority high --priority low \
+//     --deadline-ms 50 --deadline-ms 0
+// submits alternating gold/high/50ms and free/low/no-deadline jobs.
+// Scheduling is bit-exact: the checksum line must not change across
+// --policy values (only latencies and SLO attainment do).
+//
+// --rate-limit installs per-tenant token-bucket admission; over-limit
+// submissions (and, with --shed-on-full, submissions into a full
+// backlog) are shed with a typed error — counted, reported on stderr,
+// never a hang and never a nonzero exit on their own.
 //
 // --opt-level runs the Array-OL transformation optimizer on the gaspard
 // route's model before code generation (0 = the paper's unfused chain,
@@ -40,11 +60,13 @@
 //                  device_fault, failover, ...)
 //   --metrics-out  Prometheus text exposition of the fleet metrics
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -65,9 +87,32 @@ int usage() {
                "                   [--exec-frames E] [--height H] [--width W]\n"
                "                   [--queue-capacity Q] [--no-cache] [--sync-streams]\n"
                "                   [--opt-level L] [--batch-max N] [--batch-wait-ms T]\n"
+               "                   [--policy fifo|priority|edf] [--no-preemption]\n"
+               "                   [--work-stealing] [--shed-on-full]\n"
+               "                   [--tenant NAME]... [--priority P]... [--deadline-ms D]...\n"
+               "                   [--rate-limit R] [--rate-burst B] [--stagger-ms T]\n"
                "                   [--fault SPEC] [--max-retries R]\n"
                "                   [--json] [--trace DEVICE] [--checksum]\n"
                "\n"
+               "  --policy P     dispatcher queue order: fifo (default, the\n"
+               "                 pre-SLO behavior), priority (class order), edf\n"
+               "                 (class order, earliest deadline first within it)\n"
+               "  --no-preemption  keep a queued higher-class job from displacing\n"
+               "                 the running one at the next frame boundary\n"
+               "  --work-stealing  idle dispatchers pull the policy-worst tail of\n"
+               "                 the busiest peer queue (default off)\n"
+               "  --tenant NAME / --priority high|normal|low / --deadline-ms D\n"
+               "                 repeatable; round-robin over the submitted jobs\n"
+               "                 (deadline 0 = no SLO)\n"
+               "  --rate-limit R  per-tenant token-bucket admission, R jobs/s\n"
+               "                 sustained (default 0 = off); over-limit\n"
+               "                 submissions are shed with a typed error\n"
+               "  --rate-burst B  bucket depth of the limiter (default 4)\n"
+               "  --shed-on-full  shed instead of blocking when the backlog is at\n"
+               "                 queue-capacity\n"
+               "  --stagger-ms T  pause T real ms between submissions (default 0):\n"
+               "                 later high-priority jobs then arrive while earlier\n"
+               "                 ones run, which is what exercises preemption\n"
                "  --opt-level L  Array-OL optimizer level for gaspard jobs:\n"
                "                 0 unfused (default), 1 fusion, 2 fusion+merge;\n"
                "                 bit-exact across levels, fewer kernels per frame\n"
@@ -126,6 +171,10 @@ int main(int argc, char** argv) {
   int frames = 16;
   int exec_frames = 1;
   int opt_level = 0;
+  std::vector<std::string> tenants;
+  std::vector<Priority> priorities;
+  std::vector<double> deadlines_ms;
+  double stagger_ms = 0;
   bool emit_json = false;
   bool emit_checksum = false;
   int trace_device = -1;
@@ -169,6 +218,36 @@ int main(int argc, char** argv) {
       opts.batch_max = std::stoi(argv[++i]);
     } else if (arg == "--batch-wait-ms" && i + 1 < argc) {
       opts.batch_wait_ms = std::stod(argv[++i]);
+    } else if (arg == "--policy" && i + 1 < argc) {
+      try {
+        opts.policy = parse_sched_policy(argv[++i]);
+      } catch (const ServeError& e) {
+        std::fprintf(stderr, "saclo-serve: %s\n", e.what());
+        return usage();
+      }
+    } else if (arg == "--no-preemption") {
+      opts.preemption = false;
+    } else if (arg == "--work-stealing") {
+      opts.work_stealing = true;
+    } else if (arg == "--shed-on-full") {
+      opts.shed_on_full = true;
+    } else if (arg == "--tenant" && i + 1 < argc) {
+      tenants.emplace_back(argv[++i]);
+    } else if (arg == "--priority" && i + 1 < argc) {
+      try {
+        priorities.push_back(parse_priority(argv[++i]));
+      } catch (const ServeError& e) {
+        std::fprintf(stderr, "saclo-serve: %s\n", e.what());
+        return usage();
+      }
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadlines_ms.push_back(std::stod(argv[++i]));
+    } else if (arg == "--rate-limit" && i + 1 < argc) {
+      opts.tenant_rate_limit = std::stod(argv[++i]);
+    } else if (arg == "--rate-burst" && i + 1 < argc) {
+      opts.tenant_rate_burst = std::stod(argv[++i]);
+    } else if (arg == "--stagger-ms" && i + 1 < argc) {
+      stagger_ms = std::stod(argv[++i]);
     } else if (arg == "--fault" && i + 1 < argc) {
       try {
         const fault::FaultPlan parsed = fault::FaultPlan::parse(argv[++i]);
@@ -214,9 +293,17 @@ int main(int argc, char** argv) {
       spec.frames = frames;
       spec.exec_frames = exec_frames;
       spec.opt_level = opt_level;
+      const std::size_t u = static_cast<std::size_t>(i);
+      if (!tenants.empty()) spec.tenant = tenants[u % tenants.size()];
+      if (!priorities.empty()) spec.priority = priorities[u % priorities.size()];
+      if (!deadlines_ms.empty()) spec.deadline_ms = deadlines_ms[u % deadlines_ms.size()];
       futures.push_back(runtime.submit(spec));
+      if (stagger_ms > 0 && i + 1 < jobs) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(stagger_ms));
+      }
     }
     int failed = 0;
+    int shed = 0;
     std::uint64_t checksum = 1469598103934665603ull;  // FNV-1a offset basis
     for (auto& f : futures) {
       try {
@@ -233,6 +320,11 @@ int main(int argc, char** argv) {
                                 static_cast<std::int64_t>(r.last_output[i])));
           }
         }
+      } catch (const ShedError& e) {
+        // Admission shed the job before it ran: expected under a rate
+        // limit or --shed-on-full, not a failure of the fleet.
+        ++shed;
+        std::fprintf(stderr, "saclo-serve: job shed: %s\n", e.what());
       } catch (const fault::DeviceFault& e) {
         // Retry budget exhausted on an injected fault: report it and
         // keep going — a degraded fleet still renders its report.
@@ -261,6 +353,9 @@ int main(int argc, char** argv) {
       sink_error = true;
     }
     if (sink_error) return 1;
+    if (shed > 0) {
+      std::fprintf(stderr, "saclo-serve: %d job(s) shed by admission\n", shed);
+    }
     if (failed > 0) {
       std::fprintf(stderr, "saclo-serve: %d job(s) failed permanently\n", failed);
       return 1;
