@@ -13,10 +13,13 @@
 #include <benchmark/benchmark.h>
 
 #include <future>
+#include <memory>
 #include <vector>
 
 #include "bench_support.hpp"
+#include "serve/autoscale.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/traffic.hpp"
 
 using namespace saclo;
 using namespace saclo::apps;
@@ -291,6 +294,167 @@ bool slo_sweep() {
   return ok;
 }
 
+/// Elastic fleet sweep: one seeded diurnal+burst traffic trace replayed
+/// three ways — pinned at the autoscaler's floor, pinned at its
+/// ceiling, and autoscaled between them. The economics the artifact
+/// captures: static-max buys its SLO attainment with ceiling-many
+/// devices the whole run; the autoscaler should land within 90% of
+/// that attainment while burning measurably fewer device-seconds
+/// (devices only count while placement-eligible). Elasticity must also
+/// be invisible in the outputs: all three replays run shed-free (the
+/// backlog holds the whole trace) and must produce the identical
+/// submission-order checksum — a drain that loses, duplicates or
+/// corrupts a re-homed job diverges here and fails the bench.
+constexpr int kScaleMin = 1;
+constexpr int kScaleMax = 4;
+
+struct AutoscalePoint {
+  double elapsed_us = 0;
+  double device_seconds = 0;
+  double gold_attainment = 1.0;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t failed = 0;
+  std::int64_t scale_ups = 0;
+  std::int64_t scale_downs = 0;
+  std::int64_t rehomed = 0;
+  std::uint64_t checksum = 0;
+};
+
+AutoscalePoint run_traffic_fleet(const TrafficTrace& trace, int devices, bool autoscaled) {
+  ServeRuntime::Options opts;
+  opts.devices = devices;
+  // The whole trace fits in the backlog: no run sheds, so all three
+  // variants complete the same job set and the checksums compare.
+  opts.queue_capacity = trace.arrivals.size();
+  if (autoscaled) {
+    opts.max_devices = kScaleMax;
+    // A freshly-activated device is cold (driver compile, empty
+    // allocator cache): keep it placement-deprioritized briefly so it
+    // doesn't absorb deadline jobs on its first dispatch.
+    opts.warmup_ms = 100;
+  }
+  ServeRuntime runtime(opts);
+  std::unique_ptr<Autoscaler> scaler;
+  if (autoscaled) {
+    AutoscalePolicy policy;
+    policy.min_devices = kScaleMin;
+    policy.max_devices = kScaleMax;
+    // CI-scale control: tens-of-ms periods, react to one pressured
+    // period (the trace is only a second and a half long), and keep
+    // scale-down four times as patient as scale-up.
+    policy.interval_ms = 20;
+    policy.up_periods = 1;
+    policy.down_periods = 4;
+    policy.cooldown_ms = 100;
+    scaler = std::make_unique<Autoscaler>(runtime, policy);
+  }
+
+  const ReplayStats stats = replay_trace(runtime, trace, 1.0);
+  if (scaler) scaler->stop();
+  runtime.drain();
+
+  const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+  AutoscalePoint p;
+  p.elapsed_us = stats.elapsed_ms * 1000.0;
+  p.device_seconds = s.device_seconds;
+  p.completed = stats.completed;
+  p.shed = stats.shed;
+  p.failed = stats.failed;
+  p.scale_ups = s.scale_ups;
+  p.scale_downs = s.scale_downs;
+  p.rehomed = s.jobs_rehomed;
+  p.checksum = stats.checksum;
+  for (const FleetMetrics::Snapshot::TenantSnapshot& t : s.tenants) {
+    if (t.tenant == "gold") p.gold_attainment = t.slo_attainment();
+  }
+  return p;
+}
+
+bool autoscale_sweep() {
+  TrafficSpec spec = TrafficSpec::ci_default();
+  spec.duration_ms = 1500;    // a few diurnal cycles: room to both grow and drain
+  spec.base_rate_hz = 80;     // peak load overruns one device, not four:
+  spec.burst_rate_hz = 3;     // static_min visibly misses gold deadlines
+  const TrafficTrace trace = generate_trace(spec);
+  print_header(cat("Elastic autoscale sweep — ", trace.arrivals.size(),
+                   " replayed arrivals over ", spec.duration_ms, " ms, fleet ", kScaleMin,
+                   "..", kScaleMax, " devices"));
+  std::printf("%12s %12s %14s %12s %8s %8s %8s\n", "fleet", "elapsed(s)", "device-sec",
+              "gold slo%", "ups", "downs", "rehomed");
+
+  BenchJson out("serve_autoscale");
+  out.scalar("arrivals", static_cast<double>(trace.arrivals.size()));
+  out.scalar("trace_seed", static_cast<double>(spec.seed));
+  out.scalar("trace_duration_ms", spec.duration_ms);
+  out.scalar("min_devices", kScaleMin);
+  out.scalar("max_devices", kScaleMax);
+
+  struct Variant {
+    const char* name;
+    int devices;
+    bool autoscaled;
+  };
+  const Variant variants[] = {{"static_min", kScaleMin, false},
+                              {"static_max", kScaleMax, false},
+                              {"autoscaled", kScaleMin, true}};
+  AutoscalePoint points[3];
+  bool ok = true;
+  for (int i = 0; i < 3; ++i) {
+    const Variant& v = variants[i];
+    const AutoscalePoint p = run_traffic_fleet(trace, v.devices, v.autoscaled);
+    points[i] = p;
+    std::printf("%12s %12.3f %14.2f %11.1f%% %8lld %8lld %8lld\n", v.name, p.elapsed_us / 1e6,
+                p.device_seconds, 100 * p.gold_attainment, static_cast<long long>(p.scale_ups),
+                static_cast<long long>(p.scale_downs), static_cast<long long>(p.rehomed));
+    out.variant(v.name, p.elapsed_us,
+                {{"device_seconds", p.device_seconds},
+                 {"gold_slo_attainment", p.gold_attainment},
+                 {"completed", static_cast<double>(p.completed)},
+                 {"scale_ups", static_cast<double>(p.scale_ups)},
+                 {"scale_downs", static_cast<double>(p.scale_downs)},
+                 {"jobs_rehomed", static_cast<double>(p.rehomed)}});
+    if (p.shed != 0 || p.failed != 0) {
+      std::fprintf(stderr,
+                   "autoscale_sweep: %s shed %lld / failed %lld job(s) — the backlog is "
+                   "sized for a shed-free replay, so elasticity cannot hide behind drops\n",
+                   v.name, static_cast<long long>(p.shed), static_cast<long long>(p.failed));
+      ok = false;
+    }
+    if (p.checksum != points[0].checksum) {
+      std::fprintf(stderr,
+                   "autoscale_sweep: %s output checksum %016llx diverged from static_min "
+                   "%016llx — scaling must be bit-exact\n",
+                   v.name, static_cast<unsigned long long>(p.checksum),
+                   static_cast<unsigned long long>(points[0].checksum));
+      ok = false;
+    }
+  }
+  const AutoscalePoint& maxp = points[1];
+  const AutoscalePoint& autop = points[2];
+  std::printf("\nautoscaled vs static_max: %.1f%% of gold attainment at %.0f%% of the "
+              "device-seconds\n",
+              maxp.gold_attainment > 0 ? 100 * autop.gold_attainment / maxp.gold_attainment
+                                       : 100.0,
+              maxp.device_seconds > 0 ? 100 * autop.device_seconds / maxp.device_seconds : 0.0);
+  if (autop.gold_attainment < 0.9 * maxp.gold_attainment) {
+    std::fprintf(stderr,
+                 "autoscale_sweep: autoscaled gold attainment %.1f%% fell below 90%% of "
+                 "static_max's %.1f%%\n",
+                 100 * autop.gold_attainment, 100 * maxp.gold_attainment);
+    ok = false;
+  }
+  if (autop.device_seconds >= maxp.device_seconds) {
+    std::fprintf(stderr,
+                 "autoscale_sweep: autoscaled burned %.2f device-seconds, not fewer than "
+                 "static_max's %.2f — elasticity saved nothing\n",
+                 autop.device_seconds, maxp.device_seconds);
+    ok = false;
+  }
+  out.write();
+  return ok;
+}
+
 void device_sweep(gpu::BackendKind backend) {
   const char* name = gpu::backend_kind_name(backend);
   print_header(cat("Serving fleet sweep [", name, " backend] — ", kJobs, " mixed jobs x ",
@@ -350,7 +514,8 @@ int main(int argc, char** argv) {
     device_sweep(backend);
   }
   const bool slo_ok = slo_sweep();
+  const bool autoscale_ok = autoscale_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return slo_ok ? 0 : 1;
+  return slo_ok && autoscale_ok ? 0 : 1;
 }

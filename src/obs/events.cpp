@@ -39,6 +39,14 @@ const char* event_type_name(EventType type) {
       return "job_stolen";
     case EventType::DeadlineMiss:
       return "deadline_miss";
+    case EventType::ScaleUp:
+      return "scale_up";
+    case EventType::ScaleDown:
+      return "scale_down";
+    case EventType::DrainStarted:
+      return "drain_started";
+    case EventType::DrainComplete:
+      return "drain_complete";
   }
   return "unknown";
 }

@@ -31,6 +31,13 @@ enum class EventType : std::uint8_t {
                    ///< thief, arg = victim device
   DeadlineMiss,    ///< job completed past its SLO deadline; arg =
                    ///< overshoot in real microseconds
+  ScaleUp,         ///< autoscaler activated a device; device = which,
+                   ///< arg = active devices after the action
+  ScaleDown,       ///< autoscaler chose a scale-down victim; device =
+                   ///< which, arg = active devices after retirement
+  DrainStarted,    ///< victim marked draining; arg = queued jobs re-homed
+  DrainComplete,   ///< victim retired; arg = buffers reclaim_live() swept
+                   ///< (0 = the drain leaked nothing)
 };
 
 /// Stable wire name ("job_admitted", "device_fault", ...) used by the

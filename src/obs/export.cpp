@@ -55,10 +55,20 @@ bool is_instant(EventType type) {
     case EventType::JobPreempted:
     case EventType::JobStolen:
     case EventType::DeadlineMiss:
+    case EventType::ScaleUp:
+    case EventType::ScaleDown:
+    case EventType::DrainStarted:
+    case EventType::DrainComplete:
       return true;
     default:
       return false;
   }
+}
+
+/// Scale events also drive the fleet-level "active devices" counter
+/// track: ScaleUp/ScaleDown carry the post-action active count in arg.
+bool carries_active_count(EventType type) {
+  return type == EventType::ScaleUp || type == EventType::ScaleDown;
 }
 
 /// Where a flow arrow attaches: a timestamp on a (pid, tid) track.
@@ -154,6 +164,22 @@ std::string merged_chrome_trace(const std::vector<DeviceTrace>& devices,
              "\"s\":\"t\",\"pid\":", e.device, ",\"tid\":", kRuntimeEventsTid,
              ",\"ts\":", fixed(e.t_sim_us, 3), ",\"args\":{\"job\":", e.job,
              ",\"attempt\":", e.attempt, ",\"arg\":", e.arg, "}}"));
+  }
+
+  // The autoscaler gauge track: one Chrome counter event per scale
+  // action, so the merged trace shows the active-device count stepping
+  // up and down against the spans it reshaped. Counter events live on
+  // their own process so Perfetto renders one fleet-level track.
+  bool any_scale = false;
+  for (const Event& e : events) {
+    if (!carries_active_count(e.type)) continue;
+    if (!any_scale) {
+      any_scale = true;
+      emit(cat("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":", kAutoscalerPid,
+               ",\"args\":{\"name\":\"autoscaler\"}}"));
+    }
+    emit(cat("{\"name\":\"active_devices\",\"ph\":\"C\",\"pid\":", kAutoscalerPid,
+             ",\"ts\":", fixed(e.t_real_us, 3), ",\"args\":{\"devices\":", e.arg, "}}"));
   }
 
   // One flow pair per failover hop: Failover events carry device = from

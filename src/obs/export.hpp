@@ -26,6 +26,12 @@ struct DeviceTrace {
 /// "runtime" via thread_name metadata.
 inline constexpr int kRuntimeEventsTid = 999;
 
+/// The pid of the fleet-level "autoscaler" counter track: ScaleUp /
+/// ScaleDown events render as Chrome counter ("C") events there, so the
+/// active-device count steps visibly against the device spans. Far
+/// above any real device index.
+inline constexpr int kAutoscalerPid = 9999;
+
 /// Renders the fleet-wide merged Chrome `trace_event` JSON: one file
 /// across all devices with pid = device, tid = stream. Emits
 /// process/thread-name metadata, one complete ("X") event per interval

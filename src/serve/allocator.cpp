@@ -79,6 +79,25 @@ gpu::BufferHandle CachingDeviceAllocator::allocate(std::int64_t bytes) {
   return gpu::BufferHandle{block.id, bytes};
 }
 
+void CachingDeviceAllocator::enforce_cap_locked(std::int64_t cls) {
+  if (class_cap_bytes_ <= 0) return;
+  auto it = free_lists_.find(cls);
+  if (it == free_lists_.end()) return;
+  std::vector<std::uint64_t>& ids = it->second;
+  // Parked bytes of this class = blocks * class size (every block on a
+  // class list has exactly the class's backing size).
+  while (!ids.empty() &&
+         static_cast<std::int64_t>(ids.size()) * cls > class_cap_bytes_) {
+    const std::uint64_t id = ids.front();
+    ids.erase(ids.begin());  // the least-recently-parked block
+    cached_ids_.erase(id);
+    pool_->free(gpu::BufferHandle{id, cls});
+    stats_.cached_blocks -= 1;
+    stats_.cached_bytes -= cls;
+    stats_.cap_evictions += 1;
+  }
+}
+
 void CachingDeviceAllocator::free(gpu::BufferHandle handle) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = live_.find(handle.id);
@@ -106,6 +125,7 @@ void CachingDeviceAllocator::free(gpu::BufferHandle handle) {
   stats_.requested_bytes -= requested;
   stats_.cached_blocks += 1;
   stats_.cached_bytes += cls;
+  enforce_cap_locked(cls);
 }
 
 void CachingDeviceAllocator::trim() {
@@ -144,6 +164,7 @@ std::int64_t CachingDeviceAllocator::reclaim_live() {
     stats_.cached_bytes += cls;
     stats_.reclaimed_blocks += 1;
     ++reclaimed;
+    enforce_cap_locked(cls);
   }
   return reclaimed;
 }

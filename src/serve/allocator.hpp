@@ -29,9 +29,19 @@ namespace saclo::serve {
 ///
 /// Thread-safe; in the fleet each device's dispatcher owns one
 /// instance, while the metrics exporter reads stats() concurrently.
+/// Without a cap, mixed-geometry traffic is a slow leak: every size
+/// class a job mix ever touched keeps its high-water block count parked
+/// forever, pinning whole-device memory against future geometries. A
+/// per-size-class cap bounds the parked bytes of each class; free()
+/// evicts least-recently-parked blocks back to the pool once a class
+/// exceeds it (reuse pops the most-recently-parked end, so eviction
+/// takes the coldest blocks first). 0 = uncapped, the historical
+/// behavior.
 class CachingDeviceAllocator final : public gpu::BufferAllocator {
  public:
-  explicit CachingDeviceAllocator(gpu::DeviceMemoryPool& pool) : pool_(&pool) {}
+  explicit CachingDeviceAllocator(gpu::DeviceMemoryPool& pool,
+                                  std::int64_t class_cap_bytes = 0)
+      : pool_(&pool), class_cap_bytes_(class_cap_bytes) {}
   ~CachingDeviceAllocator() override;
 
   CachingDeviceAllocator(const CachingDeviceAllocator&) = delete;
@@ -63,12 +73,19 @@ class CachingDeviceAllocator final : public gpu::BufferAllocator {
   /// powers of two.
   static std::int64_t size_class(std::int64_t bytes);
 
+  /// The per-size-class cap on parked bytes (0 = uncapped).
+  std::int64_t class_cap_bytes() const { return class_cap_bytes_; }
+
   struct Stats {
     std::int64_t hits = 0;            ///< allocations served from the cache
     std::int64_t misses = 0;          ///< allocations that hit the raw pool
     std::int64_t frees = 0;           ///< blocks parked for reuse
     std::int64_t trimmed_blocks = 0;  ///< blocks released by trim()
     std::int64_t reclaimed_blocks = 0;  ///< live blocks swept by reclaim_live()
+    /// Blocks evicted LRU because their size class exceeded the
+    /// per-class cache cap — the counter the autoscale bench watches to
+    /// prove mixed-geometry traffic can't pin whole-device memory.
+    std::int64_t cap_evictions = 0;
     std::int64_t live_blocks = 0;     ///< handed out, not yet freed
     std::int64_t cached_blocks = 0;   ///< parked on free lists
     std::int64_t live_bytes = 0;      ///< class bytes of live blocks
@@ -93,10 +110,17 @@ class CachingDeviceAllocator final : public gpu::BufferAllocator {
 
  private:
   gpu::BufferHandle pop_cached(std::int64_t cls);
+  /// Evicts least-recently-parked blocks of `cls` until its parked
+  /// bytes fit the cap. Caller holds mutex_.
+  void enforce_cap_locked(std::int64_t cls);
 
   gpu::DeviceMemoryPool* pool_;
+  std::int64_t class_cap_bytes_ = 0;  // 0 = uncapped
   mutable std::mutex mutex_;
-  std::map<std::int64_t, std::vector<std::uint64_t>> free_lists_;  // class -> pool buffer ids
+  // class -> pool buffer ids, ordered oldest-parked first: free()
+  // push_backs, reuse pops the back (MRU — warmest block), the cap
+  // evicts from the front (LRU — coldest block).
+  std::map<std::int64_t, std::vector<std::uint64_t>> free_lists_;
   std::set<std::uint64_t> cached_ids_;             // ids parked on any free list
   std::map<std::uint64_t, std::int64_t> live_;     // id -> size class
   std::map<std::uint64_t, std::int64_t> live_req_;  // id -> requested bytes

@@ -1,0 +1,175 @@
+#include "serve/autoscale.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "core/fmt.hpp"
+#include "serve/scheduler.hpp"
+
+namespace saclo::serve {
+
+const char* scale_decision_name(ScaleDecision decision) {
+  switch (decision) {
+    case ScaleDecision::Hold:
+      return "hold";
+    case ScaleDecision::Up:
+      return "up";
+    case ScaleDecision::Down:
+      return "down";
+  }
+  return "?";
+}
+
+void AutoscalePolicy::validate() const {
+  if (min_devices < 1) {
+    throw ServeError(cat("autoscale min_devices must be >= 1, got ", min_devices));
+  }
+  if (max_devices < min_devices) {
+    throw ServeError(cat("autoscale max_devices ", max_devices, " is below min_devices ",
+                         min_devices));
+  }
+  if (interval_ms <= 0) {
+    throw ServeError(cat("autoscale interval_ms must be positive, got ", interval_ms));
+  }
+  if (queue_high <= 0) {
+    throw ServeError(cat("autoscale queue_high must be positive, got ", queue_high));
+  }
+  if (queue_low < 0 || queue_low >= queue_high) {
+    throw ServeError(cat("autoscale queue_low ", queue_low,
+                         " must be in [0, queue_high) — the hysteresis band"));
+  }
+  if (p99_high_ms < 0) {
+    throw ServeError(cat("autoscale p99_high_ms must be >= 0, got ", p99_high_ms));
+  }
+  if (slo_low < 0 || slo_low > 1) {
+    throw ServeError(cat("autoscale slo_low must be in [0, 1], got ", slo_low));
+  }
+  if (up_periods < 1 || down_periods < 1) {
+    throw ServeError(cat("autoscale up_periods/down_periods must be >= 1, got ", up_periods,
+                         "/", down_periods));
+  }
+  if (cooldown_ms < 0) {
+    throw ServeError(cat("autoscale cooldown_ms must be >= 0, got ", cooldown_ms));
+  }
+}
+
+AutoscaleController::AutoscaleController(const AutoscalePolicy& policy)
+    : policy_(policy), last_action_ms_(-std::numeric_limits<double>::infinity()) {
+  policy_.validate();
+}
+
+ScaleDecision AutoscaleController::step(const AutoscaleSignals& signals, double now_ms) {
+  // Cooldown: the fleet is still absorbing the last action (re-homed
+  // queues, warm-up). Pressure observed now is transient — drop it.
+  if (now_ms - last_action_ms_ < policy_.cooldown_ms) {
+    up_streak_ = 0;
+    down_streak_ = 0;
+    return ScaleDecision::Hold;
+  }
+
+  const int active = std::max(1, signals.active);
+  const double per_device = static_cast<double>(signals.queued) / active;
+  const bool slo_pressure =
+      (policy_.p99_high_ms > 0 && signals.p99_us > policy_.p99_high_ms * 1000.0) ||
+      (policy_.slo_low > 0 && signals.min_slo_attainment < policy_.slo_low);
+  const bool up_pressure = per_device > policy_.queue_high || slo_pressure;
+  const bool down_pressure = per_device < policy_.queue_low && !slo_pressure;
+
+  if (up_pressure && signals.active < policy_.max_devices) {
+    down_streak_ = 0;
+    if (++up_streak_ >= policy_.up_periods) {
+      up_streak_ = 0;
+      last_action_ms_ = now_ms;
+      return ScaleDecision::Up;
+    }
+    return ScaleDecision::Hold;
+  }
+  if (down_pressure && signals.active > policy_.min_devices) {
+    up_streak_ = 0;
+    if (++down_streak_ >= policy_.down_periods) {
+      down_streak_ = 0;
+      last_action_ms_ = now_ms;
+      return ScaleDecision::Down;
+    }
+    return ScaleDecision::Hold;
+  }
+  // In the hysteresis band (or clamped): pressure must be consecutive,
+  // so a single calm period resets both streaks.
+  up_streak_ = 0;
+  down_streak_ = 0;
+  return ScaleDecision::Hold;
+}
+
+Autoscaler::Autoscaler(ServeRuntime& runtime, const AutoscalePolicy& policy)
+    : runtime_(runtime), controller_(policy) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Autoscaler::~Autoscaler() { stop(); }
+
+void Autoscaler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_) {
+      // Idempotent: only the join below remains.
+    }
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Autoscaler::Stats Autoscaler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Autoscaler::loop() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto interval = std::chrono::microseconds(
+      static_cast<std::int64_t>(controller_.policy().interval_ms * 1000.0));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stop_requested_; })) break;
+    lock.unlock();
+
+    AutoscaleSignals signals;
+    signals.queued = runtime_.queued_jobs();
+    signals.active = runtime_.active_devices();
+    const FleetMetrics::Snapshot snap = runtime_.metrics().snapshot();
+    signals.p99_us = snap.latency_p99_us;
+    for (const auto& tenant : snap.tenants) {
+      if (tenant.slo_jobs > 0) {
+        signals.min_slo_attainment =
+            std::min(signals.min_slo_attainment, tenant.slo_attainment());
+      }
+    }
+    const double now_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    const ScaleDecision decision = controller_.step(signals, now_ms);
+
+    bool up = false;
+    bool down = false;
+    try {
+      if (decision == ScaleDecision::Up) {
+        runtime_.scale_up();
+        up = true;
+      } else if (decision == ScaleDecision::Down) {
+        runtime_.scale_down();
+        down = true;
+      }
+    } catch (const ServeError&) {
+      // Lost a race (shutdown, a concurrent manual scale, the last
+      // active device) — the next period re-evaluates from scratch.
+    }
+
+    lock.lock();
+    ++stats_.periods;
+    if (up) ++stats_.ups;
+    if (down) ++stats_.downs;
+  }
+}
+
+}  // namespace saclo::serve

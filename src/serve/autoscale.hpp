@@ -1,0 +1,119 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "serve/job.hpp"
+
+namespace saclo::serve {
+
+class ServeRuntime;
+
+/// When and how aggressively the closed loop resizes the fleet.
+/// Defaults are tuned for CI-scale replays (tens of milliseconds of
+/// control period); production-shaped runs raise interval_ms and the
+/// hysteresis counts together.
+struct AutoscalePolicy {
+  int min_devices = 1;
+  int max_devices = 4;
+  /// Control period: how often the loop samples signals and steps.
+  double interval_ms = 25.0;
+  /// Scale up when the queue depth per active device exceeds this...
+  double queue_high = 4.0;
+  /// ...and down when it falls below this (with no SLO pressure).
+  double queue_low = 1.0;
+  /// Optional latency trigger: p99 above this also counts as up
+  /// pressure. 0 disables.
+  double p99_high_ms = 0.0;
+  /// Optional SLO trigger: any tenant's attainment below this counts as
+  /// up pressure (and vetoes scale-down). 0 disables.
+  double slo_low = 0.0;
+  /// Hysteresis: this many consecutive pressured periods before acting.
+  /// Scale-down demands more periods than scale-up on purpose — adding
+  /// capacity late costs SLOs, removing it late only costs
+  /// device-seconds.
+  int up_periods = 2;
+  int down_periods = 6;
+  /// Dead time after any action before pressure accumulates again —
+  /// the re-homed queue and warm-up transient would otherwise read as
+  /// fresh pressure and flap the fleet.
+  double cooldown_ms = 150.0;
+
+  void validate() const;
+};
+
+/// One control period's observation of the fleet.
+struct AutoscaleSignals {
+  std::size_t queued = 0;  ///< jobs accepted, not yet dispatched
+  int active = 1;          ///< placement-eligible devices
+  double p99_us = 0;       ///< real end-to-end latency p99
+  /// Minimum SLO attainment across tenants that carry deadlines (1.0
+  /// when none do yet).
+  double min_slo_attainment = 1.0;
+};
+
+enum class ScaleDecision { Hold, Up, Down };
+const char* scale_decision_name(ScaleDecision decision);
+
+/// The pure control law: signals in, decision out. No clock, no
+/// threads, no runtime — `now_ms` is injected, so the hysteresis and
+/// cooldown behavior is unit-testable tick by tick.
+class AutoscaleController {
+ public:
+  explicit AutoscaleController(const AutoscalePolicy& policy);
+
+  /// Steps one control period. Returns Up/Down at most once per
+  /// cooldown window, and only after the configured number of
+  /// consecutive pressured periods; decisions are already clamped to
+  /// [min_devices, max_devices].
+  ScaleDecision step(const AutoscaleSignals& signals, double now_ms);
+
+  const AutoscalePolicy& policy() const { return policy_; }
+  int up_streak() const { return up_streak_; }
+  int down_streak() const { return down_streak_; }
+
+ private:
+  AutoscalePolicy policy_;
+  int up_streak_ = 0;
+  int down_streak_ = 0;
+  double last_action_ms_;  // -infinity until the first action
+};
+
+/// The closed loop: a control thread sampling a live runtime every
+/// interval_ms and applying the controller's decisions through
+/// scale_up()/scale_down(). Construction starts it; stop() (or the
+/// destructor) joins it.
+class Autoscaler {
+ public:
+  Autoscaler(ServeRuntime& runtime, const AutoscalePolicy& policy);
+  ~Autoscaler();
+
+  Autoscaler(const Autoscaler&) = delete;
+  Autoscaler& operator=(const Autoscaler&) = delete;
+
+  /// Stops the control loop and joins the thread. Idempotent.
+  void stop();
+
+  struct Stats {
+    std::int64_t periods = 0;  ///< control periods evaluated
+    std::int64_t ups = 0;      ///< scale_up() calls that succeeded
+    std::int64_t downs = 0;    ///< scale_down() drains that completed
+  };
+  Stats stats() const;
+
+ private:
+  void loop();
+
+  ServeRuntime& runtime_;
+  AutoscaleController controller_;
+  mutable std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  Stats stats_;
+  std::thread thread_;
+};
+
+}  // namespace saclo::serve

@@ -17,7 +17,55 @@ double percentile(std::vector<double> values, double q) {
   return values[lo] + (values[hi] - values[lo]) * frac;
 }
 
-FleetMetrics::FleetMetrics(int devices) : devices_(static_cast<std::size_t>(devices)) {}
+FleetMetrics::FleetMetrics(int devices) : devices_(static_cast<std::size_t>(devices)) {
+  const auto now = std::chrono::steady_clock::now();
+  for (DeviceState& d : devices_) d.active_since = now;
+}
+
+void FleetMetrics::set_active(int device, bool active) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& d = devices_.at(static_cast<std::size_t>(device));
+  if (d.active == active) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (d.active) {
+    d.active_accum_us +=
+        std::chrono::duration<double, std::micro>(now - d.active_since).count();
+  } else {
+    d.active_since = now;
+  }
+  d.active = active;
+}
+
+void FleetMetrics::on_scale_up(int device) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++scale_ups_;
+  }
+  set_active(device, true);
+}
+
+void FleetMetrics::on_drain_started(int device, int rehomed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  (void)devices_.at(static_cast<std::size_t>(device));  // bounds check only
+  (void)rehomed;  // per-job on_rehomed calls keep the counter; this records the drain
+  ++scale_downs_;
+}
+
+void FleetMetrics::on_drain_complete(int device) { set_active(device, false); }
+
+void FleetMetrics::on_rehomed(int from, int to, bool queued) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceState& source = devices_.at(static_cast<std::size_t>(from));
+  DeviceState& target = devices_.at(static_cast<std::size_t>(to));
+  ++jobs_rehomed_;
+  if (queued) {
+    --source.queue_depth;
+  } else {
+    source.running = 0;
+  }
+  ++target.queue_depth;
+  target.max_queue_depth = std::max(target.max_queue_depth, target.queue_depth);
+}
 
 void FleetMetrics::on_submit(int device, const std::string& tenant) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -175,6 +223,9 @@ FleetMetrics::Snapshot FleetMetrics::snapshot() const {
   s.preemptions = preemptions_;
   s.steals = steals_;
   s.deadline_misses = deadline_misses_;
+  s.scale_ups = scale_ups_;
+  s.scale_downs = scale_downs_;
+  s.jobs_rehomed = jobs_rehomed_;
   s.elapsed_real_us = elapsed_real_us_;
   for (const auto& [tenant, t] : tenants_) {
     Snapshot::TenantSnapshot ts;
@@ -202,6 +253,13 @@ FleetMetrics::Snapshot FleetMetrics::snapshot() const {
           std::chrono::duration<double, std::micro>(now - d.degraded_since).count();
       ++s.degraded_devices;
     }
+    ds.active = d.active;
+    ds.active_us = d.active_accum_us;
+    if (d.active) {
+      ds.active_us += std::chrono::duration<double, std::micro>(now - d.active_since).count();
+      ++s.active_devices;
+    }
+    s.device_seconds += ds.active_us / 1e6;
     ds.queue_depth = d.queue_depth;
     ds.max_queue_depth = d.max_queue_depth;
     ds.running = d.running;
@@ -209,6 +267,7 @@ FleetMetrics::Snapshot FleetMetrics::snapshot() const {
     ds.sim_clock_us = d.sim_clock_us;
     ds.has_allocator = d.has_allocator;
     ds.allocator = d.allocator;
+    if (d.has_allocator) s.alloc_cap_evictions += d.allocator.cap_evictions;
     s.sim_makespan_us = std::max(s.sim_makespan_us, d.sim_clock_us);
     s.devices.push_back(ds);
   }
@@ -252,6 +311,13 @@ std::string FleetMetrics::report() const {
              " degraded device(s)\n");
   out += cat("scheduling: ", s.jobs_shed, " shed, ", s.preemptions, " preemption(s), ",
              s.steals, " steal(s), ", s.deadline_misses, " deadline miss(es)\n");
+  if (s.scale_ups > 0 || s.scale_downs > 0 ||
+      s.active_devices != static_cast<int>(s.devices.size())) {
+    out += cat("autoscale: ", s.active_devices, "/", s.devices.size(), " active, ",
+               s.scale_ups, " scale-up(s), ", s.scale_downs, " scale-down(s), ",
+               s.jobs_rehomed, " job(s) re-homed, ", fixed(s.device_seconds, 2),
+               " device-seconds\n");
+  }
   if (!s.tenants.empty()) {
     out += "tenants:\n";
     for (const Snapshot::TenantSnapshot& t : s.tenants) {
@@ -295,7 +361,9 @@ std::string device_json(const FleetMetrics::DeviceSnapshot& d) {
   std::string out = cat("{\"device\":", d.device, ",\"jobs\":", d.jobs,
                         ",\"jobs_failed\":", d.jobs_failed, ",\"faults\":", d.faults,
                         ",\"degraded\":", d.degraded ? "true" : "false",
-                        ",\"degraded_us\":", fixed(d.degraded_us, 1), ",\"frames\":", d.frames,
+                        ",\"degraded_us\":", fixed(d.degraded_us, 1),
+                        ",\"active\":", d.active ? "true" : "false",
+                        ",\"active_us\":", fixed(d.active_us, 1), ",\"frames\":", d.frames,
                         ",\"queue_depth\":", d.queue_depth,
                         ",\"max_queue_depth\":", d.max_queue_depth,
                         ",\"busy_sim_us\":", fixed(d.busy_sim_us, 3),
@@ -307,6 +375,7 @@ std::string device_json(const FleetMetrics::DeviceSnapshot& d) {
                ",\"frees\":", d.allocator.frees, ",\"live_blocks\":", d.allocator.live_blocks,
                ",\"cached_blocks\":", d.allocator.cached_blocks,
                ",\"cached_bytes\":", d.allocator.cached_bytes,
+               ",\"cap_evictions\":", d.allocator.cap_evictions,
                ",\"fragmentation\":", fixed(d.allocator.fragmentation(), 4),
                ",\"pool_peak_bytes\":", d.allocator.pool_peak_bytes, "}");
   }
@@ -328,6 +397,10 @@ std::string FleetMetrics::json() const {
       ",\"max_batch_size\":", static_cast<std::int64_t>(s.batch_size_hist.max()), "}",
       ",\"scheduling\":{\"jobs_shed\":", s.jobs_shed, ",\"preemptions\":", s.preemptions,
       ",\"steals\":", s.steals, ",\"deadline_misses\":", s.deadline_misses, "}",
+      ",\"autoscale\":{\"scale_ups\":", s.scale_ups, ",\"scale_downs\":", s.scale_downs,
+      ",\"jobs_rehomed\":", s.jobs_rehomed, ",\"active_devices\":", s.active_devices,
+      ",\"device_seconds\":", fixed(s.device_seconds, 3),
+      ",\"alloc_cap_evictions\":", s.alloc_cap_evictions, "}",
       ",\"elapsed_real_us\":", fixed(s.elapsed_real_us, 1),
       ",\"sim_makespan_us\":", fixed(s.sim_makespan_us, 3),
       ",\"throughput_fps_sim\":", fixed(s.throughput_fps_sim, 3),
@@ -404,6 +477,19 @@ std::string FleetMetrics::prometheus() const {
               "Queued jobs moved to an idle dispatcher.", std::to_string(s.steals));
   prom_scalar(out, "saclo_deadline_misses_total", "counter",
               "Jobs completed past their SLO deadline.", std::to_string(s.deadline_misses));
+  prom_scalar(out, "saclo_scale_ups_total", "counter", "Devices activated by the autoscaler.",
+              std::to_string(s.scale_ups));
+  prom_scalar(out, "saclo_scale_downs_total", "counter", "Graceful device drains started.",
+              std::to_string(s.scale_downs));
+  prom_scalar(out, "saclo_jobs_rehomed_total", "counter",
+              "Queued jobs moved off draining devices.", std::to_string(s.jobs_rehomed));
+  prom_scalar(out, "saclo_active_devices", "gauge", "Devices currently placement-eligible.",
+              std::to_string(s.active_devices));
+  prom_scalar(out, "saclo_device_seconds_total", "counter",
+              "Sum over devices of real seconds spent active.", fixed(s.device_seconds, 3));
+  prom_scalar(out, "saclo_alloc_cap_evictions_total", "counter",
+              "Allocator blocks evicted by the per-size-class cache cap, fleet-wide.",
+              std::to_string(s.alloc_cap_evictions));
   prom_scalar(out, "saclo_sim_makespan_us", "gauge",
               "Fleet simulated makespan (max device clock), microseconds.",
               fixed(s.sim_makespan_us, 3));

@@ -59,6 +59,24 @@ class FleetMetrics {
   void on_preempted(int from, int to);
   /// Idle dispatcher `to` stole a queued job from `from`'s queue.
   void on_steal(int from, int to);
+  // -- elastic autoscaling ----------------------------------------------------
+  /// Marks a device placement-eligible or retired; active wall time
+  /// accrues between the transitions (the device-seconds the autoscale
+  /// bench compares against a static fleet). Devices start active; the
+  /// elastic runtime deactivates its spare slots at construction.
+  void set_active(int device, bool active);
+  /// scale_up() activated `device`.
+  void on_scale_up(int device);
+  /// scale_down() started draining `device`, re-homing `rehomed` queued
+  /// jobs onto the surviving devices.
+  void on_drain_started(int device, int rehomed);
+  /// The draining device finished its last job and retired.
+  void on_drain_complete(int device);
+  /// One job moved from draining `from` to `to` (queue-depth
+  /// bookkeeping like on_steal, without counting a steal). `queued` is
+  /// false for the drain-gated running job, which had already left
+  /// `from`'s queue-depth gauge at dispatch.
+  void on_rehomed(int from, int to, bool queued = true);
   /// Real (wall-clock) microseconds since the runtime started serving;
   /// updated by the scheduler so snapshots can compute real throughput.
   void set_elapsed_real_us(double us);
@@ -74,6 +92,8 @@ class FleetMetrics {
     std::int64_t frames = 0;
     bool degraded = false;    ///< currently marked unhealthy by the scheduler
     double degraded_us = 0;   ///< cumulative real time spent degraded
+    bool active = true;       ///< placement-eligible (elastic fleets retire slots)
+    double active_us = 0;     ///< cumulative real time spent active
     int queue_depth = 0;      ///< queued, not yet dispatched
     int max_queue_depth = 0;  ///< high-water mark
     int running = 0;          ///< 0 or 1 (one dispatcher per device)
@@ -107,6 +127,17 @@ class FleetMetrics {
     std::int64_t preemptions = 0;      ///< frame-boundary displacements
     std::int64_t steals = 0;           ///< queued jobs moved to an idle dispatcher
     std::int64_t deadline_misses = 0;  ///< completions past their SLO deadline
+    // Elastic autoscaling.
+    std::int64_t scale_ups = 0;     ///< devices activated by scale_up()
+    std::int64_t scale_downs = 0;   ///< graceful drains started
+    std::int64_t jobs_rehomed = 0;  ///< queued jobs moved off draining devices
+    int active_devices = 0;         ///< currently placement-eligible
+    /// Sum over devices of real seconds spent active — the cost axis an
+    /// autoscaled fleet saves against a static-max one.
+    double device_seconds = 0;
+    /// Cap-evicted allocator blocks summed across devices (see
+    /// CachingDeviceAllocator::Stats::cap_evictions).
+    std::int64_t alloc_cap_evictions = 0;
     double elapsed_real_us = 0;
     double sim_makespan_us = 0;  ///< max over devices of sim_clock_us
     /// Aggregate throughput in frames per second of simulated device
@@ -172,6 +203,9 @@ class FleetMetrics {
     bool degraded = false;
     double degraded_accum_us = 0;
     std::chrono::steady_clock::time_point degraded_since{};
+    bool active = true;
+    double active_accum_us = 0;
+    std::chrono::steady_clock::time_point active_since{};
     int queue_depth = 0;
     int max_queue_depth = 0;
     int running = 0;
@@ -199,6 +233,9 @@ class FleetMetrics {
   std::int64_t preemptions_ = 0;
   std::int64_t steals_ = 0;
   std::int64_t deadline_misses_ = 0;
+  std::int64_t scale_ups_ = 0;
+  std::int64_t scale_downs_ = 0;
+  std::int64_t jobs_rehomed_ = 0;
   obs::LogHistogram latency_hist_;     // real end-to-end latency, us
   obs::LogHistogram sim_job_hist_;     // simulated device time per job, us
   obs::LogHistogram batch_size_hist_;  // coalesced batch sizes

@@ -20,10 +20,27 @@ double us_since_epoch(std::chrono::steady_clock::time_point t) {
 }
 }  // namespace
 
+namespace {
+int fleet_slots(const ServeRuntime::Options& options) {
+  return std::max(1, std::max(options.devices, options.max_devices));
+}
+}  // namespace
+
 ServeRuntime::ServeRuntime(const Options& options)
-    : options_(options), metrics_(std::max(1, options.devices)) {
+    : options_(options), metrics_(fleet_slots(options)) {
   if (options_.devices <= 0) {
     throw ServeError(cat("fleet needs at least one device, got ", options_.devices));
+  }
+  if (options_.max_devices != 0 && options_.max_devices < options_.devices) {
+    throw ServeError(cat("max_devices ", options_.max_devices, " is below devices ",
+                         options_.devices, " — the elastic range is [1, max_devices]"));
+  }
+  if (options_.warmup_ms < 0) {
+    throw ServeError(cat("warmup_ms must be >= 0, got ", options_.warmup_ms));
+  }
+  if (options_.alloc_class_cap_bytes < 0) {
+    throw ServeError(
+        cat("alloc_class_cap_bytes must be >= 0, got ", options_.alloc_class_cap_bytes));
   }
   if (options_.queue_capacity == 0) {
     throw ServeError("queue_capacity must be positive");
@@ -45,10 +62,11 @@ ServeRuntime::ServeRuntime(const Options& options)
         cat("tenant_rate_burst must be >= 1 when rate limiting, got ",
             options_.tenant_rate_burst));
   }
+  const int slots = fleet_slots(options_);
   for (const fault::FaultSpec& spec : options_.fault_plan.specs()) {
-    if (spec.device >= options_.devices) {
+    if (spec.device >= slots) {
       throw ServeError(cat("fault plan targets device ", spec.device, " but the fleet has ",
-                           options_.devices, " device(s)"));
+                           slots, " device slot(s)"));
     }
   }
   paused_ = options_.start_paused;
@@ -59,13 +77,14 @@ ServeRuntime::ServeRuntime(const Options& options)
     admission_ = std::make_unique<AdmissionController>(options_.tenant_rate_limit,
                                                        options_.tenant_rate_burst);
   }
-  devices_.reserve(static_cast<std::size_t>(options_.devices));
-  for (int i = 0; i < options_.devices; ++i) {
+  devices_.reserve(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
     auto dev = std::make_unique<Device>();
     dev->gpu = std::make_unique<gpu::VirtualGpu>(options_.device, options_.workers_per_device,
                                                  options_.backend);
     if (options_.cache_buffers) {
-      dev->cache = std::make_unique<CachingDeviceAllocator>(dev->gpu->memory());
+      dev->cache = std::make_unique<CachingDeviceAllocator>(dev->gpu->memory(),
+                                                            options_.alloc_class_cap_bytes);
       dev->gpu->set_allocator(dev->cache.get());
     }
     const std::vector<fault::FaultSpec> specs = options_.fault_plan.specs_for(i);
@@ -73,9 +92,15 @@ ServeRuntime::ServeRuntime(const Options& options)
       dev->injector = std::make_unique<fault::FaultInjector>(specs);
       dev->gpu->set_fault_injector(dev->injector.get());
     }
+    // Spare elastic slots start retired: their dispatchers park in
+    // work_ready_ (their queues can only fill after scale_up()).
+    if (i >= options_.devices) {
+      dev->state = DevState::Inactive;
+      metrics_.set_active(i, false);
+    }
     devices_.push_back(std::move(dev));
   }
-  for (int i = 0; i < options_.devices; ++i) {
+  for (int i = 0; i < slots; ++i) {
     devices_[static_cast<std::size_t>(i)]->dispatcher =
         std::thread([this, i] { dispatcher_loop(i); });
   }
@@ -212,22 +237,27 @@ void ServeRuntime::shutdown() {
   }
   work_ready_.notify_all();
   space_available_.notify_all();
+  drain_done_.notify_all();  // unblock a scale_down() mid-wait
   for (auto& dev : devices_) {
     if (dev->dispatcher.joinable()) dev->dispatcher.join();
   }
 }
 
 void ServeRuntime::heal_elapsed_locked() {
-  if (options_.degraded_cooldown_ms < 0) return;
   const auto now = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     Device& dev = *devices_[i];
-    if (dev.degraded &&
+    if (options_.degraded_cooldown_ms >= 0 && dev.degraded &&
         us_between(dev.degraded_since, now) >= options_.degraded_cooldown_ms * 1000.0) {
       dev.degraded = false;
       metrics_.on_healed(static_cast<int>(i));
       emit(obs::EventType::DeviceHealed, /*job=*/0, static_cast<int>(i), /*attempt=*/0,
            /*arg=*/0, dev.gpu->clock_us());
+    }
+    // Warm-up rides the same lazy sweep as degraded cooldowns: a fresh
+    // scale-up graduates into full placement once its window elapsed.
+    if (dev.warming && us_between(dev.warm_since, now) >= options_.warmup_ms * 1000.0) {
+      dev.warming = false;
     }
   }
 }
@@ -235,21 +265,139 @@ void ServeRuntime::heal_elapsed_locked() {
 std::size_t ServeRuntime::pick_device_locked(int exclude) {
   heal_elapsed_locked();
   std::optional<std::size_t> best;
-  const auto consider = [&](bool allow_degraded, bool allow_excluded) {
+  const auto consider = [&](bool allow_impaired, bool allow_excluded) {
     for (std::size_t i = 0; i < devices_.size(); ++i) {
-      if (!allow_degraded && devices_[i]->degraded) continue;
+      // Only active slots ever take placements: inactive ones have no
+      // work loop to speak of, draining ones are on their way out.
+      if (devices_[i]->state != DevState::Active) continue;
+      if (!allow_impaired && (devices_[i]->degraded || devices_[i]->warming)) continue;
       if (!allow_excluded && exclude >= 0 && i == static_cast<std::size_t>(exclude)) continue;
       if (!best || devices_[i]->backlog_estimate_us < devices_[*best]->backlog_estimate_us) {
         best = i;
       }
     }
   };
-  consider(/*allow_degraded=*/false, /*allow_excluded=*/false);
-  // Whole fleet degraded: still serve — a one-shot fault's device works
-  // again, and a permanently broken one burns the job's retry budget.
-  if (!best) consider(/*allow_degraded=*/true, /*allow_excluded=*/false);
-  if (!best) consider(/*allow_degraded=*/true, /*allow_excluded=*/true);  // 1-device fleet
+  consider(/*allow_impaired=*/false, /*allow_excluded=*/false);
+  // Whole fleet degraded (or still warming): still serve — a one-shot
+  // fault's device works again, and a permanently broken one burns the
+  // job's retry budget.
+  if (!best) consider(/*allow_impaired=*/true, /*allow_excluded=*/false);
+  if (!best) consider(/*allow_impaired=*/true, /*allow_excluded=*/true);  // 1-device fleet
   return *best;
+}
+
+int ServeRuntime::active_devices_locked() const {
+  int n = 0;
+  for (const auto& dev : devices_) {
+    if (dev->state == DevState::Active) ++n;
+  }
+  return n;
+}
+
+int ServeRuntime::active_devices() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_devices_locked();
+}
+
+bool ServeRuntime::device_active(int device) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return devices_.at(static_cast<std::size_t>(device))->state == DevState::Active;
+}
+
+int ServeRuntime::scale_up() {
+  if (options_.max_devices <= 0) {
+    throw ServeError("scale_up on a fixed fleet (construct with max_devices > 0)");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) throw ServeError("scale_up on a shut-down ServeRuntime");
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    Device& dev = *devices_[i];
+    if (dev.state != DevState::Inactive) continue;
+    dev.state = DevState::Active;
+    if (options_.warmup_ms > 0) {
+      dev.warming = true;
+      dev.warm_since = std::chrono::steady_clock::now();
+    }
+    metrics_.on_scale_up(static_cast<int>(i));
+    emit(obs::EventType::ScaleUp, /*job=*/0, static_cast<int>(i), /*attempt=*/0,
+         active_devices_locked(), dev.gpu->clock_us());
+    lock.unlock();
+    work_ready_.notify_all();
+    return static_cast<int>(i);
+  }
+  throw ServeError(
+      cat("scale_up: every slot is already active or draining (max_devices ",
+          options_.max_devices, ")"));
+}
+
+int ServeRuntime::scale_down(int device) {
+  if (options_.max_devices <= 0) {
+    throw ServeError("scale_down on a fixed fleet (construct with max_devices > 0)");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) throw ServeError("scale_down on a shut-down ServeRuntime");
+  if (active_devices_locked() <= 1) {
+    throw ServeError("scale_down would leave the fleet without an active device");
+  }
+  std::size_t victim;
+  if (device >= 0) {
+    if (static_cast<std::size_t>(device) >= devices_.size()) {
+      throw ServeError(cat("scale_down: device ", device, " out of range (fleet has ",
+                           devices_.size(), " slot(s))"));
+    }
+    if (devices_[static_cast<std::size_t>(device)]->state != DevState::Active) {
+      throw ServeError(cat("scale_down: device ", device, " is not active"));
+    }
+    victim = static_cast<std::size_t>(device);
+  } else {
+    // Cheapest drain: the active device with the smallest outstanding
+    // cost-model backlog.
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      if (devices_[i]->state != DevState::Active) continue;
+      if (!best || devices_[i]->backlog_estimate_us < devices_[*best]->backlog_estimate_us) {
+        best = i;
+      }
+    }
+    victim = *best;  // >= 2 active devices checked above
+  }
+
+  Device& dev = *devices_[victim];
+  dev.state = DevState::Draining;
+  dev.warming = false;
+  // The gate stops the running job at its next frame boundary; the
+  // dispatcher then re-homes it through the preemption re-enqueue path.
+  dev.drain_flag.store(true, std::memory_order_relaxed);
+
+  // Re-home everything still queued — in-backoff retries included, with
+  // their ready_time gates intact (the target honors them). Zero jobs
+  // lost, zero duplicated: each Pending moves exactly once, promise,
+  // progress and all.
+  int rehomed = 0;
+  while (!dev.queue.empty()) {
+    Pending job = std::move(dev.queue.front());
+    dev.queue.pop_front();
+    dev.backlog_estimate_us -= job.estimate_us;
+    const Priority prio = job.spec.priority;
+    const std::size_t target = pick_device_locked(/*exclude=*/-1);  // never Draining
+    devices_[target]->backlog_estimate_us += job.estimate_us;
+    metrics_.on_rehomed(static_cast<int>(victim), static_cast<int>(target));
+    devices_[target]->queue.push_back(std::move(job));
+    signal_preempt_locked(target, prio);
+    ++rehomed;
+  }
+  metrics_.on_drain_started(static_cast<int>(victim), rehomed);
+  emit(obs::EventType::DrainStarted, /*job=*/0, static_cast<int>(victim), /*attempt=*/0,
+       rehomed, dev.gpu->clock_us());
+  work_ready_.notify_all();  // wake the victim (to retire) and the targets
+
+  drain_done_.wait(lock, [&] { return dev.state == DevState::Inactive || stopping_; });
+  if (dev.state != DevState::Inactive) {
+    throw ServeError("scale_down interrupted by shutdown");
+  }
+  emit(obs::EventType::ScaleDown, /*job=*/0, static_cast<int>(victim), /*attempt=*/0,
+       active_devices_locked(), dev.gpu->clock_us());
+  return static_cast<int>(victim);
 }
 
 SchedKey ServeRuntime::sched_key(const Pending& pending) const {
@@ -278,6 +426,7 @@ bool ServeRuntime::steal_into_locked(int thief) {
   std::size_t victim_depth = 0;
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     if (static_cast<int>(i) == thief) continue;
+    if (devices_[i]->state != DevState::Active) continue;  // draining queues are spoken for
     const std::size_t n = devices_[i]->queue.size();
     if (n > victim_depth) {
       victim = static_cast<int>(i);
@@ -507,6 +656,25 @@ void ServeRuntime::dispatcher_loop(int index) {
       std::unique_lock<std::mutex> lock(mutex_);
       for (;;) {
         if (stopping_ && dev.queue.empty()) return;
+        if (dev.state == DevState::Draining && dev.queue.empty()) {
+          // Drained: the re-homed jobs are gone, the gated (or last)
+          // job finished its chunk. Sweep anything still live (zero on
+          // a clean drain — the test invariant), release the parked
+          // cache so a retired slot pins no device memory, and retire.
+          const std::int64_t reclaimed = dev.cache ? dev.cache->reclaim_live() : 0;
+          if (dev.cache) {
+            dev.cache->trim();
+            metrics_.set_allocator_stats(index, dev.cache->stats());
+          }
+          dev.state = DevState::Inactive;
+          dev.drain_flag.store(false, std::memory_order_relaxed);
+          dev.warming = false;
+          dev.running_class.store(kIdleClass, std::memory_order_relaxed);
+          metrics_.on_drain_complete(index);
+          emit(obs::EventType::DrainComplete, /*job=*/0, index, /*attempt=*/0, reclaimed,
+               dev.gpu->clock_us());
+          drain_done_.notify_all();
+        }
         if (!paused_ || stopping_) {
           // The best queued job whose retry backoff has elapsed: under
           // Fifo, the first in queue order (exactly the pre-SLO
@@ -544,7 +712,8 @@ void ServeRuntime::dispatcher_loop(int index) {
             work_ready_.wait_until(lock, soonest->ready_time);
             continue;
           }
-          if (options_.work_stealing && !stopping_ && !paused_ && steal_into_locked(index)) {
+          if (options_.work_stealing && !stopping_ && !paused_ &&
+              dev.state == DevState::Active && steal_into_locked(index)) {
             continue;  // re-run selection over the stolen work
           }
         }
@@ -589,11 +758,18 @@ void ServeRuntime::dispatcher_loop(int index) {
     // higher-class job lands on this device. The pipelines only consult
     // it for frames past the chunk's first, so every dispatch makes at
     // least one frame of progress — no livelock, and a low job delays a
-    // high one by at most one frame. Coalesced batches are never
-    // preempted: their members share one fused dispatch round.
+    // high one by at most one frame. On an elastic fleet the same gate
+    // also watches the drain flag, so a scale-down stops the running
+    // job at its next frame boundary regardless of policy. Coalesced
+    // batches are never gated: their members share one fused dispatch
+    // round (a drain waits for the bounded batch to finish instead).
     apps::FrameGate gate;
-    if (options_.preemption && options_.policy != SchedPolicy::Fifo && batch.size() == 1) {
-      gate = [&dev](int) { return !dev.preempt_flag.load(std::memory_order_relaxed); };
+    const bool preemptable = options_.preemption && options_.policy != SchedPolicy::Fifo;
+    if (batch.size() == 1 && (preemptable || options_.max_devices > 0)) {
+      gate = [&dev, preemptable](int) {
+        if (dev.drain_flag.load(std::memory_order_relaxed)) return false;
+        return !preemptable || !dev.preempt_flag.load(std::memory_order_relaxed);
+      };
     }
 
     const bool coalesced = batch.size() >= 2;
@@ -644,14 +820,18 @@ void ServeRuntime::dispatcher_loop(int index) {
       if (options_.trace_jobs) dev.gpu->end_job_trace();
 
       if (error == nullptr && pending.next_frame < pending.spec.frames) {
-        // Preempted at a frame boundary: the chunk flushed, so the
-        // device is clean and the partial state in Pending (next_frame,
-        // accumulated ops and partial output) resumes bit-exactly on
-        // whichever device the re-enqueue lands on — the same motion as
-        // a failover, minus the fault.
-        ++pending.preemptions;
-        emit(obs::EventType::JobPreempted, pending.id, index, pending.attempts,
-             pending.next_frame, dev.gpu->clock_us());
+        // Stopped at a frame boundary — by a preempt request, or by the
+        // drain flag of a scale-down. Either way the chunk flushed, so
+        // the device is clean and the partial state in Pending
+        // (next_frame, accumulated ops and partial output) resumes
+        // bit-exactly on whichever device the re-enqueue lands on — the
+        // same motion as a failover, minus the fault.
+        const bool draining = dev.drain_flag.load(std::memory_order_relaxed);
+        if (!draining) {
+          ++pending.preemptions;
+          emit(obs::EventType::JobPreempted, pending.id, index, pending.attempts,
+               pending.next_frame, dev.gpu->clock_us());
+        }
         {
           std::lock_guard<std::mutex> lock(mutex_);
           const Priority prio = pending.spec.priority;
@@ -659,7 +839,13 @@ void ServeRuntime::dispatcher_loop(int index) {
           const std::size_t target = pick_device_locked(/*exclude=*/-1);
           dev.backlog_estimate_us -= estimate;
           devices_[target]->backlog_estimate_us += estimate;
-          metrics_.on_preempted(index, static_cast<int>(target));
+          // A drain displacement is a re-home, not a preemption: the
+          // job wasn't outranked, its device is leaving.
+          if (draining) {
+            metrics_.on_rehomed(index, static_cast<int>(target), /*queued=*/false);
+          } else {
+            metrics_.on_preempted(index, static_cast<int>(target));
+          }
           devices_[target]->queue.push_back(std::move(pending));
           ++total_queued_;
           signal_preempt_locked(target, prio);

@@ -120,6 +120,29 @@ class ServeRuntime {
     /// honestly instead of stalling the caller.
     bool shed_on_full = false;
 
+    // -- elastic autoscaling --------------------------------------------------
+    /// Upper bound of an elastic fleet. 0 (the default) keeps the
+    /// historical fixed fleet — scale_up()/scale_down() throw. A value
+    /// >= `devices` pre-builds `max_devices` device slots at
+    /// construction: the first `devices` start active, the rest sit
+    /// inactive (their dispatchers parked, their simulators idle) until
+    /// scale_up() activates them. Slots are pre-built so scaling never
+    /// races construction — activation is a state flip, not a device
+    /// bring-up.
+    int max_devices = 0;
+    /// Real-time warm-up window after scale_up() during which placement
+    /// treats the fresh device like a degraded one: it only receives
+    /// jobs when every other active device is also degraded or warming.
+    /// A cold device has an empty backlog estimate and would otherwise
+    /// instantly absorb the whole queue while its drivers compile —
+    /// the p99 spike autoscaling exists to avoid. Cleared lazily by the
+    /// same sweep that heals degraded devices. 0 disables.
+    double warmup_ms = 0.0;
+    /// Per-size-class cap on each device allocator's parked bytes (see
+    /// CachingDeviceAllocator): bounds what mixed-geometry traffic can
+    /// pin. 0 = uncapped, the historical behavior.
+    std::int64_t alloc_class_cap_bytes = 0;
+
     // -- fault tolerance ------------------------------------------------------
     /// Fault-injection schedule installed on the fleet's devices at
     /// construction (empty = no injection, zero overhead).
@@ -175,6 +198,28 @@ class ServeRuntime {
   /// Whether the scheduler currently considers the device unhealthy
   /// (an injected fault fired and the cooldown has not elapsed).
   bool device_degraded(int device) const;
+  /// Devices currently placement-eligible (== device_count() on a
+  /// fixed fleet).
+  int active_devices() const;
+  /// Whether the slot is active (inactive and draining slots refuse new
+  /// placements).
+  bool device_active(int device) const;
+
+  // -- elastic autoscaling ----------------------------------------------------
+  /// Activates one inactive slot (with warmup_ms > 0 it joins placement
+  /// gradually — see Options::warmup_ms) and returns its index. Throws
+  /// ServeError on a fixed fleet, at max_devices, or after shutdown().
+  int scale_up();
+  /// Gracefully retires `device` (< 0 picks the least-backlogged active
+  /// device): marks it draining — no new placements, no steals — moves
+  /// its queued jobs (in-backoff retries included, gates intact) onto
+  /// the survivors, stops its running job at the next frame boundary
+  /// (the preemption re-enqueue path, so progress is kept and results
+  /// stay bit-exact), sweeps the allocator, then blocks until the slot
+  /// retired. Returns the retired index. Throws ServeError on a fixed
+  /// fleet, when it would empty the fleet, on a non-active target, or
+  /// when shutdown() interrupts the drain.
+  int scale_down(int device = -1);
   /// Jobs accepted and not yet dispatched (fleet-wide).
   std::size_t queued_jobs() const;
   /// Jobs accepted and not yet completed (fleet-wide).
@@ -228,6 +273,11 @@ class ServeRuntime {
     IntArray partial_output;      ///< latest executed frame across chunks
   };
 
+  /// Lifecycle of an elastic slot. Active is the only state placement
+  /// considers; Draining refuses new work while the dispatcher finishes
+  /// or re-homes what it has, then retires to Inactive.
+  enum class DevState { Active, Inactive, Draining };
+
   struct Device {
     std::unique_ptr<gpu::VirtualGpu> gpu;
     std::unique_ptr<CachingDeviceAllocator> cache;  // after gpu: destroyed first
@@ -236,6 +286,13 @@ class ServeRuntime {
     double backlog_estimate_us = 0;  // queued + running, guarded by mutex_
     bool degraded = false;           // guarded by mutex_
     std::chrono::steady_clock::time_point degraded_since;  // guarded by mutex_
+    DevState state = DevState::Active;  // guarded by mutex_
+    /// Raised (under mutex_) when the device starts draining; polled
+    /// lock-free by the frame loop's gate so the running job stops at
+    /// the next frame boundary.
+    std::atomic<bool> drain_flag{false};
+    bool warming = false;  // guarded by mutex_ (see Options::warmup_ms)
+    std::chrono::steady_clock::time_point warm_since;  // guarded by mutex_
     /// Priority class of the job the dispatcher is running (kIdleClass
     /// when parked). Written under mutex_ at selection; read by
     /// submitters (under mutex_) to decide whether an arrival should
@@ -276,6 +333,7 @@ class ServeRuntime {
   /// and to `exclude` itself only when it is the whole fleet.
   std::size_t pick_device_locked(int exclude);
   void heal_elapsed_locked();
+  int active_devices_locked() const;
   /// Job left the runtime (completed or failed): release its backlog
   /// share and wake waiters.
   void finish_job(Device& dev, double estimate_us);
@@ -295,6 +353,7 @@ class ServeRuntime {
   std::condition_variable work_ready_;
   std::condition_variable space_available_;
   std::condition_variable idle_;
+  std::condition_variable drain_done_;  ///< a draining device retired
   std::size_t total_queued_ = 0;
   std::size_t total_inflight_ = 0;
   std::uint64_t next_job_id_ = 1;

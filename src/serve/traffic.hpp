@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace saclo::serve {
+
+class ServeRuntime;
+
+/// Raised on malformed traffic specs or unparsable trace files — the
+/// typed error the CLI surfaces with a clear message instead of a
+/// stack trace.
+class TrafficError : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+/// One job class in the generated mix: a (tenant, priority, geometry,
+/// route) bucket with a sampling weight. The generator draws each
+/// arrival's class by weight, so a trace carries a realistic blend of
+/// gold/bronze tenants and small/large geometries.
+struct TrafficClass {
+  std::string name = "default";
+  Route route = Route::SacNongeneric;
+  int height = 18;  ///< frame geometry (applied over the default filter specs)
+  int width = 32;
+  int frames = 4;
+  int channels = 3;
+  int exec_frames = -1;
+  int opt_level = 0;
+  std::string tenant = "default";
+  Priority priority = Priority::Normal;
+  double deadline_ms = 0;
+  double weight = 1.0;
+
+  void validate() const;
+  /// Materialises the JobSpec this class submits (geometry applied and
+  /// validated).
+  JobSpec job() const;
+};
+
+/// The seeded workload model: a diurnal sinusoid base rate with a
+/// Poisson burst overlay, sampled into a concrete arrival trace.
+///
+///   rate(t) = base_rate_hz * (1 + diurnal_amplitude * sin(2*pi*t/period))
+///
+/// plus bursts arriving as a Poisson process of burst_rate_hz, each
+/// dropping a geometrically-sized clump of back-to-back arrivals within
+/// burst_width_ms. All sampling is hand-rolled inverse-transform from
+/// raw mt19937_64 draws — std::*_distribution is implementation-defined
+/// and would make committed traces differ across standard libraries.
+struct TrafficSpec {
+  std::uint64_t seed = 42;
+  double duration_ms = 1000.0;
+  double base_rate_hz = 50.0;
+  double diurnal_amplitude = 0.6;   ///< 0 = flat; must stay in [0, 1)
+  double diurnal_period_ms = 500.0;
+  double burst_rate_hz = 2.0;       ///< bursts per second (0 disables bursts)
+  double burst_size_mean = 6.0;     ///< geometric mean arrivals per burst
+  double burst_width_ms = 5.0;      ///< burst arrivals spread over this window
+  std::vector<TrafficClass> classes;
+
+  void validate() const;
+
+  /// The committed-CI mix: gold (high priority, tight deadline) and
+  /// bronze (low priority, loose deadline) tenants over two geometries.
+  static TrafficSpec ci_default();
+
+  /// Parses the compact CLI grammar, e.g.
+  ///   "seed=7,duration_ms=2000,base_rate_hz=80,burst_rate_hz=4"
+  /// Unset keys keep the ci_default() classes and defaults above.
+  static TrafficSpec parse(const std::string& text);
+};
+
+/// One arrival of the sampled trace: when (trace milliseconds from
+/// start) and what to submit.
+struct TrafficArrival {
+  double t_ms = 0;
+  std::string class_name;
+  JobSpec spec;
+};
+
+/// A materialised trace: the spec it was sampled from plus the sorted
+/// arrivals. JSON round-trips exactly, so CI replays a committed file
+/// byte-for-byte instead of trusting generation stability.
+struct TrafficTrace {
+  TrafficSpec spec;
+  std::vector<TrafficArrival> arrivals;
+
+  std::string to_json() const;
+  /// Parses to_json() output; throws TrafficError with the offending
+  /// context on malformed input.
+  static TrafficTrace from_json(const std::string& text);
+};
+
+/// Samples the spec into a trace. Deterministic: the same spec (seed
+/// included) yields the identical trace on every platform.
+TrafficTrace generate_trace(const TrafficSpec& spec);
+
+/// What a replay observed end to end.
+struct ReplayStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;   ///< futures that carried an exception (non-shed)
+  std::int64_t shed = 0;     ///< admission/backpressure sheds (typed ShedError)
+  std::uint64_t checksum = 0;  ///< FNV-1a over completed outputs, submission order
+  double elapsed_ms = 0;     ///< real wall time of the replay (submit -> all done)
+};
+
+/// Replays the trace against a live runtime through the normal
+/// admission path (try_submit — overload sheds honestly instead of
+/// distorting the arrival schedule by blocking). speed > 1 compresses
+/// the timeline (arrival t/speed), so CI replays a 10 s trace in 1 s.
+/// Returns once every submitted future resolved.
+ReplayStats replay_trace(ServeRuntime& runtime, const TrafficTrace& trace,
+                         double speed = 1.0);
+
+}  // namespace saclo::serve

@@ -47,6 +47,10 @@ TEST(EventLogTest, WireNamesAreStable) {
   EXPECT_STREQ(event_type_name(EventType::JobPreempted), "job_preempted");
   EXPECT_STREQ(event_type_name(EventType::JobStolen), "job_stolen");
   EXPECT_STREQ(event_type_name(EventType::DeadlineMiss), "deadline_miss");
+  EXPECT_STREQ(event_type_name(EventType::ScaleUp), "scale_up");
+  EXPECT_STREQ(event_type_name(EventType::ScaleDown), "scale_down");
+  EXPECT_STREQ(event_type_name(EventType::DrainStarted), "drain_started");
+  EXPECT_STREQ(event_type_name(EventType::DrainComplete), "drain_complete");
 }
 
 TEST(EventLogTest, EventJsonRoundTripsEveryField) {

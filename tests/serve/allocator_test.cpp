@@ -205,6 +205,132 @@ TEST(CachingAllocatorTest, ReclaimLiveSweepsLeakedBlocksBackToTheCache) {
   EXPECT_EQ(cache.reclaim_live(), 0);
 }
 
+TEST(CachingAllocatorCapTest, CapEvictsLeastRecentlyParkedFirst) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  // Cap = two 256-byte blocks per class.
+  CachingDeviceAllocator cache(pool, 512);
+
+  const gpu::BufferHandle a = cache.allocate(100);
+  const gpu::BufferHandle b = cache.allocate(100);
+  const gpu::BufferHandle c = cache.allocate(100);
+  const std::uint64_t a_id = a.id;
+  const std::uint64_t b_id = b.id;
+  const std::uint64_t c_id = c.id;
+  cache.free(a);  // parked first — the coldest
+  cache.free(b);
+  cache.free(c);  // overflows the cap: a (LRU) is evicted, b and c stay
+
+  CachingDeviceAllocator::Stats s = cache.stats();
+  EXPECT_EQ(s.cap_evictions, 1);
+  EXPECT_EQ(s.cached_blocks, 2);
+  EXPECT_EQ(s.cached_bytes, 512);
+
+  // Reuse is MRU: c (warmest) first, then b; a's buffer went back to
+  // the pool, so the third allocation is a fresh miss.
+  EXPECT_EQ(cache.allocate(100).id, c_id);
+  EXPECT_EQ(cache.allocate(100).id, b_id);
+  const gpu::BufferHandle fresh = cache.allocate(100);
+  EXPECT_NE(fresh.id, a_id);
+  s = cache.stats();
+  EXPECT_EQ(s.hits, 2);
+  EXPECT_EQ(s.misses, 4);
+}
+
+TEST(CachingAllocatorCapTest, CapIsPerClassNotGlobal) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  CachingDeviceAllocator cache(pool, 1024);
+
+  // Four 256-class blocks (cap allows 4) and one 1024-class block
+  // (cap allows 1): both classes fill to their own cap, no eviction.
+  std::vector<gpu::BufferHandle> small;
+  for (int i = 0; i < 4; ++i) small.push_back(cache.allocate(200));
+  const gpu::BufferHandle big = cache.allocate(1000);
+  for (const gpu::BufferHandle& h : small) cache.free(h);
+  cache.free(big);
+  EXPECT_EQ(cache.stats().cap_evictions, 0);
+  EXPECT_EQ(cache.stats().cached_bytes, 4 * 256 + 1024);
+
+  // Overflowing the 256 class takes more simultaneous live blocks than
+  // its cap admits (reuse-then-repark can never grow the parked count):
+  // five live at once, freed together, parks a fifth block over the cap
+  // and evicts from that class only — the 1024 class is untouched.
+  std::vector<gpu::BufferHandle> five;
+  for (int i = 0; i < 5; ++i) five.push_back(cache.allocate(200));
+  for (const gpu::BufferHandle& h : five) cache.free(h);
+  const CachingDeviceAllocator::Stats s = cache.stats();
+  EXPECT_EQ(s.cap_evictions, 1);
+  EXPECT_EQ(s.cached_bytes, 4 * 256 + 1024);
+}
+
+TEST(CachingAllocatorCapTest, MixedGeometryStormRespectsCapAndKeepsInvariants) {
+  gpu::DeviceMemoryPool pool(8 << 20);
+  const std::int64_t cap = 6144;  // a few blocks of every class under test
+  CachingDeviceAllocator cache(pool, cap);
+
+  // Deterministic mixed-geometry storm: allocation sizes cycle through
+  // several size classes, three of every size live at once per round,
+  // like a fleet device triple-buffering tiny and wide frames. The six
+  // live 2048-class blocks (12 KiB) exceed that class's 6 KiB cap, so
+  // every round's bulk free overflows it and the LRU blocks go back to
+  // the pool.
+  const std::int64_t sizes[] = {100, 300, 1000, 2000, 120, 900, 50, 1500};
+  std::vector<gpu::BufferHandle> live;
+  double last_hit_rate = 0.0;
+  for (int round = 0; round < 50; ++round) {
+    for (int rep = 0; rep < 3; ++rep)
+      for (std::int64_t size : sizes) live.push_back(cache.allocate(size));
+    // Free in a shuffled-ish (reverse) order so park order differs from
+    // allocation order.
+    while (!live.empty()) {
+      cache.free(live.back());
+      live.pop_back();
+    }
+    const CachingDeviceAllocator::Stats s = cache.stats();
+    // The cap bounds every class's parked bytes at all times.
+    EXPECT_LE(s.cached_bytes, 4 * cap);  // 4 distinct classes in the mix
+    // Steady state recycles the same warm blocks, so the hit rate is
+    // monotone non-decreasing over rounds.
+    EXPECT_GE(s.hit_rate() + 1e-12, last_hit_rate);
+    last_hit_rate = s.hit_rate();
+  }
+  const CachingDeviceAllocator::Stats s = cache.stats();
+  EXPECT_GT(s.cap_evictions, 0);  // the storm did overflow classes
+  EXPECT_GT(s.hit_rate(), 0.8);   // and still mostly recycled
+  EXPECT_EQ(s.live_blocks, 0);
+
+  // Double-free detection survives the cap machinery: a handle whose
+  // block was cap-evicted is indistinguishable from any other stale
+  // handle — freeing it again must still throw.
+  const gpu::BufferHandle h = cache.allocate(100);
+  cache.free(h);
+  EXPECT_THROW(cache.free(h), gpu::DeviceMemoryError);
+}
+
+TEST(CachingAllocatorCapTest, ReclaimLiveEnforcesTheCapToo) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  CachingDeviceAllocator cache(pool, 512);
+
+  // Three live blocks of one class; a fault-abort sweep parks all
+  // three at once, which must not leave the class over its cap.
+  (void)cache.allocate(100);
+  (void)cache.allocate(100);
+  (void)cache.allocate(100);
+  EXPECT_EQ(cache.reclaim_live(), 3);
+  const CachingDeviceAllocator::Stats s = cache.stats();
+  EXPECT_EQ(s.cached_bytes, 512);
+  EXPECT_GE(s.cap_evictions, 1);
+}
+
+TEST(CachingAllocatorCapTest, UncappedKeepsEveryParkedBlock) {
+  gpu::DeviceMemoryPool pool(1 << 20);
+  CachingDeviceAllocator cache(pool);  // 0 = uncapped, historical behavior
+  std::vector<gpu::BufferHandle> blocks;
+  for (int i = 0; i < 32; ++i) blocks.push_back(cache.allocate(100));
+  for (const gpu::BufferHandle& h : blocks) cache.free(h);
+  EXPECT_EQ(cache.stats().cap_evictions, 0);
+  EXPECT_EQ(cache.stats().cached_blocks, 32);
+}
+
 TEST(CachingAllocatorTest, DestructorReturnsCachedBlocksToThePool) {
   gpu::DeviceMemoryPool pool(1 << 20);
   {

@@ -1,0 +1,559 @@
+// Elastic fleet autoscaling: the pure control law tick by tick, the
+// scale_up()/scale_down() mechanics on a paused runtime, graceful-drain
+// correctness under a randomized mid-burst scale-down (nothing lost,
+// nothing duplicated, nothing leaked, bit-exact outputs), and the
+// closed control loop reacting to a live backlog.
+
+#include "serve/autoscale.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/traffic.hpp"
+#include "support/fault_fixtures.hpp"
+
+namespace saclo::serve {
+namespace {
+
+JobSpec small_job(Route route = Route::SacNongeneric) {
+  JobSpec spec;
+  spec.route = route;
+  spec.frames = 2;
+  spec.exec_frames = 1;
+  return spec;
+}
+
+void fold(std::uint64_t& h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+}
+
+std::uint64_t result_checksum(const std::vector<JobResult>& results) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const JobResult& r : results) {
+    fold(h, static_cast<std::uint64_t>(r.route));
+    fold(h, static_cast<std::uint64_t>(r.frames));
+    fold(h, static_cast<std::uint64_t>(r.last_output.elements()));
+    for (std::int64_t i = 0; i < r.last_output.elements(); ++i) {
+      fold(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(r.last_output[i])));
+    }
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// AutoscaleController — the pure control law, clock injected.
+
+AutoscalePolicy test_policy() {
+  AutoscalePolicy p;
+  p.min_devices = 1;
+  p.max_devices = 4;
+  p.interval_ms = 10;
+  p.queue_high = 4;
+  p.queue_low = 1;
+  p.up_periods = 2;
+  p.down_periods = 3;
+  p.cooldown_ms = 50;
+  return p;
+}
+
+AutoscaleSignals signals(std::size_t queued, int active) {
+  AutoscaleSignals s;
+  s.queued = queued;
+  s.active = active;
+  return s;
+}
+
+TEST(AutoscalePolicyTest, ValidateRejectsBadShapes) {
+  AutoscalePolicy p = test_policy();
+  p.min_devices = 0;
+  EXPECT_THROW(p.validate(), ServeError);
+
+  p = test_policy();
+  p.max_devices = 0;  // below min_devices
+  EXPECT_THROW(p.validate(), ServeError);
+
+  p = test_policy();
+  p.queue_low = p.queue_high;  // empty hysteresis band
+  EXPECT_THROW(p.validate(), ServeError);
+
+  p = test_policy();
+  p.interval_ms = 0;
+  EXPECT_THROW(p.validate(), ServeError);
+
+  p = test_policy();
+  p.slo_low = 1.5;
+  EXPECT_THROW(p.validate(), ServeError);
+}
+
+TEST(AutoscaleControllerTest, UpNeedsConsecutivePressuredPeriods) {
+  AutoscaleController c(test_policy());
+  // 10 jobs on 2 devices = 5 per device > queue_high of 4.
+  EXPECT_EQ(c.step(signals(10, 2), 0.0), ScaleDecision::Hold);
+  EXPECT_EQ(c.up_streak(), 1);
+  EXPECT_EQ(c.step(signals(10, 2), 10.0), ScaleDecision::Up);
+  EXPECT_EQ(c.up_streak(), 0) << "acting resets the streak";
+}
+
+TEST(AutoscaleControllerTest, ACalmPeriodResetsTheStreak) {
+  AutoscaleController c(test_policy());
+  EXPECT_EQ(c.step(signals(10, 2), 0.0), ScaleDecision::Hold);
+  // One period inside the hysteresis band wipes the pressure history.
+  EXPECT_EQ(c.step(signals(4, 2), 10.0), ScaleDecision::Hold);
+  EXPECT_EQ(c.up_streak(), 0);
+  EXPECT_EQ(c.step(signals(10, 2), 20.0), ScaleDecision::Hold);
+  EXPECT_EQ(c.step(signals(10, 2), 30.0), ScaleDecision::Up);
+}
+
+TEST(AutoscaleControllerTest, CooldownSwallowsPressureAfterAnAction) {
+  AutoscaleController c(test_policy());
+  c.step(signals(10, 2), 0.0);
+  ASSERT_EQ(c.step(signals(10, 2), 10.0), ScaleDecision::Up);
+  // Inside the 50 ms cooldown: pressure is treated as transient.
+  EXPECT_EQ(c.step(signals(20, 3), 20.0), ScaleDecision::Hold);
+  EXPECT_EQ(c.step(signals(20, 3), 40.0), ScaleDecision::Hold);
+  EXPECT_EQ(c.up_streak(), 0) << "cooldown periods don't accumulate streak";
+  // Past the cooldown the streak rebuilds from zero.
+  EXPECT_EQ(c.step(signals(20, 3), 60.0), ScaleDecision::Hold);
+  EXPECT_EQ(c.step(signals(20, 3), 70.0), ScaleDecision::Up);
+}
+
+TEST(AutoscaleControllerTest, DownIsMorePatientThanUp) {
+  AutoscaleController c(test_policy());  // up after 2, down after 3
+  EXPECT_EQ(c.step(signals(0, 2), 0.0), ScaleDecision::Hold);
+  EXPECT_EQ(c.step(signals(0, 2), 10.0), ScaleDecision::Hold);
+  EXPECT_EQ(c.down_streak(), 2);
+  EXPECT_EQ(c.step(signals(0, 2), 20.0), ScaleDecision::Down);
+}
+
+TEST(AutoscaleControllerTest, DecisionsAreClampedToTheFleetBounds) {
+  AutoscaleController c(test_policy());
+  // At max_devices, sustained pressure never asks for more.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(c.step(signals(100, 4), i * 10.0), ScaleDecision::Hold);
+  }
+  // At min_devices, an idle fleet never drains the last device.
+  AutoscaleController c2(test_policy());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(c2.step(signals(0, 1), i * 10.0), ScaleDecision::Hold);
+  }
+}
+
+TEST(AutoscaleControllerTest, SloPressureTriggersUpAndVetoesDown) {
+  AutoscalePolicy p = test_policy();
+  p.slo_low = 0.9;
+  AutoscaleController c(p);
+  // Queue is idle (down pressure), but a tenant is missing its SLO:
+  // scale-down is vetoed and the SLO counts as up pressure instead.
+  AutoscaleSignals s = signals(0, 2);
+  s.min_slo_attainment = 0.5;
+  EXPECT_EQ(c.step(s, 0.0), ScaleDecision::Hold);
+  EXPECT_EQ(c.down_streak(), 0);
+  EXPECT_EQ(c.step(s, 10.0), ScaleDecision::Up);
+
+  AutoscalePolicy lat = test_policy();
+  lat.p99_high_ms = 5.0;
+  AutoscaleController c2(lat);
+  AutoscaleSignals slow = signals(0, 2);
+  slow.p99_us = 20000.0;  // 20 ms p99 > 5 ms trigger
+  EXPECT_EQ(c2.step(slow, 0.0), ScaleDecision::Hold);
+  EXPECT_EQ(c2.step(slow, 10.0), ScaleDecision::Up);
+}
+
+// ---------------------------------------------------------------------------
+// Elastic fleet mechanics.
+
+TEST(ElasticFleetTest, FixedFleetRejectsScaling) {
+  ServeRuntime::Options opts;  // max_devices = 0: the historical fixed fleet
+  ServeRuntime runtime(opts);
+  EXPECT_THROW(runtime.scale_up(), ServeError);
+  EXPECT_THROW(runtime.scale_down(), ServeError);
+  EXPECT_EQ(runtime.active_devices(), 2);
+  runtime.drain();
+}
+
+TEST(ElasticFleetTest, ValidatesTheElasticOptions) {
+  ServeRuntime::Options opts;
+  opts.devices = 4;
+  opts.max_devices = 2;  // ceiling below the starting fleet
+  EXPECT_THROW(ServeRuntime runtime(opts), ServeError);
+}
+
+TEST(ElasticFleetTest, ScaleUpActivatesPrebuiltSlots) {
+  ServeRuntime::Options opts;
+  opts.devices = 1;
+  opts.max_devices = 3;
+  opts.event_log_capacity = 64;
+  ServeRuntime runtime(opts);
+  EXPECT_EQ(runtime.device_count(), 3) << "slots are pre-built";
+  EXPECT_EQ(runtime.active_devices(), 1);
+  EXPECT_TRUE(runtime.device_active(0));
+  EXPECT_FALSE(runtime.device_active(1));
+
+  EXPECT_EQ(runtime.scale_up(), 1);
+  EXPECT_EQ(runtime.scale_up(), 2);
+  EXPECT_EQ(runtime.active_devices(), 3);
+  EXPECT_THROW(runtime.scale_up(), ServeError) << "at max_devices";
+
+  // The activations are in the event log with the new active count.
+  int scale_ups = 0;
+  for (const obs::Event& e : runtime.event_log()->snapshot()) {
+    if (e.type == obs::EventType::ScaleUp) {
+      ++scale_ups;
+      EXPECT_EQ(e.arg, 1 + scale_ups);
+    }
+  }
+  EXPECT_EQ(scale_ups, 2);
+  runtime.drain();
+}
+
+TEST(ElasticFleetTest, ScaleDownRehomesQueuedJobsAndRetiresTheSlot) {
+  ServeRuntime::Options opts;
+  opts.devices = 2;
+  opts.max_devices = 4;
+  opts.start_paused = true;  // hold dispatch: queue depths are observable
+  opts.queue_capacity = 8;
+  opts.event_log_capacity = 64;
+  ServeRuntime runtime(opts);
+
+  // Four equal jobs alternate across the two active devices.
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(runtime.submit(small_job()));
+  {
+    const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+    EXPECT_EQ(s.devices[0].queue_depth, 2);
+    EXPECT_EQ(s.devices[1].queue_depth, 2);
+  }
+
+  // Drain device 1 while paused: its queued jobs move to device 0 and
+  // the slot retires (the retirement path runs even while paused).
+  EXPECT_EQ(runtime.scale_down(1), 1);
+  EXPECT_FALSE(runtime.device_active(1));
+  EXPECT_EQ(runtime.active_devices(), 1);
+  {
+    const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+    EXPECT_EQ(s.devices[0].queue_depth, 4);
+    EXPECT_EQ(s.devices[1].queue_depth, 0);
+    EXPECT_EQ(s.scale_downs, 1);
+    EXPECT_EQ(s.jobs_rehomed, 2);
+  }
+
+  // Draining the last active device would empty the fleet.
+  EXPECT_THROW(runtime.scale_down(0), ServeError);
+  // A non-active target is a caller error.
+  EXPECT_THROW(runtime.scale_down(1), ServeError);
+  EXPECT_THROW(runtime.scale_down(99), ServeError);
+
+  runtime.resume();
+  for (auto& f : futures) EXPECT_GT(f.get().last_output.elements(), 0);
+  runtime.drain();
+
+  // The drain left nothing behind: started with 2 re-homed, completed
+  // with 0 reclaimed buffers.
+  bool saw_started = false;
+  bool saw_complete = false;
+  for (const obs::Event& e : runtime.event_log()->snapshot()) {
+    if (e.type == obs::EventType::DrainStarted) {
+      saw_started = true;
+      EXPECT_EQ(e.device, 1);
+      EXPECT_EQ(e.arg, 2);
+    }
+    if (e.type == obs::EventType::DrainComplete) {
+      saw_complete = true;
+      EXPECT_EQ(e.device, 1);
+      EXPECT_EQ(e.arg, 0) << "retired device leaked buffers";
+    }
+  }
+  EXPECT_TRUE(saw_started);
+  EXPECT_TRUE(saw_complete);
+}
+
+TEST(ElasticFleetTest, ScaleDownPicksTheLeastBackloggedVictim) {
+  ServeRuntime::Options opts;
+  opts.devices = 3;
+  opts.max_devices = 3;
+  opts.start_paused = true;
+  opts.queue_capacity = 8;
+  ServeRuntime runtime(opts);
+
+  // 0 and 1 get two jobs each (least-loaded alternation over three
+  // devices places the first three jobs on 0,1,2 and the fourth on 0 —
+  // so give 2's lone job to the test by submitting five).
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(runtime.submit(small_job()));
+  // Depths now 2,2,1: the default victim is device 2.
+  EXPECT_EQ(runtime.scale_down(), 2);
+  EXPECT_FALSE(runtime.device_active(2));
+
+  runtime.resume();
+  for (auto& f : futures) f.get();
+  runtime.drain();
+}
+
+TEST(ElasticFleetTest, WarmingDeviceIsPlacementDeprioritized) {
+  ServeRuntime::Options opts;
+  opts.devices = 1;
+  opts.max_devices = 2;
+  opts.warmup_ms = 60000;  // effectively forever at test scale
+  opts.start_paused = true;
+  opts.queue_capacity = 8;
+  ServeRuntime runtime(opts);
+
+  runtime.scale_up();
+  EXPECT_EQ(runtime.active_devices(), 2);
+
+  // The fresh device is warming: even though its backlog estimate is
+  // zero, placement keeps preferring the warmed-up device 0.
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(runtime.submit(small_job()));
+  const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+  EXPECT_EQ(s.devices[0].queue_depth, 3);
+  EXPECT_EQ(s.devices[1].queue_depth, 0);
+
+  runtime.resume();
+  for (auto& f : futures) f.get();
+  runtime.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Drain correctness.
+
+TEST(ElasticFleetTest, RandomizedMidBurstScalingLosesNothingAndStaysBitExact) {
+  // The drain-correctness property the whole tentpole hangs on: a
+  // fleet that randomly grows and shrinks mid-burst completes every
+  // accepted job exactly once, leaks nothing, and produces the same
+  // bytes as a fleet that never scaled.
+  const int kJobs = 36;
+  std::vector<JobSpec> specs;
+  std::mt19937_64 rng(20260807);
+  const Route routes[] = {Route::SacNongeneric, Route::SacGeneric, Route::Gaspard};
+  for (int i = 0; i < kJobs; ++i) {
+    JobSpec spec = small_job(routes[rng() % 3]);
+    spec.frames = 2 + static_cast<int>(rng() % 3);
+    specs.push_back(spec);
+  }
+
+  // Reference: a fixed single-device fleet (bit-exactness anchor).
+  std::uint64_t reference = 0;
+  {
+    ServeRuntime::Options opts;
+    opts.devices = 1;
+    opts.queue_capacity = kJobs;
+    ServeRuntime runtime(opts);
+    std::vector<std::future<JobResult>> futures;
+    for (const JobSpec& spec : specs) futures.push_back(runtime.submit(spec));
+    std::vector<JobResult> results;
+    for (auto& f : futures) results.push_back(f.get());
+    runtime.drain();
+    reference = result_checksum(results);
+  }
+
+  // Elastic run: random scale ops race the burst from a second thread.
+  ServeRuntime::Options opts;
+  opts.devices = 2;
+  opts.max_devices = 4;
+  opts.queue_capacity = kJobs;
+  opts.event_log_capacity = 256;
+  ServeRuntime runtime(opts);
+
+  std::atomic<bool> done{false};
+  std::thread scaler([&] {
+    std::mt19937_64 srng(7);
+    while (!done.load()) {
+      try {
+        if (srng() % 2 == 0) {
+          runtime.scale_down();
+        } else {
+          runtime.scale_up();
+        }
+      } catch (const ServeError&) {
+        // At a bound or racing another op — expected, keep going.
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<std::future<JobResult>> futures;
+  for (const JobSpec& spec : specs) {
+    futures.push_back(runtime.submit(spec));
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  std::vector<JobResult> results;
+  for (auto& f : futures) results.push_back(f.get());  // throws on any loss
+  done.store(true);
+  scaler.join();
+  runtime.drain();
+
+  // Nothing lost, nothing duplicated, nothing leaked, same bytes.
+  EXPECT_EQ(results.size(), static_cast<std::size_t>(kJobs));
+  EXPECT_EQ(result_checksum(results), reference);
+  const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+  EXPECT_EQ(s.jobs_completed, kJobs);
+  EXPECT_EQ(s.jobs_failed, 0);
+  for (const obs::Event& e : runtime.event_log()->snapshot()) {
+    if (e.type == obs::EventType::DrainComplete) {
+      EXPECT_EQ(e.arg, 0) << "drain of device " << e.device << " leaked buffers";
+    }
+  }
+}
+
+TEST(ElasticFleetTest, InBackoffRetriesAreRehomedByADrain) {
+  // A job sitting out its retry backoff on a draining device must be
+  // re-homed with its gate intact — and still complete elsewhere.
+  ServeRuntime::Options opts;
+  opts.devices = 2;
+  opts.max_devices = 2;
+  opts.queue_capacity = 4;
+  opts.retry_backoff_base_ms = 300.0;  // long enough to drain mid-backoff
+  opts.degraded_cooldown_ms = -1.0;    // device 0 stays degraded
+  opts.fault_plan = testsupport::FaultPlanBuilder().fail_after_kernels(0, 0).build();
+  opts.event_log_capacity = 64;
+  ServeRuntime runtime(opts);
+
+  // The first job lands on device 0 (least-loaded tie-break), faults on
+  // its first kernel, and re-enqueues on device 1 behind the backoff.
+  auto future = runtime.submit(small_job());
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  auto retry_on_survivor = [&] {
+    return runtime.metrics().snapshot().devices[1].queue_depth == 1;
+  };
+  while (!retry_on_survivor() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(retry_on_survivor()) << "retry never reached the survivor's queue";
+
+  // Drain device 1 while the retry is still gated: the pending re-homes
+  // to device 0 (degraded but operative — the only survivor).
+  EXPECT_EQ(runtime.scale_down(1), 1);
+  EXPECT_FALSE(runtime.device_active(1));
+
+  const JobResult r = future.get();  // completes despite fault + drain
+  EXPECT_GT(r.last_output.elements(), 0);
+  EXPECT_EQ(r.attempts, 1);
+  runtime.drain();
+
+  const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+  EXPECT_EQ(s.jobs_completed, 1);
+  EXPECT_GE(s.jobs_rehomed, 1);
+}
+
+// ---------------------------------------------------------------------------
+// The closed loop.
+
+TEST(AutoscalerTest, GrowsTheFleetUnderBacklogPressure) {
+  ServeRuntime::Options opts;
+  opts.devices = 1;
+  opts.max_devices = 3;
+  opts.start_paused = true;  // the backlog can only grow: deterministic pressure
+  opts.queue_capacity = 16;
+  ServeRuntime runtime(opts);
+
+  AutoscalePolicy policy;
+  policy.min_devices = 1;
+  policy.max_devices = 3;
+  policy.interval_ms = 5;
+  policy.queue_high = 2;
+  policy.up_periods = 2;
+  policy.cooldown_ms = 10;
+  Autoscaler scaler(runtime, policy);
+
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 12; ++i) futures.push_back(runtime.submit(small_job()));
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (runtime.active_devices() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(runtime.active_devices(), 3) << "the loop never reached max_devices";
+
+  scaler.stop();
+  const Autoscaler::Stats stats = scaler.stats();
+  EXPECT_GE(stats.periods, 2);
+  EXPECT_GE(stats.ups, 2);
+
+  runtime.resume();
+  for (auto& f : futures) f.get();
+  runtime.drain();
+}
+
+TEST(AutoscalerTest, StopIsIdempotentAndStopsThePeriods) {
+  ServeRuntime::Options opts;
+  opts.devices = 1;
+  opts.max_devices = 2;
+  ServeRuntime runtime(opts);
+  AutoscalePolicy policy;
+  policy.min_devices = 1;
+  policy.max_devices = 2;
+  policy.interval_ms = 5;
+  Autoscaler scaler(runtime, policy);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  scaler.stop();
+  const std::int64_t periods = scaler.stats().periods;
+  scaler.stop();  // idempotent
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(scaler.stats().periods, periods);
+  runtime.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Seeded replay stress: the whole stack under one roof — generator,
+// replayer, autoscaler, drains, work stealing — sized for the TSan job.
+
+TEST(AutoscaleReplayStressTest, SeededReplayUnderAutoscalingAccountsForEverything) {
+  TrafficSpec spec = TrafficSpec::ci_default();
+  spec.seed = 1234;
+  spec.duration_ms = 600;
+  spec.base_rate_hz = 90;
+  const TrafficTrace trace = generate_trace(spec);
+
+  ServeRuntime::Options opts;
+  opts.devices = 1;
+  opts.max_devices = 3;
+  opts.queue_capacity = trace.arrivals.size();  // shed-free
+  opts.work_stealing = true;
+  opts.warmup_ms = 20.0;
+  opts.event_log_capacity = 4096;
+  ServeRuntime runtime(opts);
+
+  AutoscalePolicy policy;
+  policy.min_devices = 1;
+  policy.max_devices = 3;
+  policy.interval_ms = 10;
+  policy.queue_high = 3;
+  policy.queue_low = 1;
+  policy.up_periods = 1;
+  policy.down_periods = 3;
+  policy.cooldown_ms = 40;
+  Autoscaler scaler(runtime, policy);
+
+  const ReplayStats stats = replay_trace(runtime, trace, 2.0);
+  scaler.stop();
+  runtime.drain();
+
+  EXPECT_EQ(stats.submitted, static_cast<std::int64_t>(trace.arrivals.size()));
+  EXPECT_EQ(stats.completed + stats.failed + stats.shed, stats.submitted);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.failed, 0);
+
+  const FleetMetrics::Snapshot s = runtime.metrics().snapshot();
+  EXPECT_EQ(s.jobs_completed, stats.completed);
+  for (const obs::Event& e : runtime.event_log()->snapshot()) {
+    if (e.type == obs::EventType::DrainComplete) {
+      EXPECT_EQ(e.arg, 0) << "drain of device " << e.device << " leaked buffers";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saclo::serve

@@ -284,6 +284,92 @@ TEST(FleetMetricsTest, SchedulingAndTenantSectionsGolden) {
   }
 }
 
+TEST(FleetMetricsTest, AutoscaleSectionGolden) {
+  // Golden key-set for the elastic-fleet surfaces: a 3-slot fleet that
+  // starts with slot 2 inactive, scales it up, re-homes one queued and
+  // one running job off device 1, and drains device 1 away.
+  FleetMetrics m(3);
+  m.set_active(2, false);
+
+  m.on_submit(0);
+  m.on_submit(1);
+  m.on_submit(1);
+
+  m.set_active(2, true);
+  m.on_scale_up(2);
+
+  // Drain device 1: the queued job re-homes through the scale-down
+  // path (queued=true moves the queue-depth gauge)...
+  m.on_drain_started(1, /*rehomed=*/1);
+  m.on_rehomed(1, 0);
+  // ...and its running job stops at the frame gate and re-homes with
+  // queued=false (it had already left the queue gauge at dispatch).
+  m.on_dispatch(1);
+  m.on_rehomed(1, 2, /*queued=*/false);
+  m.on_drain_complete(1);
+  m.set_active(1, false);
+
+  CachingDeviceAllocator::Stats alloc;
+  alloc.cap_evictions = 5;
+  m.set_allocator_stats(0, alloc);
+
+  const FleetMetrics::Snapshot s = m.snapshot();
+  EXPECT_EQ(s.scale_ups, 1);
+  EXPECT_EQ(s.scale_downs, 1);
+  EXPECT_EQ(s.jobs_rehomed, 2);
+  EXPECT_EQ(s.active_devices, 2);  // 0 and 2
+  EXPECT_TRUE(s.devices[0].active);
+  EXPECT_FALSE(s.devices[1].active);
+  EXPECT_EQ(s.alloc_cap_evictions, 5);
+  EXPECT_GT(s.device_seconds, 0.0);
+  // The queue gauges moved with the re-homes: device 1 holds nothing.
+  EXPECT_EQ(s.devices[1].queue_depth, 0);
+  EXPECT_EQ(s.devices[1].running, 0);
+  EXPECT_EQ(s.devices[0].queue_depth, 2);
+  EXPECT_EQ(s.devices[2].queue_depth, 1);
+
+  // JSON: the autoscale section and the per-device activity fields.
+  const Json root = parse_json(m.json());
+  ASSERT_TRUE(root.has("autoscale"));
+  const Json& a = root.at("autoscale");
+  for (const char* key : {"scale_ups", "scale_downs", "jobs_rehomed", "active_devices",
+                          "device_seconds", "alloc_cap_evictions"}) {
+    EXPECT_TRUE(a.has(key)) << "autoscale section lost key " << key;
+  }
+  EXPECT_DOUBLE_EQ(a.at("scale_ups").number, 1.0);
+  EXPECT_DOUBLE_EQ(a.at("jobs_rehomed").number, 2.0);
+  EXPECT_DOUBLE_EQ(a.at("alloc_cap_evictions").number, 5.0);
+  bool saw_inactive = false;
+  for (const Json& d : root.at("per_device").array) {
+    EXPECT_TRUE(d.has("active"));
+    EXPECT_TRUE(d.has("active_us"));
+    if (d.at("device").number == 1.0) {
+      saw_inactive = true;
+      EXPECT_FALSE(d.at("active").boolean);
+    }
+    if (d.has("allocator")) {
+      EXPECT_TRUE(d.at("allocator").has("cap_evictions"))
+          << "allocator object lost cap_evictions";
+    }
+  }
+  EXPECT_TRUE(saw_inactive);
+
+  // Text report: the autoscale line.
+  const std::string report = m.report();
+  EXPECT_NE(report.find("autoscale:"), std::string::npos);
+  EXPECT_NE(report.find("2/3 active, 1 scale-up(s), 1 scale-down(s), 2 job(s) re-homed"),
+            std::string::npos);
+
+  // Prometheus: the elastic-fleet series.
+  const std::string prom = m.prometheus();
+  for (const char* needle :
+       {"saclo_scale_ups_total 1", "saclo_scale_downs_total 1", "saclo_jobs_rehomed_total 2",
+        "saclo_active_devices 2", "saclo_device_seconds_total",
+        "saclo_alloc_cap_evictions_total 5"}) {
+    EXPECT_NE(prom.find(needle), std::string::npos) << "prometheus lost " << needle;
+  }
+}
+
 TEST(FleetMetricsTest, ReportMentionsEveryDevice) {
   FleetMetrics m(3);
   const std::string report = m.report();

@@ -15,6 +15,15 @@ Directory mode pairs files by name (BENCH_foo.json <-> BENCH_foo.json).
 A candidate with no matching baseline is reported but does not fail the
 gate (new benches land with their first baseline); a baseline with no
 candidate fails it (a bench silently stopped producing its artifact).
+
+A missing or malformed artifact is a clean one-line error and exit 1,
+never a traceback. --tolerance NAME=RATIO (repeatable) widens the gate
+for one bench without loosening the rest — e.g. the autoscale sweep
+runs real threads and needs a wider band than the simulated-clock
+benches:
+  bench_diff.py --baseline-dir . --candidate-dir out \\
+      --tolerance serve_autoscale=0.35
+NAME matches the artifact's "bench" field or its BENCH_<NAME>.json stem.
 """
 
 import argparse
@@ -23,12 +32,38 @@ import os
 import sys
 
 
+class BenchDiffError(Exception):
+    """A diagnosable input problem: reported as one line, exit 1."""
+
+
 def load_bench(path):
-    with open(path) as f:
-        data = json.load(f)
-    if "variants" not in data or not isinstance(data["variants"], list):
-        raise ValueError(f"{path}: not a BENCH artifact (no 'variants' list)")
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise BenchDiffError(f"cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        raise BenchDiffError(
+            f"{path}: malformed JSON ({e.msg} at line {e.lineno} column {e.colno})")
+    if not isinstance(data, dict) or not isinstance(data.get("variants"), list):
+        raise BenchDiffError(f"{path}: not a BENCH artifact (no 'variants' list)")
     return data
+
+
+def parse_tolerances(entries):
+    tolerances = {}
+    for entry in entries:
+        name, sep, value = entry.partition("=")
+        if not sep or not name:
+            raise BenchDiffError(f"--tolerance wants NAME=RATIO, got '{entry}'")
+        try:
+            ratio = float(value)
+        except ValueError:
+            raise BenchDiffError(f"--tolerance {name}: '{value}' is not a number")
+        if ratio < 0:
+            raise BenchDiffError(f"--tolerance {name}: ratio must be >= 0, got {ratio}")
+        tolerances[name] = ratio
+    return tolerances
 
 
 def variant_times(data):
@@ -42,16 +77,31 @@ def variant_times(data):
     return times
 
 
-def diff_pair(baseline_path, candidate_path, threshold):
+def bench_stem(path):
+    """BENCH_foo.json -> foo (the --tolerance key alongside 'bench')."""
+    name = os.path.basename(path)
+    if name.startswith("BENCH_") and name.endswith(".json"):
+        return name[len("BENCH_"):-len(".json")]
+    return name
+
+
+def diff_pair(baseline_path, candidate_path, threshold, tolerances=None):
     """Returns (lines, regressions) for one baseline/candidate pair."""
     base = load_bench(baseline_path)
     cand = load_bench(candidate_path)
     base_times = variant_times(base)
     cand_times = variant_times(cand)
     bench = base.get("bench", os.path.basename(baseline_path))
+    tolerances = tolerances or {}
+    header_note = ""
+    for key in (bench, bench_stem(baseline_path)):
+        if key in tolerances:
+            threshold = tolerances[key]
+            header_note = f" [tolerance {100 * threshold:.0f}%]"
+            break
 
     lines = [f"== {bench} ({os.path.basename(candidate_path)} vs "
-             f"{os.path.basename(baseline_path)})"]
+             f"{os.path.basename(baseline_path)}){header_note}"]
     regressions = []
     width = max((len(n) for n in base_times), default=4)
     for name in sorted(set(base_times) | set(cand_times)):
@@ -94,13 +144,21 @@ def main():
     parser.add_argument("--candidate-dir", help="directory of candidate BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="slowdown ratio that fails the gate (default 0.10)")
+    parser.add_argument("--tolerance", action="append", default=[],
+                        metavar="NAME=RATIO",
+                        help="per-bench threshold override, repeatable "
+                             "(e.g. serve_autoscale=0.35)")
     args = parser.parse_args()
+    tolerances = parse_tolerances(args.tolerance)
 
     pairs = []
     if args.baseline_dir or args.candidate_dir:
         if not (args.baseline_dir and args.candidate_dir) or args.files:
             parser.error("directory mode takes --baseline-dir and --candidate-dir, "
                          "no positional files")
+        for directory in (args.baseline_dir, args.candidate_dir):
+            if not os.path.isdir(directory):
+                raise BenchDiffError(f"not a directory: {directory}")
         baselines = bench_files(args.baseline_dir)
         candidates = bench_files(args.candidate_dir)
         if not baselines:
@@ -121,7 +179,8 @@ def main():
 
     all_regressions = []
     for baseline, candidate in pairs:
-        lines, regressions = diff_pair(baseline, candidate, args.threshold)
+        lines, regressions = diff_pair(baseline, candidate, args.threshold,
+                                       tolerances)
         print("\n".join(lines))
         all_regressions.extend(regressions)
 
@@ -136,4 +195,8 @@ def main():
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BenchDiffError as e:
+        print(f"bench_diff: error: {e}", file=sys.stderr)
+        sys.exit(1)

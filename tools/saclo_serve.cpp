@@ -47,6 +47,19 @@
 // must print the same checksum line (the backend-differential CI job
 // gates on exactly this, including under injected faults).
 //
+// --autoscale runs the closed-loop fleet controller: the runtime starts
+// at --min-devices, may grow to --max-devices under queue/SLO pressure,
+// and drains devices gracefully when load subsides (running frames stop
+// at the next frame boundary and re-home bit-exactly). --trace-replay
+// replays a committed traffic trace (see --trace-gen / --trace-save to
+// produce one) through the normal admission path instead of the --jobs
+// batch, so the load the controller reacts to is reproducible:
+//   saclo-serve --trace-gen "seed=7,duration_ms=2000" --trace-save t.json
+//   saclo-serve --autoscale --min-devices 1 --max-devices 4 \
+//     --trace-replay t.json --checksum
+// The checksum line is bit-identical to the same replay on any static
+// fleet size — elasticity never changes results, only device-seconds.
+//
 // --fault installs an injected failure, e.g.
 //   saclo-serve --devices 2 --fault "dev=0,after_ms=50,kind=kernel"
 // The flag repeats, and one SPEC may hold several ';'-separated specs;
@@ -65,6 +78,8 @@
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -72,7 +87,9 @@
 #include "fault/fault.hpp"
 #include "fault/plan.hpp"
 #include "gpu/backend_kind.hpp"
+#include "serve/autoscale.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/traffic.hpp"
 
 using namespace saclo;
 using namespace saclo::serve;
@@ -92,6 +109,10 @@ int usage() {
                "                   [--tenant NAME]... [--priority P]... [--deadline-ms D]...\n"
                "                   [--rate-limit R] [--rate-burst B] [--stagger-ms T]\n"
                "                   [--fault SPEC] [--max-retries R]\n"
+               "                   [--autoscale] [--min-devices N] [--max-devices N]\n"
+               "                   [--scale-interval-ms T] [--alloc-class-cap-kb K]\n"
+               "                   [--trace-replay FILE] [--replay-speed X]\n"
+               "                   [--trace-gen SPEC] [--trace-save FILE]\n"
                "                   [--json] [--trace DEVICE] [--checksum]\n"
                "\n"
                "  --policy P     dispatcher queue order: fifo (default, the\n"
@@ -134,6 +155,21 @@ int usage() {
                "                   recurring        keep failing (default: one-shot)\n"
                "                 e.g. --fault \"dev=2,after_ms=50,kind=kernel\"\n"
                "  --max-retries R  per-job failover budget (default 3)\n"
+               "  --autoscale    run the closed-loop fleet controller; the fleet\n"
+               "                 starts at --min-devices and may grow to\n"
+               "                 --max-devices (conflicts with --devices)\n"
+               "  --min-devices N  autoscaler floor (default 1; needs --autoscale)\n"
+               "  --max-devices N  fleet ceiling (default 4 with --autoscale);\n"
+               "                 without --autoscale just pre-builds elastic slots\n"
+               "  --scale-interval-ms T  autoscaler control period (default 25)\n"
+               "  --alloc-class-cap-kb K  per-size-class allocator cache cap in\n"
+               "                 KiB (default 0 = uncapped); LRU-trims on overflow\n"
+               "  --trace-replay FILE  replay a committed traffic trace through\n"
+               "                 the admission path instead of the --jobs batch\n"
+               "  --replay-speed X  compress the replay timeline by X (default 1)\n"
+               "  --trace-gen SPEC  traffic-spec overrides for --trace-save, e.g.\n"
+               "                 \"seed=7,duration_ms=2000,base_rate_hz=80\"\n"
+               "  --trace-save FILE  generate the trace and write it, then exit\n"
                "  --trace-out FILE    write the fleet-merged Chrome trace\n"
                "  --events-out FILE   write the structured JSONL event log\n"
                "  --metrics-out FILE  write the Prometheus metrics exposition\n"
@@ -175,6 +211,17 @@ int main(int argc, char** argv) {
   std::vector<Priority> priorities;
   std::vector<double> deadlines_ms;
   double stagger_ms = 0;
+  bool autoscale = false;
+  bool devices_set = false;
+  bool min_devices_set = false;
+  bool interval_set = false;
+  int min_devices = 1;
+  int max_devices = 0;
+  double scale_interval_ms = 25.0;
+  std::string trace_replay;
+  std::string trace_gen;
+  std::string trace_save;
+  double replay_speed = 1.0;
   bool emit_json = false;
   bool emit_checksum = false;
   int trace_device = -1;
@@ -187,6 +234,27 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--devices" && i + 1 < argc) {
       opts.devices = std::stoi(argv[++i]);
+      devices_set = true;
+    } else if (arg == "--autoscale") {
+      autoscale = true;
+    } else if (arg == "--min-devices" && i + 1 < argc) {
+      min_devices = std::stoi(argv[++i]);
+      min_devices_set = true;
+    } else if (arg == "--max-devices" && i + 1 < argc) {
+      max_devices = std::stoi(argv[++i]);
+    } else if (arg == "--scale-interval-ms" && i + 1 < argc) {
+      scale_interval_ms = std::stod(argv[++i]);
+      interval_set = true;
+    } else if (arg == "--alloc-class-cap-kb" && i + 1 < argc) {
+      opts.alloc_class_cap_bytes = std::stoll(argv[++i]) * 1024;
+    } else if (arg == "--trace-replay" && i + 1 < argc) {
+      trace_replay = argv[++i];
+    } else if (arg == "--replay-speed" && i + 1 < argc) {
+      replay_speed = std::stod(argv[++i]);
+    } else if (arg == "--trace-gen" && i + 1 < argc) {
+      trace_gen = argv[++i];
+    } else if (arg == "--trace-save" && i + 1 < argc) {
+      trace_save = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = std::stoi(argv[++i]);
     } else if (arg == "--route" && i + 1 < argc) {
@@ -281,56 +349,160 @@ int main(int argc, char** argv) {
   // dispatch hot path stays allocation-free.
   if (!events_out.empty() || !trace_out.empty()) opts.event_log_capacity = events_capacity;
 
+  // Up-front validation of the elastic-fleet flag combos: every invalid
+  // mix dies here with a one-line explanation, before any device spins
+  // up.
+  if (autoscale && devices_set) {
+    std::fprintf(stderr,
+                 "saclo-serve: --autoscale sizes the fleet from --min-devices/"
+                 "--max-devices; drop --devices\n");
+    return usage();
+  }
+  if (!autoscale && (min_devices_set || interval_set)) {
+    std::fprintf(stderr, "saclo-serve: %s requires --autoscale\n",
+                 min_devices_set ? "--min-devices" : "--scale-interval-ms");
+    return usage();
+  }
+  if (replay_speed <= 0) {
+    std::fprintf(stderr, "saclo-serve: --replay-speed must be positive, got %g\n",
+                 replay_speed);
+    return usage();
+  }
+  if (!trace_save.empty() && !trace_replay.empty()) {
+    std::fprintf(stderr,
+                 "saclo-serve: --trace-save generates a trace and exits; it cannot "
+                 "be combined with --trace-replay\n");
+    return usage();
+  }
+  if (!trace_gen.empty() && trace_save.empty()) {
+    std::fprintf(stderr, "saclo-serve: --trace-gen needs --trace-save FILE\n");
+    return usage();
+  }
+  AutoscalePolicy autoscale_policy;
+  if (autoscale) {
+    autoscale_policy.min_devices = min_devices;
+    autoscale_policy.max_devices = max_devices > 0 ? max_devices : 4;
+    autoscale_policy.interval_ms = scale_interval_ms;
+    try {
+      autoscale_policy.validate();
+    } catch (const ServeError& e) {
+      std::fprintf(stderr, "saclo-serve: %s\n", e.what());
+      return usage();
+    }
+    opts.devices = autoscale_policy.min_devices;
+    opts.max_devices = autoscale_policy.max_devices;
+  } else if (max_devices > 0) {
+    opts.max_devices = max_devices;
+  }
+
+  if (!trace_save.empty()) {
+    try {
+      const TrafficTrace trace = generate_trace(TrafficSpec::parse(trace_gen));
+      if (!write_file(trace_save, trace.to_json())) return 1;
+      std::printf("trace %s: %zu arrival(s) over %.0f ms (seed %llu)\n",
+                  trace_save.c_str(), trace.arrivals.size(), trace.spec.duration_ms,
+                  static_cast<unsigned long long>(trace.spec.seed));
+      return 0;
+    } catch (const ServeError& e) {
+      std::fprintf(stderr, "saclo-serve: %s\n", e.what());
+      return 1;
+    }
+  }
+  TrafficTrace replay;
+  if (!trace_replay.empty()) {
+    std::ifstream in(trace_replay, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "saclo-serve: cannot read trace file %s\n",
+                   trace_replay.c_str());
+      return usage();
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    try {
+      replay = TrafficTrace::from_json(text);
+    } catch (const ServeError& e) {
+      std::fprintf(stderr, "saclo-serve: %s: %s\n", trace_replay.c_str(), e.what());
+      return 1;
+    }
+  }
+
   try {
     const Route mix[] = {Route::SacNongeneric, Route::SacGeneric, Route::Gaspard};
     ServeRuntime runtime(opts);
-    std::vector<std::future<JobResult>> futures;
-    futures.reserve(static_cast<std::size_t>(jobs));
-    for (int i = 0; i < jobs; ++i) {
-      JobSpec spec;
-      spec.route = route == "mixed" ? mix[i % 3] : parse_route(route);
-      spec.config = cfg;
-      spec.frames = frames;
-      spec.exec_frames = exec_frames;
-      spec.opt_level = opt_level;
-      const std::size_t u = static_cast<std::size_t>(i);
-      if (!tenants.empty()) spec.tenant = tenants[u % tenants.size()];
-      if (!priorities.empty()) spec.priority = priorities[u % priorities.size()];
-      if (!deadlines_ms.empty()) spec.deadline_ms = deadlines_ms[u % deadlines_ms.size()];
-      futures.push_back(runtime.submit(spec));
-      if (stagger_ms > 0 && i + 1 < jobs) {
-        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(stagger_ms));
-      }
-    }
+    std::unique_ptr<Autoscaler> scaler;
+    if (autoscale) scaler = std::make_unique<Autoscaler>(runtime, autoscale_policy);
+
     int failed = 0;
     int shed = 0;
     std::uint64_t checksum = 1469598103934665603ull;  // FNV-1a offset basis
-    for (auto& f : futures) {
-      try {
-        JobResult r = f.get();
-        if (emit_checksum) {
-          // Submission order, not completion order: the digest is a
-          // function of the job mix alone, so two runs of the same mix
-          // on different backends (or fault plans) must agree.
-          fnv1a(checksum, static_cast<std::uint64_t>(r.route));
-          fnv1a(checksum, static_cast<std::uint64_t>(r.frames));
-          fnv1a(checksum, static_cast<std::uint64_t>(r.last_output.elements()));
-          for (std::int64_t i = 0; i < r.last_output.elements(); ++i) {
-            fnv1a(checksum, static_cast<std::uint64_t>(
-                                static_cast<std::int64_t>(r.last_output[i])));
-          }
+    if (!trace_replay.empty()) {
+      const ReplayStats stats = replay_trace(runtime, replay, replay_speed);
+      failed = static_cast<int>(stats.failed);
+      shed = static_cast<int>(stats.shed);
+      checksum = stats.checksum;
+      std::fprintf(stderr,
+                   "saclo-serve: replayed %lld arrival(s) in %.0f ms "
+                   "(%lld completed, %lld shed, %lld failed)\n",
+                   static_cast<long long>(stats.submitted), stats.elapsed_ms,
+                   static_cast<long long>(stats.completed),
+                   static_cast<long long>(stats.shed),
+                   static_cast<long long>(stats.failed));
+    } else {
+      std::vector<std::future<JobResult>> futures;
+      futures.reserve(static_cast<std::size_t>(jobs));
+      for (int i = 0; i < jobs; ++i) {
+        JobSpec spec;
+        spec.route = route == "mixed" ? mix[i % 3] : parse_route(route);
+        spec.config = cfg;
+        spec.frames = frames;
+        spec.exec_frames = exec_frames;
+        spec.opt_level = opt_level;
+        const std::size_t u = static_cast<std::size_t>(i);
+        if (!tenants.empty()) spec.tenant = tenants[u % tenants.size()];
+        if (!priorities.empty()) spec.priority = priorities[u % priorities.size()];
+        if (!deadlines_ms.empty()) spec.deadline_ms = deadlines_ms[u % deadlines_ms.size()];
+        futures.push_back(runtime.submit(spec));
+        if (stagger_ms > 0 && i + 1 < jobs) {
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(stagger_ms));
         }
-      } catch (const ShedError& e) {
-        // Admission shed the job before it ran: expected under a rate
-        // limit or --shed-on-full, not a failure of the fleet.
-        ++shed;
-        std::fprintf(stderr, "saclo-serve: job shed: %s\n", e.what());
-      } catch (const fault::DeviceFault& e) {
-        // Retry budget exhausted on an injected fault: report it and
-        // keep going — a degraded fleet still renders its report.
-        ++failed;
-        std::fprintf(stderr, "saclo-serve: job failed: %s\n", e.what());
       }
+      for (auto& f : futures) {
+        try {
+          JobResult r = f.get();
+          if (emit_checksum) {
+            // Submission order, not completion order: the digest is a
+            // function of the job mix alone, so two runs of the same mix
+            // on different backends (or fault plans) must agree.
+            fnv1a(checksum, static_cast<std::uint64_t>(r.route));
+            fnv1a(checksum, static_cast<std::uint64_t>(r.frames));
+            fnv1a(checksum, static_cast<std::uint64_t>(r.last_output.elements()));
+            for (std::int64_t i = 0; i < r.last_output.elements(); ++i) {
+              fnv1a(checksum, static_cast<std::uint64_t>(
+                                  static_cast<std::int64_t>(r.last_output[i])));
+            }
+          }
+        } catch (const ShedError& e) {
+          // Admission shed the job before it ran: expected under a rate
+          // limit or --shed-on-full, not a failure of the fleet.
+          ++shed;
+          std::fprintf(stderr, "saclo-serve: job shed: %s\n", e.what());
+        } catch (const fault::DeviceFault& e) {
+          // Retry budget exhausted on an injected fault: report it and
+          // keep going — a degraded fleet still renders its report.
+          ++failed;
+          std::fprintf(stderr, "saclo-serve: job failed: %s\n", e.what());
+        }
+      }
+    }
+    // Stop the controller before drain(): a scale-down racing the final
+    // queue drain is legal but makes the printed report nondeterministic.
+    if (scaler) {
+      scaler->stop();
+      const Autoscaler::Stats s = scaler->stats();
+      std::fprintf(stderr,
+                   "saclo-serve: autoscaler: %lld period(s), %lld up(s), %lld down(s)\n",
+                   static_cast<long long>(s.periods), static_cast<long long>(s.ups),
+                   static_cast<long long>(s.downs));
     }
     runtime.drain();
     if (emit_checksum) std::printf("checksum %016llx\n", static_cast<unsigned long long>(checksum));
