@@ -23,7 +23,13 @@ void Profiler::record(const std::string& name, OpKind kind, std::int64_t calls, 
 void Profiler::record_interval(const std::string& name, OpKind kind, StreamId stream,
                                double start_us, double end_us) {
   record(name, kind, 1, end_us - start_us);
+  std::lock_guard<std::mutex> lock(intervals_mutex_);
   intervals_.push_back(Interval{name, kind, stream, start_us, end_us, trace_id_, attempt_, batch_});
+}
+
+std::vector<Profiler::Interval> Profiler::intervals_snapshot() const {
+  std::lock_guard<std::mutex> lock(intervals_mutex_);
+  return intervals_;
 }
 
 std::vector<Profiler::Row> Profiler::rows() const { return rows_; }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -82,8 +83,16 @@ class Profiler {
   double us_for(const std::string& name) const;
 
   /// Scheduled intervals in issue order (empty when only aggregate
-  /// records were made).
+  /// records were made). NOT safe against a concurrent recorder — use
+  /// intervals_snapshot() for that.
   const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Copy of the intervals recorded so far, safe to take while another
+  /// thread is still recording (the live /debug/trace endpoint
+  /// snapshots every device's profiler mid-run). record_interval and
+  /// this are the only members that take the lock: post-run readers
+  /// keep their lock-free const accessors.
+  std::vector<Interval> intervals_snapshot() const;
 
   /// Latest interval end (the simulated wall clock of the recorded
   /// schedule); 0 with no intervals.
@@ -122,6 +131,7 @@ class Profiler {
  private:
   std::vector<Row> rows_;
   std::map<std::string, std::size_t> index_;
+  mutable std::mutex intervals_mutex_;  ///< recorder vs. live-snapshot only
   std::vector<Interval> intervals_;
   std::uint64_t trace_id_ = 0;
   std::uint32_t attempt_ = 0;

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace saclo::obs {
+
+class AlertError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The alert vocabulary. Values are stable wire ids: they ride the
+/// `arg` field of `alert_raised`/`alert_cleared` events.
+enum class AlertKind : std::uint8_t {
+  SloBurnRate = 0,      ///< a tenant burns SLO error budget too fast
+  QueueSaturation = 1,  ///< accepted-but-not-dispatched backlog near capacity
+  DeviceDegraded = 2,   ///< degraded devices present in the fleet
+};
+
+/// Stable wire name ("slo_burn_rate", ...) used by the alert log and
+/// the /alerts endpoint.
+const char* alert_kind_name(AlertKind kind);
+
+/// Thresholds and windows for the rule evaluation. Defaults are tuned
+/// for CI-scale replays (hundreds of milliseconds of run time), the
+/// same convention as AutoscalePolicy; production-shaped runs raise
+/// the windows together.
+///
+/// The SLO rule is the SRE multi-window burn-rate idiom: with
+/// objective `slo_objective`, the error budget is `1 - slo_objective`
+/// and the burn rate of a window is `windowed_error_rate / budget`.
+/// The alert raises only when the fast AND slow windows both burn hot
+/// — the fast window makes it react, the slow window keeps one
+/// transient blip from paging — and clears after `clear_hold_ms` of
+/// sustained health.
+/// The burn thresholds scale with the objective: burn rate is capped at
+/// `1 / (1 - slo_objective)` (every job missing), so the textbook 14.4x
+/// of a 99.9% objective is unreachable at the default 0.9 — the
+/// defaults here (6x fast / 3x slow) mean "well over half the fast
+/// window missed AND the slow window confirms it".
+struct AlertPolicy {
+  double slo_objective = 0.9;   ///< target SLO attainment per tenant
+  double fast_window_ms = 200;  ///< reactive burn-rate window
+  double slow_window_ms = 1000; ///< confirmation burn-rate window
+  double fast_burn = 6.0;       ///< fast-window burn-rate threshold
+  double slow_burn = 3.0;       ///< slow-window burn-rate threshold
+  /// Queue saturation: queued / capacity at or above this raises.
+  double queue_saturation = 0.9;
+  /// Sustained healthy time before an active alert clears.
+  double clear_hold_ms = 400;
+
+  void validate() const;
+};
+
+/// Per-tenant cumulative SLO counters at one sample instant. Cumulative
+/// on purpose: windowed rates fall out of the difference between two
+/// samples, so the engine needs no per-job feed.
+struct TenantCounters {
+  std::string tenant;
+  std::int64_t slo_jobs = 0;  ///< completed jobs that carried a deadline
+  std::int64_t slo_met = 0;   ///< of those, completed within it
+};
+
+/// One observation of the fleet, stamped with the injected clock.
+struct AlertSample {
+  double now_ms = 0;
+  std::size_t queued = 0;
+  std::size_t queue_capacity = 0;
+  int degraded_devices = 0;
+  int active_devices = 0;
+  std::vector<TenantCounters> tenants;
+};
+
+/// An alert state transition returned by AlertEngine::step().
+struct AlertTransition {
+  AlertKind kind = AlertKind::SloBurnRate;
+  bool raised = false;   ///< true = raised, false = cleared
+  std::string subject;   ///< tenant id for SLO alerts, "" for fleet rules
+  double at_ms = 0;      ///< injected clock of the transition
+  double value = 0;      ///< fast burn rate / saturation ratio / degraded count
+};
+
+/// One alert currently firing.
+struct ActiveAlert {
+  AlertKind kind = AlertKind::SloBurnRate;
+  std::string subject;
+  double since_ms = 0;
+  double value = 0;  ///< value at raise time
+};
+
+/// The pure rule evaluator: samples in, transitions out. No clock, no
+/// threads, no runtime — `AlertSample::now_ms` is injected, so raise
+/// and clear behavior is unit-testable tick by tick with a fake clock
+/// (the AutoscaleController discipline). The engine keeps just enough
+/// sample history to cover the slow window.
+class AlertEngine {
+ public:
+  explicit AlertEngine(const AlertPolicy& policy);
+
+  /// Evaluates every rule against the new sample. Samples must arrive
+  /// in non-decreasing now_ms order.
+  std::vector<AlertTransition> step(const AlertSample& sample);
+
+  const AlertPolicy& policy() const { return policy_; }
+  /// Alerts currently firing, stable-ordered by (kind, subject).
+  std::vector<ActiveAlert> active() const;
+  std::size_t active_count() const { return active_.size(); }
+
+  /// Burn rate of `tenant` over the trailing `window_ms` ending at the
+  /// latest sample (0 with no window data). Exposed for tests.
+  double burn_rate(const std::string& tenant, double window_ms) const;
+
+ private:
+  struct AlertState {
+    bool firing = false;
+    double healthy_since_ms = -1;  ///< start of the current healthy streak
+  };
+  void evaluate(AlertKind kind, const std::string& subject, bool hot, double value,
+                double now_ms, std::vector<AlertTransition>& out);
+
+  AlertPolicy policy_;
+  std::deque<AlertSample> history_;
+  // Keyed by (kind, subject); std::map keeps active() stable-ordered.
+  std::map<std::pair<int, std::string>, AlertState> states_;
+  std::map<std::pair<int, std::string>, ActiveAlert> active_;
+};
+
+/// Renders one transition as a JSONL line (no trailing newline) — the
+/// alert-log schema `--alerts-out` writes and CI archives.
+std::string alert_transition_json(const AlertTransition& transition);
+
+}  // namespace saclo::obs

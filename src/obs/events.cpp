@@ -47,6 +47,10 @@ const char* event_type_name(EventType type) {
       return "drain_started";
     case EventType::DrainComplete:
       return "drain_complete";
+    case EventType::AlertRaised:
+      return "alert_raised";
+    case EventType::AlertCleared:
+      return "alert_cleared";
   }
   return "unknown";
 }

@@ -38,6 +38,10 @@ enum class EventType : std::uint8_t {
   DrainStarted,    ///< victim marked draining; arg = queued jobs re-homed
   DrainComplete,   ///< victim retired; arg = buffers reclaim_live() swept
                    ///< (0 = the drain leaked nothing)
+  AlertRaised,     ///< alert engine raised an alert; arg = AlertKind
+                   ///< (job = 0: the subject lives in the alert log)
+  AlertCleared,    ///< active alert cleared after sustained health;
+                   ///< arg = AlertKind
 };
 
 /// Stable wire name ("job_admitted", "device_fault", ...) used by the

@@ -1,0 +1,245 @@
+#include "obs/telemetry.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/fmt.hpp"
+
+namespace saclo::obs {
+
+namespace {
+
+/// %XX-decodes one query component ('+' is a space, bad escapes pass
+/// through verbatim — a debug endpoint should never 400 over one).
+std::string url_decode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out += ' ';
+    } else if (in[i] == '%' && i + 2 < in.size() &&
+               std::isxdigit(static_cast<unsigned char>(in[i + 1])) != 0 &&
+               std::isxdigit(static_cast<unsigned char>(in[i + 2])) != 0) {
+      const char hex[3] = {in[i + 1], in[i + 2], '\0'};
+      out += static_cast<char>(std::strtol(hex, nullptr, 16));
+      i += 2;
+    } else {
+      out += in[i];
+    }
+  }
+  return out;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone — a scrape client may hang up early
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+long HttpRequest::query_long(const std::string& key, long fallback) const {
+  const auto it = query.find(key);
+  if (it == query.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return fallback;
+  return value;
+}
+
+bool parse_http_request(const std::string& raw, HttpRequest& out) {
+  const std::size_t line_end = raw.find("\r\n");
+  const std::string line = raw.substr(0, line_end == std::string::npos ? raw.size() : line_end);
+  const std::size_t m1 = line.find(' ');
+  if (m1 == std::string::npos) return false;
+  const std::size_t m2 = line.find(' ', m1 + 1);
+  if (m2 == std::string::npos) return false;
+  out.method = line.substr(0, m1);
+  std::string target = line.substr(m1 + 1, m2 - m1 - 1);
+  if (out.method.empty() || target.empty() || target[0] != '/') return false;
+  const std::size_t q = target.find('?');
+  out.path = target.substr(0, q);
+  out.query.clear();
+  if (q != std::string::npos) {
+    std::string qs = target.substr(q + 1);
+    std::size_t pos = 0;
+    while (pos <= qs.size()) {
+      std::size_t amp = qs.find('&', pos);
+      if (amp == std::string::npos) amp = qs.size();
+      const std::string pair = qs.substr(pos, amp - pos);
+      if (!pair.empty()) {
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          out.query[url_decode(pair)] = "";
+        } else {
+          out.query[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+        }
+      }
+      pos = amp + 1;
+    }
+  }
+  return true;
+}
+
+TelemetryServer::TelemetryServer(int port) : configured_port_(port), port_(port) {}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+void TelemetryServer::handle(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(routes_mutex_);
+  routes_[path] = std::move(handler);
+}
+
+void TelemetryServer::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw TelemetryError(cat("telemetry: socket() failed: ", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(configured_port_));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw TelemetryError(cat("telemetry: cannot bind 127.0.0.1:", configured_port_, ": ", why));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw TelemetryError(cat("telemetry: listen() failed: ", why));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw TelemetryError(cat("telemetry: pipe() failed: ", why));
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void TelemetryServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // One byte through the self-pipe drops the accept thread out of
+  // poll() immediately instead of waiting for the next connection.
+  const char wake = 'x';
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &wake, 1);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void TelemetryServer::loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (!running_.load(std::memory_order_acquire)) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void TelemetryServer::serve_connection(int fd) {
+  // A stalled client must not wedge the accept loop: bound the read.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::string raw;
+  char buf[2048];
+  while (raw.find("\r\n\r\n") == std::string::npos && raw.size() < 16384) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  if (raw.empty()) return;
+
+  HttpRequest request;
+  HttpResponse response;
+  if (!parse_http_request(raw, request)) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response = {405, "text/plain; charset=utf-8", "telemetry endpoints are GET-only\n"};
+  } else {
+    response = dispatch(request);
+  }
+
+  std::string wire = cat("HTTP/1.1 ", response.status, " ", status_text(response.status),
+                         "\r\nContent-Type: ", response.content_type,
+                         "\r\nContent-Length: ", response.body.size(),
+                         "\r\nConnection: close\r\n\r\n");
+  if (request.method != "HEAD") wire += response.body;
+  send_all(fd, wire);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HttpResponse TelemetryServer::dispatch(const HttpRequest& request) const {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto it = routes_.find(request.path);
+    if (it != routes_.end()) handler = it->second;
+  }
+  if (!handler) {
+    std::string index = "not found. endpoints:\n";
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    for (const auto& [path, unused] : routes_) index += cat("  ", path, "\n");
+    return {404, "text/plain; charset=utf-8", index};
+  }
+  try {
+    return handler(request);
+  } catch (const std::exception& e) {
+    // A handler exception must not kill the accept thread mid-run.
+    return {503, "text/plain; charset=utf-8", cat("handler failed: ", e.what(), "\n")};
+  }
+}
+
+}  // namespace saclo::obs

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace saclo::obs {
+
+/// Raised by TelemetryServer on socket setup failures (port in use,
+/// no permission to bind).
+class TelemetryError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// One parsed GET request: the path with its query string split into a
+/// decoded key/value map (`/debug/events?n=32` -> path "/debug/events",
+/// query {"n": "32"}).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::map<std::string, std::string> query;
+
+  /// Query parameter as a bounded integer; `fallback` when absent or
+  /// malformed.
+  long query_long(const std::string& key, long fallback) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// A minimal embedded HTTP/1.1 endpoint for live observability:
+/// plain POSIX sockets, one accept thread, GET-only, `Connection:
+/// close` per request. It deliberately does nothing clever — every
+/// handler runs on the accept thread against a snapshot its owner
+/// takes under that owner's own locks, so serving a scrape never
+/// touches the dispatch hot path and the zero-allocation guarantee of
+/// the recording side is untouched.
+///
+/// Lifecycle: construct with a port (0 = ephemeral), register handlers
+/// with handle() (thread-safe, allowed before or after start()), then
+/// start(). stop() (or the destructor) wakes the accept thread through
+/// a self-pipe and joins it.
+class TelemetryServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// `port` 0 asks the kernel for an ephemeral port (tests; read it
+  /// back with port()). The server binds 127.0.0.1 only — this is an
+  /// operator sidecar endpoint, not an internet-facing service.
+  explicit TelemetryServer(int port);
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Registers (or replaces) the handler for an exact path. Thread-safe
+  /// and allowed while the server runs, so late-constructed subsystems
+  /// (the alert monitor) can mount endpoints on a live server.
+  void handle(const std::string& path, Handler handler);
+
+  /// Binds, listens and starts the accept thread. Throws
+  /// TelemetryError when the socket cannot be set up.
+  void start();
+
+  /// Stops accepting, closes the listening socket and joins the accept
+  /// thread. Idempotent; the destructor calls it.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The actual bound port (resolves an ephemeral request after
+  /// start(); the configured port before).
+  int port() const { return port_; }
+  /// Requests answered so far (any status).
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  void serve_connection(int fd);
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+  int configured_port_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  mutable std::mutex routes_mutex_;
+  std::map<std::string, Handler> routes_;
+  std::thread thread_;
+};
+
+/// Parses the request line + query string of one HTTP request header
+/// block. Exposed for unit tests. Returns false on a malformed request
+/// line.
+bool parse_http_request(const std::string& raw, HttpRequest& out);
+
+}  // namespace saclo::obs

@@ -206,6 +206,22 @@ void FleetMetrics::set_allocator_stats(int device, const CachingDeviceAllocator:
   d.allocator = stats;
 }
 
+void FleetMetrics::set_build_info(std::string sha, std::string backend_opts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  build_sha_ = std::move(sha);
+  build_backend_opts_ = std::move(backend_opts);
+}
+
+void FleetMetrics::set_events_dropped(std::uint64_t dropped) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_dropped_ = dropped;
+}
+
+void FleetMetrics::set_active_alerts(int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_alerts_ = count;
+}
+
 FleetMetrics::Snapshot FleetMetrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot s;
@@ -226,6 +242,10 @@ FleetMetrics::Snapshot FleetMetrics::snapshot() const {
   s.scale_ups = scale_ups_;
   s.scale_downs = scale_downs_;
   s.jobs_rehomed = jobs_rehomed_;
+  s.build_sha = build_sha_;
+  s.build_backend_opts = build_backend_opts_;
+  s.events_dropped = events_dropped_;
+  s.active_alerts = active_alerts_;
   s.elapsed_real_us = elapsed_real_us_;
   for (const auto& [tenant, t] : tenants_) {
     Snapshot::TenantSnapshot ts;
@@ -413,7 +433,11 @@ std::string FleetMetrics::json() const {
   for (std::size_t i = 0; i < s.tenants.size(); ++i) {
     const Snapshot::TenantSnapshot& t = s.tenants[i];
     if (i > 0) out += ",";
-    out += cat("{\"tenant\":\"", t.tenant, "\",\"submitted\":", t.submitted,
+    // The same escape set covers the JSON string grammar's dangerous
+    // characters (backslash, quote, newline), so /debug/fleet stays
+    // parseable for hostile --tenant strings too.
+    out += cat("{\"tenant\":\"", prom_escape_label_value(t.tenant), "\",\"submitted\":",
+               t.submitted,
                ",\"completed\":", t.completed, ",\"shed\":", t.shed,
                ",\"slo_jobs\":", t.slo_jobs, ",\"slo_met\":", t.slo_met,
                ",\"slo_attainment\":", fixed(t.slo_attainment(), 4), "}");
@@ -442,9 +466,29 @@ void prom_scalar(std::string& out, const std::string& name, const std::string& t
 }
 }  // namespace
 
+std::string prom_escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string FleetMetrics::prometheus() const {
   const Snapshot s = snapshot();
   std::string out;
+  if (!s.build_sha.empty() || !s.build_backend_opts.empty()) {
+    out += "# HELP saclo_build_info Build identity (constant 1; the labels carry the data).\n";
+    out += "# TYPE saclo_build_info gauge\n";
+    out += cat("saclo_build_info{sha=\"", prom_escape_label_value(s.build_sha),
+               "\",backend_opts=\"", prom_escape_label_value(s.build_backend_opts), "\"} 1\n");
+  }
   prom_scalar(out, "saclo_jobs_submitted_total", "counter", "Jobs accepted by the runtime.",
               std::to_string(s.jobs_submitted));
   prom_scalar(out, "saclo_jobs_completed_total", "counter", "Jobs whose future resolved.",
@@ -497,6 +541,11 @@ std::string FleetMetrics::prometheus() const {
               "Frames per second of simulated device time.", fixed(s.throughput_fps_sim, 3));
   prom_scalar(out, "saclo_throughput_fps_real", "gauge", "Frames per second of real wall clock.",
               fixed(s.throughput_fps_real, 3));
+  prom_scalar(out, "saclo_events_dropped_total", "counter",
+              "Structured events rejected because the event ring was full.",
+              std::to_string(s.events_dropped));
+  prom_scalar(out, "saclo_alerts_active", "gauge", "Alerts currently firing.",
+              std::to_string(s.active_alerts));
   out += "# HELP saclo_device_jobs_total Jobs completed per device.\n";
   out += "# TYPE saclo_device_jobs_total counter\n";
   for (const DeviceSnapshot& d : s.devices) {
@@ -513,13 +562,14 @@ std::string FleetMetrics::prometheus() const {
            "within their SLO.\n";
     out += "# TYPE saclo_tenant_slo_attainment gauge\n";
     for (const Snapshot::TenantSnapshot& t : s.tenants) {
-      out += cat("saclo_tenant_slo_attainment{tenant=\"", t.tenant, "\"} ",
-                 fixed(t.slo_attainment(), 4), "\n");
+      out += cat("saclo_tenant_slo_attainment{tenant=\"", prom_escape_label_value(t.tenant),
+                 "\"} ", fixed(t.slo_attainment(), 4), "\n");
     }
     out += "# HELP saclo_tenant_jobs_shed_total Submissions shed per tenant.\n";
     out += "# TYPE saclo_tenant_jobs_shed_total counter\n";
     for (const Snapshot::TenantSnapshot& t : s.tenants) {
-      out += cat("saclo_tenant_jobs_shed_total{tenant=\"", t.tenant, "\"} ", t.shed, "\n");
+      out += cat("saclo_tenant_jobs_shed_total{tenant=\"", prom_escape_label_value(t.tenant),
+                 "\"} ", t.shed, "\n");
     }
   }
   obs::append_prometheus_histogram(out, "saclo_job_latency_us",
@@ -533,7 +583,8 @@ std::string FleetMetrics::prometheus() const {
     obs::append_prometheus_histogram(
         out, "saclo_class_latency_us",
         "Real end-to-end job latency split by priority class.", s.class_latency_hist[cls],
-        cat("class=\"", priority_name(static_cast<Priority>(cls)), "\""));
+        cat("class=\"", prom_escape_label_value(priority_name(static_cast<Priority>(cls))),
+            "\""));
   }
   return out;
 }

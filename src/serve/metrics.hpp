@@ -82,6 +82,15 @@ class FleetMetrics {
   void set_elapsed_real_us(double us);
   /// Attach one device's allocator stats to the next snapshot.
   void set_allocator_stats(int device, const CachingDeviceAllocator::Stats& stats);
+  // -- live observability -----------------------------------------------------
+  /// Identity labels for the `saclo_build_info` gauge (the build's git
+  /// SHA and the compiled backend options). Set once by the runtime.
+  void set_build_info(std::string sha, std::string backend_opts);
+  /// Event-ring drop count, mirrored into `saclo_events_dropped_total`
+  /// (the runtime refreshes it before rendering an exposition).
+  void set_events_dropped(std::uint64_t dropped);
+  /// Alerts currently firing, for the `saclo_alerts_active` gauge.
+  void set_active_alerts(int count);
 
   // -- reading ---------------------------------------------------------------
   struct DeviceSnapshot {
@@ -138,6 +147,11 @@ class FleetMetrics {
     /// Cap-evicted allocator blocks summed across devices (see
     /// CachingDeviceAllocator::Stats::cap_evictions).
     std::int64_t alloc_cap_evictions = 0;
+    // Live observability plane.
+    std::string build_sha;           ///< saclo_build_info{sha=...}
+    std::string build_backend_opts;  ///< saclo_build_info{backend_opts=...}
+    std::uint64_t events_dropped = 0;  ///< event-ring rejections
+    int active_alerts = 0;             ///< alerts currently firing
     double elapsed_real_us = 0;
     double sim_makespan_us = 0;  ///< max over devices of sim_clock_us
     /// Aggregate throughput in frames per second of simulated device
@@ -223,6 +237,10 @@ class FleetMetrics {
   std::int64_t failovers_ = 0;
   std::int64_t retries_ = 0;
   std::int64_t buffers_reclaimed_ = 0;
+  std::string build_sha_;
+  std::string build_backend_opts_;
+  std::uint64_t events_dropped_ = 0;
+  int active_alerts_ = 0;
   double elapsed_real_us_ = 0;
   // Bounded distributions: fixed 128-counter footprint regardless of
   // how many jobs a long-running fleet serves (the former per-job
@@ -253,5 +271,11 @@ class FleetMetrics {
 /// Interpolated percentile of an unsorted sample (q in [0, 1]); 0 on an
 /// empty sample. Exposed for the metrics tests.
 double percentile(std::vector<double> values, double q);
+
+/// Escapes a string for use inside a Prometheus label value per the
+/// text exposition format: backslash, double quote and newline become
+/// \\, \" and \n. Tenant ids arrive from the CLI, so they can contain
+/// anything.
+std::string prom_escape_label_value(const std::string& value);
 
 }  // namespace saclo::serve

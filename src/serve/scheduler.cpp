@@ -5,7 +5,15 @@
 #include <map>
 
 #include "core/fmt.hpp"
+#include "gpu/backend.hpp"
+#include "gpu/backend_kind.hpp"
 #include "obs/export.hpp"
+
+// Baked in by the build (src/serve/CMakeLists.txt); the fallback keeps
+// non-CMake compiles working.
+#ifndef SACLO_GIT_SHA
+#define SACLO_GIT_SHA "unknown"
+#endif
 
 namespace saclo::serve {
 
@@ -62,6 +70,9 @@ ServeRuntime::ServeRuntime(const Options& options)
         cat("tenant_rate_burst must be >= 1 when rate limiting, got ",
             options_.tenant_rate_burst));
   }
+  if (options_.telemetry_port > 65535) {
+    throw ServeError(cat("telemetry_port must be <= 65535, got ", options_.telemetry_port));
+  }
   const int slots = fleet_slots(options_);
   for (const fault::FaultSpec& spec : options_.fault_plan.specs()) {
     if (spec.device >= slots) {
@@ -104,9 +115,94 @@ ServeRuntime::ServeRuntime(const Options& options)
     devices_[static_cast<std::size_t>(i)]->dispatcher =
         std::thread([this, i] { dispatcher_loop(i); });
   }
+  {
+    std::vector<std::string> names;
+    for (gpu::BackendKind kind : gpu::available_backends()) {
+      names.push_back(gpu::backend_kind_name(kind));
+    }
+    metrics_.set_build_info(SACLO_GIT_SHA, join(names, ","));
+  }
+  mount_telemetry();
 }
 
 ServeRuntime::~ServeRuntime() { shutdown(); }
+
+void ServeRuntime::mount_telemetry() {
+  if (options_.telemetry_port < 0) return;
+  telemetry_ = std::make_unique<obs::TelemetryServer>(options_.telemetry_port);
+  telemetry_->handle("/metrics", [this](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = metrics_prometheus();
+    return r;
+  });
+  telemetry_->handle("/healthz", [this](const obs::HttpRequest&) {
+    // Liveness: answering at all is the signal. The body carries the
+    // barest vitals for a human curl.
+    obs::HttpResponse r;
+    r.body = cat("ok\nuptime_real_us ", fixed(trace_clock_.now_us(), 0), "\ninflight ",
+                 inflight_jobs(), "\n");
+    return r;
+  });
+  telemetry_->handle("/readyz", [this](const obs::HttpRequest&) {
+    std::string why;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      int active = 0;
+      int healthy = 0;
+      for (const auto& dev : devices_) {
+        if (dev->state != DevState::Active) continue;
+        ++active;
+        if (!dev->degraded) ++healthy;
+      }
+      if (stopping_) {
+        why = "stopping";
+      } else if (active == 0) {
+        why = "no active devices";
+      } else if (healthy == 0) {
+        why = "all active devices degraded";
+      } else if (total_inflight_ >= options_.queue_capacity) {
+        why = cat("queue saturated (", total_inflight_, "/", options_.queue_capacity, ")");
+      }
+    }
+    if (why.empty()) return obs::HttpResponse{200, "text/plain; charset=utf-8", "ready\n"};
+    return obs::HttpResponse{503, "text/plain; charset=utf-8", cat("not ready: ", why, "\n")};
+  });
+  telemetry_->handle("/debug/events", [this](const obs::HttpRequest& request) {
+    if (event_log_ == nullptr) {
+      return obs::HttpResponse{404, "text/plain; charset=utf-8",
+                               "event log disabled (event_log_capacity = 0)\n"};
+    }
+    const long n = request.query_long("n", 64);
+    const std::vector<obs::Event> events = event_log_->snapshot();
+    std::size_t start = 0;
+    if (n >= 0 && events.size() > static_cast<std::size_t>(n)) {
+      start = events.size() - static_cast<std::size_t>(n);
+    }
+    std::string body;
+    for (std::size_t i = start; i < events.size(); ++i) {
+      body += obs::event_json(events[i]);
+      body += "\n";
+    }
+    return obs::HttpResponse{200, "application/x-ndjson", std::move(body)};
+  });
+  telemetry_->handle("/debug/trace", [this](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, "application/json", merged_trace_json()};
+  });
+  telemetry_->handle("/debug/fleet", [this](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, "application/json", metrics_json()};
+  });
+  telemetry_->start();
+}
+
+void ServeRuntime::on_alert_transitions(const std::vector<obs::AlertTransition>& transitions,
+                                        std::size_t active_count) {
+  for (const obs::AlertTransition& t : transitions) {
+    emit(t.raised ? obs::EventType::AlertRaised : obs::EventType::AlertCleared, /*job=*/0,
+         /*device=*/-1, /*attempt=*/0, static_cast<std::int64_t>(t.kind), /*t_sim_us=*/0.0);
+  }
+  metrics_.set_active_alerts(static_cast<int>(active_count));
+}
 
 void ServeRuntime::emit(obs::EventType type, std::uint64_t job, int device, int attempt,
                         std::int64_t arg, double t_sim_us) {
@@ -227,6 +323,9 @@ void ServeRuntime::drain() {
 }
 
 void ServeRuntime::shutdown() {
+  // Stop serving scrapes before tearing the fleet down: no handler can
+  // be mid-read while dispatchers join and devices retire.
+  if (telemetry_) telemetry_->stop();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
@@ -522,6 +621,7 @@ std::string ServeRuntime::metrics_json() {
 
 std::string ServeRuntime::metrics_prometheus() {
   refresh_allocator_stats();
+  if (event_log_ != nullptr) metrics_.set_events_dropped(event_log_->dropped());
   return metrics_.prometheus();
 }
 
@@ -529,18 +629,27 @@ std::string ServeRuntime::events_jsonl() const {
   return event_log_ != nullptr ? event_log_->jsonl() : std::string();
 }
 
-std::string ServeRuntime::merged_trace_json() const {
-  // Tests and the CLI export after drain(), when the dispatchers are
-  // parked; a concurrent export would read a device's intervals racily.
+std::vector<obs::Event> ServeRuntime::events() const {
+  return event_log_ != nullptr ? event_log_->snapshot() : std::vector<obs::Event>{};
+}
+
+std::vector<obs::DeviceTrace> ServeRuntime::device_traces() const {
+  // intervals_snapshot() copies under the profiler's recording lock, so
+  // this is safe mid-run — the live /debug/trace endpoint and the
+  // critical-path analyzer both go through here.
   std::vector<obs::DeviceTrace> traces;
   traces.reserve(devices_.size());
   for (std::size_t i = 0; i < devices_.size(); ++i) {
-    traces.push_back({static_cast<int>(i), devices_[i]->gpu->profiler().intervals(),
+    traces.push_back({static_cast<int>(i), devices_[i]->gpu->profiler().intervals_snapshot(),
                       devices_[i]->gpu->backend_name()});
   }
+  return traces;
+}
+
+std::string ServeRuntime::merged_trace_json() const {
   const std::vector<obs::Event> events =
       event_log_ != nullptr ? event_log_->snapshot() : std::vector<obs::Event>{};
-  return obs::merged_chrome_trace(traces, events);
+  return obs::merged_chrome_trace(device_traces(), events);
 }
 
 JobResult ServeRuntime::run_job(Device& dev, int index, Pending& pending, bool flush,

@@ -15,7 +15,10 @@
 #include "fault/fault.hpp"
 #include "fault/plan.hpp"
 #include "gpu/sim_gpu.hpp"
+#include "obs/alerts.hpp"
 #include "obs/events.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "serve/admission.hpp"
 #include "serve/allocator.hpp"
@@ -169,6 +172,14 @@ class ServeRuntime {
     /// keys its spans and flow arrows on. Two plain stores per job —
     /// kept switchable for the zero-overhead baseline.
     bool trace_jobs = true;
+    /// TCP port of the embedded telemetry endpoint (binds 127.0.0.1):
+    /// /metrics, /healthz, /readyz, /debug/events, /debug/trace,
+    /// /debug/fleet. 0 asks the kernel for an ephemeral port (read it
+    /// back via telemetry()->port()). -1, the default, mounts nothing —
+    /// no socket, no thread. Every endpoint reads a snapshot taken
+    /// under the owning subsystem's own lock, so a live scrape never
+    /// touches the dispatch hot path.
+    int telemetry_port = -1;
   };
 
   explicit ServeRuntime(const Options& options);
@@ -226,6 +237,9 @@ class ServeRuntime {
   std::size_t inflight_jobs() const;
 
   const FleetMetrics& metrics() const { return metrics_; }
+  /// Fleet-wide bound on accepted-but-unfinished jobs (the backlog the
+  /// alert engine's saturation rule measures against).
+  std::size_t queue_capacity() const { return options_.queue_capacity; }
   /// The device's caching-allocator counters; throws without
   /// cache_buffers.
   CachingDeviceAllocator::Stats allocator_stats(int device) const;
@@ -244,10 +258,26 @@ class ServeRuntime {
   const obs::EventLog* event_log() const { return event_log_.get(); }
   /// JSONL export of the event log ("" when disabled).
   std::string events_jsonl() const;
+  /// Snapshot of the raw events (empty when the log is disabled) — the
+  /// critical-path analyzer's second input besides device_traces().
+  std::vector<obs::Event> events() const;
+  /// Snapshot of every device's recorded intervals (safe while
+  /// dispatchers are still recording) — the input the merged trace and
+  /// the critical-path analyzer share.
+  std::vector<obs::DeviceTrace> device_traces() const;
   /// Fleet-wide merged Chrome trace: every device's spans in one file
   /// (pid = device, tid = stream), instant events from the event log,
   /// and flow arrows linking failover hops across devices.
   std::string merged_trace_json() const;
+
+  /// The embedded telemetry server, nullptr unless
+  /// Options::telemetry_port >= 0. Exposed so late-constructed
+  /// subsystems (the alert monitor) can mount endpoints on it.
+  obs::TelemetryServer* telemetry() const { return telemetry_.get(); }
+  /// Alert-engine sink: records one alert_raised/alert_cleared wire
+  /// event per transition and refreshes the saclo_alerts_active gauge.
+  void on_alert_transitions(const std::vector<obs::AlertTransition>& transitions,
+                            std::size_t active_count);
 
  private:
   struct Pending {
@@ -306,6 +336,9 @@ class ServeRuntime {
   static constexpr int kIdleClass = 1 << 20;
 
   void dispatcher_loop(int index);
+  /// Builds and starts the telemetry server (constructor tail; no-op
+  /// with telemetry_port < 0).
+  void mount_telemetry();
   /// flush=false skips the member's trailing device synchronize so the
   /// next batch member may overlap it (always true for the last member
   /// of a batch and for unbatched jobs). `gate` is the frame-boundary
@@ -361,6 +394,10 @@ class ServeRuntime {
   bool stopping_ = false;
   bool started_serving_ = false;
   std::chrono::steady_clock::time_point serve_start_;
+  /// Declared last so it is destroyed first: its handlers capture
+  /// `this` and read the members above. shutdown() also stops it
+  /// before joining the dispatchers.
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
 };
 
 }  // namespace saclo::serve

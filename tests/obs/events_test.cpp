@@ -51,6 +51,8 @@ TEST(EventLogTest, WireNamesAreStable) {
   EXPECT_STREQ(event_type_name(EventType::ScaleDown), "scale_down");
   EXPECT_STREQ(event_type_name(EventType::DrainStarted), "drain_started");
   EXPECT_STREQ(event_type_name(EventType::DrainComplete), "drain_complete");
+  EXPECT_STREQ(event_type_name(EventType::AlertRaised), "alert_raised");
+  EXPECT_STREQ(event_type_name(EventType::AlertCleared), "alert_cleared");
 }
 
 TEST(EventLogTest, EventJsonRoundTripsEveryField) {

@@ -1,0 +1,197 @@
+// The embedded telemetry endpoint: request parsing, routing, and the
+// full socket lifecycle against a live server on an ephemeral port —
+// including the paths a scraper will actually exercise (unknown
+// routes, non-GET methods, HEAD, handlers mounted after start()).
+
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace saclo::obs {
+namespace {
+
+/// A blunt test-only HTTP client: one request, reads to EOF (the
+/// server closes per request), returns the raw response text.
+std::string http_request(int port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << "connect to 127.0.0.1:" << port << " failed: " << std::strerror(errno);
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(int port, const std::string& path) {
+  return http_request(port, "GET " + path + " HTTP/1.1\r\nHost: test\r\n\r\n");
+}
+
+TEST(HttpParseTest, RequestLineAndQuery) {
+  HttpRequest req;
+  ASSERT_TRUE(parse_http_request("GET /debug/events?n=32&full=1 HTTP/1.1\r\n\r\n", req));
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/debug/events");
+  EXPECT_EQ(req.query.at("n"), "32");
+  EXPECT_EQ(req.query.at("full"), "1");
+}
+
+TEST(HttpParseTest, PercentAndPlusDecoding) {
+  HttpRequest req;
+  ASSERT_TRUE(parse_http_request("GET /x?name=a%2Fb+c%20d HTTP/1.1\r\n\r\n", req));
+  EXPECT_EQ(req.query.at("name"), "a/b c d");
+}
+
+TEST(HttpParseTest, MalformedRequestLineRejected) {
+  HttpRequest req;
+  EXPECT_FALSE(parse_http_request("", req));
+  EXPECT_FALSE(parse_http_request("GET\r\n\r\n", req));
+  EXPECT_FALSE(parse_http_request("nonsense\r\n\r\n", req));
+}
+
+TEST(HttpParseTest, QueryLongBoundsAndFallback) {
+  HttpRequest req;
+  ASSERT_TRUE(parse_http_request("GET /e?n=42&bad=xyz HTTP/1.1\r\n\r\n", req));
+  EXPECT_EQ(req.query_long("n", 7), 42);
+  EXPECT_EQ(req.query_long("bad", 7), 7);
+  EXPECT_EQ(req.query_long("absent", 7), 7);
+}
+
+TEST(TelemetryServerTest, ServesRegisteredHandlerOnEphemeralPort) {
+  TelemetryServer server(0);
+  server.handle("/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "pong\n"};
+  });
+  server.start();
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0) << "ephemeral port must resolve after start()";
+  const std::string response = http_get(server.port(), "/ping");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("pong"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 1u);
+}
+
+TEST(TelemetryServerTest, HandlerSeesQueryParameters) {
+  TelemetryServer server(0);
+  server.handle("/echo", [](const HttpRequest& req) {
+    return HttpResponse{200, "text/plain; charset=utf-8",
+                        std::to_string(req.query_long("n", -1))};
+  });
+  server.start();
+  EXPECT_NE(http_get(server.port(), "/echo?n=99").find("99"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, UnknownPathIs404ListingEndpoints) {
+  TelemetryServer server(0);
+  server.handle("/metrics", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start();
+  const std::string response = http_get(server.port(), "/nope");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(response.find("/metrics"), std::string::npos)
+      << "404 body should list what IS mounted: " << response;
+}
+
+TEST(TelemetryServerTest, NonGetMethodIs405) {
+  TelemetryServer server(0);
+  server.handle("/metrics", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start();
+  const std::string response =
+      http_request(server.port(), "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos) << response;
+}
+
+TEST(TelemetryServerTest, HeadOmitsTheBody) {
+  TelemetryServer server(0);
+  server.handle("/metrics", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "SECRET_BODY"};
+  });
+  server.start();
+  const std::string response =
+      http_request(server.port(), "HEAD /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 11"), std::string::npos) << response;
+  EXPECT_EQ(response.find("SECRET_BODY"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, MalformedRequestIs400) {
+  TelemetryServer server(0);
+  server.start();
+  const std::string response = http_request(server.port(), "garbage\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+}
+
+TEST(TelemetryServerTest, ThrowingHandlerIs503NotACrash) {
+  TelemetryServer server(0);
+  server.handle("/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  server.start();
+  const std::string response = http_get(server.port(), "/boom");
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos) << response;
+  // The server survives; the next request still answers.
+  EXPECT_NE(http_get(server.port(), "/boom").find("503"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, HandlersMountAndReplaceWhileRunning) {
+  TelemetryServer server(0);
+  server.start();
+  EXPECT_NE(http_get(server.port(), "/late").find("404"), std::string::npos);
+  server.handle("/late", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "v1"};
+  });
+  EXPECT_NE(http_get(server.port(), "/late").find("v1"), std::string::npos);
+  server.handle("/late", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "v2"};
+  });
+  EXPECT_NE(http_get(server.port(), "/late").find("v2"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, StopIsIdempotentAndJoinsCleanly) {
+  TelemetryServer server(0);
+  server.start();
+  const int port = server.port();
+  EXPECT_NE(http_get(port, "/x").find("404"), std::string::npos);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // second stop is a no-op
+  // The port is released: a fresh server can bind it again right away
+  // (SO_REUSEADDR also covers TIME_WAIT).
+  TelemetryServer again(port);
+  ASSERT_NO_THROW(again.start());
+  EXPECT_EQ(again.port(), port);
+}
+
+TEST(TelemetryServerTest, PortInUseThrowsTelemetryError) {
+  TelemetryServer first(0);
+  first.start();
+  TelemetryServer second(first.port());
+  EXPECT_THROW(second.start(), TelemetryError);
+}
+
+}  // namespace
+}  // namespace saclo::obs

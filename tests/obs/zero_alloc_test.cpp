@@ -7,14 +7,22 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <thread>
 
 #include "gpu/profiler.hpp"
 #include "obs/events.hpp"
 #include "obs/histogram.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/metrics.hpp"
 
 namespace {
@@ -96,6 +104,68 @@ TEST(ZeroAllocTest, MetricsRecordingDoesNotAllocate) {
               }
             }),
             0u);
+}
+
+TEST(ZeroAllocTest, RecordingStaysFreeWhileTelemetryIsScraped) {
+  // The tentpole guarantee of the live plane: a concurrent /metrics
+  // scraper must not add a single allocation to the recording path.
+  // The allocation counter is thread_local, so this measures exactly
+  // the hot path's own cost — the accept thread renders snapshots on
+  // its own dime.
+  serve::FleetMetrics metrics(1);
+  obs::EventLog log(1024);
+  obs::TelemetryServer server(0);
+  server.handle("/metrics", [&](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                             metrics.prometheus()};
+  });
+  server.start();
+
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) continue;
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+        const char req[] = "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n";
+        (void)::send(fd, req, sizeof(req) - 1, 0);
+        char buf[4096];
+        while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+        }
+      }
+      ::close(fd);
+    }
+  });
+
+  serve::JobResult result;
+  result.frames = 4;
+  result.sim_wall_us = 1000.0;
+  result.latency_us = 2000.0;
+  obs::Event e;
+  e.type = obs::EventType::FrameDone;
+  metrics.on_submit(0);
+  metrics.on_dispatch(0);
+  metrics.on_complete(0, result, 1000.0);  // warm lazy state before counting
+  EXPECT_EQ(allocations_of([&] {
+              for (int i = 0; i < 500; ++i) {
+                metrics.on_submit(0);
+                metrics.on_dispatch(0);
+                metrics.on_complete(0, result, 1000.0 * i);
+                log.emit(e);
+              }
+            }),
+            0u);
+  // Let at least one scrape land before shutting down, so the loop
+  // above provably overlapped a live scraper.
+  while (server.requests_served() == 0) std::this_thread::yield();
+
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  server.stop();
 }
 
 TEST(ZeroAllocTest, TraceBracketingDoesNotAllocate) {

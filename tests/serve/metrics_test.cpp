@@ -370,6 +370,57 @@ TEST(FleetMetricsTest, AutoscaleSectionGolden) {
   }
 }
 
+TEST(PromEscapeTest, EscapesLabelValueMetacharacters) {
+  EXPECT_EQ(prom_escape_label_value("plain-tenant"), "plain-tenant");
+  EXPECT_EQ(prom_escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label_value("a\nb"), "a\\nb");
+  EXPECT_EQ(prom_escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(FleetMetricsTest, HostileTenantNameCannotBreakTheExposition) {
+  // A tenant id is caller-controlled text that ends up inside label
+  // quotes; quotes/backslashes/newlines must come out escaped, never
+  // raw (a raw newline would split the series into a bogus line).
+  FleetMetrics m(1);
+  m.on_shed("evil\"t\\en\nant", ShedReason::RateLimited);
+  const std::string prom = m.prometheus();
+  EXPECT_NE(prom.find("tenant=\"evil\\\"t\\\\en\\nant\""), std::string::npos)
+      << prom;
+  EXPECT_EQ(prom.find("evil\"t"), std::string::npos) << "raw quote leaked";
+  // The JSON export shares the escape set, so it must still parse.
+  const Json root = parse_json(m.json());
+  ASSERT_TRUE(root.is_object());
+  ASSERT_FALSE(root.at("tenants").array.empty());
+}
+
+TEST(FleetMetricsTest, BuildInfoGaugeCarriesIdentityLabels) {
+  FleetMetrics m(1);
+  // Without identity set: no constant gauge (a bare saclo_build_info 1
+  // with empty labels would be noise).
+  EXPECT_EQ(m.prometheus().find("saclo_build_info"), std::string::npos);
+  m.set_build_info("abc1234", "sim,host");
+  const std::string prom = m.prometheus();
+  EXPECT_NE(prom.find("saclo_build_info{sha=\"abc1234\",backend_opts=\"sim,host\"} 1"),
+            std::string::npos)
+      << prom;
+  const FleetMetrics::Snapshot snap = m.snapshot();
+  EXPECT_EQ(snap.build_sha, "abc1234");
+  EXPECT_EQ(snap.build_backend_opts, "sim,host");
+}
+
+TEST(FleetMetricsTest, EventsDroppedAndActiveAlertsSurface) {
+  FleetMetrics m(1);
+  std::string prom = m.prometheus();
+  EXPECT_NE(prom.find("saclo_events_dropped_total 0"), std::string::npos);
+  EXPECT_NE(prom.find("saclo_alerts_active 0"), std::string::npos);
+  m.set_events_dropped(17);
+  m.set_active_alerts(2);
+  prom = m.prometheus();
+  EXPECT_NE(prom.find("saclo_events_dropped_total 17"), std::string::npos);
+  EXPECT_NE(prom.find("saclo_alerts_active 2"), std::string::npos);
+}
+
 TEST(FleetMetricsTest, ReportMentionsEveryDevice) {
   FleetMetrics m(3);
   const std::string report = m.report();

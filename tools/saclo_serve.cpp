@@ -72,6 +72,24 @@
 //   --events-out   structured JSONL event log (job_admitted, frame_done,
 //                  device_fault, failover, ...)
 //   --metrics-out  Prometheus text exposition of the fleet metrics
+//
+// --telemetry-port mounts the live observability plane on 127.0.0.1: an
+// embedded HTTP endpoint serving /metrics (the same Prometheus
+// exposition, from a live snapshot), /healthz, /readyz, /debug/events,
+// /debug/trace, /debug/fleet — and /alerts with --alerts. Port 0 picks
+// an ephemeral port (printed on stderr). A scrape taken after the run
+// drained is counter-identical to --metrics-out (only the wall-clock
+// gauge saclo_device_seconds_total keeps accruing);
+// --telemetry-linger-ms keeps the endpoint up that long after the
+// sinks are written so an external scraper can take that final scrape.
+//
+// --alerts runs the SLO burn-rate alert engine against periodic metric
+// samples (fast/slow dual-window burn rate per tenant, queue
+// saturation, degraded devices); transitions emit alert_raised/
+// alert_cleared wire events and --alerts-out writes the JSONL alert
+// log. --analyze prints the trace critical-path attribution (compute
+// vs transfer vs queue wait vs preemption/drain stalls, per device and
+// per route) after the run.
 
 #include <chrono>
 #include <cstdint>
@@ -87,6 +105,8 @@
 #include "fault/fault.hpp"
 #include "fault/plan.hpp"
 #include "gpu/backend_kind.hpp"
+#include "obs/critpath.hpp"
+#include "serve/alerting.hpp"
 #include "serve/autoscale.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/traffic.hpp"
@@ -173,7 +193,20 @@ int usage() {
                "  --trace-out FILE    write the fleet-merged Chrome trace\n"
                "  --events-out FILE   write the structured JSONL event log\n"
                "  --metrics-out FILE  write the Prometheus metrics exposition\n"
-               "  --events-capacity N bound of the event ring (default 65536)\n");
+               "  --events-capacity N bound of the event ring (default 65536)\n"
+               "  --telemetry-port P  serve live telemetry on 127.0.0.1:P\n"
+               "                 (/metrics, /healthz, /readyz, /debug/events,\n"
+               "                 /debug/trace, /debug/fleet; 0 = ephemeral port,\n"
+               "                 printed on stderr)\n"
+               "  --telemetry-linger-ms T  keep the telemetry endpoint up T ms\n"
+               "                 after the sinks are written (final scrapes)\n"
+               "  --alerts       run the SLO burn-rate alert engine (adds /alerts\n"
+               "                 with --telemetry-port)\n"
+               "  --alert-interval-ms T  alert sampling period (default 25)\n"
+               "  --alerts-out FILE  write the JSONL alert log (implies --alerts)\n"
+               "  --analyze      print the trace critical-path attribution after\n"
+               "                 the run (compute/transfer/queue-wait/stalls per\n"
+               "                 device and per route)\n");
   return 2;
 }
 
@@ -229,6 +262,12 @@ int main(int argc, char** argv) {
   std::string events_out;
   std::string metrics_out;
   std::size_t events_capacity = 65536;
+  double telemetry_linger_ms = 0;
+  bool alerts = false;
+  double alert_interval_ms = 25.0;
+  bool alert_interval_set = false;
+  std::string alerts_out;
+  bool analyze = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -340,6 +379,20 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (arg == "--events-capacity" && i + 1 < argc) {
       events_capacity = static_cast<std::size_t>(std::stoll(argv[++i]));
+    } else if (arg == "--telemetry-port" && i + 1 < argc) {
+      opts.telemetry_port = std::stoi(argv[++i]);
+    } else if (arg == "--telemetry-linger-ms" && i + 1 < argc) {
+      telemetry_linger_ms = std::stod(argv[++i]);
+    } else if (arg == "--alerts") {
+      alerts = true;
+    } else if (arg == "--alert-interval-ms" && i + 1 < argc) {
+      alert_interval_ms = std::stod(argv[++i]);
+      alert_interval_set = true;
+    } else if (arg == "--alerts-out" && i + 1 < argc) {
+      alerts_out = argv[++i];
+      alerts = true;
+    } else if (arg == "--analyze") {
+      analyze = true;
     } else {
       return usage();
     }
@@ -347,7 +400,23 @@ int main(int argc, char** argv) {
   // Any observability sink implies the structured event log (the merged
   // trace wants its instant events too); plain runs keep it off so the
   // dispatch hot path stays allocation-free.
-  if (!events_out.empty() || !trace_out.empty()) opts.event_log_capacity = events_capacity;
+  if (!events_out.empty() || !trace_out.empty() || analyze) {
+    opts.event_log_capacity = events_capacity;
+  }
+
+  if (telemetry_linger_ms > 0 && opts.telemetry_port < 0) {
+    std::fprintf(stderr, "saclo-serve: --telemetry-linger-ms requires --telemetry-port\n");
+    return usage();
+  }
+  if (alert_interval_set && !alerts) {
+    std::fprintf(stderr, "saclo-serve: --alert-interval-ms requires --alerts\n");
+    return usage();
+  }
+  if (alerts && alert_interval_ms <= 0) {
+    std::fprintf(stderr, "saclo-serve: --alert-interval-ms must be positive, got %g\n",
+                 alert_interval_ms);
+    return usage();
+  }
 
   // Up-front validation of the elastic-fleet flag combos: every invalid
   // mix dies here with a one-line explanation, before any device spins
@@ -429,8 +498,20 @@ int main(int argc, char** argv) {
   try {
     const Route mix[] = {Route::SacNongeneric, Route::SacGeneric, Route::Gaspard};
     ServeRuntime runtime(opts);
+    if (runtime.telemetry() != nullptr) {
+      // Printed to stderr so CI (and humans using port 0) learn the
+      // actual bound port without parsing the report.
+      std::fprintf(stderr, "saclo-serve: telemetry listening on http://127.0.0.1:%d\n",
+                   runtime.telemetry()->port());
+    }
     std::unique_ptr<Autoscaler> scaler;
     if (autoscale) scaler = std::make_unique<Autoscaler>(runtime, autoscale_policy);
+    std::unique_ptr<AlertMonitor> monitor;
+    if (alerts) {
+      AlertMonitorOptions monitor_options;
+      monitor_options.interval_ms = alert_interval_ms;
+      monitor = std::make_unique<AlertMonitor>(runtime, monitor_options);
+    }
 
     int failed = 0;
     int shed = 0;
@@ -505,6 +586,16 @@ int main(int argc, char** argv) {
                    static_cast<long long>(s.downs));
     }
     runtime.drain();
+    if (monitor) {
+      // One last evaluation over the drained fleet so the log ends on
+      // the settled state, then stop the sampling thread.
+      monitor->sample_now();
+      monitor->stop();
+      const std::size_t transitions = monitor->transitions().size();
+      const std::size_t firing = monitor->active().size();
+      std::fprintf(stderr, "saclo-serve: alerts: %zu transition(s), %zu still firing\n",
+                   transitions, firing);
+    }
     if (emit_checksum) std::printf("checksum %016llx\n", static_cast<unsigned long long>(checksum));
 
     if (trace_device >= 0) {
@@ -513,6 +604,11 @@ int main(int argc, char** argv) {
       std::printf("%s\n", runtime.metrics_json().c_str());
     } else {
       std::printf("%s", runtime.report().c_str());
+    }
+    if (analyze) {
+      const obs::CriticalPath path =
+          obs::analyze_critical_path(runtime.device_traces(), runtime.events());
+      std::printf("%s", obs::critical_path_report(path).c_str());
     }
     bool sink_error = false;
     if (!trace_out.empty() && !write_file(trace_out, runtime.merged_trace_json())) {
@@ -524,7 +620,19 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty() && !write_file(metrics_out, runtime.metrics_prometheus())) {
       sink_error = true;
     }
+    if (!alerts_out.empty() && monitor &&
+        !write_file(alerts_out, monitor->transitions_jsonl())) {
+      sink_error = true;
+    }
     if (sink_error) return 1;
+    if (telemetry_linger_ms > 0 && runtime.telemetry() != nullptr) {
+      // Keep the endpoint scrapeable after the run settles — the window
+      // CI uses to compare a live scrape against --metrics-out.
+      std::fprintf(stderr, "saclo-serve: telemetry lingering %.0f ms\n",
+                   telemetry_linger_ms);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(telemetry_linger_ms));
+    }
     if (shed > 0) {
       std::fprintf(stderr, "saclo-serve: %d job(s) shed by admission\n", shed);
     }

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Tests for bench_diff.py — the CI perf gate.
+
+Plain unittest (the toolchain image carries no pytest), registered with
+ctest from tools/CMakeLists.txt so the gate's own behavior is part of
+tier-1: pair mode, directory mode pairing rules, per-bench --tolerance
+overrides, and every typed error path exiting with a one-line message
+instead of a traceback.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402
+
+
+def write_bench(path, bench, variants):
+    with open(path, "w") as f:
+        json.dump({"bench": bench,
+                   "variants": [{"name": n, "us": us} for n, us in variants]}, f)
+
+
+def run_main(argv):
+    """Runs bench_diff.main() with argv, returning (exit_code, stdout)."""
+    out = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = ["bench_diff.py"] + argv
+    try:
+        with contextlib.redirect_stdout(out):
+            try:
+                code = bench_diff.main()
+            except SystemExit as e:  # parser.error paths
+                code = e.code if isinstance(e.code, int) else 2
+            except bench_diff.BenchDiffError:
+                code = 1  # what the __main__ guard exits with
+    finally:
+        sys.argv = old_argv
+    return code, out.getvalue()
+
+
+class PairModeTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name):
+        return os.path.join(self.dir.name, name)
+
+    def test_identical_artifacts_pass(self):
+        write_bench(self.path("a.json"), "conv", [("v0", 100.0), ("v1", 200.0)])
+        code, out = run_main([self.path("a.json"), self.path("a.json")])
+        self.assertEqual(code, 0)
+        self.assertIn("no regressions", out)
+
+    def test_slowdown_beyond_threshold_fails(self):
+        write_bench(self.path("base.json"), "conv", [("v0", 100.0)])
+        write_bench(self.path("cand.json"), "conv", [("v0", 125.0)])
+        code, out = run_main([self.path("base.json"), self.path("cand.json")])
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("conv/v0", out)
+
+    def test_slowdown_within_custom_threshold_passes(self):
+        write_bench(self.path("base.json"), "conv", [("v0", 100.0)])
+        write_bench(self.path("cand.json"), "conv", [("v0", 125.0)])
+        code, _ = run_main([self.path("base.json"), self.path("cand.json"),
+                            "--threshold", "0.30"])
+        self.assertEqual(code, 0)
+
+    def test_variant_missing_from_candidate_fails(self):
+        write_bench(self.path("base.json"), "conv", [("v0", 100.0), ("v1", 50.0)])
+        write_bench(self.path("cand.json"), "conv", [("v0", 100.0)])
+        code, out = run_main([self.path("base.json"), self.path("cand.json")])
+        self.assertEqual(code, 1)
+        self.assertIn("MISSING from candidate", out)
+
+    def test_new_variant_in_candidate_is_not_a_failure(self):
+        write_bench(self.path("base.json"), "conv", [("v0", 100.0)])
+        write_bench(self.path("cand.json"), "conv", [("v0", 100.0), ("v9", 1.0)])
+        code, out = run_main([self.path("base.json"), self.path("cand.json")])
+        self.assertEqual(code, 0)
+        self.assertIn("new variant, no baseline", out)
+
+    def test_pair_mode_wants_exactly_two_files(self):
+        code, _ = run_main([self.path("one.json")])
+        self.assertNotEqual(code, 0)
+
+
+class DirModeTest(unittest.TestCase):
+    def setUp(self):
+        self.base = tempfile.TemporaryDirectory()
+        self.cand = tempfile.TemporaryDirectory()
+        self.addCleanup(self.base.cleanup)
+        self.addCleanup(self.cand.cleanup)
+
+    def test_pairs_by_name_and_passes(self):
+        for d in (self.base.name, self.cand.name):
+            write_bench(os.path.join(d, "BENCH_a.json"), "a", [("v", 10.0)])
+            write_bench(os.path.join(d, "BENCH_b.json"), "b", [("v", 20.0)])
+        code, out = run_main(["--baseline-dir", self.base.name,
+                              "--candidate-dir", self.cand.name])
+        self.assertEqual(code, 0)
+        self.assertIn("== a", out)
+        self.assertIn("== b", out)
+
+    def test_baseline_without_candidate_fails(self):
+        write_bench(os.path.join(self.base.name, "BENCH_a.json"), "a", [("v", 10.0)])
+        code, out = run_main(["--baseline-dir", self.base.name,
+                              "--candidate-dir", self.cand.name])
+        self.assertEqual(code, 1)
+        self.assertIn("no candidate artifact", out)
+
+    def test_candidate_without_baseline_is_noted_not_failed(self):
+        write_bench(os.path.join(self.base.name, "BENCH_a.json"), "a", [("v", 10.0)])
+        write_bench(os.path.join(self.cand.name, "BENCH_a.json"), "a", [("v", 10.0)])
+        write_bench(os.path.join(self.cand.name, "BENCH_new.json"), "new", [("v", 1.0)])
+        code, out = run_main(["--baseline-dir", self.base.name,
+                              "--candidate-dir", self.cand.name])
+        self.assertEqual(code, 0)
+        self.assertIn("no committed baseline", out)
+
+    def test_mixing_dir_and_positional_files_is_rejected(self):
+        code, _ = run_main(["--baseline-dir", self.base.name,
+                            "--candidate-dir", self.cand.name, "stray.json"])
+        self.assertNotEqual(code, 0)
+
+
+class ToleranceTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+        self.base = os.path.join(self.dir.name, "BENCH_serve.json")
+        self.cand = os.path.join(self.dir.name, "BENCH_serve_cand.json")
+        write_bench(self.base, "serve", [("v0", 100.0)])
+        write_bench(self.cand, "serve", [("v0", 130.0)])  # +30%
+
+    def test_tolerance_by_bench_field_widens_one_gate(self):
+        code, _ = run_main([self.base, self.cand])
+        self.assertEqual(code, 1)
+        code, out = run_main([self.base, self.cand, "--tolerance", "serve=0.35"])
+        self.assertEqual(code, 0)
+        self.assertIn("[tolerance 35%]", out)
+
+    def test_tolerance_by_file_stem(self):
+        # BENCH_serve.json -> stem "serve" matches even if the bench
+        # field were spelled differently.
+        self.assertEqual(bench_diff.bench_stem("BENCH_serve.json"), "serve")
+        self.assertEqual(bench_diff.bench_stem("/x/y/BENCH_a_b.json"), "a_b")
+        self.assertEqual(bench_diff.bench_stem("other.json"), "other.json")
+
+    def test_tolerance_for_other_bench_does_not_apply(self):
+        code, _ = run_main([self.base, self.cand, "--tolerance", "unrelated=0.99"])
+        self.assertEqual(code, 1)
+
+    def test_parse_tolerances(self):
+        self.assertEqual(bench_diff.parse_tolerances(["a=0.5", "b=0"]),
+                         {"a": 0.5, "b": 0.0})
+        for bad in ["noequals", "=0.5", "a=notanumber", "a=-0.1"]:
+            with self.assertRaises(bench_diff.BenchDiffError):
+                bench_diff.parse_tolerances([bad])
+
+
+class ErrorPathTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name):
+        return os.path.join(self.dir.name, name)
+
+    def test_missing_file_is_typed_error(self):
+        with self.assertRaises(bench_diff.BenchDiffError) as ctx:
+            bench_diff.load_bench(self.path("absent.json"))
+        self.assertIn("cannot read", str(ctx.exception))
+
+    def test_malformed_json_is_typed_error(self):
+        with open(self.path("bad.json"), "w") as f:
+            f.write("{not json")
+        with self.assertRaises(bench_diff.BenchDiffError) as ctx:
+            bench_diff.load_bench(self.path("bad.json"))
+        self.assertIn("malformed JSON", str(ctx.exception))
+
+    def test_wrong_shape_is_typed_error(self):
+        with open(self.path("shape.json"), "w") as f:
+            json.dump({"bench": "x"}, f)
+        with self.assertRaises(bench_diff.BenchDiffError) as ctx:
+            bench_diff.load_bench(self.path("shape.json"))
+        self.assertIn("no 'variants' list", str(ctx.exception))
+
+    def test_not_a_directory_is_typed_error(self):
+        code, _ = run_main(["--baseline-dir", self.path("nope"),
+                            "--candidate-dir", self.path("nope")])
+        # Raised as BenchDiffError inside main(); surfaces via the
+        # __main__ guard in CLI use — here it propagates.
+        self.assertNotEqual(code, 0)
+
+    def test_zero_baseline_time_does_not_divide_by_zero(self):
+        write_bench(self.path("b.json"), "z", [("v", 0.0)])
+        write_bench(self.path("c.json"), "z", [("v", 1.0)])
+        code, _ = run_main([self.path("b.json"), self.path("c.json")])
+        self.assertEqual(code, 1)  # 0 -> 1us is an infinite-ratio regression
+
+
+if __name__ == "__main__":
+    unittest.main()
